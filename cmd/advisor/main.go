@@ -1,0 +1,129 @@
+// Command advisor runs the paper's full tuning flow (Fig 2) for one of the
+// case-study applications on one platform: characterize the device, profile
+// the application, classify its cache dependence, and print the recommended
+// communication model with the estimated speedup.
+//
+// Usage:
+//
+//	advisor -device jetson-agx-xavier -app shwfs -current sc
+//	advisor -device jetson-tx2 -app orbslam -current zc -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"igpucomm/internal/apps/lanedet"
+	"igpucomm/internal/apps/orbslam"
+	"igpucomm/internal/apps/shwfs"
+	"igpucomm/internal/comm"
+	"igpucomm/internal/devices"
+	"igpucomm/internal/framework"
+	"igpucomm/internal/microbench"
+)
+
+func main() {
+	device := flag.String("device", devices.XavierName, "platform name")
+	app := flag.String("app", "shwfs", "application: shwfs, orbslam or lanedet")
+	current := flag.String("current", "sc", "currently implemented model: sc, um, zc")
+	quick := flag.Bool("quick", false, "reduced micro-benchmark scale")
+	verify := flag.Bool("verify", false, "also measure every model and report the true ranking")
+	charFile := flag.String("char", "", "load a saved characterization instead of re-running the micro-benchmarks")
+	flag.Parse()
+
+	var (
+		w   comm.Workload
+		err error
+	)
+	switch *app {
+	case "shwfs":
+		w, err = shwfs.Workload(shwfs.DefaultWorkloadParams())
+	case "orbslam":
+		w, err = orbslam.Workload(orbslam.DefaultWorkloadParams())
+	case "lanedet":
+		w, err = lanedet.Workload(lanedet.DefaultWorkloadParams())
+	default:
+		err = fmt.Errorf("unknown app %q (have shwfs, orbslam, lanedet)", *app)
+	}
+	fatalIf(err)
+
+	s, err := devices.NewSoC(*device)
+	fatalIf(err)
+
+	var char framework.Characterization
+	if *charFile != "" {
+		f, err := os.Open(*charFile)
+		fatalIf(err)
+		char, err = framework.LoadCharacterization(f)
+		f.Close()
+		fatalIf(err)
+		if char.Platform != *device {
+			fatalIf(fmt.Errorf("characterization is for %q, not %q", char.Platform, *device))
+		}
+		fmt.Printf("loaded characterization of %s from %s\n", char.Platform, *charFile)
+	} else {
+		params := microbench.DefaultParams()
+		if *quick {
+			params = microbench.TestParams()
+		}
+		fmt.Printf("characterizing %s ...\n", *device)
+		char, err = framework.Characterize(s, params)
+		fatalIf(err)
+	}
+
+	fmt.Printf("profiling %s under %s ...\n", *app, *current)
+	rec, err := framework.AdviseWorkload(char, s, w, *current)
+	fatalIf(err)
+
+	fmt.Println()
+	fmt.Printf("application:        %s on %s (currently %s)\n", rec.Workload, rec.Platform, rec.CurrentModel)
+	fmt.Printf("CPU cache usage:    %.2f%% (threshold %.2f%%, dependent: %v)\n",
+		rec.CPUUsage*100, char.Thresholds.CPUCache*100, rec.CPUDependent)
+	fmt.Printf("GPU cache usage:    %.1f%% (zone: %v, thresholds %.1f%%/%.1f%%)\n",
+		rec.GPUUsage*100, rec.Zone, char.Thresholds.GPUCacheLow*100, char.Thresholds.GPUCacheHigh*100)
+	fmt.Printf("recommendation:     %s\n", rec.Suggested)
+	fmt.Printf("estimated speedup:  %.1f%%\n", rec.SpeedupPercent())
+	if rec.EnergyAdvantage {
+		fmt.Println("energy:             eliminating the copies also saves transfer energy")
+	}
+	fmt.Printf("rationale:          %s\n", rec.Rationale)
+
+	// How robust is the verdict to profiler noise?
+	classify, err := framework.ClassificationProfile(s, w)
+	fatalIf(err)
+	currentProf := classify
+	if *current != "sc" {
+		m, err := comm.ByName(*current)
+		fatalIf(err)
+		currentProf, err = framework.CurrentProfile(s, w, m)
+		fatalIf(err)
+	}
+	st, err := framework.DecisionStability(char, classify, currentProf, *current, 0.10)
+	fatalIf(err)
+	fmt.Printf("stability:          %.0f%% of ±10%%-perturbed profiles agree", st.Agreement*100)
+	if len(st.Flips) > 0 {
+		fmt.Printf(" (flips to %v)", st.Flips)
+	}
+	fmt.Println()
+
+	if *verify {
+		fmt.Println()
+		fmt.Println("measured ranking (brute force):")
+		exp, err := framework.Explore(s, w, nil)
+		fatalIf(err)
+		for i, cand := range exp.Ranked {
+			fmt.Printf("  %d. %-3s %v\n", i+1, cand.Model, cand.Total.Duration())
+		}
+		regret, ok, err := exp.Validate(rec, 0.10)
+		fatalIf(err)
+		fmt.Printf("recommendation regret: %.2fx (within 10%%: %v)\n", regret, ok)
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "advisor:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,92 @@
+// Command microbench characterizes a platform with the paper's three
+// micro-benchmarks (§III-B) and prints the resulting device profile: peak
+// GPU cache throughput per communication model, the cache-usage thresholds,
+// and the maximum speedups a model switch can buy.
+//
+// Usage:
+//
+//	microbench -device jetson-tx2
+//	microbench -device jetson-agx-xavier -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"igpucomm/internal/devices"
+	"igpucomm/internal/framework"
+	"igpucomm/internal/microbench"
+)
+
+func main() {
+	device := flag.String("device", devices.XavierName, "platform: "+strings.Join(names(), ", "))
+	quick := flag.Bool("quick", false, "reduced scale")
+	save := flag.String("save", "", "write the characterization to this JSON file")
+	flag.Parse()
+
+	s, err := devices.NewSoC(*device)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "microbench:", err)
+		os.Exit(1)
+	}
+	params := microbench.DefaultParams()
+	if *quick {
+		params = microbench.TestParams()
+	}
+	char, err := framework.Characterize(s, params)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "microbench:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("device characterization: %s (I/O coherent: %v)\n\n", char.Platform, char.IOCoherent)
+
+	fmt.Println("first micro-benchmark — GPU LL-L1 cache, per communication model:")
+	for _, row := range char.MB1.Rows {
+		fmt.Printf("  %-3s  cpu %-12v  kernel %-12v  throughput %8.2f GB/s\n",
+			row.Model, row.CPUTime.Duration(), row.KernelTime.Duration(), row.Throughput.GB())
+	}
+	fmt.Printf("  ZC/SC max speedup (cache-dependent apps leaving ZC): %.1fx\n\n", char.ZCSCMaxSpeedup)
+
+	fmt.Println("second micro-benchmark — cache-usage thresholds:")
+	fmt.Printf("  GPU: ZC safe below %.1f%%, conditional to %.1f%%, discouraged above\n",
+		char.Thresholds.GPUCacheLow*100, char.Thresholds.GPUCacheHigh*100)
+	fmt.Printf("  CPU: threshold %.2f%%%s\n\n", char.Thresholds.CPUCache*100,
+		coherentNote(char.IOCoherent))
+
+	fmt.Println("third micro-benchmark — balanced overlapped workload:")
+	fmt.Printf("  SC %-12v UM %-12v ZC %-12v\n",
+		char.MB3.SCTotal.Duration(), char.MB3.UMTotal.Duration(), char.MB3.ZCTotal.Duration())
+	fmt.Printf("  SC/ZC max speedup (apps adopting ZC): %.2fx\n", char.SCZCMaxSpeedup)
+
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "microbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := framework.SaveCharacterization(f, char); err != nil {
+			fmt.Fprintln(os.Stderr, "microbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ncharacterization saved to %s\n", *save)
+	}
+}
+
+func names() []string {
+	var out []string
+	for _, c := range devices.All() {
+		out = append(out, c.Name)
+	}
+	return out
+}
+
+func coherentNote(coherent bool) string {
+	if coherent {
+		return " (CPU caches stay enabled under ZC: no CPU-side limit)"
+	}
+	return " (pinned buffers are uncached for the CPU)"
+}

@@ -1,0 +1,75 @@
+// Command repro regenerates every table and figure of the paper's evaluation
+// (§IV) on the simulated platforms and prints them with the paper's
+// reference values alongside.
+//
+// Usage:
+//
+//	repro                 # everything
+//	repro -exp table1     # one artifact: table1..table5, fig3, fig5, fig6, fig7
+//	repro -quick          # reduced micro-benchmark scale (fast smoke run)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"igpucomm/internal/experiments"
+	"igpucomm/internal/microbench"
+	"igpucomm/internal/report"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, table1..table5, fig3, fig5, fig6, fig7, async, energy, realtime")
+	quick := flag.Bool("quick", false, "use the reduced micro-benchmark scale")
+	format := flag.String("format", "text", "output format for tables: text or md")
+	flag.Parse()
+
+	params := microbench.DefaultParams()
+	if *quick {
+		params = microbench.TestParams()
+	}
+	ctx := experiments.NewContext(params)
+
+	type artifact struct {
+		name string
+		run  func() (fmt.Stringer, error)
+	}
+	artifacts := []artifact{
+		{"table1", func() (fmt.Stringer, error) { t, _, err := experiments.Table1(ctx); return t, err }},
+		{"fig5", func() (fmt.Stringer, error) { t, _, err := experiments.Fig5(ctx); return t, err }},
+		{"fig3", func() (fmt.Stringer, error) { s, _, err := experiments.Fig3(ctx); return s, err }},
+		{"fig6", func() (fmt.Stringer, error) { s, _, err := experiments.Fig6(ctx); return s, err }},
+		{"fig7", func() (fmt.Stringer, error) { t, _, err := experiments.Fig7(ctx); return t, err }},
+		{"table2", func() (fmt.Stringer, error) { t, _, err := experiments.Table2(ctx); return t, err }},
+		{"table3", func() (fmt.Stringer, error) { t, _, err := experiments.Table3(ctx); return t, err }},
+		{"table4", func() (fmt.Stringer, error) { t, _, err := experiments.Table4(ctx); return t, err }},
+		{"table5", func() (fmt.Stringer, error) { t, _, err := experiments.Table5(ctx); return t, err }},
+		{"async", func() (fmt.Stringer, error) { t, _, err := experiments.TableAsync(ctx); return t, err }},
+		{"energy", func() (fmt.Stringer, error) { t, _, err := experiments.TableEnergy(ctx); return t, err }},
+		{"realtime", func() (fmt.Stringer, error) { t, _, err := experiments.TableRealtime(ctx); return t, err }},
+	}
+
+	ran := 0
+	for _, a := range artifacts {
+		if *exp != "all" && !strings.EqualFold(*exp, a.name) {
+			continue
+		}
+		out, err := a.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %s: %v\n", a.name, err)
+			os.Exit(1)
+		}
+		if tab, ok := out.(report.Table); ok && *format == "md" {
+			fmt.Println(tab.Markdown())
+		} else {
+			fmt.Println(out.String())
+		}
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "repro: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,71 @@
+// Example: a lane-detection ADAS pipeline — the camera-streaming workload
+// the paper's introduction motivates. Detects real lanes on a synthetic road
+// scene, asks the framework which communication model each Jetson should
+// use, and checks whether the 30 Hz camera loop is sustainable under it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"igpucomm"
+	"igpucomm/internal/apps/lanedet"
+	"igpucomm/internal/comm"
+	"igpucomm/internal/microbench"
+	"igpucomm/internal/stream"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced characterization scale")
+	flag.Parse()
+
+	// 1. Functional check: find the lanes in a rendered road scene.
+	frame, truth := lanedet.RoadScene(320, 240, []float64{90, 230}, 0.08, 11)
+	lanes, err := lanedet.Detect(lanedet.DefaultConfig(), frame, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("functional check: %d lanes detected (ground truth %d)\n", len(lanes), len(truth))
+	for _, l := range lanes {
+		fmt.Printf("  lane at x(y=120) = %.1f px, angle %.1f deg, %d votes\n",
+			l.XAt(120), l.Theta*180/3.14159, l.Votes)
+	}
+	fmt.Println()
+
+	// 2. Tuning + streaming feasibility per board.
+	w, err := lanedet.Workload(lanedet.DefaultWorkloadParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := microbench.DefaultParams()
+	if *quick {
+		params = microbench.TestParams()
+	}
+	for _, board := range igpucomm.Platforms() {
+		s, err := igpucomm.NewSoC(board)
+		if err != nil {
+			log.Fatal(err)
+		}
+		char, err := igpucomm.Characterize(s, params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rec, err := igpucomm.Advise(char, s, w, "sc")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== %s: suggests %q (est %+.0f%%, zone %v)\n",
+			board, rec.Suggested, rec.SpeedupPercent(), rec.Zone)
+
+		cfg := stream.Config{RateHz: 30, Frames: 128}
+		stats, err := stream.Compare(s, w, comm.Models(), cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, st := range stats {
+			fmt.Printf("   %-3s service %8.1fµs  util %5.1f%%  sustainable %-5v  power %.2fW\n",
+				st.Model, st.Service.Seconds()*1e6, st.Utilization*100, st.Sustainable, st.EnergyPerSecond)
+		}
+	}
+}

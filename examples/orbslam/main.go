@@ -1,0 +1,81 @@
+// Example: tuning the ORB-SLAM front-end on TX2 and Xavier — the paper's
+// §IV-C study, the cautionary tale of zero-copy: a GPU-cache-dependent
+// kernel plus a pinned feature buffer the CPU streams over makes ZC
+// catastrophic on a device without I/O coherence (paper Tables IV and V).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"igpucomm"
+	"igpucomm/internal/apps/orbslam"
+	"igpucomm/internal/imgutil"
+	"igpucomm/internal/microbench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced characterization scale")
+	flag.Parse()
+
+	// 1. Functional check: detect and describe real features on a frame,
+	// then match the frame against itself.
+	scene := imgutil.TexturedScene(640, 480, 24, 7)
+	feCfg := orbslam.FrontendConfig{
+		Detector:    orbslam.DetectorConfig{Threshold: 20, Border: 16},
+		Levels:      4,
+		MaxPerLevel: 128,
+	}
+	feats, err := orbslam.ExtractFeatures(feCfg, scene)
+	if err != nil {
+		log.Fatal(err)
+	}
+	matches := orbslam.Match(feats, feats, 0)
+	fmt.Printf("functional check: %d features extracted, %d/%d self-matches\n\n",
+		len(feats), len(matches), len(feats))
+
+	// 2. The tuning flow.
+	w, err := orbslam.Workload(orbslam.DefaultWorkloadParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := microbench.DefaultParams()
+	if *quick {
+		params = microbench.TestParams()
+	}
+
+	for _, board := range []string{igpucomm.TX2Name, igpucomm.XavierName} {
+		s, err := igpucomm.NewSoC(board)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== %s\n", board)
+		char, err := igpucomm.Characterize(s, params)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// The app ships with SC; what does the framework say about ZC?
+		rec, err := igpucomm.Advise(char, s, w, "sc")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  profile: CPU usage %.2f%%, GPU usage %.1f%% (zone %v)\n",
+			rec.CPUUsage*100, rec.GPUUsage*100, rec.Zone)
+		fmt.Printf("  framework suggests %q (estimated %+.1f%%)\n", rec.Suggested, rec.SpeedupPercent())
+
+		scRep, err := igpucomm.Run(s, w, igpucomm.StandardCopy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		zcRep, err := igpucomm.Run(s, w, igpucomm.ZeroCopy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  measured: SC %.2fms vs ZC %.2fms (%+.0f%%), kernels %.1fµs vs %.1fµs\n\n",
+			scRep.Total.Seconds()*1e3, zcRep.Total.Seconds()*1e3,
+			(scRep.Total.Seconds()/zcRep.Total.Seconds()-1)*100,
+			scRep.KernelTimePer().Seconds()*1e6, zcRep.KernelTimePer().Seconds()*1e6)
+	}
+}

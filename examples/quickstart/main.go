@@ -1,0 +1,76 @@
+// Quickstart: define a small CPU+GPU workload, run it under all three
+// communication models on a simulated Jetson AGX Xavier, and ask the
+// framework which model it should use.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"igpucomm"
+	"igpucomm/internal/cpu"
+	"igpucomm/internal/gpu"
+	"igpucomm/internal/isa"
+)
+
+func main() {
+	// A toy producer/consumer: the CPU writes 64K floats, the GPU doubles
+	// them into an output buffer.
+	const n = 64 * 1024
+	w := igpucomm.Workload{
+		Name: "quickstart",
+		In:   []igpucomm.BufferSpec{{Name: "in", Size: n * 4}},
+		Out:  []igpucomm.BufferSpec{{Name: "out", Size: n * 4}},
+		CPUTask: func(c *cpu.CPU, lay igpucomm.Layout) {
+			base := lay.Addr("in")
+			for i := int64(0); i < n; i += 16 {
+				c.Store(base+i*4, 4)
+				c.Work(isa.MulF32, 4)
+			}
+		},
+		MakeKernel: func(lay igpucomm.Layout, _ int) gpu.Kernel {
+			in, out := lay.Addr("in"), lay.Addr("out")
+			return gpu.Kernel{
+				Name:    "double",
+				Threads: n,
+				Program: func(tid int, p *isa.Program) {
+					p.Ld(in+int64(tid)*4, 4)
+					p.Compute(isa.FMA, 256)
+					p.St(out+int64(tid)*4, 4)
+				},
+			}
+		},
+		Overlappable: true,
+		Warmup:       1,
+	}
+
+	s, err := igpucomm.NewSoC(igpucomm.XavierName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Measure the workload under each communication model.
+	fmt.Println("measured per-iteration times on", s.Name())
+	for _, m := range []igpucomm.Model{igpucomm.StandardCopy, igpucomm.UnifiedMemory, igpucomm.ZeroCopy} {
+		rep, err := igpucomm.Run(s, w, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-3s total %-12v (cpu %v, kernels %v, copies %v)\n",
+			m.Name(), rep.Total.Duration(), rep.CPUTime.Duration(),
+			rep.KernelTime.Duration(), rep.CopyTime.Duration())
+	}
+
+	// Ask the framework (the characterization takes a few seconds at the
+	// evaluation scale).
+	char, err := igpucomm.Characterize(s, igpucomm.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec, err := igpucomm.Advise(char, s, w, "sc")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nframework verdict: use %q (estimated %+.0f%%)\n", rec.Suggested, rec.SpeedupPercent())
+	fmt.Println("rationale:", rec.Rationale)
+}

@@ -1,0 +1,73 @@
+// Example: using the §III-C zero-copy communication pattern as a library.
+//
+// A CPU producer and a GPU-consumer stand-in process the same image buffer
+// concurrently, alternating over even/odd tiles phase by phase — no
+// per-access synchronization, deterministic results. The analytic twin then
+// prices the pattern on the simulated Xavier, showing the overlap gain the
+// paper's third micro-benchmark measures.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"igpucomm/internal/devices"
+	"igpucomm/internal/tiling"
+	"igpucomm/internal/units"
+)
+
+func main() {
+	// A 1024x256 float32 image, tiled by the smaller of the CPU/GPU line
+	// sizes (both 64B on the Jetson catalog -> 16-element tiles).
+	xavier := devices.Xavier()
+	geo, err := tiling.NewGeometry(1024, 256, 4,
+		xavier.CPU.LLC.LineSize, xavier.GPU.LLC.LineSize)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("geometry: %dx%d tiles of %d bytes (B_size = min line size)\n",
+		geo.TilesX(), geo.TilesY(), geo.TileBytes())
+	fmt.Printf("structure fits Xavier's GPU LLC: %v\n\n", geo.Fits(xavier.GPU.LLC.Size))
+
+	// Run the real concurrent pattern: the producer writes a gradient, the
+	// consumer doubles whatever the producer wrote in the previous phase.
+	data := make([]float32, geo.Width*geo.Height)
+	pattern := tiling.Pattern{Geo: geo, Phases: 4}
+	err = pattern.Run(
+		func(phase int, t tiling.Tile) { // CPU producer
+			for y := t.Y0; y < t.Y0+t.H; y++ {
+				for x := t.X0; x < t.X0+t.W; x++ {
+					data[y*geo.Width+x] += float32(phase + 1)
+				}
+			}
+		},
+		func(phase int, t tiling.Tile) { // GPU consumer stand-in
+			for y := t.Y0; y < t.Y0+t.H; y++ {
+				for x := t.X0; x < t.X0+t.W; x++ {
+					data[y*geo.Width+x] *= 2
+				}
+			}
+		},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var sum float64
+	for _, v := range data {
+		sum += float64(v)
+	}
+	fmt.Printf("concurrent run complete, checksum %.0f (deterministic across runs)\n\n", sum)
+
+	// Price the pattern analytically on the simulated device.
+	for _, barrier := range []units.Latency{100, 1000, 10000} {
+		over, serial, err := pattern.Estimate(tiling.Timing{
+			CPUTile: 150, GPUTile: 120, Barrier: barrier,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("barrier %-8v overlapped %-12v serialized %-12v gain %.2fx\n",
+			barrier.Duration(), over.Duration(), serial.Duration(),
+			float64(serial)/float64(over))
+	}
+}

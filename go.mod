@@ -1,0 +1,3 @@
+module igpucomm
+
+go 1.22

@@ -1,0 +1,259 @@
+// Package lanedet implements a lane-detection pipeline — the ADAS workload
+// the paper's introduction motivates (convoy tracking and lane detection on
+// embedded GPUs, refs [1] and [2]): Sobel edge extraction and a restricted
+// Hough transform on the GPU, with lane-line selection and temporal tracking
+// on the CPU.
+//
+// Like the other case studies, the algorithm is functional (finds real lane
+// lines on synthetic road scenes, tested against ground truth) and
+// workload.go maps its memory behaviour onto the simulated SoC as a third
+// tuning subject for the framework.
+package lanedet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"igpucomm/internal/imgutil"
+)
+
+// Config parameterizes the pipeline.
+type Config struct {
+	// EdgeThreshold is the Sobel gradient-magnitude cutoff.
+	EdgeThreshold float32
+	// ThetaBins quantizes line angle over [-MaxTheta, +MaxTheta] around
+	// vertical (lane markings are near-vertical in a forward camera).
+	ThetaBins int
+	// MaxTheta is the angular half-range in radians.
+	MaxTheta float64
+	// RhoStep is the distance quantization in pixels.
+	RhoStep float64
+	// MaxLanes bounds how many lines the peak extraction returns.
+	MaxLanes int
+}
+
+// DefaultConfig returns a forward-camera tuning.
+func DefaultConfig() Config {
+	return Config{
+		EdgeThreshold: 60,
+		ThetaBins:     31,
+		MaxTheta:      math.Pi / 4,
+		RhoStep:       2,
+		MaxLanes:      4,
+	}
+}
+
+// Validate reports configuration problems.
+func (c Config) Validate() error {
+	if c.EdgeThreshold <= 0 {
+		return fmt.Errorf("lanedet: edge threshold must be positive")
+	}
+	if c.ThetaBins < 3 || c.ThetaBins%2 == 0 {
+		return fmt.Errorf("lanedet: theta bins %d must be odd and >= 3", c.ThetaBins)
+	}
+	if c.MaxTheta <= 0 || c.MaxTheta >= math.Pi/2 {
+		return fmt.Errorf("lanedet: max theta %v out of (0, pi/2)", c.MaxTheta)
+	}
+	if c.RhoStep <= 0 {
+		return fmt.Errorf("lanedet: rho step must be positive")
+	}
+	if c.MaxLanes <= 0 {
+		return fmt.Errorf("lanedet: max lanes must be positive")
+	}
+	return nil
+}
+
+// Sobel computes the gradient magnitude map (zero on the 1px border).
+func Sobel(im *imgutil.Image) *imgutil.Image {
+	out := imgutil.NewImage(im.W, im.H)
+	for y := 1; y < im.H-1; y++ {
+		for x := 1; x < im.W-1; x++ {
+			gx := -im.At(x-1, y-1) - 2*im.At(x-1, y) - im.At(x-1, y+1) +
+				im.At(x+1, y-1) + 2*im.At(x+1, y) + im.At(x+1, y+1)
+			gy := -im.At(x-1, y-1) - 2*im.At(x, y-1) - im.At(x+1, y-1) +
+				im.At(x-1, y+1) + 2*im.At(x, y+1) + im.At(x+1, y+1)
+			out.Set(x, y, float32(math.Hypot(float64(gx), float64(gy))))
+		}
+	}
+	return out
+}
+
+// Accumulator is a Hough vote grid over (theta, rho).
+type Accumulator struct {
+	cfg        Config
+	W, H       int // image dimensions the votes came from
+	RhoBins    int
+	rhoOffset  float64
+	Votes      []int32 // ThetaBins * RhoBins, theta-major
+	EdgePixels int
+}
+
+// thetaAt returns the angle of bin t, measured from vertical.
+func (a *Accumulator) thetaAt(t int) float64 {
+	half := a.cfg.ThetaBins / 2
+	return float64(t-half) / float64(half) * a.cfg.MaxTheta
+}
+
+// binFor returns the rho bin of (x, y) at theta bin t, and whether it is in
+// range. Lines are parameterized x·cos(θ) + y·sin(θ) = ρ with θ measured
+// from the x-axis... here from vertical: ρ = x·cos(θ) - y·sin(θ).
+func (a *Accumulator) binFor(x, y, t int) (int, bool) {
+	th := a.thetaAt(t)
+	rho := float64(x)*math.Cos(th) - float64(y)*math.Sin(th)
+	bin := int(math.Round((rho + a.rhoOffset) / a.cfg.RhoStep))
+	if bin < 0 || bin >= a.RhoBins {
+		return 0, false
+	}
+	return bin, true
+}
+
+// Hough votes every edge pixel into the accumulator.
+func Hough(cfg Config, edges *imgutil.Image) (*Accumulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if edges == nil {
+		return nil, fmt.Errorf("lanedet: nil edge map")
+	}
+	diag := math.Hypot(float64(edges.W), float64(edges.H))
+	acc := &Accumulator{
+		cfg:       cfg,
+		W:         edges.W,
+		H:         edges.H,
+		RhoBins:   int(2*diag/cfg.RhoStep) + 1,
+		rhoOffset: diag,
+	}
+	acc.Votes = make([]int32, cfg.ThetaBins*acc.RhoBins)
+	for y := 0; y < edges.H; y++ {
+		for x := 0; x < edges.W; x++ {
+			if edges.At(x, y) < cfg.EdgeThreshold {
+				continue
+			}
+			acc.EdgePixels++
+			for t := 0; t < cfg.ThetaBins; t++ {
+				if bin, ok := acc.binFor(x, y, t); ok {
+					acc.Votes[t*acc.RhoBins+bin]++
+				}
+			}
+		}
+	}
+	return acc, nil
+}
+
+// Lane is one detected line in (theta, rho) form plus its support.
+type Lane struct {
+	Theta float64 // radians from vertical; positive leans right
+	Rho   float64 // signed distance parameter in pixels
+	Votes int
+}
+
+// XAt returns the lane line's x position at row y.
+func (l Lane) XAt(y int) float64 {
+	c := math.Cos(l.Theta)
+	if math.Abs(c) < 1e-9 {
+		return math.NaN()
+	}
+	return (l.Rho + float64(y)*math.Sin(l.Theta)) / c
+}
+
+// FindLanes extracts up to MaxLanes peaks from the accumulator with
+// neighborhood suppression (no two lanes within 2 theta bins and 5 rho bins).
+func FindLanes(acc *Accumulator, minVotes int) []Lane {
+	type peak struct{ t, r, v int }
+	var peaks []peak
+	for t := 0; t < acc.cfg.ThetaBins; t++ {
+		for r := 0; r < acc.RhoBins; r++ {
+			v := int(acc.Votes[t*acc.RhoBins+r])
+			if v >= minVotes {
+				peaks = append(peaks, peak{t, r, v})
+			}
+		}
+	}
+	sort.Slice(peaks, func(i, j int) bool {
+		if peaks[i].v != peaks[j].v {
+			return peaks[i].v > peaks[j].v
+		}
+		if peaks[i].t != peaks[j].t {
+			return peaks[i].t < peaks[j].t
+		}
+		return peaks[i].r < peaks[j].r
+	})
+	var out []Lane
+	taken := make([][2]int, 0, acc.cfg.MaxLanes)
+	for _, p := range peaks {
+		if len(out) >= acc.cfg.MaxLanes {
+			break
+		}
+		clash := false
+		for _, tk := range taken {
+			if abs(p.t-tk[0]) <= 2 && abs(p.r-tk[1]) <= 5 {
+				clash = true
+				break
+			}
+		}
+		if clash {
+			continue
+		}
+		taken = append(taken, [2]int{p.t, p.r})
+		out = append(out, Lane{
+			Theta: acc.thetaAt(p.t),
+			Rho:   float64(p.r)*acc.cfg.RhoStep - acc.rhoOffset,
+			Votes: p.v,
+		})
+	}
+	return out
+}
+
+// Detect runs the whole pipeline on a frame.
+func Detect(cfg Config, frame *imgutil.Image, minVotes int) ([]Lane, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if frame == nil {
+		return nil, fmt.Errorf("lanedet: nil frame")
+	}
+	acc, err := Hough(cfg, Sobel(frame))
+	if err != nil {
+		return nil, err
+	}
+	return FindLanes(acc, minVotes), nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// RoadScene renders a synthetic forward-camera frame: a dark road surface
+// with bright lane markings drawn as slanted lines, plus mild noise. It
+// returns the frame and the ground-truth lanes.
+func RoadScene(w, h int, laneXs []float64, slope float64, seed uint64) (*imgutil.Image, []Lane) {
+	im := imgutil.NewImage(w, h)
+	rng := imgutil.NewRNG(seed)
+	for i := range im.Pix {
+		im.Pix[i] = 25 + float32(rng.Float()*6)
+	}
+	truth := make([]Lane, 0, len(laneXs))
+	theta := math.Atan(slope)
+	for _, baseX := range laneXs {
+		// Marking: x(y) = baseX + slope*(h-1-y); bottom row at baseX.
+		for y := 0; y < h; y++ {
+			x := baseX + slope*float64(h-1-y)
+			for dx := -1; dx <= 1; dx++ {
+				xi := int(math.Round(x)) + dx
+				if xi >= 0 && xi < w {
+					im.Set(xi, y, 230)
+				}
+			}
+		}
+		// In (theta from vertical, rho) form: x·cosθ - y·sinθ = ρ with
+		// slope = -tan(... derive directly from two points.
+		x0 := baseX + slope*float64(h-1) // at y=0
+		rho := x0 * math.Cos(-theta)
+		truth = append(truth, Lane{Theta: -theta, Rho: rho})
+	}
+	return im, truth
+}

@@ -1,0 +1,247 @@
+package lanedet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"igpucomm/internal/comm"
+	"igpucomm/internal/devices"
+	"igpucomm/internal/imgutil"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+	cases := map[string]func(*Config){
+		"zero threshold": func(c *Config) { c.EdgeThreshold = 0 },
+		"even bins":      func(c *Config) { c.ThetaBins = 30 },
+		"tiny bins":      func(c *Config) { c.ThetaBins = 1 },
+		"wide theta":     func(c *Config) { c.MaxTheta = math.Pi },
+		"zero rho":       func(c *Config) { c.RhoStep = 0 },
+		"zero lanes":     func(c *Config) { c.MaxLanes = 0 },
+	}
+	for name, mut := range cases {
+		c := DefaultConfig()
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestSobelRespondsToEdges(t *testing.T) {
+	im := imgutil.NewImage(32, 32)
+	for y := 0; y < 32; y++ {
+		for x := 16; x < 32; x++ {
+			im.Set(x, y, 200) // vertical step edge at x=16
+		}
+	}
+	g := Sobel(im)
+	if g.At(16, 16) < 100 {
+		t.Errorf("gradient at the edge = %v, want strong", g.At(16, 16))
+	}
+	if g.At(8, 16) != 0 || g.At(24, 16) != 0 {
+		t.Error("gradient nonzero on flat regions")
+	}
+	// Border stays zero.
+	if g.At(0, 0) != 0 || g.At(31, 31) != 0 {
+		t.Error("border not zeroed")
+	}
+}
+
+func TestSobelBrightnessOffsetInvariance(t *testing.T) {
+	a := imgutil.TexturedScene(64, 48, 6, 3)
+	b := imgutil.NewImage(64, 48)
+	for i, v := range a.Pix {
+		b.Pix[i] = v + 50
+	}
+	ga, gb := Sobel(a), Sobel(b)
+	for i := range ga.Pix {
+		if math.Abs(float64(ga.Pix[i]-gb.Pix[i])) > 1e-3 {
+			t.Fatal("Sobel not invariant to uniform brightness offset")
+		}
+	}
+}
+
+func TestDetectStraightVerticalLanes(t *testing.T) {
+	frame, truth := RoadScene(320, 240, []float64{80, 240}, 0, 1)
+	lanes, err := Detect(DefaultConfig(), frame, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lanes) < 2 {
+		t.Fatalf("detected %d lanes, want >= 2", len(lanes))
+	}
+	for _, want := range truth {
+		found := false
+		for _, got := range lanes {
+			if math.Abs(got.XAt(120)-want.XAt(120)) < 6 && math.Abs(got.Theta-want.Theta) < 0.1 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("ground-truth lane at x=%.0f not detected (got %+v)", want.XAt(120), lanes)
+		}
+	}
+}
+
+func TestDetectSlantedLanes(t *testing.T) {
+	frame, truth := RoadScene(320, 240, []float64{100, 220}, 0.15, 2)
+	lanes, err := Detect(DefaultConfig(), frame, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range truth {
+		found := false
+		for _, got := range lanes {
+			if math.Abs(got.XAt(120)-want.XAt(120)) < 8 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("slanted lane at x(120)=%.0f not detected", want.XAt(120))
+		}
+	}
+}
+
+func TestDetectEmptyRoad(t *testing.T) {
+	frame, _ := RoadScene(160, 120, nil, 0, 3)
+	lanes, err := Detect(DefaultConfig(), frame, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lanes) != 0 {
+		t.Errorf("detected %d lanes on an empty road", len(lanes))
+	}
+}
+
+func TestDetectErrors(t *testing.T) {
+	if _, err := Detect(DefaultConfig(), nil, 10); err == nil {
+		t.Error("nil frame accepted")
+	}
+	bad := DefaultConfig()
+	bad.ThetaBins = 2
+	frame, _ := RoadScene(64, 48, []float64{32}, 0, 1)
+	if _, err := Detect(bad, frame, 10); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := Hough(DefaultConfig(), nil); err == nil {
+		t.Error("nil edge map accepted")
+	}
+}
+
+func TestFindLanesSuppression(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxLanes = 2
+	acc := &Accumulator{cfg: cfg, W: 100, H: 100, RhoBins: 100, rhoOffset: 50}
+	acc.Votes = make([]int32, cfg.ThetaBins*acc.RhoBins)
+	// One strong peak plus a near-duplicate neighbor and a distant peak.
+	acc.Votes[5*acc.RhoBins+50] = 100
+	acc.Votes[5*acc.RhoBins+52] = 90 // within suppression window
+	acc.Votes[20*acc.RhoBins+20] = 80
+	lanes := FindLanes(acc, 10)
+	if len(lanes) != 2 {
+		t.Fatalf("lanes = %d, want 2 (duplicate suppressed)", len(lanes))
+	}
+	if lanes[0].Votes != 100 || lanes[1].Votes != 80 {
+		t.Errorf("peak selection wrong: %+v", lanes)
+	}
+}
+
+func TestLaneXAt(t *testing.T) {
+	// Vertical lane at x = 42.
+	l := Lane{Theta: 0, Rho: 42}
+	if math.Abs(l.XAt(0)-42) > 1e-9 || math.Abs(l.XAt(100)-42) > 1e-9 {
+		t.Error("vertical lane XAt wrong")
+	}
+	// Degenerate horizontal line: NaN.
+	if !math.IsNaN(Lane{Theta: math.Pi / 2}.XAt(0)) {
+		t.Error("degenerate XAt should be NaN")
+	}
+}
+
+// Property: detection is invariant to uniform brightness offsets (Sobel is
+// differential, so the edge map is unchanged).
+func TestPropertyBrightnessInvariantDetection(t *testing.T) {
+	f := func(offset8 uint8) bool {
+		offset := float32(offset8 % 60)
+		frame, _ := RoadScene(160, 120, []float64{40, 120}, 0.05, 7)
+		shifted := imgutil.NewImage(frame.W, frame.H)
+		for i, v := range frame.Pix {
+			shifted.Pix[i] = v + offset
+		}
+		a, err1 := Detect(DefaultConfig(), frame, 60)
+		b, err2 := Detect(DefaultConfig(), shifted, 60)
+		if err1 != nil || err2 != nil || len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkloadStructureAndRun(t *testing.T) {
+	p := DefaultWorkloadParams()
+	p.FrameW, p.FrameH = 160, 120 // keep the simulated run quick
+	w, err := Workload(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Launches != 2 {
+		t.Errorf("launches = %d, want 2 (sobel + hough)", w.Launches)
+	}
+	if len(w.Scratch) != 1 {
+		t.Error("edge map should be scratch")
+	}
+
+	s, err := devices.NewSoC(devices.TX2Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := comm.SC{}.Run(s, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.KernelTime <= 0 || sc.CPUTime <= 0 || sc.CopyBytes <= 0 {
+		t.Errorf("incomplete SC run: %+v", sc)
+	}
+	zc, err := comm.ZC{}.Run(s, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The scatter-heavy Hough kernel must suffer on the TX2 pinned path.
+	if zc.KernelTime <= sc.KernelTime {
+		t.Error("ZC kernels should slow down on TX2")
+	}
+}
+
+func TestWorkloadParamsValidate(t *testing.T) {
+	bad := DefaultWorkloadParams()
+	bad.FrameW = 8
+	if err := bad.Validate(); err == nil {
+		t.Error("tiny frame accepted")
+	}
+	bad = DefaultWorkloadParams()
+	bad.SobelOps = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero sobel depth accepted")
+	}
+	bad = DefaultWorkloadParams()
+	bad.Warmup = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative warmup accepted")
+	}
+}

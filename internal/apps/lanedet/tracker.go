@@ -1,0 +1,131 @@
+package lanedet
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tracker smooths lane detections across frames: each detection is
+// associated with the nearest tracked lane (by bottom-row position) and
+// blended exponentially; unmatched tracks age out. This is the CPU-side
+// temporal work the workload models (and what makes the pipeline usable on
+// noisy single-frame detections).
+type Tracker struct {
+	// Alpha is the blend weight of the new detection (0..1].
+	Alpha float64
+	// GateX is the association gate in pixels at the anchor row.
+	GateX float64
+	// MaxMisses drops a track after this many frames without a match.
+	MaxMisses int
+	// AnchorY is the row where lanes are compared (bottom of the image).
+	AnchorY int
+
+	tracks []track
+}
+
+type track struct {
+	lane   Lane
+	misses int
+	age    int
+}
+
+// TrackedLane is a smoothed lane with its track age.
+type TrackedLane struct {
+	Lane
+	Age int // frames the track has existed
+}
+
+// NewTracker builds a tracker with sane defaults for the given frame height.
+func NewTracker(frameH int) (*Tracker, error) {
+	if frameH <= 0 {
+		return nil, fmt.Errorf("lanedet: frame height must be positive")
+	}
+	return &Tracker{
+		Alpha:     0.4,
+		GateX:     12,
+		MaxMisses: 3,
+		AnchorY:   frameH - 1,
+	}, nil
+}
+
+// Validate reports configuration problems.
+func (t *Tracker) Validate() error {
+	if t.Alpha <= 0 || t.Alpha > 1 {
+		return fmt.Errorf("lanedet: alpha %v out of (0,1]", t.Alpha)
+	}
+	if t.GateX <= 0 || t.MaxMisses <= 0 || t.AnchorY < 0 {
+		return fmt.Errorf("lanedet: invalid tracker parameters")
+	}
+	return nil
+}
+
+// Update feeds one frame's detections and returns the current smoothed lanes
+// (stable-ordered by anchor-row position).
+func (t *Tracker) Update(detections []Lane) ([]TrackedLane, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	matched := make([]bool, len(t.tracks))
+	var unclaimed []Lane
+	for _, det := range detections {
+		best, bestDist := -1, t.GateX
+		dx := det.XAt(t.AnchorY)
+		for i, tr := range t.tracks {
+			if matched[i] {
+				continue
+			}
+			d := math.Abs(tr.lane.XAt(t.AnchorY) - dx)
+			if d <= bestDist {
+				best, bestDist = i, d
+			}
+		}
+		if best < 0 {
+			unclaimed = append(unclaimed, det)
+			continue
+		}
+		matched[best] = true
+		tr := &t.tracks[best]
+		tr.lane.Theta = blend(tr.lane.Theta, det.Theta, t.Alpha)
+		tr.lane.Rho = blend(tr.lane.Rho, det.Rho, t.Alpha)
+		tr.lane.Votes = det.Votes
+		tr.misses = 0
+		tr.age++
+	}
+
+	// Age unmatched tracks, drop stale ones.
+	kept := t.tracks[:0]
+	for i, tr := range t.tracks {
+		if !matched[i] {
+			tr.misses++
+			tr.age++
+		}
+		if tr.misses < t.MaxMisses {
+			kept = append(kept, tr)
+		}
+	}
+	t.tracks = kept
+
+	// Adopt the unmatched detections as new tracks.
+	for _, det := range unclaimed {
+		t.tracks = append(t.tracks, track{lane: det, age: 1})
+	}
+
+	out := make([]TrackedLane, 0, len(t.tracks))
+	for _, tr := range t.tracks {
+		out = append(out, TrackedLane{Lane: tr.lane, Age: tr.age})
+	}
+	sortByAnchor(out, t.AnchorY)
+	return out, nil
+}
+
+func blend(old, new, alpha float64) float64 {
+	return old*(1-alpha) + new*alpha
+}
+
+func sortByAnchor(lanes []TrackedLane, anchorY int) {
+	for i := 1; i < len(lanes); i++ {
+		for j := i; j > 0 && lanes[j].XAt(anchorY) < lanes[j-1].XAt(anchorY); j-- {
+			lanes[j], lanes[j-1] = lanes[j-1], lanes[j]
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package lanedet
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewTracker(t *testing.T) {
+	if _, err := NewTracker(0); err == nil {
+		t.Error("zero height accepted")
+	}
+	tr, err := NewTracker(240)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.AnchorY != 239 {
+		t.Errorf("anchor = %d", tr.AnchorY)
+	}
+}
+
+func TestTrackerValidate(t *testing.T) {
+	tr, _ := NewTracker(240)
+	tr.Alpha = 0
+	if _, err := tr.Update(nil); err == nil {
+		t.Error("zero alpha accepted")
+	}
+	tr, _ = NewTracker(240)
+	tr.MaxMisses = 0
+	if _, err := tr.Update(nil); err == nil {
+		t.Error("zero misses accepted")
+	}
+}
+
+func TestTrackerSmoothsJitter(t *testing.T) {
+	tr, _ := NewTracker(240)
+	// A lane jittering around rho=100 with theta 0.
+	var last []TrackedLane
+	var err error
+	for i := 0; i < 12; i++ {
+		jitter := 4.0
+		if i%2 == 1 {
+			jitter = -4
+		}
+		last, err = tr.Update([]Lane{{Theta: 0, Rho: 100 + jitter, Votes: 50}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(last) != 1 {
+		t.Fatalf("tracks = %d, want 1", len(last))
+	}
+	if math.Abs(last[0].Rho-100) > 3 {
+		t.Errorf("smoothed rho = %.1f, want near 100 (raw jitter ±4)", last[0].Rho)
+	}
+	if last[0].Age != 12 {
+		t.Errorf("age = %d, want 12", last[0].Age)
+	}
+}
+
+func TestTrackerAssociatesByPosition(t *testing.T) {
+	tr, _ := NewTracker(240)
+	if _, err := tr.Update([]Lane{{Rho: 80}, {Rho: 240}}); err != nil {
+		t.Fatal(err)
+	}
+	// Next frame: detections move slightly; they must keep their tracks.
+	lanes, err := tr.Update([]Lane{{Rho: 238}, {Rho: 83}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lanes) != 2 {
+		t.Fatalf("tracks = %d, want 2", len(lanes))
+	}
+	if lanes[0].Age != 2 || lanes[1].Age != 2 {
+		t.Errorf("tracks not continued: ages %d, %d", lanes[0].Age, lanes[1].Age)
+	}
+	// Sorted by anchor position.
+	if lanes[0].Rho > lanes[1].Rho {
+		t.Error("lanes not ordered")
+	}
+}
+
+func TestTrackerDropsStaleTracks(t *testing.T) {
+	tr, _ := NewTracker(240)
+	if _, err := tr.Update([]Lane{{Rho: 100}}); err != nil {
+		t.Fatal(err)
+	}
+	var lanes []TrackedLane
+	var err error
+	for i := 0; i < 3; i++ { // MaxMisses empty frames
+		lanes, err = tr.Update(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(lanes) != 0 {
+		t.Errorf("stale track survived: %v", lanes)
+	}
+}
+
+func TestTrackerNewLaneOutsideGate(t *testing.T) {
+	tr, _ := NewTracker(240)
+	if _, err := tr.Update([]Lane{{Rho: 100}}); err != nil {
+		t.Fatal(err)
+	}
+	lanes, err := tr.Update([]Lane{{Rho: 100}, {Rho: 200}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lanes) != 2 {
+		t.Fatalf("tracks = %d, want 2 (new lane adopted)", len(lanes))
+	}
+}
+
+func TestTrackerEndToEndOverFrames(t *testing.T) {
+	// Drive the tracker with real detections over a slowly drifting scene.
+	tr, _ := NewTracker(240)
+	var lanes []TrackedLane
+	for frame := 0; frame < 6; frame++ {
+		drift := float64(frame) * 1.5
+		img, _ := RoadScene(320, 240, []float64{80 + drift, 240 - drift}, 0.05, uint64(frame+1))
+		dets, err := Detect(DefaultConfig(), img, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lanes, err = tr.Update(dets)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(lanes) < 2 {
+		t.Fatalf("tracked %d lanes, want >= 2", len(lanes))
+	}
+	// The two oldest tracks should have survived all frames.
+	old := 0
+	for _, l := range lanes {
+		if l.Age >= 5 {
+			old++
+		}
+	}
+	if old < 2 {
+		t.Errorf("only %d long-lived tracks", old)
+	}
+}

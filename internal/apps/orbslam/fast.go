@@ -1,0 +1,153 @@
+// Package orbslam implements the GPU-relevant front-end of the paper's
+// second case study, ORB-SLAM2 (Mur-Artal & Tardós, T-RO 2017): an image
+// pyramid, the FAST-9 segment-test corner detector, intensity-centroid
+// orientation, and rotated-BRIEF descriptors. This is the part the paper
+// offloads and profiles (§IV-C, Tables IV and V); the SLAM back-end never
+// touches the communication model.
+//
+// As with shwfs, the algorithms here are functional (real corners on real
+// images, tested against references); workload.go mirrors their memory
+// behaviour onto the simulated SoC.
+package orbslam
+
+import (
+	"fmt"
+
+	"igpucomm/internal/imgutil"
+)
+
+// ringOffsets is the Bresenham circle of radius 3 the FAST segment test
+// probes, in clockwise order from 12 o'clock.
+var ringOffsets = [16][2]int{
+	{0, -3}, {1, -3}, {2, -2}, {3, -1},
+	{3, 0}, {3, 1}, {2, 2}, {1, 3},
+	{0, 3}, {-1, 3}, {-2, 2}, {-3, 1},
+	{-3, 0}, {-3, -1}, {-2, -2}, {-1, -3},
+}
+
+// fastArc is the contiguous-arc length of the segment test (FAST-9).
+const fastArc = 9
+
+// Keypoint is one detected corner.
+type Keypoint struct {
+	X, Y  int
+	Level int     // pyramid level it was found on
+	Score float32 // corner strength (sum of absolute threshold exceedance)
+	Angle float64 // orientation in radians (intensity centroid)
+}
+
+// DetectorConfig parameterizes FAST.
+type DetectorConfig struct {
+	Threshold float32 // intensity difference for the segment test
+	Border    int     // pixels to skip at each edge (>= 3 for the ring)
+}
+
+// Validate reports configuration problems.
+func (c DetectorConfig) Validate() error {
+	if c.Threshold <= 0 {
+		return fmt.Errorf("orbslam: FAST threshold must be positive")
+	}
+	if c.Border < 3 {
+		return fmt.Errorf("orbslam: border %d too small for the radius-3 ring", c.Border)
+	}
+	return nil
+}
+
+// IsCorner runs the FAST-9 segment test at (x, y): the pixel is a corner if
+// at least fastArc contiguous ring pixels are all brighter than center+T or
+// all darker than center-T.
+func IsCorner(im *imgutil.Image, x, y int, threshold float32) bool {
+	c := im.At(x, y)
+	brightT := c + threshold
+	darkT := c - threshold
+	// Walk the ring twice to handle wraparound of the contiguous arc.
+	runBright, runDark := 0, 0
+	for i := 0; i < 32; i++ {
+		off := ringOffsets[i%16]
+		v := im.At(x+off[0], y+off[1])
+		if v > brightT {
+			runBright++
+			if runBright >= fastArc {
+				return true
+			}
+		} else {
+			runBright = 0
+		}
+		if v < darkT {
+			runDark++
+			if runDark >= fastArc {
+				return true
+			}
+		} else {
+			runDark = 0
+		}
+	}
+	return false
+}
+
+// Score is the corner strength: the sum of absolute differences of ring
+// pixels that exceed the threshold (a cheap V-measure used for NMS).
+func Score(im *imgutil.Image, x, y int, threshold float32) float32 {
+	c := im.At(x, y)
+	var s float32
+	for _, off := range ringOffsets {
+		d := im.At(x+off[0], y+off[1]) - c
+		if d < 0 {
+			d = -d
+		}
+		if d > threshold {
+			s += d - threshold
+		}
+	}
+	return s
+}
+
+// Detect finds FAST-9 corners on one image with 3x3 non-maximum suppression
+// on the score map.
+func Detect(cfg DetectorConfig, im *imgutil.Image) ([]Keypoint, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if im == nil {
+		return nil, fmt.Errorf("orbslam: nil image")
+	}
+	scores := make([]float32, im.W*im.H)
+	for y := cfg.Border; y < im.H-cfg.Border; y++ {
+		for x := cfg.Border; x < im.W-cfg.Border; x++ {
+			if IsCorner(im, x, y, cfg.Threshold) {
+				scores[y*im.W+x] = Score(im, x, y, cfg.Threshold)
+			}
+		}
+	}
+	var kps []Keypoint
+	for y := cfg.Border; y < im.H-cfg.Border; y++ {
+		for x := cfg.Border; x < im.W-cfg.Border; x++ {
+			s := scores[y*im.W+x]
+			if s <= 0 {
+				continue
+			}
+			// 3x3 non-maximum suppression.
+			max := true
+			for dy := -1; dy <= 1 && max; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					if dx == 0 && dy == 0 {
+						continue
+					}
+					nx, ny := x+dx, y+dy
+					if nx < 0 || ny < 0 || nx >= im.W || ny >= im.H {
+						continue
+					}
+					n := scores[ny*im.W+nx]
+					if n > s || (n == s && (dy < 0 || (dy == 0 && dx < 0))) {
+						max = false
+						break
+					}
+				}
+			}
+			if max {
+				kps = append(kps, Keypoint{X: x, Y: y, Score: s})
+			}
+		}
+	}
+	return kps, nil
+}

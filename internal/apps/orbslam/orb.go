@@ -1,0 +1,227 @@
+package orbslam
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"igpucomm/internal/imgutil"
+)
+
+// orientPatchRadius is the circular patch the intensity-centroid orientation
+// integrates over.
+const orientPatchRadius = 7
+
+// Orientation computes the intensity-centroid angle at a keypoint:
+// atan2(m01, m10) over the circular patch. This is what makes BRIEF rotated
+// (the "r" of rBRIEF).
+func Orientation(im *imgutil.Image, x, y int) float64 {
+	var m01, m10 float64
+	for dy := -orientPatchRadius; dy <= orientPatchRadius; dy++ {
+		for dx := -orientPatchRadius; dx <= orientPatchRadius; dx++ {
+			if dx*dx+dy*dy > orientPatchRadius*orientPatchRadius {
+				continue
+			}
+			v := float64(im.At(x+dx, y+dy))
+			m10 += float64(dx) * v
+			m01 += float64(dy) * v
+		}
+	}
+	return math.Atan2(m01, m10)
+}
+
+// DescriptorBits is the rBRIEF descriptor length.
+const DescriptorBits = 256
+
+// Descriptor is a 256-bit binary descriptor.
+type Descriptor [DescriptorBits / 64]uint64
+
+// HammingDistance counts differing bits between two descriptors — the
+// matching metric the SLAM front-end spends its CPU time on.
+func HammingDistance(a, b Descriptor) int {
+	d := 0
+	for i := range a {
+		d += bits.OnesCount64(a[i] ^ b[i])
+	}
+	return d
+}
+
+// briefPattern is the sampling pattern: DescriptorBits point pairs within a
+// 31x31 patch, generated once from a fixed seed (ORB uses a learned pattern;
+// a deterministic pseudo-random one preserves the access behaviour and the
+// descriptor's statistical properties).
+var briefPattern = makePattern()
+
+type pointPair struct{ ax, ay, bx, by int }
+
+func makePattern() [DescriptorBits]pointPair {
+	var pat [DescriptorBits]pointPair
+	rng := imgutil.NewRNG(0x0b5e55ed)
+	const r = 13 // keep rotated samples inside the 31x31 patch
+	for i := range pat {
+		pat[i] = pointPair{
+			ax: rng.Intn(2*r+1) - r,
+			ay: rng.Intn(2*r+1) - r,
+			bx: rng.Intn(2*r+1) - r,
+			by: rng.Intn(2*r+1) - r,
+		}
+	}
+	return pat
+}
+
+// Describe computes the rotated-BRIEF descriptor of a keypoint: each bit
+// compares two pattern points, with the pattern rotated by the keypoint's
+// orientation.
+func Describe(im *imgutil.Image, kp Keypoint) Descriptor {
+	sin, cos := math.Sincos(kp.Angle)
+	var d Descriptor
+	for i, p := range briefPattern {
+		rax := int(math.Round(cos*float64(p.ax) - sin*float64(p.ay)))
+		ray := int(math.Round(sin*float64(p.ax) + cos*float64(p.ay)))
+		rbx := int(math.Round(cos*float64(p.bx) - sin*float64(p.by)))
+		rby := int(math.Round(sin*float64(p.bx) + cos*float64(p.by)))
+		if im.At(kp.X+rax, kp.Y+ray) < im.At(kp.X+rbx, kp.Y+rby) {
+			d[i/64] |= 1 << (i % 64)
+		}
+	}
+	return d
+}
+
+// Pyramid holds the scale levels of one frame.
+type Pyramid struct {
+	Levels []*imgutil.Image
+}
+
+// BuildPyramid downsamples the frame `levels` times by 2x.
+func BuildPyramid(frame *imgutil.Image, levels int) (*Pyramid, error) {
+	if frame == nil {
+		return nil, fmt.Errorf("orbslam: nil frame")
+	}
+	if levels <= 0 || levels > 12 {
+		return nil, fmt.Errorf("orbslam: level count %d out of range", levels)
+	}
+	p := &Pyramid{Levels: make([]*imgutil.Image, levels)}
+	p.Levels[0] = frame
+	for l := 1; l < levels; l++ {
+		p.Levels[l] = imgutil.Downsample2x(p.Levels[l-1])
+	}
+	return p, nil
+}
+
+// Bytes is the total pyramid footprint.
+func (p *Pyramid) Bytes() int64 {
+	var n int64
+	for _, im := range p.Levels {
+		n += im.Bytes()
+	}
+	return n
+}
+
+// Feature is a described keypoint.
+type Feature struct {
+	Keypoint
+	Desc Descriptor
+}
+
+// FrontendConfig is the whole pipeline's configuration.
+type FrontendConfig struct {
+	Detector DetectorConfig
+	Levels   int
+	// MaxPerLevel truncates detections (strongest first is not needed for
+	// the communication study; first-N is deterministic and cheap).
+	MaxPerLevel int
+}
+
+// Validate checks the configuration.
+func (c FrontendConfig) Validate() error {
+	if err := c.Detector.Validate(); err != nil {
+		return err
+	}
+	if c.Levels <= 0 || c.Levels > 12 {
+		return fmt.Errorf("orbslam: level count %d out of range", c.Levels)
+	}
+	if c.MaxPerLevel <= 0 {
+		return fmt.Errorf("orbslam: MaxPerLevel must be positive")
+	}
+	return nil
+}
+
+// ExtractFeatures runs the full front-end on one frame: pyramid, FAST per
+// level, orientation, descriptors. Keypoint coordinates stay in their
+// level's pixel grid (Level records which).
+func ExtractFeatures(cfg FrontendConfig, frame *imgutil.Image) ([]Feature, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pyr, err := BuildPyramid(frame, cfg.Levels)
+	if err != nil {
+		return nil, err
+	}
+	var out []Feature
+	for lvl, im := range pyr.Levels {
+		if im.W <= 2*cfg.Detector.Border || im.H <= 2*cfg.Detector.Border {
+			break
+		}
+		kps, err := Detect(cfg.Detector, im)
+		if err != nil {
+			return nil, err
+		}
+		if len(kps) > cfg.MaxPerLevel {
+			kps = kps[:cfg.MaxPerLevel]
+		}
+		for _, kp := range kps {
+			kp.Level = lvl
+			kp.Angle = Orientation(im, kp.X, kp.Y)
+			out = append(out, Feature{Keypoint: kp, Desc: Describe(im, kp)})
+		}
+	}
+	return out, nil
+}
+
+// Match greedily pairs each query feature with its nearest train feature by
+// Hamming distance, subject to a maximum distance. It returns index pairs.
+// This is the CPU-side consumer work the workload models.
+func Match(query, train []Feature, maxDist int) [][2]int {
+	var out [][2]int
+	for qi, q := range query {
+		best, bestDist := -1, maxDist+1
+		for ti, t := range train {
+			if d := HammingDistance(q.Desc, t.Desc); d < bestDist {
+				best, bestDist = ti, d
+			}
+		}
+		if best >= 0 {
+			out = append(out, [2]int{qi, best})
+		}
+	}
+	return out
+}
+
+// MatchRatio pairs query features with train features using Lowe's ratio
+// test: a match is accepted only when the best distance is clearly better
+// than the second best (best < ratio * second). This is the matcher real
+// ORB-SLAM uses to reject ambiguous correspondences.
+func MatchRatio(query, train []Feature, ratio float64) [][2]int {
+	if ratio <= 0 || ratio >= 1 || len(train) < 2 {
+		return nil
+	}
+	var out [][2]int
+	for qi, q := range query {
+		best, second := DescriptorBits+1, DescriptorBits+1
+		bestIdx := -1
+		for ti, t := range train {
+			d := HammingDistance(q.Desc, t.Desc)
+			switch {
+			case d < best:
+				second = best
+				best, bestIdx = d, ti
+			case d < second:
+				second = d
+			}
+		}
+		if bestIdx >= 0 && float64(best) < ratio*float64(second) {
+			out = append(out, [2]int{qi, bestIdx})
+		}
+	}
+	return out
+}

@@ -1,0 +1,407 @@
+package orbslam
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"igpucomm/internal/comm"
+	"igpucomm/internal/devices"
+	"igpucomm/internal/imgutil"
+)
+
+// cornerImage renders a single bright rectangle whose corners FAST must find.
+func cornerImage() *imgutil.Image {
+	im := imgutil.NewImage(64, 64)
+	for i := range im.Pix {
+		im.Pix[i] = 10
+	}
+	for y := 20; y < 44; y++ {
+		for x := 20; x < 44; x++ {
+			im.Set(x, y, 200)
+		}
+	}
+	return im
+}
+
+func TestDetectorConfigValidate(t *testing.T) {
+	good := DetectorConfig{Threshold: 20, Border: 8}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	if err := (DetectorConfig{Threshold: 0, Border: 8}).Validate(); err == nil {
+		t.Error("zero threshold accepted")
+	}
+	if err := (DetectorConfig{Threshold: 10, Border: 2}).Validate(); err == nil {
+		t.Error("ring-clipping border accepted")
+	}
+}
+
+func TestIsCornerOnRectangle(t *testing.T) {
+	im := cornerImage()
+	// A rectangle corner pixel (inside the bright region, at its corner)
+	// sees a contiguous dark arc: a FAST corner.
+	if !IsCorner(im, 20, 20, 20) {
+		t.Error("rectangle corner not detected")
+	}
+	// Flat regions are not corners.
+	if IsCorner(im, 32, 32, 20) {
+		t.Error("rectangle interior detected as corner")
+	}
+	if IsCorner(im, 5, 5, 20) {
+		t.Error("flat background detected as corner")
+	}
+	// Straight edges are not corners under FAST-9 (arc too short... the
+	// edge midpoint sees only half the ring dark, i.e. 8 < 9).
+	if IsCorner(im, 32, 20, 20) {
+		t.Error("edge midpoint detected as corner")
+	}
+}
+
+func TestDetectFindsRectangleCorners(t *testing.T) {
+	im := cornerImage()
+	kps, err := Detect(DetectorConfig{Threshold: 20, Border: 3}, im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kps) == 0 {
+		t.Fatal("no corners found")
+	}
+	// Every detection must be near one of the four rectangle corners.
+	corners := [][2]int{{20, 20}, {43, 20}, {20, 43}, {43, 43}}
+	found := make([]bool, 4)
+	for _, kp := range kps {
+		nearSome := false
+		for i, c := range corners {
+			if abs(kp.X-c[0]) <= 2 && abs(kp.Y-c[1]) <= 2 {
+				found[i] = true
+				nearSome = true
+			}
+		}
+		if !nearSome {
+			t.Errorf("spurious corner at (%d, %d)", kp.X, kp.Y)
+		}
+	}
+	for i, f := range found {
+		if !f {
+			t.Errorf("rectangle corner %d not detected", i)
+		}
+	}
+}
+
+func TestDetectErrors(t *testing.T) {
+	if _, err := Detect(DetectorConfig{Threshold: 0, Border: 3}, cornerImage()); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := Detect(DetectorConfig{Threshold: 20, Border: 3}, nil); err == nil {
+		t.Error("nil image accepted")
+	}
+}
+
+func TestScorePositiveAtCorners(t *testing.T) {
+	im := cornerImage()
+	if Score(im, 20, 20, 20) <= 0 {
+		t.Error("corner score not positive")
+	}
+	if Score(im, 5, 5, 20) != 0 {
+		t.Error("flat region score not zero")
+	}
+}
+
+func TestOrientationPointsAtMass(t *testing.T) {
+	im := imgutil.NewImage(32, 32)
+	// Bright mass to the right of the keypoint: angle ~ 0.
+	for y := 12; y < 20; y++ {
+		for x := 16; x < 24; x++ {
+			im.Set(x, y, 100)
+		}
+	}
+	a := Orientation(im, 16, 16)
+	if math.Abs(a) > 0.5 {
+		t.Errorf("angle = %.2f, want ~0 (mass to the right)", a)
+	}
+	// Mass below: angle ~ +pi/2.
+	im2 := imgutil.NewImage(32, 32)
+	for y := 16; y < 24; y++ {
+		for x := 12; x < 20; x++ {
+			im2.Set(x, y, 100)
+		}
+	}
+	a2 := Orientation(im2, 16, 16)
+	if math.Abs(a2-math.Pi/2) > 0.5 {
+		t.Errorf("angle = %.2f, want ~pi/2 (mass below)", a2)
+	}
+}
+
+func TestDescriptorDeterministicAndDiscriminative(t *testing.T) {
+	scene := imgutil.TexturedScene(128, 128, 10, 3)
+	kpA := Keypoint{X: 40, Y: 40}
+	kpB := Keypoint{X: 90, Y: 70}
+	d1 := Describe(scene, kpA)
+	d2 := Describe(scene, kpA)
+	if d1 != d2 {
+		t.Error("same keypoint produced different descriptors")
+	}
+	if HammingDistance(d1, d2) != 0 {
+		t.Error("identical descriptors with nonzero distance")
+	}
+	dB := Describe(scene, kpB)
+	if HammingDistance(d1, dB) == 0 {
+		t.Error("distinct patches produced identical descriptors")
+	}
+}
+
+func TestHammingDistanceBasics(t *testing.T) {
+	var a, b Descriptor
+	if HammingDistance(a, b) != 0 {
+		t.Error("zero descriptors should match")
+	}
+	b[0] = 0xFF
+	if HammingDistance(a, b) != 8 {
+		t.Errorf("distance = %d, want 8", HammingDistance(a, b))
+	}
+	for i := range b {
+		b[i] = ^uint64(0)
+	}
+	if HammingDistance(a, b) != DescriptorBits {
+		t.Errorf("full distance = %d, want %d", HammingDistance(a, b), DescriptorBits)
+	}
+}
+
+func TestBuildPyramid(t *testing.T) {
+	frame := imgutil.TexturedScene(128, 96, 8, 1)
+	pyr, err := BuildPyramid(frame, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pyr.Levels) != 4 {
+		t.Fatalf("levels = %d, want 4", len(pyr.Levels))
+	}
+	if pyr.Levels[1].W != 64 || pyr.Levels[3].W != 16 {
+		t.Error("downsampling chain wrong")
+	}
+	if pyr.Bytes() <= frame.Bytes() {
+		t.Error("pyramid bytes should exceed level-0 alone")
+	}
+	if _, err := BuildPyramid(nil, 4); err == nil {
+		t.Error("nil frame accepted")
+	}
+	if _, err := BuildPyramid(frame, 0); err == nil {
+		t.Error("zero levels accepted")
+	}
+}
+
+func TestExtractFeaturesEndToEnd(t *testing.T) {
+	cfg := FrontendConfig{
+		Detector:    DetectorConfig{Threshold: 20, Border: 16},
+		Levels:      3,
+		MaxPerLevel: 64,
+	}
+	scene := imgutil.TexturedScene(256, 192, 16, 5)
+	feats, err := ExtractFeatures(cfg, scene)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feats) == 0 {
+		t.Fatal("no features extracted from a corner-rich scene")
+	}
+	var nonZeroDesc int
+	for _, f := range feats {
+		if f.Level < 0 || f.Level >= 3 {
+			t.Errorf("feature level %d out of range", f.Level)
+		}
+		if f.Desc != (Descriptor{}) {
+			nonZeroDesc++
+		}
+	}
+	if nonZeroDesc == 0 {
+		t.Error("all descriptors empty")
+	}
+}
+
+func TestMatchFindsSelf(t *testing.T) {
+	cfg := FrontendConfig{
+		Detector:    DetectorConfig{Threshold: 20, Border: 16},
+		Levels:      2,
+		MaxPerLevel: 32,
+	}
+	scene := imgutil.TexturedScene(192, 144, 12, 9)
+	feats, err := ExtractFeatures(cfg, scene)
+	if err != nil || len(feats) == 0 {
+		t.Fatalf("extraction failed: %v (%d feats)", err, len(feats))
+	}
+	matches := Match(feats, feats, 0)
+	if len(matches) != len(feats) {
+		t.Fatalf("self-match found %d of %d", len(matches), len(feats))
+	}
+	for _, m := range matches {
+		a, b := feats[m[0]], feats[m[1]]
+		if HammingDistance(a.Desc, b.Desc) != 0 {
+			t.Error("self-match with nonzero distance")
+		}
+	}
+}
+
+// Property: Hamming distance is a metric (symmetry + identity + triangle).
+func TestPropertyHammingMetric(t *testing.T) {
+	f := func(a0, b0, c0 uint64) bool {
+		a := Descriptor{a0, a0 >> 1, a0 >> 2, a0 >> 3}
+		b := Descriptor{b0, b0 >> 7, b0 >> 3, b0}
+		c := Descriptor{c0, c0, c0 >> 5, c0 >> 9}
+		dab := HammingDistance(a, b)
+		dba := HammingDistance(b, a)
+		dac := HammingDistance(a, c)
+		dcb := HammingDistance(c, b)
+		return dab == dba && HammingDistance(a, a) == 0 && dab <= dac+dcb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkloadStructure(t *testing.T) {
+	p := DefaultWorkloadParams()
+	p.FrameW, p.FrameH = 256, 192 // keep test fast
+	p.Frontend.Levels = 3
+	p.MatchComparisons = 1000
+	w, err := Workload(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Launches != 6 {
+		t.Errorf("launches = %d, want 2 levels x 3", w.Launches)
+	}
+	if len(w.Scratch) != 2 {
+		t.Error("pyramid and score map should be scratch buffers")
+	}
+	if w.BytesIn() != 4096 {
+		t.Errorf("config copy = %d, want tiny", w.BytesIn())
+	}
+	if w.BytesOut() <= 0 {
+		t.Error("feature buffer missing")
+	}
+}
+
+func TestWorkloadParamsValidate(t *testing.T) {
+	bad := DefaultWorkloadParams()
+	bad.FrameW = 8
+	if err := bad.Validate(); err == nil {
+		t.Error("tiny frame accepted")
+	}
+	bad = DefaultWorkloadParams()
+	bad.PerPixelOps = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero kernel depth accepted")
+	}
+	bad = DefaultWorkloadParams()
+	bad.MatchComparisons = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative comparisons accepted")
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestMatchRatioRejectsAmbiguity(t *testing.T) {
+	// Three features: two nearly identical, one distinct. The ratio test
+	// must match the distinct one and reject the ambiguous pair.
+	var a, b, c Descriptor
+	a[0] = 0xFFFF
+	b[0] = 0xFFFE     // 1 bit from a
+	c[2] = 0xFFFFFFFF // far from both
+	train := []Feature{{Desc: a}, {Desc: b}, {Desc: c}}
+	query := []Feature{{Desc: a}, {Desc: c}}
+
+	matches := MatchRatio(query, train, 0.8)
+	// Query 0 (== a) has best 0 vs second 1: ratio 0 < 0.8? best=0 passes
+	// trivially; query 1 (== c) best 0 vs second >> 0 passes.
+	if len(matches) != 2 {
+		t.Fatalf("matches = %d, want 2", len(matches))
+	}
+	// Now query something equidistant from two candidates: rejected.
+	var p1, p2, q Descriptor
+	p1[0] = 0b1111
+	p2[0] = 0b0011
+	q[0] = 0b0111 // distance 1 from both
+	amb := MatchRatio([]Feature{{Desc: q}}, []Feature{{Desc: p1}, {Desc: p2}}, 0.8)
+	if len(amb) != 0 {
+		t.Errorf("ambiguous query matched: %v", amb)
+	}
+}
+
+func TestMatchRatioDegenerate(t *testing.T) {
+	feats := []Feature{{}, {}}
+	if MatchRatio(feats, feats[:1], 0.8) != nil {
+		t.Error("too-small train set accepted")
+	}
+	if MatchRatio(feats, feats, 0) != nil || MatchRatio(feats, feats, 1.5) != nil {
+		t.Error("invalid ratio accepted")
+	}
+}
+
+func TestMatchRatioOnRealFeatures(t *testing.T) {
+	cfg := FrontendConfig{
+		Detector:    DetectorConfig{Threshold: 20, Border: 16},
+		Levels:      2,
+		MaxPerLevel: 48,
+	}
+	scene := imgutil.TexturedScene(256, 192, 14, 21)
+	feats, err := ExtractFeatures(cfg, scene)
+	if err != nil || len(feats) < 4 {
+		t.Fatalf("extraction: %v (%d)", err, len(feats))
+	}
+	matches := MatchRatio(feats, feats, 0.8)
+	// Self-matching with the ratio test keeps only unambiguous features,
+	// but each kept match must be the identity.
+	for _, m := range matches {
+		if HammingDistance(feats[m[0]].Desc, feats[m[1]].Desc) != 0 {
+			t.Error("ratio match is not the identity on self-matching")
+		}
+	}
+	if len(matches) == 0 {
+		t.Error("no unambiguous self-matches at all")
+	}
+}
+
+func TestWorkloadRunsOnSimulator(t *testing.T) {
+	p := DefaultWorkloadParams()
+	p.FrameW, p.FrameH = 192, 144
+	p.Frontend.Levels = 2
+	p.Frontend.MaxPerLevel = 32
+	p.MatchComparisons = 2000
+	w, err := Workload(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := devices.NewSoC(devices.XavierName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := comm.SC{}.Run(s, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Launches != 4 || sc.KernelTime <= 0 {
+		t.Errorf("incomplete run: launches=%d kern=%v", sc.Launches, sc.KernelTime)
+	}
+	// Only the tiny config buffer is copied in; features come back.
+	if sc.CopyBytes != w.BytesIn()+w.BytesOut() {
+		t.Errorf("copies = %d, want %d", sc.CopyBytes, w.BytesIn()+w.BytesOut())
+	}
+	zc, err := comm.ZC{}.Run(s, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Xavier coherence keeps the pipeline usable under ZC.
+	if zc.Total > sc.Total*3 {
+		t.Errorf("Xavier ZC %v unreasonably above SC %v", zc.Total, sc.Total)
+	}
+}

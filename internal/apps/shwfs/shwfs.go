@@ -1,0 +1,148 @@
+// Package shwfs implements the paper's first case study: centroid extraction
+// for Shack-Hartmann wavefront sensors (Kong, Polo, Lambert — Applied Optics
+// 2017), the adaptive-optics kernel the paper tunes across the three Jetson
+// boards (§IV-B, Tables II and III).
+//
+// The sensor divides the pupil into a lenslet grid; each lenslet focuses a
+// spot onto its subaperture of the detector, and the local wavefront slope
+// is the spot's displacement from the subaperture center. The algorithm is
+// therefore a thresholded center-of-gravity reduction per subaperture:
+//
+//	cx = Σ (I(x,y) - T)+ · x / Σ (I(x,y) - T)+   (same for cy)
+//
+// This file is the *functional* implementation (computes real centroids on
+// real frames and is tested against ground truth); workload.go emits the
+// matching memory-access pattern to the simulated SoC.
+package shwfs
+
+import (
+	"fmt"
+	"math"
+
+	"igpucomm/internal/imgutil"
+)
+
+// Config is the sensor geometry and extraction parameters.
+type Config struct {
+	SubapsX, SubapsY int     // lenslet grid
+	SubapPx          int     // detector pixels per subaperture side
+	Threshold        float32 // background threshold subtracted before weighting
+}
+
+// Validate reports configuration problems.
+func (c Config) Validate() error {
+	if c.SubapsX <= 0 || c.SubapsY <= 0 || c.SubapPx <= 0 {
+		return fmt.Errorf("shwfs: geometry must be positive, got %dx%d subaps of %dpx",
+			c.SubapsX, c.SubapsY, c.SubapPx)
+	}
+	if c.Threshold < 0 {
+		return fmt.Errorf("shwfs: negative threshold %v", c.Threshold)
+	}
+	return nil
+}
+
+// FrameW and FrameH are the detector dimensions the config implies.
+func (c Config) FrameW() int { return c.SubapsX * c.SubapPx }
+
+// FrameH is the detector height.
+func (c Config) FrameH() int { return c.SubapsY * c.SubapPx }
+
+// Subaps is the lenslet count.
+func (c Config) Subaps() int { return c.SubapsX * c.SubapsY }
+
+// Centroid is one subaperture's extraction result, in absolute detector
+// coordinates (pixel centers at integer+0.5).
+type Centroid struct {
+	X, Y  float64
+	Mass  float64 // total thresholded intensity
+	Valid bool    // false when the subaperture had no signal above threshold
+}
+
+// Slope is the wavefront slope a centroid encodes: displacement from the
+// subaperture center in pixels.
+type Slope struct{ DX, DY float64 }
+
+// Extract computes the per-subaperture centroids of a frame. The frame must
+// match the configured geometry.
+func Extract(cfg Config, frame *imgutil.Image) ([]Centroid, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if frame == nil || frame.W != cfg.FrameW() || frame.H != cfg.FrameH() {
+		return nil, fmt.Errorf("shwfs: frame size mismatch (want %dx%d)", cfg.FrameW(), cfg.FrameH())
+	}
+	out := make([]Centroid, cfg.Subaps())
+	for sy := 0; sy < cfg.SubapsY; sy++ {
+		for sx := 0; sx < cfg.SubapsX; sx++ {
+			out[sy*cfg.SubapsX+sx] = extractOne(cfg, frame, sx, sy)
+		}
+	}
+	return out, nil
+}
+
+func extractOne(cfg Config, frame *imgutil.Image, sx, sy int) Centroid {
+	x0 := sx * cfg.SubapPx
+	y0 := sy * cfg.SubapPx
+	var mass, mx, my float64
+	for y := y0; y < y0+cfg.SubapPx; y++ {
+		for x := x0; x < x0+cfg.SubapPx; x++ {
+			v := float64(frame.At(x, y) - cfg.Threshold)
+			if v <= 0 {
+				continue
+			}
+			mass += v
+			mx += v * (float64(x) + 0.5)
+			my += v * (float64(y) + 0.5)
+		}
+	}
+	if mass <= 0 {
+		return Centroid{}
+	}
+	return Centroid{X: mx / mass, Y: my / mass, Mass: mass, Valid: true}
+}
+
+// Slopes converts centroids to wavefront slopes (displacement from each
+// subaperture's center).
+func Slopes(cfg Config, cents []Centroid) ([]Slope, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cents) != cfg.Subaps() {
+		return nil, fmt.Errorf("shwfs: got %d centroids for %d subapertures", len(cents), cfg.Subaps())
+	}
+	out := make([]Slope, len(cents))
+	for i, c := range cents {
+		if !c.Valid {
+			continue
+		}
+		sx := i % cfg.SubapsX
+		sy := i / cfg.SubapsX
+		cx := float64(sx*cfg.SubapPx) + float64(cfg.SubapPx)/2
+		cy := float64(sy*cfg.SubapPx) + float64(cfg.SubapPx)/2
+		out[i] = Slope{DX: c.X - cx, DY: c.Y - cy}
+	}
+	return out, nil
+}
+
+// RMSError measures extraction accuracy against ground truth (only valid
+// centroids are scored; an invalid centroid with real signal counts as a
+// full-subaperture error).
+func RMSError(cfg Config, cents []Centroid, truth []imgutil.TrueCentroid) (float64, error) {
+	if len(cents) != len(truth) {
+		return 0, fmt.Errorf("shwfs: %d centroids vs %d truth entries", len(cents), len(truth))
+	}
+	if len(cents) == 0 {
+		return 0, nil
+	}
+	var sum float64
+	for i, c := range cents {
+		if !c.Valid {
+			sum += float64(cfg.SubapPx) * float64(cfg.SubapPx)
+			continue
+		}
+		dx := c.X - truth[i].X
+		dy := c.Y - truth[i].Y
+		sum += dx*dx + dy*dy
+	}
+	return math.Sqrt(sum / float64(len(cents))), nil
+}

@@ -1,0 +1,297 @@
+package shwfs
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"igpucomm/internal/comm"
+	"igpucomm/internal/devices"
+	"igpucomm/internal/imgutil"
+)
+
+func sensorConfig() Config {
+	return Config{SubapsX: 8, SubapsY: 8, SubapPx: 16, Threshold: 8}
+}
+
+func renderFrame(t *testing.T, seed uint64) (*imgutil.Image, []imgutil.TrueCentroid) {
+	t.Helper()
+	im, truth, err := imgutil.SpotGrid(imgutil.SpotGridParams{
+		SubapsX: 8, SubapsY: 8, SubapPx: 16,
+		SpotSigma: 1.4, MaxShift: 3,
+		PeakIntensity: 220, Background: 4, NoiseAmp: 2,
+		Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im, truth
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := sensorConfig().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := sensorConfig()
+	bad.SubapPx = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero subap size accepted")
+	}
+	bad = sensorConfig()
+	bad.Threshold = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative threshold accepted")
+	}
+}
+
+func TestExtractRecoversTruth(t *testing.T) {
+	cfg := sensorConfig()
+	frame, truth := renderFrame(t, 11)
+	cents, err := Extract(cfg, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rms, err := RMSError(cfg, cents, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Thresholded CoG on clean Gaussian spots should be sub-pixel accurate.
+	if rms > 0.5 {
+		t.Errorf("RMS centroid error = %.3f px, want < 0.5", rms)
+	}
+	for i, c := range cents {
+		if !c.Valid {
+			t.Errorf("subaperture %d had no valid centroid", i)
+		}
+	}
+}
+
+func TestExtractErrors(t *testing.T) {
+	cfg := sensorConfig()
+	if _, err := Extract(cfg, nil); err == nil {
+		t.Error("nil frame accepted")
+	}
+	if _, err := Extract(cfg, imgutil.NewImage(10, 10)); err == nil {
+		t.Error("mismatched frame accepted")
+	}
+	bad := cfg
+	bad.SubapsX = 0
+	if _, err := Extract(bad, imgutil.NewImage(128, 128)); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestDarkFrameInvalidCentroids(t *testing.T) {
+	cfg := sensorConfig()
+	frame := imgutil.NewImage(cfg.FrameW(), cfg.FrameH()) // all zeros
+	cents, err := Extract(cfg, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range cents {
+		if c.Valid {
+			t.Errorf("subaperture %d valid on a dark frame", i)
+		}
+	}
+}
+
+func TestSlopes(t *testing.T) {
+	cfg := sensorConfig()
+	frame, truth := renderFrame(t, 5)
+	cents, err := Extract(cfg, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slopes, err := Slopes(cfg, cents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range slopes {
+		wantDX := truth[i].X - (float64(i%8)*16 + 8)
+		wantDY := truth[i].Y - (float64(i/8)*16 + 8)
+		if math.Abs(s.DX-wantDX) > 0.6 || math.Abs(s.DY-wantDY) > 0.6 {
+			t.Errorf("subap %d slope (%.2f, %.2f), want (%.2f, %.2f)", i, s.DX, s.DY, wantDX, wantDY)
+		}
+	}
+	if _, err := Slopes(cfg, cents[:3]); err == nil {
+		t.Error("mismatched centroid count accepted")
+	}
+}
+
+func TestRMSErrorEdgeCases(t *testing.T) {
+	cfg := sensorConfig()
+	if _, err := RMSError(cfg, make([]Centroid, 3), make([]imgutil.TrueCentroid, 4)); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	rms, err := RMSError(cfg, nil, nil)
+	if err != nil || rms != 0 {
+		t.Error("empty inputs should give 0")
+	}
+	// Invalid centroid counts as a big error.
+	rms, err = RMSError(cfg, make([]Centroid, 1), make([]imgutil.TrueCentroid, 1))
+	if err != nil || rms < float64(cfg.SubapPx) {
+		t.Errorf("invalid centroid RMS = %v, want >= subap size", rms)
+	}
+}
+
+// Property: centroids are invariant under uniform intensity scaling of the
+// above-threshold signal (threshold 0 for exactness).
+func TestPropertyIntensityScaleInvariance(t *testing.T) {
+	cfg := Config{SubapsX: 4, SubapsY: 4, SubapPx: 16, Threshold: 0}
+	f := func(seed uint64, scale8 uint8) bool {
+		scale := float32(scale8%9) + 1.5
+		im, _, err := imgutil.SpotGrid(imgutil.SpotGridParams{
+			SubapsX: 4, SubapsY: 4, SubapPx: 16,
+			SpotSigma: 1.4, MaxShift: 3, PeakIntensity: 100,
+			Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		a, err := Extract(cfg, im)
+		if err != nil {
+			return false
+		}
+		scaled := imgutil.NewImage(im.W, im.H)
+		for i, v := range im.Pix {
+			scaled.Pix[i] = v * scale
+		}
+		b, err := Extract(cfg, scaled)
+		if err != nil {
+			return false
+		}
+		for i := range a {
+			if a[i].Valid != b[i].Valid {
+				return false
+			}
+			if !a[i].Valid {
+				continue
+			}
+			if math.Abs(a[i].X-b[i].X) > 1e-3 || math.Abs(a[i].Y-b[i].Y) > 1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a single bright pixel's centroid is that pixel's center.
+func TestPropertySinglePixelCentroid(t *testing.T) {
+	cfg := Config{SubapsX: 2, SubapsY: 2, SubapPx: 8, Threshold: 0}
+	f := func(px, py uint8) bool {
+		x := int(px % 8)
+		y := int(py % 8)
+		frame := imgutil.NewImage(16, 16)
+		frame.Set(x, y, 100)
+		cents, err := Extract(cfg, frame)
+		if err != nil {
+			return false
+		}
+		c := cents[0]
+		return c.Valid &&
+			math.Abs(c.X-(float64(x)+0.5)) < 1e-9 &&
+			math.Abs(c.Y-(float64(y)+0.5)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 64}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkloadParamsValidate(t *testing.T) {
+	p := DefaultWorkloadParams()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("default params rejected: %v", err)
+	}
+	bad := DefaultWorkloadParams()
+	bad.Launches = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero launches accepted")
+	}
+	bad = DefaultWorkloadParams()
+	bad.Launches = 5 // 32 rows not divisible by 5
+	if err := bad.Validate(); err == nil {
+		t.Error("indivisible stripes accepted")
+	}
+	bad = DefaultWorkloadParams()
+	bad.CPUPasses = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero CPU passes accepted")
+	}
+}
+
+func TestWorkloadStructure(t *testing.T) {
+	w, err := Workload(DefaultWorkloadParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Launches != 4 {
+		t.Errorf("launches = %d, want 4", w.Launches)
+	}
+	if w.BytesIn() != 512*512*4 {
+		t.Errorf("frame bytes = %d, want 1MiB", w.BytesIn())
+	}
+	if w.BytesOut() != 32*32*16 {
+		t.Errorf("centroid bytes = %d", w.BytesOut())
+	}
+	if _, err := Workload(WorkloadParams{}); err == nil {
+		t.Error("zero params accepted")
+	}
+}
+
+func ExampleExtract() {
+	frame, _, err := imgutil.SpotGrid(imgutil.SpotGridParams{
+		SubapsX: 2, SubapsY: 1, SubapPx: 16,
+		SpotSigma: 1.2, MaxShift: 0, // spots dead-center
+		PeakIntensity: 200, Seed: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	cents, err := Extract(Config{SubapsX: 2, SubapsY: 1, SubapPx: 16, Threshold: 5}, frame)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("subap 0 centroid (%.0f, %.0f)\n", cents[0].X, cents[0].Y)
+	// Output: subap 0 centroid (8, 8)
+}
+
+func TestWorkloadRunsOnSimulator(t *testing.T) {
+	p := DefaultWorkloadParams()
+	p.Config = Config{SubapsX: 8, SubapsY: 8, SubapPx: 16, Threshold: 10}
+	p.Launches = 2
+	p.PerPixelOps = 24
+	w, err := Workload(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := devices.NewSoC(devices.TX2Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := comm.SC{}.Run(s, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.KernelTime <= 0 || sc.CPUTime <= 0 || sc.Launches != 2 {
+		t.Errorf("incomplete run: %+v", sc)
+	}
+	// The CPU statistics passes give the app its CPU cache usage.
+	if sc.CPUL1Misses == 0 {
+		t.Error("CPU task should miss L1 (sampled stride)")
+	}
+	zc, err := comm.ZC{}.Run(s, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On TX2 the uncached CPU path must dominate the ZC run.
+	if zc.CPUTime <= sc.CPUTime {
+		t.Error("ZC CPU task should slow down on TX2")
+	}
+}

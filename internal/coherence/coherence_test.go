@@ -1,0 +1,137 @@
+package coherence
+
+import (
+	"strings"
+	"testing"
+
+	"igpucomm/internal/cache"
+	"igpucomm/internal/memdev"
+	"igpucomm/internal/units"
+)
+
+func cpuLLC(t *testing.T) (*cache.Cache, *memdev.DRAM) {
+	t.Helper()
+	d := memdev.New(memdev.Config{Name: "dram", Latency: 150, Bandwidth: 25 * units.GBps})
+	llc := cache.New(cache.Config{Name: "cpuLLC", Size: 8 * units.KiB, LineSize: 64, Ways: 4, HitLatency: 25}, d.NewPort("cpu", -1))
+	return llc, d
+}
+
+func TestNewIOPortPanics(t *testing.T) {
+	llc, _ := cpuLLC(t)
+	for name, f := range map[string]func(){
+		"nil target":  func() { NewIOPort("io", nil, 10) },
+		"neg latency": func() { NewIOPort("io", llc, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s accepted", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestIOPortSnoopsCPULLC(t *testing.T) {
+	llc, _ := cpuLLC(t)
+	// CPU warmed the line.
+	llc.Do(cache.Access{Addr: 0, Size: 64, Kind: cache.Write})
+	p := NewIOPort("io", llc, 30)
+	r := p.Do(cache.Access{Addr: 0, Size: 64, Kind: cache.Read})
+	// LLC hit 25 + interconnect 30.
+	if r.Latency != 55 {
+		t.Errorf("snoop hit latency = %v, want 55", r.Latency)
+	}
+	if !strings.Contains(r.ServedBy, "io") || !strings.Contains(r.ServedBy, "cpuLLC") {
+		t.Errorf("served by %q, want io→cpuLLC", r.ServedBy)
+	}
+}
+
+func TestIOPortMissGoesToDRAM(t *testing.T) {
+	llc, d := cpuLLC(t)
+	p := NewIOPort("io", llc, 30)
+	r := p.Do(cache.Access{Addr: 4096, Size: 64, Kind: cache.Read})
+	if r.Latency != 205 { // 25 LLC + 150 DRAM + 30 hop
+		t.Errorf("miss latency = %v, want 205", r.Latency)
+	}
+	if d.Stats().Reads != 1 {
+		t.Error("miss did not reach DRAM")
+	}
+}
+
+func TestIOPortStats(t *testing.T) {
+	llc, _ := cpuLLC(t)
+	p := NewIOPort("io", llc, 10)
+	p.Do(cache.Access{Addr: 0, Size: 64, Kind: cache.Read})
+	p.Do(cache.Access{Addr: 64, Size: 64, Kind: cache.Write})
+	p.Do(cache.Access{Addr: 128, Size: 64, Kind: cache.Writeback})
+	st := p.Stats()
+	if st.Reads != 1 || st.Writes != 1 || st.Writebacks != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.BytesRead != 64 || st.BytesWritten != 128 {
+		t.Errorf("bytes = %d/%d, want 64/128", st.BytesRead, st.BytesWritten)
+	}
+	p.ResetStats()
+	if p.Stats() != (memdev.Stats{}) {
+		t.Error("stats survived reset")
+	}
+}
+
+func TestIOPortDegenerateAccess(t *testing.T) {
+	llc, _ := cpuLLC(t)
+	p := NewIOPort("io", llc, 10)
+	if r := p.Do(cache.Access{Size: 0}); r.Latency != 0 {
+		t.Error("zero-size access did work")
+	}
+}
+
+func TestIOPortDisabledPanics(t *testing.T) {
+	llc, _ := cpuLLC(t)
+	p := NewIOPort("io", llc, 10)
+	p.SetEnabled(false)
+	if p.Enabled() {
+		t.Fatal("SetEnabled(false) ignored")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("disabled port serviced a request")
+		}
+	}()
+	p.Do(cache.Access{Addr: 0, Size: 4, Kind: cache.Read})
+}
+
+type fakeCPUFlusher struct{ calls, ret int64 }
+
+func (f *fakeCPUFlusher) FlushAll() int64 { f.calls++; return f.ret }
+
+type fakeGPUFlusher struct {
+	calls int64
+	wbs   int64
+	cost  units.Latency
+}
+
+func (f *fakeGPUFlusher) FlushLLC(per units.Latency) (int64, units.Latency) {
+	f.calls++
+	return f.wbs, f.cost
+}
+
+func TestSoftwareProtocolSequencing(t *testing.T) {
+	cf := &fakeCPUFlusher{ret: 7}
+	gf := &fakeGPUFlusher{wbs: 3, cost: 42}
+	sw := &Software{CPU: cf, GPU: gf, GPULineCost: 2}
+	if got := sw.PreKernel(); got != 7 {
+		t.Errorf("PreKernel = %d, want 7", got)
+	}
+	wbs, cost := sw.PostKernel()
+	if wbs != 3 || cost != 42 {
+		t.Errorf("PostKernel = %d/%v, want 3/42", wbs, cost)
+	}
+	if cf.calls != 1 || gf.calls != 1 {
+		t.Error("flushers not called exactly once")
+	}
+	if sw.PreKernelFlushes != 1 || sw.PostKernelFlushes != 1 {
+		t.Error("protocol counters wrong")
+	}
+}

@@ -1,0 +1,136 @@
+package comm
+
+import (
+	"igpucomm/internal/energy"
+	"igpucomm/internal/mmu"
+	"igpucomm/internal/soc"
+	"igpucomm/internal/units"
+)
+
+// SC is the standard-copy model (paper Fig 1.c): the shared physical memory
+// is partitioned into CPU and GPU logical spaces, the copy engine moves
+// buffers across, all caches stay enabled, and software coherence flushes
+// them around every kernel launch. CPU and GPU tasks are serialized.
+type SC struct{}
+
+// Name returns "sc".
+func (SC) Name() string { return "sc" }
+
+// GPUFlushLineCost is the per-line walk cost of the post-kernel GPU cache
+// flush, in ns.
+const GPUFlushLineCost units.Latency = 2
+
+// Run executes the workload under standard copy.
+func (SC) Run(s *soc.SoC, w Workload) (Report, error) {
+	if err := w.Validate(); err != nil {
+		return Report{}, err
+	}
+	s.ResetState()
+	hostLay, hostNames, err := allocAll(s, w.Name, transferSpecs(w), mmu.HostAlloc, "host-")
+	if err != nil {
+		return Report{}, err
+	}
+	defer freeAll(s, hostNames)
+	// The device partition holds the transfer buffers plus the GPU-side
+	// scratch storage the kernels work in.
+	devLay, devNames, err := allocAll(s, w.Name, allSpecs(w), mmu.DeviceAlloc, "dev-")
+	if err != nil {
+		return Report{}, err
+	}
+	defer freeAll(s, devNames)
+
+	var rep Report
+	for i := 0; i <= w.Warmup; i++ {
+		measured := i == w.Warmup
+		r, err := scIteration(s, w, hostLay, devLay)
+		if err != nil {
+			return Report{}, err
+		}
+		if measured {
+			rep = r
+		}
+	}
+	rep.Model = SC{}.Name()
+	rep.Platform = s.Name()
+	rep.Workload = w.Name
+	rep.DeclaredBytesIn = w.BytesIn()
+	rep.DeclaredBytesOut = w.BytesOut()
+	rep.OverlapCapable = w.Overlappable
+	return rep, nil
+}
+
+func scIteration(s *soc.SoC, w Workload, hostLay, devLay Layout) (Report, error) {
+	dramBefore := s.DRAM.Stats()
+	copyBefore := s.CopyBytes()
+
+	var rep Report
+
+	// 1. CPU produces the inputs in its own partition.
+	task := timeCPU(s, w.CPUTask, hostLay)
+	rep.CPUTime = task.elapsed
+	rep.CPUL1MissRate = task.l1MissRate
+	rep.CPULLCMissRate = task.llcMiss
+	rep.CPUL1Misses = task.l1Misses
+	rep.CPUInstrs = task.instrs
+
+	// 2-6. One striped copy-kernel-copy round per launch, with software
+	// coherence flushes around every kernel (the SC protocol).
+	launches := w.LaunchCount()
+	rep.Launches = launches
+	for l := 0; l < launches; l++ {
+		// Flush the shared buffers out of the CPU caches (maintenance by
+		// VA) so the copy engine (and the GPU) observe the produced data.
+		// Private CPU working sets stay cached — real drivers flush
+		// ranges, not the whole hierarchy.
+		flushStart := s.CPU.Elapsed()
+		for _, spec := range transferSpecs(w) {
+			b := hostLay.Buffer(spec.Name)
+			s.CPU.FlushRange(b.Addr, b.End())
+		}
+		rep.FlushTime += s.CPU.Elapsed() - flushStart
+
+		// Copy this launch's input stripes host -> device.
+		for _, spec := range w.In {
+			_, size := stripe(hostLay.Buffer(spec.Name), l, launches)
+			rep.CopyTime += s.Copy(size)
+		}
+
+		res, err := s.GPU.Launch(w.MakeKernel(devLay, l))
+		if err != nil {
+			return Report{}, err
+		}
+		mergeGPU(&rep.GPU, res)
+		rep.KernelTime += res.Time
+		rep.LaunchTime += res.LaunchOverhead
+
+		// Flush the shared buffers out of the GPU caches so the copy
+		// engine (and the CPU) observe the results.
+		for _, spec := range transferSpecs(w) {
+			b := devLay.Buffer(spec.Name)
+			_, gpuFlushCost := s.GPU.FlushRange(b.Addr, b.End(), GPUFlushLineCost)
+			rep.FlushTime += gpuFlushCost
+		}
+
+		// Copy this launch's output stripes device -> host.
+		for _, spec := range w.Out {
+			_, size := stripe(hostLay.Buffer(spec.Name), l, launches)
+			rep.CopyTime += s.Copy(size)
+		}
+	}
+
+	// 7. Optional CPU consumer work.
+	post := timeCPU(s, w.CPUPost, hostLay)
+	rep.CPUTime += post.elapsed
+
+	rep.Total = rep.CPUTime + rep.FlushTime + rep.CopyTime + rep.KernelTime + rep.LaunchTime
+	rep.DRAMBytes = s.DRAM.Stats().Bytes() - dramBefore.Bytes()
+	rep.CopyBytes = s.CopyBytes() - copyBefore
+	rep.Energy = energy.Activity{
+		Runtime:   rep.Total,
+		CPUBusy:   rep.CPUTime + rep.FlushTime + rep.LaunchTime,
+		GPUBusy:   rep.KernelTime,
+		DRAMBytes: rep.DRAMBytes,
+		CopyBytes: rep.CopyBytes,
+	}
+	return rep, nil
+}

@@ -1,0 +1,156 @@
+package comm
+
+import (
+	"igpucomm/internal/energy"
+	"igpucomm/internal/mmu"
+	"igpucomm/internal/soc"
+	"igpucomm/internal/units"
+)
+
+// UM is the unified-memory model (paper Fig 1.d): CPU and GPU address one
+// managed allocation; the runtime keeps coherence by migrating pages on
+// demand between the two sides. The programmer sees pointers; the driver
+// pays for them. Tasks are serialized, as with SC.
+//
+// With Workload.UMPrefetch set, migrations are issued ahead of the access
+// (cudaMemPrefetchAsync): the bytes still move at copy-engine bandwidth but
+// the per-page fault overhead disappears.
+type UM struct{}
+
+// umTouch moves a range to `by`, via demand faults or prefetch.
+func umTouch(s *soc.SoC, w Workload, addr, size int64, by mmu.Owner) (faults, bytes int64) {
+	if w.UMPrefetch {
+		return 0, s.Migrator.Prefetch(addr, size, by)
+	}
+	return s.Migrator.Touch(addr, size, by)
+}
+
+// Name returns "um".
+func (UM) Name() string { return "um" }
+
+// Run executes the workload under unified memory.
+func (UM) Run(s *soc.SoC, w Workload) (Report, error) {
+	if err := w.Validate(); err != nil {
+		return Report{}, err
+	}
+	s.ResetState()
+	lay, names, err := allocAll(s, w.Name, allSpecs(w), mmu.Managed, "um-")
+	if err != nil {
+		return Report{}, err
+	}
+	defer freeAll(s, names)
+
+	var rep Report
+	for i := 0; i <= w.Warmup; i++ {
+		measured := i == w.Warmup
+		r := umIteration(s, w, lay)
+		if r.err != nil {
+			return Report{}, r.err
+		}
+		if measured {
+			rep = r.Report
+		}
+	}
+	rep.Model = UM{}.Name()
+	rep.Platform = s.Name()
+	rep.Workload = w.Name
+	rep.DeclaredBytesIn = w.BytesIn()
+	rep.DeclaredBytesOut = w.BytesOut()
+	rep.OverlapCapable = w.Overlappable
+	return rep, nil
+}
+
+type umResult struct {
+	Report
+	err error
+}
+
+func umIteration(s *soc.SoC, w Workload, lay Layout) umResult {
+	dramBefore := s.DRAM.Stats()
+	migBefore := s.Migrator.Stats().BytesMigrated
+	var rep Report
+
+	// 1. The CPU faults its working buffers back (no-ops on first touch)
+	// and produces the inputs.
+	var faults, migBytes int64
+	for _, spec := range w.In {
+		b := lay.Buffer(spec.Name)
+		f, by := umTouch(s, w, b.Addr, b.Size, mmu.OwnerCPU)
+		faults, migBytes = faults+f, migBytes+by
+	}
+	rep.CopyTime += s.MigrationCost(faults, migBytes)
+	chargeMigrationTraffic(s, migBytes)
+
+	task := timeCPU(s, w.CPUTask, lay)
+	rep.CPUTime = task.elapsed
+	rep.CPUL1MissRate = task.l1MissRate
+	rep.CPULLCMissRate = task.llcMiss
+	rep.CPUL1Misses = task.l1Misses
+	rep.CPUInstrs = task.instrs
+
+	// 2. Per launch, the kernel faults the pages of its stripe over to the
+	// GPU side, then executes.
+	launches := w.LaunchCount()
+	rep.Launches = launches
+	for l := 0; l < launches; l++ {
+		faults, migBytes = 0, 0
+		for _, spec := range transferSpecs(w) {
+			addr, size := stripe(lay.Buffer(spec.Name), l, launches)
+			f, by := umTouch(s, w, addr, size, mmu.OwnerGPU)
+			faults, migBytes = faults+f, migBytes+by
+			if f > 0 {
+				// Migrating a page to the GPU side unmaps it from the
+				// CPU: the driver writes back and invalidates the CPU's
+				// cached copies (cost is inside the fault latency).
+				s.CPU.L1().FlushRange(addr, addr+size, 0)
+				s.CPU.LLC().FlushRange(addr, addr+size, 0)
+			}
+		}
+		rep.CopyTime += s.MigrationCost(faults, migBytes)
+		chargeMigrationTraffic(s, migBytes)
+
+		res, err := s.GPU.Launch(w.MakeKernel(lay, l))
+		if err != nil {
+			return umResult{err: err}
+		}
+		mergeGPU(&rep.GPU, res)
+		// The UM driver's placement differs slightly from SC's explicit
+		// layout; the paper bounds the effect at ±8% of kernel time.
+		rep.KernelTime += units.Latency(float64(res.Time) * s.Config().UMKernelFactor)
+		rep.LaunchTime += res.LaunchOverhead
+	}
+
+	// 3. The CPU faults the results back to consume them.
+	faults, migBytes = 0, 0
+	for _, spec := range w.Out {
+		b := lay.Buffer(spec.Name)
+		f, by := umTouch(s, w, b.Addr, b.Size, mmu.OwnerCPU)
+		faults, migBytes = faults+f, migBytes+by
+	}
+	rep.CopyTime += s.MigrationCost(faults, migBytes)
+	chargeMigrationTraffic(s, migBytes)
+
+	post := timeCPU(s, w.CPUPost, lay)
+	rep.CPUTime += post.elapsed
+
+	rep.Total = rep.CPUTime + rep.CopyTime + rep.KernelTime + rep.LaunchTime
+	rep.DRAMBytes = s.DRAM.Stats().Bytes() - dramBefore.Bytes()
+	rep.CopyBytes = s.Migrator.Stats().BytesMigrated - migBefore
+	rep.Energy = energy.Activity{
+		Runtime:   rep.Total,
+		CPUBusy:   rep.CPUTime + rep.LaunchTime,
+		GPUBusy:   rep.KernelTime,
+		DRAMBytes: rep.DRAMBytes,
+		CopyBytes: rep.CopyBytes,
+	}
+	return umResult{Report: rep}
+}
+
+// chargeMigrationTraffic accounts a migration's DRAM round trip the same way
+// the copy engine does (read + write of the moved bytes).
+func chargeMigrationTraffic(s *soc.SoC, bytes int64) {
+	if bytes <= 0 {
+		return
+	}
+	s.ChargeDMATraffic(bytes)
+}

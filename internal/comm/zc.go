@@ -1,0 +1,116 @@
+package comm
+
+import (
+	"igpucomm/internal/energy"
+	"igpucomm/internal/memdev"
+	"igpucomm/internal/mmu"
+	"igpucomm/internal/soc"
+)
+
+// ZC is the zero-copy model (paper Fig 1.a/1.b): CPU and GPU access the same
+// pinned allocation through pointers. There are no copies and no software
+// flushes; instead the platform's coherence wiring decides the cost — on
+// Nano/TX2 the buffers are uncached on both sides, on Xavier the GPU snoops
+// the CPU LLC through hardware I/O coherence.
+//
+// When the workload is marked Overlappable, the CPU task and the GPU kernel
+// run concurrently (the §III-C tiled access pattern provides the required
+// data-consistency discipline; internal/tiling implements it), contending
+// for DRAM bandwidth through the SoC's arbiter.
+type ZC struct{}
+
+// Name returns "zc".
+func (ZC) Name() string { return "zc" }
+
+// Run executes the workload under zero-copy.
+func (ZC) Run(s *soc.SoC, w Workload) (Report, error) {
+	if err := w.Validate(); err != nil {
+		return Report{}, err
+	}
+	s.ResetState()
+	lay, names, err := allocAll(s, w.Name, allSpecs(w), mmu.Pinned, "zc-")
+	if err != nil {
+		return Report{}, err
+	}
+	defer freeAll(s, names)
+
+	var rep Report
+	for i := 0; i <= w.Warmup; i++ {
+		measured := i == w.Warmup
+		r, err := zcIteration(s, w, lay)
+		if err != nil {
+			return Report{}, err
+		}
+		if measured {
+			rep = r
+		}
+	}
+	rep.Model = ZC{}.Name()
+	rep.Platform = s.Name()
+	rep.Workload = w.Name
+	rep.DeclaredBytesIn = w.BytesIn()
+	rep.DeclaredBytesOut = w.BytesOut()
+	rep.OverlapCapable = w.Overlappable
+	return rep, nil
+}
+
+func zcIteration(s *soc.SoC, w Workload, lay Layout) (Report, error) {
+	dramBefore := s.DRAM.Stats()
+	var rep Report
+
+	// CPU task, with its DRAM-side traffic attributed for the arbiter.
+	cpuTrafficBefore := s.CPUTraffic()
+	task := timeCPU(s, w.CPUTask, lay)
+	cpuBytes := delta(s.CPUTraffic(), cpuTrafficBefore)
+	rep.CPUTime = task.elapsed
+	rep.CPUL1MissRate = task.l1MissRate
+	rep.CPULLCMissRate = task.llcMiss
+	rep.CPUL1Misses = task.l1Misses
+	rep.CPUInstrs = task.instrs
+
+	// Kernels straight onto the pinned buffers.
+	launches := w.LaunchCount()
+	rep.Launches = launches
+	var gpuBytes int64
+	for l := 0; l < launches; l++ {
+		res, err := s.GPU.Launch(w.MakeKernel(lay, l))
+		if err != nil {
+			return Report{}, err
+		}
+		mergeGPU(&rep.GPU, res)
+		rep.KernelTime += res.Time
+		rep.LaunchTime += res.LaunchOverhead
+		gpuBytes += res.DRAM.Bytes() + res.Pinned.Bytes()
+	}
+
+	post := timeCPU(s, w.CPUPost, lay)
+	rep.CPUTime += post.elapsed
+
+	if w.Overlappable {
+		// §III-C pattern: producer/consumer phases alternate over tiles,
+		// so the CPU task and the kernel execute concurrently, sharing
+		// DRAM bandwidth.
+		makespan, _ := s.Overlap(
+			soc.Stream{Name: "cpu", Solo: task.elapsed, Bytes: cpuBytes},
+			soc.Stream{Name: "gpu", Solo: rep.KernelTime, Bytes: gpuBytes},
+		)
+		rep.Total = makespan + rep.LaunchTime + post.elapsed
+		rep.Overlapped = true
+	} else {
+		rep.Total = rep.CPUTime + rep.KernelTime + rep.LaunchTime
+	}
+
+	rep.DRAMBytes = s.DRAM.Stats().Bytes() - dramBefore.Bytes()
+	rep.Energy = energy.Activity{
+		Runtime:   rep.Total,
+		CPUBusy:   rep.CPUTime + rep.LaunchTime,
+		GPUBusy:   rep.KernelTime,
+		DRAMBytes: rep.DRAMBytes,
+		CopyBytes: 0,
+	}
+	return rep, nil
+}
+
+func delta(now, before memdev.Stats) int64 {
+	return now.Bytes() - before.Bytes()
+}

@@ -1,0 +1,65 @@
+// Package energy provides the activity-based energy model behind the
+// paper's J/s savings numbers: eliminating explicit copies removes DRAM
+// round-trips and copy-engine activity, which is where zero-copy's energy
+// advantage comes from even when its runtime is only on par.
+package energy
+
+import (
+	"fmt"
+
+	"igpucomm/internal/units"
+)
+
+// PowerConfig is one platform's power/energy coefficients.
+type PowerConfig struct {
+	StaticWatts    float64 // always-on baseline (rails, SoC idle)
+	CPUActiveWatts float64 // extra power while the CPU cluster is busy
+	GPUActiveWatts float64 // extra power while the iGPU is busy
+	DRAMPJPerByte  float64 // picojoules per byte of DRAM traffic
+	CopyPJPerByte  float64 // extra picojoules per byte moved by the copy engine
+}
+
+// Validate reports configuration problems.
+func (p PowerConfig) Validate() error {
+	if p.StaticWatts < 0 || p.CPUActiveWatts < 0 || p.GPUActiveWatts < 0 ||
+		p.DRAMPJPerByte < 0 || p.CopyPJPerByte < 0 {
+		return fmt.Errorf("power config: negative coefficient %+v", p)
+	}
+	return nil
+}
+
+// Activity summarizes one run's energy-relevant activity.
+type Activity struct {
+	Runtime   units.Latency // wall time of the whole run
+	CPUBusy   units.Latency // time the CPU cluster was executing
+	GPUBusy   units.Latency // time the iGPU was executing
+	DRAMBytes int64         // total DRAM traffic
+	CopyBytes int64         // bytes moved by the copy engine
+}
+
+// Joules computes the total energy of the activity under the power model.
+func (p PowerConfig) Joules(a Activity) float64 {
+	j := p.StaticWatts * a.Runtime.Seconds()
+	j += p.CPUActiveWatts * a.CPUBusy.Seconds()
+	j += p.GPUActiveWatts * a.GPUBusy.Seconds()
+	j += p.DRAMPJPerByte * float64(a.DRAMBytes) * 1e-12
+	j += p.CopyPJPerByte * float64(a.CopyBytes) * 1e-12
+	return j
+}
+
+// Power returns the average power draw of the activity in watts.
+func (p PowerConfig) Power(a Activity) float64 {
+	s := a.Runtime.Seconds()
+	if s <= 0 {
+		return 0
+	}
+	return p.Joules(a) / s
+}
+
+// SavingPerSecond reports how many joules per second of operation are saved
+// by running activity b instead of activity a at the same iteration rate.
+// Both activities must describe the same amount of work (e.g. one frame);
+// rate is iterations per second (the paper uses a 30 Hz camera).
+func (p PowerConfig) SavingPerSecond(a, b Activity, rate float64) float64 {
+	return (p.Joules(a) - p.Joules(b)) * rate
+}

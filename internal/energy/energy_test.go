@@ -1,0 +1,87 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"igpucomm/internal/units"
+)
+
+func cfg() PowerConfig {
+	return PowerConfig{
+		StaticWatts:    2,
+		CPUActiveWatts: 1,
+		GPUActiveWatts: 3,
+		DRAMPJPerByte:  100,
+		CopyPJPerByte:  50,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := cfg().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := cfg()
+	bad.DRAMPJPerByte = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative coefficient accepted")
+	}
+}
+
+func TestJoulesComposition(t *testing.T) {
+	p := cfg()
+	a := Activity{
+		Runtime:   units.Lat(1e9), // 1 second
+		CPUBusy:   units.Lat(5e8), // 0.5s
+		GPUBusy:   units.Lat(25e7),
+		DRAMBytes: 1e12, // 1 TB -> 100 pJ/B = 100 J
+		CopyBytes: 1e12, // 50 J
+	}
+	want := 2.0 + 0.5 + 0.75 + 100 + 50
+	if got := p.Joules(a); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Joules = %v, want %v", got, want)
+	}
+	if got := p.Power(a); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Power over 1s = %v, want %v", got, want)
+	}
+}
+
+func TestPowerZeroRuntime(t *testing.T) {
+	if got := cfg().Power(Activity{}); got != 0 {
+		t.Errorf("power with no runtime = %v, want 0", got)
+	}
+}
+
+func TestSavingPerSecond(t *testing.T) {
+	p := cfg()
+	sc := Activity{Runtime: units.Lat(1e6), DRAMBytes: 4e9, CopyBytes: 2e9} // per frame
+	zc := Activity{Runtime: units.Lat(1e6), DRAMBytes: 2e9}
+	// Per frame: SC = static*1ms + 0.4 + 0.1; ZC = static*1ms + 0.2.
+	// Delta = 0.3 J/frame; at 30 Hz = 9 J/s.
+	got := p.SavingPerSecond(sc, zc, 30)
+	if math.Abs(got-9.0) > 1e-9 {
+		t.Errorf("saving = %v, want 9", got)
+	}
+}
+
+// Property: energy is monotone in every activity component.
+func TestPropertyMonotone(t *testing.T) {
+	p := cfg()
+	f := func(base uint32, extra uint16) bool {
+		a := Activity{
+			Runtime:   units.Latency(base),
+			CPUBusy:   units.Latency(base / 2),
+			GPUBusy:   units.Latency(base / 4),
+			DRAMBytes: int64(base),
+			CopyBytes: int64(base / 2),
+		}
+		more := a
+		more.DRAMBytes += int64(extra)
+		more.Runtime += units.Latency(extra)
+		return p.Joules(more) >= p.Joules(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

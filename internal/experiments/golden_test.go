@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"igpucomm/internal/devices"
+)
+
+// goldenMetrics snapshots the headline calibration numbers. The golden file
+// guards against accidental recalibration: any substrate or device-catalog
+// change that moves these by more than the tolerance fails loudly and must
+// either be reverted or re-baselined deliberately (GOLDEN_UPDATE=1).
+type goldenMetrics struct {
+	TX2SCThroughputGB    float64 `json:"tx2_sc_throughput_gb"`
+	TX2ZCThroughputGB    float64 `json:"tx2_zc_throughput_gb"`
+	XavierSCThroughputGB float64 `json:"xavier_sc_throughput_gb"`
+	XavierZCThroughputGB float64 `json:"xavier_zc_throughput_gb"`
+
+	TX2GPUThresholdLow    float64 `json:"tx2_gpu_threshold_low"`
+	XavierGPUThresholdLow float64 `json:"xavier_gpu_threshold_low"`
+	XavierGPUThresholdHi  float64 `json:"xavier_gpu_threshold_hi"`
+
+	XavierSCZCMaxSpeedup float64 `json:"xavier_sczc_max_speedup"`
+
+	SHWFSXavierZCGainPct float64 `json:"shwfs_xavier_zc_gain_pct"`
+	ORBTX2ZCSlowdown     float64 `json:"orb_tx2_zc_slowdown"`
+}
+
+const goldenTolerance = 0.05 // 5% relative
+
+func collectGolden(t *testing.T, c *Context) goldenMetrics {
+	t.Helper()
+	var g goldenMetrics
+	tx2, err := c.Char(devices.TX2Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xavier, err := c.Char(devices.XavierName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.TX2SCThroughputGB = tx2.PeakGPUThroughput.GB()
+	g.TX2ZCThroughputGB = tx2.PinnedGPUThroughput.GB()
+	g.XavierSCThroughputGB = xavier.PeakGPUThroughput.GB()
+	g.XavierZCThroughputGB = xavier.PinnedGPUThroughput.GB()
+	g.TX2GPUThresholdLow = tx2.Thresholds.GPUCacheLow
+	g.XavierGPUThresholdLow = xavier.Thresholds.GPUCacheLow
+	g.XavierGPUThresholdHi = xavier.Thresholds.GPUCacheHigh
+	g.XavierSCZCMaxSpeedup = xavier.SCZCMaxSpeedup
+
+	_, t3, err := Table3(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := t3.Runs[devices.XavierName]
+	g.SHWFSXavierZCGainPct = (x["sc"].TotalUS/x["zc"].TotalUS - 1) * 100
+
+	_, t5, err := Table5(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := t5.Runs[devices.TX2Name]
+	g.ORBTX2ZCSlowdown = tx["zc"].TotalUS / tx["sc"].TotalUS
+	return g
+}
+
+func TestGoldenCalibration(t *testing.T) {
+	c := testCtx(t)
+	got := collectGolden(t, c)
+	path := filepath.Join("testdata", "goldens.json")
+
+	if os.Getenv("GOLDEN_UPDATE") == "1" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden file rewritten: %s", path)
+		return
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with GOLDEN_UPDATE=1 to create): %v", err)
+	}
+	var want goldenMetrics
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name string, got, want float64) {
+		if want == 0 {
+			t.Errorf("%s: golden value is zero — re-baseline", name)
+			return
+		}
+		rel := math.Abs(got-want) / math.Abs(want)
+		if rel > goldenTolerance {
+			t.Errorf("%s drifted: got %.4g, golden %.4g (%.1f%% > %.0f%%)",
+				name, got, want, rel*100, goldenTolerance*100)
+		}
+	}
+	check("tx2_sc_throughput", got.TX2SCThroughputGB, want.TX2SCThroughputGB)
+	check("tx2_zc_throughput", got.TX2ZCThroughputGB, want.TX2ZCThroughputGB)
+	check("xavier_sc_throughput", got.XavierSCThroughputGB, want.XavierSCThroughputGB)
+	check("xavier_zc_throughput", got.XavierZCThroughputGB, want.XavierZCThroughputGB)
+	check("tx2_gpu_threshold_low", got.TX2GPUThresholdLow, want.TX2GPUThresholdLow)
+	check("xavier_gpu_threshold_low", got.XavierGPUThresholdLow, want.XavierGPUThresholdLow)
+	check("xavier_gpu_threshold_hi", got.XavierGPUThresholdHi, want.XavierGPUThresholdHi)
+	check("xavier_sczc_max_speedup", got.XavierSCZCMaxSpeedup, want.XavierSCZCMaxSpeedup)
+	check("shwfs_xavier_zc_gain_pct", got.SHWFSXavierZCGainPct, want.SHWFSXavierZCGainPct)
+	check("orb_tx2_zc_slowdown", got.ORBTX2ZCSlowdown, want.ORBTX2ZCSlowdown)
+}

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+
+	"igpucomm/internal/devices"
+	"igpucomm/internal/microbench"
+	"igpucomm/internal/report"
+)
+
+// Table1Data is experiment E1: maximum GPU cache throughput per model
+// (paper Table I).
+type Table1Data struct {
+	// Rows[board][model] in GB/s.
+	ZC, SC, UM map[string]float64
+}
+
+// Paper reference values for Table I (GB/s).
+var table1Paper = map[string]map[string]float64{
+	devices.TX2Name:    {"zc": 1.28, "sc": 97.34, "um": 104.15},
+	devices.XavierName: {"zc": 32.29, "sc": 214.64, "um": 231.14},
+}
+
+// Table1 regenerates Table I on TX2 and Xavier.
+func Table1(c *Context) (report.Table, Table1Data, error) {
+	data := Table1Data{
+		ZC: map[string]float64{}, SC: map[string]float64{}, UM: map[string]float64{},
+	}
+	t := report.Table{
+		Title:   "Table I — Maximum throughput of the GPU cache (GB/s)",
+		Headers: []string{"Board", "Zero Copy", "Standard Copy", "Unified Memory"},
+		Note:    "paper values in parentheses; UM-vs-SC sign varies across the paper's own experiments (±8% band, §III-A)",
+	}
+	for _, board := range []string{devices.TX2Name, devices.XavierName} {
+		char, err := c.Char(board)
+		if err != nil {
+			return report.Table{}, Table1Data{}, err
+		}
+		rows := map[string]float64{}
+		for _, model := range []string{"zc", "sc", "um"} {
+			row, ok := char.MB1.Row(model)
+			if !ok {
+				return report.Table{}, Table1Data{}, fmt.Errorf("experiments: mb1 missing %s row", model)
+			}
+			rows[model] = row.Throughput.GB()
+		}
+		data.ZC[board] = rows["zc"]
+		data.SC[board] = rows["sc"]
+		data.UM[board] = rows["um"]
+		t.AddRow(board,
+			report.PaperVsMeasured(rows["zc"], table1Paper[board]["zc"], ""),
+			report.PaperVsMeasured(rows["sc"], table1Paper[board]["sc"], ""),
+			report.PaperVsMeasured(rows["um"], table1Paper[board]["um"], ""))
+	}
+	return t, data, nil
+}
+
+// Fig5Data is experiment E2: MB1 execution times per model (paper Fig 5).
+type Fig5Data struct {
+	// CPU and GPU times in µs, per board per model.
+	CPU, GPU map[string]map[string]float64
+}
+
+// Fig5 regenerates the first benchmark's execution-time bars.
+func Fig5(c *Context) (report.Table, Fig5Data, error) {
+	data := Fig5Data{CPU: map[string]map[string]float64{}, GPU: map[string]map[string]float64{}}
+	t := report.Table{
+		Title:   "Fig 5 — First micro-benchmark execution times (µs)",
+		Headers: []string{"Board", "Model", "CPU routine", "GPU kernel"},
+		Note:    "ZC on TX2/Nano uncaches both sides; Xavier's I/O coherence protects the CPU routine",
+	}
+	for _, board := range []string{devices.NanoName, devices.TX2Name, devices.XavierName} {
+		char, err := c.Char(board)
+		if err != nil {
+			return report.Table{}, Fig5Data{}, err
+		}
+		data.CPU[board] = map[string]float64{}
+		data.GPU[board] = map[string]float64{}
+		for _, model := range []string{"sc", "um", "zc"} {
+			row, _ := char.MB1.Row(model)
+			cpuUS := row.CPUTime.Seconds() * 1e6
+			gpuUS := row.KernelTime.Seconds() * 1e6
+			data.CPU[board][model] = cpuUS
+			data.GPU[board][model] = gpuUS
+			t.AddRow(board, model, cpuUS, gpuUS)
+		}
+	}
+	return t, data, nil
+}
+
+// SweepData is experiments E3/E4: the second micro-benchmark's sweep
+// (paper Figs 3 and 6).
+type SweepData struct {
+	Board        string
+	MB2          microbench.MB2Result
+	ThresholdLow float64 // paper: 16.2% Xavier, 2.7% TX2
+	ThresholdHi  float64 // paper: 57.1% Xavier
+}
+
+// Paper threshold references.
+var sweepPaper = map[string][2]float64{
+	devices.TX2Name:    {0.027, 0.027},
+	devices.XavierName: {0.162, 0.571},
+}
+
+// Fig3 regenerates the Xavier sweep; Fig6 the TX2 sweep.
+func Fig3(c *Context) (report.Series, SweepData, error) { return sweep(c, devices.XavierName, "Fig 3") }
+
+// Fig6 is the TX2 counterpart of Fig3.
+func Fig6(c *Context) (report.Series, SweepData, error) { return sweep(c, devices.TX2Name, "Fig 6") }
+
+func sweep(c *Context, board, fig string) (report.Series, SweepData, error) {
+	char, err := c.Char(board)
+	if err != nil {
+		return report.Series{}, SweepData{}, err
+	}
+	mb2 := char.MB2
+	s := report.Series{
+		Title:   fmt.Sprintf("%s — Second micro-benchmark on %s (memory-op density sweep)", fig, board),
+		XLabel:  "mem-op fraction",
+		Columns: []string{"SC kernel µs", "ZC kernel µs", "ZC/SC ratio", "cache usage %"},
+		Note: fmt.Sprintf("thresholds: low %.1f%% high %.1f%% (paper %.1f%% / %.1f%%)",
+			mb2.Thresholds.GPUCacheLow*100, mb2.Thresholds.GPUCacheHigh*100,
+			sweepPaper[board][0]*100, sweepPaper[board][1]*100),
+	}
+	for _, pt := range mb2.GPU {
+		ratio := 0.0
+		if pt.SCKernel > 0 {
+			ratio = float64(pt.ZCKernel) / float64(pt.SCKernel)
+		}
+		s.AddPoint(pt.Fraction,
+			pt.SCKernel.Seconds()*1e6, pt.ZCKernel.Seconds()*1e6, ratio, pt.CacheUsage*100)
+	}
+	return s, SweepData{
+		Board:        board,
+		MB2:          mb2,
+		ThresholdLow: mb2.Thresholds.GPUCacheLow,
+		ThresholdHi:  mb2.Thresholds.GPUCacheHigh,
+	}, nil
+}
+
+// Fig7Data is experiment E5: the third micro-benchmark (paper Fig 7).
+type Fig7Data struct {
+	// Totals in µs per board per model; Max speedups per board.
+	Totals map[string]map[string]float64
+	SCZC   map[string]float64
+	UMZC   map[string]float64
+}
+
+// Fig7 regenerates the balanced overlapped workload comparison.
+func Fig7(c *Context) (report.Table, Fig7Data, error) {
+	data := Fig7Data{
+		Totals: map[string]map[string]float64{},
+		SCZC:   map[string]float64{},
+		UMZC:   map[string]float64{},
+	}
+	t := report.Table{
+		Title:   "Fig 7 — Third micro-benchmark: balanced CPU+GPU, fully overlapped ZC",
+		Headers: []string{"Board", "SC µs", "UM µs", "ZC µs", "SC/ZC", "UM/ZC"},
+		Note:    "paper: ZC up to 152% faster than SC and 164% than UM (its best case is the I/O-coherent board)",
+	}
+	for _, board := range []string{devices.NanoName, devices.TX2Name, devices.XavierName} {
+		char, err := c.Char(board)
+		if err != nil {
+			return report.Table{}, Fig7Data{}, err
+		}
+		mb3 := char.MB3
+		data.Totals[board] = map[string]float64{
+			"sc": mb3.SCTotal.Seconds() * 1e6,
+			"um": mb3.UMTotal.Seconds() * 1e6,
+			"zc": mb3.ZCTotal.Seconds() * 1e6,
+		}
+		data.SCZC[board] = mb3.SCZCMaxSpeedup()
+		data.UMZC[board] = mb3.UMZCSpeedup()
+		t.AddRow(board,
+			data.Totals[board]["sc"], data.Totals[board]["um"], data.Totals[board]["zc"],
+			fmt.Sprintf("%.2fx", data.SCZC[board]), fmt.Sprintf("%.2fx", data.UMZC[board]))
+	}
+	return t, data, nil
+}

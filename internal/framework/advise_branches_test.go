@@ -1,0 +1,287 @@
+package framework
+
+import (
+	"strings"
+	"testing"
+
+	"igpucomm/internal/comm"
+	"igpucomm/internal/microbench"
+	"igpucomm/internal/perfmodel"
+	"igpucomm/internal/profile"
+	"igpucomm/internal/units"
+)
+
+// synthChar builds a hand-crafted characterization so each Fig-2 branch can
+// be driven deterministically, without depending on where the simulated
+// sweeps put the thresholds.
+func synthChar(coherent bool) Characterization {
+	char := Characterization{
+		Platform:            "synth-board",
+		IOCoherent:          coherent,
+		Thresholds:          perfmodel.Thresholds{CPUCache: 0.10, GPUCacheLow: 0.10, GPUCacheHigh: 0.30},
+		PeakGPUThroughput:   100 * units.GBps,
+		PinnedGPUThroughput: 10 * units.GBps,
+		ZCSCMaxSpeedup:      10,
+		SCZCMaxSpeedup:      2.5,
+	}
+	if coherent {
+		char.Thresholds.CPUCache = 1.0
+	}
+	// MB1 rows feed cpuUncacheFactor.
+	char.MB1 = microbench.MB1Result{
+		Platform: "synth-board",
+		Rows: []microbench.MB1Row{
+			{Model: "sc", CPUTime: 100_000, KernelTime: 10_000, Throughput: 100 * units.GBps},
+			{Model: "um", CPUTime: 100_000, KernelTime: 10_500, Throughput: 95 * units.GBps},
+			{Model: "zc", CPUTime: 170_000, KernelTime: 80_000, Throughput: 10 * units.GBps},
+		},
+	}
+	return char
+}
+
+// synthProfile builds a profile with a chosen GPU usage (of the 100 GB/s
+// peak) and CPU usage, plus consistent timing fields.
+func synthProfile(gpuUsage, cpuUsage float64, overlapCapable bool) profile.Profile {
+	return profile.Profile{
+		Platform:              "synth-board",
+		Workload:              "synth-app",
+		Model:                 "sc",
+		CPUCacheUsagePerInstr: cpuUsage,
+		GPUDemand:             units.BytesPerSecond(gpuUsage) * 100 * units.GBps,
+		CPUTime:               200_000,
+		KernelTime:            100_000,
+		Total:                 400_000,
+		Report: comm.Report{
+			Platform:         "synth-board",
+			Workload:         "synth-app",
+			Total:            400_000,
+			CPUTime:          200_000,
+			KernelTime:       100_000,
+			CopyTime:         80_000,
+			FlushTime:        10_000,
+			DeclaredBytesIn:  1 << 20,
+			DeclaredBytesOut: 1 << 16,
+			OverlapCapable:   overlapCapable,
+		},
+	}
+}
+
+func TestConditionalZoneKeepsZC(t *testing.T) {
+	char := synthChar(true)
+	prof := synthProfile(0.20, 0.01, false) // usage 0.2 in (0.1, 0.3]
+	rec, err := Advise(char, prof, prof, "zc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Zone != ZoneZCConditional {
+		t.Fatalf("zone = %v", rec.Zone)
+	}
+	if rec.Suggested != "zc" || !rec.EnergyAdvantage {
+		t.Errorf("conditional ZC-current should keep ZC: %+v", rec)
+	}
+	if !strings.Contains(rec.Rationale, "conditional zone") {
+		t.Errorf("rationale = %q", rec.Rationale)
+	}
+}
+
+func TestConditionalZoneAdoptsZCWhenGainCoversPenalty(t *testing.T) {
+	char := synthChar(true)
+	// Low demand relative to the pinned path: penalty small; copy time is
+	// 20% of the run and the workload overlaps: gain large.
+	prof := synthProfile(0.12, 0.01, true)
+	prof.GPUDemand = 8 * units.GBps // below the 10 GB/s pinned path
+	// Keep classification in the conditional zone via the classify profile.
+	classify := synthProfile(0.15, 0.01, true)
+	rec, err := Advise(char, classify, prof, "sc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Zone != ZoneZCConditional {
+		t.Fatalf("zone = %v", rec.Zone)
+	}
+	if rec.Suggested != "zc" {
+		t.Errorf("suggested = %q, want zc (gain should cover the ~1x penalty): %s", rec.Suggested, rec.Rationale)
+	}
+	if rec.SpeedupRatio <= 1 {
+		t.Errorf("speedup = %v", rec.SpeedupRatio)
+	}
+}
+
+func TestConditionalZoneKeepsSCWhenPenaltyWins(t *testing.T) {
+	char := synthChar(true)
+	classify := synthProfile(0.25, 0.01, false)
+	current := synthProfile(0.25, 0.01, false)
+	// Heavy demand (25 GB/s over a 10 GB/s pinned path: 2.5x penalty) and
+	// a serialized workload whose only gain is the copy+flush share.
+	rec, err := Advise(char, classify, current, "sc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Zone != ZoneZCConditional {
+		t.Fatalf("zone = %v", rec.Zone)
+	}
+	if rec.Suggested != "sc" || rec.SpeedupRatio != 1 {
+		t.Errorf("penalty should keep SC: %+v", rec)
+	}
+	if !strings.Contains(rec.Rationale, "penalty") {
+		t.Errorf("rationale = %q", rec.Rationale)
+	}
+}
+
+func TestConditionalZoneCPUDependentNonCoherent(t *testing.T) {
+	char := synthChar(false) // CPU threshold 0.10
+	classify := synthProfile(0.20, 0.50, false)
+	rec, err := Advise(char, classify, classify, "zc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Zone != ZoneZCConditional || !rec.CPUDependent {
+		t.Fatalf("setup wrong: %+v", rec)
+	}
+	if rec.Suggested != "sc" {
+		t.Errorf("suggested = %q, want sc", rec.Suggested)
+	}
+	if rec.SpeedupRatio <= 1 {
+		t.Errorf("leaving ZC should estimate a gain, got %v", rec.SpeedupRatio)
+	}
+	// Same zone, already on SC: keep.
+	rec, err = Advise(char, classify, classify, "sc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Suggested != "sc" || rec.SpeedupRatio != 1 {
+		t.Errorf("SC-current should keep: %+v", rec)
+	}
+}
+
+func TestGPUSafeCPUDependentLeavingZC(t *testing.T) {
+	char := synthChar(false)
+	classify := synthProfile(0.05, 0.40, false) // GPU safe, CPU dependent
+	rec, err := Advise(char, classify, classify, "zc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Zone != ZoneZCSafe || !rec.CPUDependent {
+		t.Fatalf("setup wrong: %+v", rec)
+	}
+	if rec.Suggested != "sc" {
+		t.Errorf("suggested = %q, want sc", rec.Suggested)
+	}
+	if !strings.Contains(rec.Rationale, "no I/O coherence") {
+		t.Errorf("rationale = %q", rec.Rationale)
+	}
+}
+
+func TestEstimateSCToZCOverlapVsSerialized(t *testing.T) {
+	char := synthChar(true)
+	overlap := synthProfile(0.05, 0.01, true)
+	serial := synthProfile(0.05, 0.01, false)
+	spOverlap := estimateSCToZC(char, overlap)
+	spSerial := estimateSCToZC(char, serial)
+	if spOverlap <= spSerial {
+		t.Errorf("overlap-capable estimate %v should exceed serialized %v", spOverlap, spSerial)
+	}
+	// Serialized gain is exactly the copy+flush share: 400/(400-90).
+	want := 400.0 / 310.0
+	if spSerial < want-1e-9 || spSerial > want+1e-9 {
+		t.Errorf("serialized estimate = %v, want %v", spSerial, want)
+	}
+	// Degenerate: copies consume the whole run.
+	broken := serial
+	broken.Report.CopyTime = broken.Total
+	if sp := estimateSCToZC(char, broken); sp != 1 {
+		t.Errorf("degenerate estimate = %v, want 1", sp)
+	}
+}
+
+func TestKernelPenaltyUnderZCBounds(t *testing.T) {
+	char := synthChar(true)
+	prof := synthProfile(0.5, 0, false) // demand 50 GB/s vs 10 GB/s pinned
+	if p := kernelPenaltyUnderZC(char, prof); p != 5 {
+		t.Errorf("penalty = %v, want 5", p)
+	}
+	prof.GPUDemand = 1 * units.GBps
+	if p := kernelPenaltyUnderZC(char, prof); p != 1 {
+		t.Errorf("sub-path penalty = %v, want 1", p)
+	}
+	prof.GPUDemand = 0
+	if p := kernelPenaltyUnderZC(char, prof); p != 1 {
+		t.Errorf("degenerate penalty = %v, want 1", p)
+	}
+}
+
+func TestCopyEstimateAndUncacheFactor(t *testing.T) {
+	char := synthChar(false)
+	prof := synthProfile(0.2, 0.2, false)
+	if e := copyEstimate(char, prof); e <= 0 {
+		t.Errorf("copy estimate = %v, want positive", e)
+	}
+	empty := prof
+	empty.Report.DeclaredBytesIn = 0
+	empty.Report.DeclaredBytesOut = 0
+	if e := copyEstimate(char, empty); e != 0 {
+		t.Errorf("no-transfer estimate = %v, want 0", e)
+	}
+	if f := cpuUncacheFactor(char); f != 1.7 {
+		t.Errorf("uncache factor = %v, want 1.7 (170µs/100µs)", f)
+	}
+	if f := cpuUncacheFactor(synthChar(true)); f != 1 {
+		t.Errorf("coherent factor = %v, want 1", f)
+	}
+	noRows := synthChar(false)
+	noRows.MB1 = microbench.MB1Result{}
+	if f := cpuUncacheFactor(noRows); f != 1 {
+		t.Errorf("missing-rows factor = %v, want 1", f)
+	}
+}
+
+func TestDecisionStabilityRobustCase(t *testing.T) {
+	// Deep in the GPU-safe zone with a large copy share: no ±10% jitter can
+	// flip the verdict.
+	char := synthChar(true)
+	prof := synthProfile(0.02, 0.01, false)
+	st, err := DecisionStability(char, prof, prof, "sc", 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Trials != 81 {
+		t.Errorf("trials = %d, want 3^4", st.Trials)
+	}
+	if !st.Stable() || len(st.Flips) != 0 {
+		t.Errorf("robust case flipped: %+v", st)
+	}
+	if st.Nominal.Suggested != "zc" {
+		t.Errorf("nominal = %q", st.Nominal.Suggested)
+	}
+}
+
+func TestDecisionStabilityBorderlineCase(t *testing.T) {
+	// GPU usage parked right under the upper zone boundary: +10% jitter
+	// pushes it into cache-dependent territory, flipping zc -> sc.
+	char := synthChar(true)
+	prof := synthProfile(0.28, 0.01, false) // just under GPUCacheHigh = 0.30
+	st, err := DecisionStability(char, prof, prof, "zc", 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stable() {
+		t.Errorf("borderline case reported stable (agreement %.2f)", st.Agreement)
+	}
+	if st.Agreement <= 0 || st.Agreement >= 1 {
+		t.Errorf("agreement = %v, want partial", st.Agreement)
+	}
+	if len(st.Flips) == 0 {
+		t.Error("no flips recorded")
+	}
+}
+
+func TestDecisionStabilityErrors(t *testing.T) {
+	char := synthChar(true)
+	prof := synthProfile(0.02, 0.01, false)
+	if _, err := DecisionStability(char, prof, prof, "sc", 0); err == nil {
+		t.Error("zero jitter accepted")
+	}
+	if _, err := DecisionStability(char, prof, prof, "dma", 0.1); err == nil {
+		t.Error("unknown model accepted")
+	}
+}

@@ -1,0 +1,444 @@
+package framework
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"igpucomm/internal/comm"
+	"igpucomm/internal/cpu"
+	"igpucomm/internal/devices"
+	"igpucomm/internal/gpu"
+	"igpucomm/internal/isa"
+	"igpucomm/internal/microbench"
+	"igpucomm/internal/profile"
+	"igpucomm/internal/soc"
+)
+
+// characterize caches per-platform characterizations across tests (they are
+// application-independent, as the design intends).
+var charCache = map[string]Characterization{}
+
+func characterize(t *testing.T, name string) (Characterization, *soc.SoC) {
+	t.Helper()
+	s, err := devices.NewSoC(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, ok := charCache[name]; ok {
+		return c, s
+	}
+	c, err := Characterize(s, microbench.TestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	charCache[name] = c
+	return c, s
+}
+
+// cacheHungryWorkload leans hard on the GPU LLC: high reuse over an
+// LLC-resident buffer with almost no compute.
+func cacheHungryWorkload() comm.Workload {
+	const n = 32 * 1024 // 128KiB
+	return comm.Workload{
+		Name: "cache-hungry",
+		In:   []comm.BufferSpec{{Name: "buf", Size: n * 4}},
+		Out:  []comm.BufferSpec{{Name: "out", Size: 4096}},
+		CPUTask: func(c *cpu.CPU, lay comm.Layout) {
+			c.Work(isa.FMA, 64)
+		},
+		MakeKernel: func(lay comm.Layout, _ int) gpu.Kernel {
+			buf := lay.Addr("buf")
+			return gpu.Kernel{
+				Name:    "reuse",
+				Threads: 2048,
+				Program: func(tid int, p *isa.Program) {
+					for pass := 0; pass < 8; pass++ {
+						for e := int64(0); e < 8; e++ {
+							p.Ld(buf+(e*2048+int64(tid))*4%(n*4), 4)
+						}
+					}
+				},
+			}
+		},
+		Warmup: 1,
+	}
+}
+
+// computeWorkload barely touches memory on either side.
+func computeWorkload() comm.Workload {
+	return comm.Workload{
+		Name: "compute-heavy",
+		In:   []comm.BufferSpec{{Name: "buf", Size: 64 * 1024}},
+		Out:  []comm.BufferSpec{{Name: "out", Size: 64 * 1024}},
+		CPUTask: func(c *cpu.CPU, lay comm.Layout) {
+			c.Load(lay.Addr("buf"), 4)
+			c.Work(isa.FMA, 4096)
+			c.Store(lay.Addr("buf"), 4)
+		},
+		MakeKernel: func(lay comm.Layout, _ int) gpu.Kernel {
+			buf := lay.Addr("buf")
+			out := lay.Addr("out")
+			return gpu.Kernel{
+				Name:    "fma-storm",
+				Threads: 512,
+				Program: func(tid int, p *isa.Program) {
+					p.Ld(buf+int64(tid)*4, 4)
+					p.Compute(isa.FMA, 4096)
+					p.St(out+int64(tid)*4, 4)
+				},
+			}
+		},
+		Overlappable: true,
+		Warmup:       1,
+	}
+}
+
+func TestCharacterizeBundlesEverything(t *testing.T) {
+	char, _ := characterize(t, devices.TX2Name)
+	if char.Platform != devices.TX2Name || char.IOCoherent {
+		t.Error("identity fields wrong")
+	}
+	if char.PeakGPUThroughput <= char.PinnedGPUThroughput {
+		t.Error("peak should exceed pinned throughput")
+	}
+	if char.ZCSCMaxSpeedup <= 1 {
+		t.Error("ZC->SC max speedup should exceed 1")
+	}
+	if err := char.Thresholds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZoneString(t *testing.T) {
+	if ZoneZCSafe.String() != "zc-safe" ||
+		ZoneZCConditional.String() != "zc-conditional" ||
+		ZoneCacheDependent.String() != "cache-dependent" {
+		t.Error("zone strings wrong")
+	}
+	if !strings.Contains(Zone(9).String(), "9") {
+		t.Error("unknown zone string wrong")
+	}
+}
+
+func TestAdviseRejectsBadInputs(t *testing.T) {
+	char, s := characterize(t, devices.TX2Name)
+	prof, err := profile.Collect(s, computeWorkload(), comm.SC{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Advise(char, prof, prof, "dma"); err == nil {
+		t.Error("unknown model accepted")
+	}
+	wrong := prof
+	wrong.Platform = "other-board"
+	if _, err := Advise(char, wrong, prof, "sc"); err == nil {
+		t.Error("cross-platform classification profile accepted")
+	}
+	if _, err := Advise(char, prof, wrong, "sc"); err == nil {
+		t.Error("cross-platform current profile accepted")
+	}
+}
+
+func TestCacheDependentOnZCSuggestsSC(t *testing.T) {
+	char, s := characterize(t, devices.TX2Name)
+	rec, err := AdviseWorkload(char, s, cacheHungryWorkload(), "zc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Zone != ZoneCacheDependent {
+		t.Fatalf("zone = %v (GPU usage %.3f, thresholds %+v)", rec.Zone, rec.GPUUsage, char.Thresholds)
+	}
+	if rec.Suggested != "sc" {
+		t.Errorf("suggested = %q, want sc", rec.Suggested)
+	}
+	if rec.SpeedupRatio <= 1 {
+		t.Errorf("speedup = %v, want > 1 (leaving the starved pinned path)", rec.SpeedupRatio)
+	}
+	if rec.SpeedupRatio > char.ZCSCMaxSpeedup {
+		t.Errorf("speedup %v exceeds device max %v", rec.SpeedupRatio, char.ZCSCMaxSpeedup)
+	}
+}
+
+func TestCacheDependentOnSCKeeps(t *testing.T) {
+	char, s := characterize(t, devices.TX2Name)
+	rec, err := AdviseWorkload(char, s, cacheHungryWorkload(), "sc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Suggested != "sc" || rec.SpeedupRatio != 1 {
+		t.Errorf("cache-dependent app on SC should stay: %+v", rec)
+	}
+}
+
+func TestComputeWorkloadGetsZC(t *testing.T) {
+	char, s := characterize(t, devices.XavierName)
+	rec, err := AdviseWorkload(char, s, computeWorkload(), "sc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Zone != ZoneZCSafe {
+		t.Fatalf("zone = %v (GPU usage %.4f)", rec.Zone, rec.GPUUsage)
+	}
+	if rec.Suggested != "zc" {
+		t.Errorf("suggested = %q, want zc", rec.Suggested)
+	}
+	if !rec.EnergyAdvantage {
+		t.Error("ZC suggestion should note the energy advantage")
+	}
+	if rec.SpeedupRatio < 1 {
+		t.Errorf("speedup = %v, want >= 1", rec.SpeedupRatio)
+	}
+	if rec.SpeedupRatio > char.SCZCMaxSpeedup {
+		t.Errorf("speedup %v exceeds MB3 cap %v", rec.SpeedupRatio, char.SCZCMaxSpeedup)
+	}
+}
+
+func TestComputeWorkloadOnZCKeeps(t *testing.T) {
+	char, s := characterize(t, devices.XavierName)
+	rec, err := AdviseWorkload(char, s, computeWorkload(), "zc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Suggested != "zc" || rec.SpeedupRatio != 1 {
+		t.Errorf("optimal placement should be kept: %+v", rec)
+	}
+}
+
+func TestCPUDependentOnNonCoherentAvoidsZC(t *testing.T) {
+	char, s := characterize(t, devices.TX2Name)
+	// Memory-heavy CPU task with LLC-served working set, trivial kernel.
+	w := comm.Workload{
+		Name: "cpu-bound",
+		In:   []comm.BufferSpec{{Name: "buf", Size: 256 * 1024}},
+		Out:  []comm.BufferSpec{{Name: "out", Size: 4096}},
+		CPUTask: func(c *cpu.CPU, lay comm.Layout) {
+			// Produce the buffer, then re-read it: the re-read pass is
+			// served by the LLC (the 256KiB set exceeds L1), which is
+			// exactly the locality eqn 1 measures.
+			base := lay.Addr("buf")
+			for i := int64(0); i < 4096; i++ {
+				c.Store(base+i*64%(256*1024), 4)
+			}
+			for pass := 0; pass < 4; pass++ {
+				for i := int64(0); i < 4096; i++ {
+					c.Load(base+i*64%(256*1024), 4)
+					c.Work(isa.FMA, 2)
+				}
+			}
+		},
+		MakeKernel: func(lay comm.Layout, _ int) gpu.Kernel {
+			out := lay.Addr("out")
+			return gpu.Kernel{Name: "tiny", Threads: 32, Program: func(tid int, p *isa.Program) {
+				p.Compute(isa.FMA, 64)
+				p.St(out+int64(tid)*4, 4)
+			}}
+		},
+		Warmup: 1,
+	}
+	rec, err := AdviseWorkload(char, s, w, "sc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.CPUDependent {
+		t.Fatalf("CPU usage %.4f should exceed threshold %.4f", rec.CPUUsage, char.Thresholds.CPUCache)
+	}
+	if rec.Suggested == "zc" {
+		t.Error("CPU-cache-dependent app on a non-coherent device must not get ZC")
+	}
+}
+
+func TestSameWorkloadDifferentVerdictAcrossDevices(t *testing.T) {
+	// The paper's central point: the best model depends on the device.
+	w := cacheHungryWorkload()
+	verdicts := map[string]Recommendation{}
+	for _, name := range []string{devices.TX2Name, devices.XavierName} {
+		char, s := characterize(t, name)
+		rec, err := AdviseWorkload(char, s, w, "zc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		verdicts[name] = rec
+	}
+	tx2 := verdicts[devices.TX2Name]
+	xavier := verdicts[devices.XavierName]
+	if tx2.Suggested != "sc" {
+		t.Errorf("TX2 should pull a cache-hungry kernel off ZC, got %q", tx2.Suggested)
+	}
+	// Xavier tolerates more: either it keeps ZC (conditional zone) or the
+	// estimated gain from leaving is far smaller than TX2's.
+	if xavier.Suggested == "sc" && xavier.SpeedupRatio >= tx2.SpeedupRatio {
+		t.Errorf("Xavier's ZC exit gain (%.1fx) should be below TX2's (%.1fx)",
+			xavier.SpeedupRatio, tx2.SpeedupRatio)
+	}
+}
+
+func TestRationaleAlwaysPresent(t *testing.T) {
+	char, s := characterize(t, devices.TX2Name)
+	for _, model := range []string{"sc", "um", "zc"} {
+		rec, err := AdviseWorkload(char, s, computeWorkload(), model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Rationale == "" {
+			t.Errorf("model %s: empty rationale", model)
+		}
+		if rec.Suggested == "" {
+			t.Errorf("model %s: no suggestion", model)
+		}
+	}
+}
+
+func TestSpeedupPercentConvention(t *testing.T) {
+	r := Recommendation{SpeedupRatio: 1.38}
+	if pct := r.SpeedupPercent(); pct < 37.9 || pct > 38.1 {
+		t.Errorf("percent = %v, want 38", pct)
+	}
+}
+
+func TestExploreRanksModels(t *testing.T) {
+	_, s := characterize(t, devices.XavierName)
+	exp, err := Explore(s, computeWorkload(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.Ranked) != 3 {
+		t.Fatalf("ranked %d models, want 3", len(exp.Ranked))
+	}
+	for i := 1; i < len(exp.Ranked); i++ {
+		if exp.Ranked[i-1].Total > exp.Ranked[i].Total {
+			t.Fatal("ranking not sorted")
+		}
+	}
+	// A copy-light compute workload on the coherent board: ZC wins.
+	if exp.Best().Model != "zc" {
+		t.Errorf("best = %q, want zc", exp.Best().Model)
+	}
+	sp, err := exp.SpeedupOver("sc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp < 1 {
+		t.Errorf("speedup over sc = %v, want >= 1", sp)
+	}
+	if _, ok := exp.Candidate("nvlink"); ok {
+		t.Error("unknown candidate found")
+	}
+	if _, err := exp.SpeedupOver("nvlink"); err == nil {
+		t.Error("unknown model speedup accepted")
+	}
+}
+
+func TestExploreErrors(t *testing.T) {
+	_, s := characterize(t, devices.TX2Name)
+	if _, err := Explore(s, computeWorkload(), []comm.Model{}); err == nil {
+		t.Error("empty model list accepted")
+	}
+	bad := computeWorkload()
+	bad.Name = ""
+	if _, err := Explore(s, bad, nil); err == nil {
+		t.Error("invalid workload accepted")
+	}
+}
+
+func TestAdviceValidatesAgainstExploration(t *testing.T) {
+	// The framework's suggestion should be within tolerance of the measured
+	// best for the scenarios it was built for.
+	char, s := characterize(t, devices.XavierName)
+	w := computeWorkload()
+	rec, err := AdviseWorkload(char, s, w, "sc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := Explore(s, w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regret, ok, err := exp.Validate(rec, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Errorf("suggested %q has regret %.2fx vs measured best %q",
+			rec.Suggested, regret, exp.Best().Model)
+	}
+	// A model the exploration never ran is an error.
+	fake := rec
+	fake.Suggested = "sc-async"
+	if _, _, err := exp.Validate(fake, 0.1); err == nil {
+		t.Error("unexplored suggestion accepted")
+	}
+}
+
+func TestCharacterizationRoundTrip(t *testing.T) {
+	char, _ := characterize(t, devices.TX2Name)
+	var buf bytes.Buffer
+	if err := SaveCharacterization(&buf, char); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCharacterization(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Platform != char.Platform ||
+		back.PeakGPUThroughput != char.PeakGPUThroughput ||
+		back.Thresholds != char.Thresholds ||
+		back.SCZCMaxSpeedup != char.SCZCMaxSpeedup {
+		t.Error("round trip lost data")
+	}
+	if len(back.MB1.Rows) != len(char.MB1.Rows) || len(back.MB2.GPU) != len(char.MB2.GPU) {
+		t.Error("micro-benchmark payloads lost")
+	}
+	// A loaded characterization must drive Advise exactly like the original.
+	recA, err := AdviseWorkload(char, mustSoC(t, devices.TX2Name), computeWorkload(), "sc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recB, err := AdviseWorkload(back, mustSoC(t, devices.TX2Name), computeWorkload(), "sc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recA.Suggested != recB.Suggested || recA.Zone != recB.Zone {
+		t.Error("loaded characterization advises differently")
+	}
+}
+
+func mustSoC(t *testing.T, name string) *soc.SoC {
+	t.Helper()
+	s, err := devices.NewSoC(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestLoadCharacterizationErrors(t *testing.T) {
+	if err := SaveCharacterization(io.Discard, Characterization{}); err == nil {
+		t.Error("empty characterization saved")
+	}
+	cases := map[string]string{
+		"garbage":       "not json",
+		"wrong version": `{"format_version": 99, "characterization": {"Platform": "x"}}`,
+		"no platform":   `{"format_version": 1, "characterization": {}}`,
+		"unknown field": `{"format_version": 1, "bogus": 1, "characterization": {"Platform": "x"}}`,
+	}
+	for name, data := range cases {
+		if _, err := LoadCharacterization(strings.NewReader(data)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestRecommendationString(t *testing.T) {
+	r := Recommendation{
+		Platform: "tx2", Workload: "app", CurrentModel: "sc", Suggested: "zc",
+		SpeedupRatio: 1.5, Zone: ZoneZCSafe, CPUUsage: 0.1, GPUUsage: 0.05,
+	}
+	s := r.String()
+	for _, want := range []string{"tx2", "app", "sc -> zc", "+50.0%", "zc-safe"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q: %s", want, s)
+		}
+	}
+}

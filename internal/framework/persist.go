@@ -1,0 +1,58 @@
+package framework
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// characterizationFile is the on-disk envelope, versioned so stale caches
+// fail loudly instead of silently advising from old physics.
+type characterizationFile struct {
+	FormatVersion int              `json:"format_version"`
+	Data          Characterization `json:"characterization"`
+}
+
+// persistFormatVersion bumps whenever Characterization's semantics change.
+const persistFormatVersion = 1
+
+// SaveCharacterization writes the characterization as JSON. Device
+// characterization is expensive (it runs the three micro-benchmarks at full
+// scale) and application-independent, so tools cache it per platform.
+func SaveCharacterization(w io.Writer, char Characterization) error {
+	if char.Platform == "" {
+		return fmt.Errorf("framework: refusing to save an empty characterization")
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(characterizationFile{
+		FormatVersion: persistFormatVersion,
+		Data:          char,
+	})
+}
+
+// LoadCharacterization reads a characterization saved by
+// SaveCharacterization, validating the format version and basic sanity.
+func LoadCharacterization(r io.Reader) (Characterization, error) {
+	var f characterizationFile
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return Characterization{}, fmt.Errorf("framework: decode characterization: %w", err)
+	}
+	if f.FormatVersion != persistFormatVersion {
+		return Characterization{}, fmt.Errorf("framework: characterization format v%d, want v%d (re-run the micro-benchmarks)",
+			f.FormatVersion, persistFormatVersion)
+	}
+	char := f.Data
+	if char.Platform == "" {
+		return Characterization{}, fmt.Errorf("framework: characterization has no platform")
+	}
+	if char.PeakGPUThroughput <= 0 {
+		return Characterization{}, fmt.Errorf("framework: characterization has no peak throughput")
+	}
+	if err := char.Thresholds.Validate(); err != nil {
+		return Characterization{}, fmt.Errorf("framework: %w", err)
+	}
+	return char, nil
+}

@@ -1,0 +1,82 @@
+package framework
+
+import (
+	"fmt"
+
+	"igpucomm/internal/profile"
+	"igpucomm/internal/units"
+)
+
+// Stability reports how robust a recommendation is to profiler measurement
+// error. Our simulated counters are exact, but the real nvprof/tegrastats
+// numbers the paper's flow consumes are sampled and noisy — a verdict that
+// flips under ±10% measurement error is not one to re-engineer an
+// application over.
+type Stability struct {
+	// Nominal is the recommendation at the measured values.
+	Nominal Recommendation
+	// Agreement is the fraction of perturbed profiles whose suggested
+	// model matches the nominal one.
+	Agreement float64
+	// Flips lists the distinct alternative suggestions observed.
+	Flips []string
+	// Trials is the number of perturbed evaluations.
+	Trials int
+}
+
+// Stable reports whether every perturbation agreed.
+func (s Stability) Stable() bool { return s.Agreement >= 1 }
+
+// DecisionStability re-runs the Fig-2 decision flow over a deterministic
+// grid of ±jitter perturbations of the noise-prone profile quantities (CPU
+// cache usage, GPU demand, copy time, CPU/kernel times) and measures how
+// often the suggestion changes. jitter is relative (e.g. 0.10 for ±10%).
+func DecisionStability(char Characterization, classify, current profile.Profile,
+	currentModel string, jitter float64) (Stability, error) {
+	if jitter <= 0 || jitter >= 1 {
+		return Stability{}, fmt.Errorf("framework: jitter %v out of (0,1)", jitter)
+	}
+	nominal, err := Advise(char, classify, current, currentModel)
+	if err != nil {
+		return Stability{}, err
+	}
+	out := Stability{Nominal: nominal}
+
+	scales := []float64{1 - jitter, 1, 1 + jitter}
+	seenFlips := map[string]bool{}
+	agree := 0
+	for _, sCPUUse := range scales {
+		for _, sDemand := range scales {
+			for _, sCopy := range scales {
+				for _, sTimes := range scales {
+					cl := classify
+					cl.CPUCacheUsagePerInstr *= sCPUUse
+					cl.GPUDemand = units.BytesPerSecond(float64(cl.GPUDemand) * sDemand)
+					cu := current
+					cu.Report.CopyTime = units.Latency(float64(cu.Report.CopyTime) * sCopy)
+					cu.CPUTime = units.Latency(float64(cu.CPUTime) * sTimes)
+					cu.KernelTime = units.Latency(float64(cu.KernelTime) * sTimes)
+					// Keep the report internally consistent: the total
+					// moves with its components.
+					cu.Total = cu.CPUTime + cu.KernelTime + cu.Report.CopyTime +
+						cu.Report.FlushTime + cu.Report.LaunchTime
+					cu.Report.Total = cu.Total
+
+					rec, err := Advise(char, cl, cu, currentModel)
+					if err != nil {
+						return Stability{}, err
+					}
+					out.Trials++
+					if rec.Suggested == nominal.Suggested {
+						agree++
+					} else if !seenFlips[rec.Suggested] {
+						seenFlips[rec.Suggested] = true
+						out.Flips = append(out.Flips, rec.Suggested)
+					}
+				}
+			}
+		}
+	}
+	out.Agreement = float64(agree) / float64(out.Trials)
+	return out, nil
+}

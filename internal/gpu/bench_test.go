@@ -1,0 +1,65 @@
+package gpu
+
+// Simulator-performance benchmarks: how fast the substrate itself simulates,
+// in simulated-instructions and transactions per wall second. Useful when
+// sizing experiment scales.
+
+import (
+	"testing"
+
+	"igpucomm/internal/isa"
+	"igpucomm/internal/memdev"
+	"igpucomm/internal/units"
+)
+
+func benchGPU(b *testing.B) *GPU {
+	b.Helper()
+	d := memdev.New(memdev.Config{Name: "dram", Latency: 200, Bandwidth: 25 * units.GBps})
+	g := New(testConfig(), d.NewPort("p", -1))
+	g.SetPinnedPath(d.NewUncachedPort("pinned", 600), 2*units.GBps)
+	return g
+}
+
+func BenchmarkLaunchComputeKernel(b *testing.B) {
+	g := benchGPU(b)
+	k := Kernel{Name: "compute", Threads: 4096, Program: func(tid int, p *isa.Program) {
+		p.Compute(isa.FMA, 64)
+	}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Launch(k); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(4096*64), "sim-instrs/op")
+}
+
+func BenchmarkLaunchStreamingKernel(b *testing.B) {
+	g := benchGPU(b)
+	k := Kernel{Name: "stream", Threads: 4096, Program: func(tid int, p *isa.Program) {
+		p.Ld(int64(tid)*4, 4)
+		p.Compute(isa.FMA, 8)
+		p.St(1<<22+int64(tid)*4, 4)
+	}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Launch(k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLaunchPinnedKernel(b *testing.B) {
+	g := benchGPU(b)
+	g.AddPinnedRange(0, 1<<24)
+	k := Kernel{Name: "pinned", Threads: 4096, Program: func(tid int, p *isa.Program) {
+		p.Ld(int64(tid)*4, 4)
+		p.St(1<<22+int64(tid)*4, 4)
+	}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Launch(k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package gpu
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"igpucomm/internal/isa"
+)
+
+// TraceTransactions dry-runs the kernel's memory behaviour and writes one
+// CSV row per coalesced transaction:
+//
+//	warp,instr,kind,path,addr,size
+//
+// without touching the caches or the clock — a tool for exporting access
+// traces to external analyzers. The coalescing rules are exactly Launch's
+// (the test suite cross-checks the transaction counts against a real
+// launch).
+func (g *GPU) TraceTransactions(k Kernel, w io.Writer) error {
+	if k.Threads <= 0 {
+		return fmt.Errorf("kernel %s: thread count %d must be positive", k.Name, k.Threads)
+	}
+	if k.Program == nil {
+		return fmt.Errorf("kernel %s: nil program", k.Name)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "warp,instr,kind,path,addr,size"); err != nil {
+		return err
+	}
+
+	ws := g.cfg.WarpSize
+	warpCount := (k.Threads + ws - 1) / ws
+	lineSize := g.cfg.L1.LineSize
+	progs := make([]isa.Program, ws)
+
+	emit := func(warp, instr int, kind, path string, addr, size int64) error {
+		_, err := fmt.Fprintf(bw, "%d,%d,%s,%s,%d,%d\n", warp, instr, kind, path, addr, size)
+		return err
+	}
+
+	for warp := 0; warp < warpCount; warp++ {
+		lanes := ws
+		if last := k.Threads - warp*ws; last < lanes {
+			lanes = last
+		}
+		for l := 0; l < lanes; l++ {
+			progs[l].Reset()
+			k.Program(warp*ws+l, &progs[l])
+		}
+		ref := progs[0].Instrs()
+		for i, in := range ref {
+			if err := in.Validate(); err != nil {
+				return fmt.Errorf("kernel %s: warp %d instr %d: %w", k.Name, warp, i, err)
+			}
+			// Slot opcode: first non-Nop among lanes (masking).
+			if in.Op == isa.Nop {
+				for l := 1; l < lanes; l++ {
+					lane := progs[l].Instrs()
+					if i < len(lane) && lane[i].Op != isa.Nop {
+						in = lane[i]
+						break
+					}
+				}
+			}
+			if !in.Op.IsMemory() {
+				continue
+			}
+			kind := "read"
+			if in.Op == isa.StGlobal {
+				kind = "write"
+			}
+			var lineBuf, wcBuf []int64
+			var wcBytes int64
+			for l := 0; l < lanes; l++ {
+				lane := progs[l].Instrs()
+				if i >= len(lane) || (lane[i].Op != in.Op && lane[i].Op != isa.Nop) {
+					return fmt.Errorf("kernel %s: warp %d diverges at instr %d", k.Name, warp, i)
+				}
+				la := lane[i]
+				if la.Op == isa.Nop {
+					continue
+				}
+				if g.pinned(la.Addr) {
+					if in.Op == isa.StGlobal {
+						wcLine := la.Addr / 64
+						if !containsInt64(wcBuf, wcLine) {
+							wcBuf = append(wcBuf, wcLine)
+							wcBytes += la.Size
+						}
+						continue
+					}
+					if err := emit(warp, i, kind, "pinned", la.Addr, la.Size); err != nil {
+						return err
+					}
+					continue
+				}
+				first := la.Addr / lineSize
+				last := (la.Addr + la.Size - 1) / lineSize
+				for ln := first; ln <= last; ln++ {
+					if !containsInt64(lineBuf, ln) {
+						lineBuf = append(lineBuf, ln)
+					}
+				}
+			}
+			for _, wcLine := range wcBuf {
+				size := wcBytes / int64(len(wcBuf))
+				if size <= 0 {
+					size = 4
+				}
+				if err := emit(warp, i, kind, "pinned-wc", wcLine*64, size); err != nil {
+					return err
+				}
+			}
+			for _, ln := range lineBuf {
+				if err := emit(warp, i, kind, "cached", ln*lineSize, lineSize); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}

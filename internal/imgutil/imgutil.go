@@ -1,0 +1,200 @@
+// Package imgutil provides the synthetic frames the case-study applications
+// run on: Gaussian spot grids standing in for Shack-Hartmann wavefront-sensor
+// exposures, and textured scenes standing in for the camera frames an
+// ORB-SLAM front-end consumes. Everything is deterministic — a seeded
+// xorshift generator replaces photographic randomness — so simulations and
+// tests are exactly reproducible.
+package imgutil
+
+import (
+	"fmt"
+	"math"
+)
+
+// Image is a grayscale float32 raster, row-major.
+type Image struct {
+	W, H int
+	Pix  []float32
+}
+
+// NewImage allocates a zeroed image. Panics on non-positive dimensions:
+// image geometry is static test/benchmark configuration.
+func NewImage(w, h int) *Image {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("imgutil: dimensions %dx%d must be positive", w, h))
+	}
+	return &Image{W: w, H: h, Pix: make([]float32, w*h)}
+}
+
+// At returns the pixel value, 0 outside bounds (clamped border reads keep
+// detector windows simple).
+func (im *Image) At(x, y int) float32 {
+	if x < 0 || y < 0 || x >= im.W || y >= im.H {
+		return 0
+	}
+	return im.Pix[y*im.W+x]
+}
+
+// Set writes a pixel; out-of-bounds writes are ignored.
+func (im *Image) Set(x, y int, v float32) {
+	if x < 0 || y < 0 || x >= im.W || y >= im.H {
+		return
+	}
+	im.Pix[y*im.W+x] = v
+}
+
+// Index returns the linear index of (x, y); callers must be in bounds.
+func (im *Image) Index(x, y int) int { return y*im.W + x }
+
+// Bytes is the raster size in bytes (float32 pixels).
+func (im *Image) Bytes() int64 { return int64(len(im.Pix)) * 4 }
+
+// RNG is a tiny deterministic xorshift64* generator. The simulator forbids
+// global randomness (runs must replay exactly), so every synthetic input
+// derives from an explicit seed.
+type RNG struct{ s uint64 }
+
+// NewRNG seeds the generator (0 is mapped to a fixed non-zero seed).
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{s: seed}
+}
+
+// Uint64 advances the generator.
+func (r *RNG) Uint64() uint64 {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return r.s * 0x2545F4914F6CDD1D
+}
+
+// Float returns a uniform value in [0, 1).
+func (r *RNG) Float() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Intn returns a uniform value in [0, n). Panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("imgutil: Intn with non-positive bound")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// SpotGridParams describes a Shack-Hartmann exposure: a grid of subapertures
+// each holding one Gaussian spot displaced from its center by the local
+// wavefront slope.
+type SpotGridParams struct {
+	SubapsX, SubapsY int     // lenslet grid
+	SubapPx          int     // pixels per subaperture side
+	SpotSigma        float64 // Gaussian sigma in pixels
+	MaxShift         float64 // max |displacement| from subaperture center, in pixels
+	PeakIntensity    float64 // spot peak value
+	Background       float64 // uniform background level
+	NoiseAmp         float64 // additive uniform noise amplitude
+	Seed             uint64
+}
+
+// Validate checks the parameters.
+func (p SpotGridParams) Validate() error {
+	if p.SubapsX <= 0 || p.SubapsY <= 0 || p.SubapPx <= 0 {
+		return fmt.Errorf("imgutil: spot grid geometry must be positive")
+	}
+	if p.SpotSigma <= 0 || p.PeakIntensity <= 0 {
+		return fmt.Errorf("imgutil: spot shape must be positive")
+	}
+	if p.MaxShift < 0 || p.Background < 0 || p.NoiseAmp < 0 {
+		return fmt.Errorf("imgutil: negative spot grid parameter")
+	}
+	if 2*p.MaxShift >= float64(p.SubapPx)/2 {
+		return fmt.Errorf("imgutil: max shift %.1f would push spots out of %dpx subapertures", p.MaxShift, p.SubapPx)
+	}
+	return nil
+}
+
+// TrueCentroid is the ground-truth spot position of one subaperture,
+// in absolute image coordinates.
+type TrueCentroid struct{ X, Y float64 }
+
+// SpotGrid renders the exposure and returns the ground-truth spot centers.
+func SpotGrid(p SpotGridParams) (*Image, []TrueCentroid, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	im := NewImage(p.SubapsX*p.SubapPx, p.SubapsY*p.SubapPx)
+	rng := NewRNG(p.Seed)
+	truth := make([]TrueCentroid, 0, p.SubapsX*p.SubapsY)
+
+	for sy := 0; sy < p.SubapsY; sy++ {
+		for sx := 0; sx < p.SubapsX; sx++ {
+			cx := float64(sx*p.SubapPx) + float64(p.SubapPx)/2 + (rng.Float()*2-1)*p.MaxShift
+			cy := float64(sy*p.SubapPx) + float64(p.SubapPx)/2 + (rng.Float()*2-1)*p.MaxShift
+			truth = append(truth, TrueCentroid{X: cx, Y: cy})
+			x0, y0 := sx*p.SubapPx, sy*p.SubapPx
+			for y := y0; y < y0+p.SubapPx; y++ {
+				for x := x0; x < x0+p.SubapPx; x++ {
+					dx := float64(x) + 0.5 - cx
+					dy := float64(y) + 0.5 - cy
+					v := p.PeakIntensity * math.Exp(-(dx*dx+dy*dy)/(2*p.SpotSigma*p.SpotSigma))
+					v += p.Background + p.NoiseAmp*rng.Float()
+					im.Set(x, y, float32(v))
+				}
+			}
+		}
+	}
+	return im, truth, nil
+}
+
+// TexturedScene renders a deterministic corner-rich scene for the feature
+// detector: a field of axis-aligned bright rectangles over a dark background
+// with mild noise. Rectangle corners are strong FAST responses.
+func TexturedScene(w, h, rects int, seed uint64) *Image {
+	im := NewImage(w, h)
+	rng := NewRNG(seed)
+	// Low-amplitude background noise keeps flat regions below any corner
+	// threshold while avoiding degenerate all-equal patches.
+	for i := range im.Pix {
+		im.Pix[i] = 8 + float32(rng.Float()*4)
+	}
+	for r := 0; r < rects; r++ {
+		rw := 8 + rng.Intn(w/6+1)
+		rh := 8 + rng.Intn(h/6+1)
+		x0 := rng.Intn(maxInt(w-rw, 1))
+		y0 := rng.Intn(maxInt(h-rh, 1))
+		level := float32(100 + rng.Intn(120))
+		for y := y0; y < y0+rh && y < h; y++ {
+			for x := x0; x < x0+rw && x < w; x++ {
+				im.Pix[y*w+x] = level
+			}
+		}
+	}
+	return im
+}
+
+// Downsample2x box-filters the image to half resolution (pyramid builder).
+func Downsample2x(src *Image) *Image {
+	w, h := src.W/2, src.H/2
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	dst := NewImage(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			sum := src.At(2*x, 2*y) + src.At(2*x+1, 2*y) + src.At(2*x, 2*y+1) + src.At(2*x+1, 2*y+1)
+			dst.Set(x, y, sum/4)
+		}
+	}
+	return dst
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,299 @@
+package imgutil
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewImagePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad dimensions accepted")
+		}
+	}()
+	NewImage(0, 5)
+}
+
+func TestImageAccessors(t *testing.T) {
+	im := NewImage(4, 3)
+	im.Set(2, 1, 7)
+	if im.At(2, 1) != 7 {
+		t.Error("Set/At round trip failed")
+	}
+	if im.At(-1, 0) != 0 || im.At(4, 0) != 0 || im.At(0, 3) != 0 {
+		t.Error("out-of-bounds reads should be 0")
+	}
+	im.Set(-1, 0, 5) // must not panic
+	if im.Index(2, 1) != 6 {
+		t.Errorf("Index = %d, want 6", im.Index(2, 1))
+	}
+	if im.Bytes() != 48 {
+		t.Errorf("Bytes = %d, want 48", im.Bytes())
+	}
+}
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewRNG(0).Uint64() == 0 {
+		t.Error("zero seed should still produce output")
+	}
+}
+
+func TestRNGFloatRange(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		f := r.Float()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGIntn(t *testing.T) {
+	r := NewRNG(7)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) < 8 {
+		t.Error("Intn poorly distributed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) accepted")
+		}
+	}()
+	r.Intn(0)
+}
+
+func defaultSpotParams() SpotGridParams {
+	return SpotGridParams{
+		SubapsX: 8, SubapsY: 8, SubapPx: 16,
+		SpotSigma: 1.5, MaxShift: 2.5,
+		PeakIntensity: 200, Background: 5, NoiseAmp: 2,
+		Seed: 1,
+	}
+}
+
+func TestSpotGridParamsValidate(t *testing.T) {
+	if err := defaultSpotParams().Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	bad := defaultSpotParams()
+	bad.SubapPx = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero subap accepted")
+	}
+	bad = defaultSpotParams()
+	bad.MaxShift = 8
+	if err := bad.Validate(); err == nil {
+		t.Error("spot-escaping shift accepted")
+	}
+	bad = defaultSpotParams()
+	bad.SpotSigma = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero sigma accepted")
+	}
+}
+
+func TestSpotGridGeometryAndTruth(t *testing.T) {
+	p := defaultSpotParams()
+	im, truth, err := SpotGrid(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.W != 128 || im.H != 128 {
+		t.Errorf("image %dx%d, want 128x128", im.W, im.H)
+	}
+	if len(truth) != 64 {
+		t.Fatalf("truth entries = %d, want 64", len(truth))
+	}
+	// Each truth point lies inside its subaperture.
+	for i, tc := range truth {
+		sx, sy := i%8, i/8
+		if tc.X < float64(sx*16) || tc.X >= float64((sx+1)*16) ||
+			tc.Y < float64(sy*16) || tc.Y >= float64((sy+1)*16) {
+			t.Errorf("truth %d at (%.1f, %.1f) outside its subaperture", i, tc.X, tc.Y)
+		}
+	}
+	// The brightest pixel of a subaperture should be near its truth point.
+	tc := truth[0]
+	var bx, by int
+	var best float32
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 16; x++ {
+			if v := im.At(x, y); v > best {
+				best, bx, by = v, x, y
+			}
+		}
+	}
+	if math.Abs(float64(bx)+0.5-tc.X) > 1.5 || math.Abs(float64(by)+0.5-tc.Y) > 1.5 {
+		t.Errorf("peak at (%d,%d) far from truth (%.1f,%.1f)", bx, by, tc.X, tc.Y)
+	}
+}
+
+func TestSpotGridDeterministic(t *testing.T) {
+	p := defaultSpotParams()
+	im1, truth1, _ := SpotGrid(p)
+	im2, truth2, _ := SpotGrid(p)
+	for i := range im1.Pix {
+		if im1.Pix[i] != im2.Pix[i] {
+			t.Fatal("same seed produced different images")
+		}
+	}
+	for i := range truth1 {
+		if truth1[i] != truth2[i] {
+			t.Fatal("same seed produced different truth")
+		}
+	}
+	p.Seed = 2
+	im3, _, _ := SpotGrid(p)
+	same := true
+	for i := range im1.Pix {
+		if im1.Pix[i] != im3.Pix[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical images")
+	}
+}
+
+func TestTexturedSceneHasStructure(t *testing.T) {
+	im := TexturedScene(128, 96, 12, 3)
+	if im.W != 128 || im.H != 96 {
+		t.Fatalf("dimensions wrong")
+	}
+	var lo, hi float32 = math.MaxFloat32, 0
+	for _, v := range im.Pix {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi-lo < 50 {
+		t.Errorf("scene contrast %v too low for corner detection", hi-lo)
+	}
+}
+
+func TestDownsample2x(t *testing.T) {
+	src := NewImage(4, 4)
+	for i := range src.Pix {
+		src.Pix[i] = float32(i)
+	}
+	dst := Downsample2x(src)
+	if dst.W != 2 || dst.H != 2 {
+		t.Fatalf("downsampled to %dx%d, want 2x2", dst.W, dst.H)
+	}
+	// Top-left quad: pixels 0,1,4,5 -> mean 2.5.
+	if dst.At(0, 0) != 2.5 {
+		t.Errorf("dst(0,0) = %v, want 2.5", dst.At(0, 0))
+	}
+}
+
+func TestDownsampleTiny(t *testing.T) {
+	src := NewImage(1, 1)
+	dst := Downsample2x(src)
+	if dst.W != 1 || dst.H != 1 {
+		t.Error("degenerate downsample should clamp to 1x1")
+	}
+}
+
+// Property: downsampling preserves total energy to within averaging error.
+func TestPropertyDownsampleMeanPreserved(t *testing.T) {
+	f := func(seed uint64) bool {
+		im := TexturedScene(64, 64, 6, seed)
+		down := Downsample2x(im)
+		var sumSrc, sumDst float64
+		for _, v := range im.Pix {
+			sumSrc += float64(v)
+		}
+		for _, v := range down.Pix {
+			sumDst += float64(v)
+		}
+		meanSrc := sumSrc / float64(len(im.Pix))
+		meanDst := sumDst / float64(len(down.Pix))
+		return math.Abs(meanSrc-meanDst) < 0.5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPGMRoundTrip(t *testing.T) {
+	im := TexturedScene(37, 23, 5, 9) // odd sizes exercise header parsing
+	var buf bytes.Buffer
+	if err := EncodePGM(&buf, im); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodePGM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.W != im.W || back.H != im.H {
+		t.Fatalf("dimensions %dx%d, want %dx%d", back.W, back.H, im.W, im.H)
+	}
+	for i := range im.Pix {
+		want := im.Pix[i]
+		if want > 255 {
+			want = 255
+		}
+		if want < 0 {
+			want = 0
+		}
+		if math.Abs(float64(back.Pix[i]-float32(int(want)))) > 1 {
+			t.Fatalf("pixel %d: %v -> %v", i, im.Pix[i], back.Pix[i])
+		}
+	}
+}
+
+func TestPGMClamping(t *testing.T) {
+	im := NewImage(2, 1)
+	im.Pix[0] = -10
+	im.Pix[1] = 999
+	var buf bytes.Buffer
+	if err := EncodePGM(&buf, im); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodePGM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Pix[0] != 0 || back.Pix[1] != 255 {
+		t.Errorf("clamped samples = %v", back.Pix)
+	}
+}
+
+func TestPGMErrors(t *testing.T) {
+	if err := EncodePGM(io.Discard, nil); err == nil {
+		t.Error("nil image accepted")
+	}
+	cases := map[string]string{
+		"bad magic":    "P2\n2 2\n255\n....",
+		"no dims":      "P5\n",
+		"zero dims":    "P5\n0 2\n255\n",
+		"huge max":     "P5\n2 2\n65535\n",
+		"short pixels": "P5\n4 4\n255\nab",
+	}
+	for name, data := range cases {
+		if _, err := DecodePGM(strings.NewReader(data)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}

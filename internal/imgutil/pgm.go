@@ -1,0 +1,71 @@
+package imgutil
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// pgmMax is the sample ceiling written to PGM headers.
+const pgmMax = 255
+
+// EncodePGM writes the image as binary PGM (P5), clamping samples to
+// [0, 255]. The examples use it to dump frames and edge maps for visual
+// inspection.
+func EncodePGM(w io.Writer, im *Image) error {
+	if im == nil {
+		return fmt.Errorf("imgutil: nil image")
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P5\n%d %d\n%d\n", im.W, im.H, pgmMax); err != nil {
+		return err
+	}
+	for _, v := range im.Pix {
+		b := byte(0)
+		switch {
+		case v >= pgmMax:
+			b = pgmMax
+		case v > 0:
+			b = byte(v)
+		}
+		if err := bw.WriteByte(b); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodePGM reads a binary PGM (P5) image.
+func DecodePGM(r io.Reader) (*Image, error) {
+	br := bufio.NewReader(r)
+	var magic string
+	if _, err := fmt.Fscan(br, &magic); err != nil {
+		return nil, fmt.Errorf("imgutil: pgm header: %w", err)
+	}
+	if magic != "P5" {
+		return nil, fmt.Errorf("imgutil: not a binary PGM (magic %q)", magic)
+	}
+	var w, h, max int
+	if _, err := fmt.Fscan(br, &w, &h, &max); err != nil {
+		return nil, fmt.Errorf("imgutil: pgm dimensions: %w", err)
+	}
+	if w <= 0 || h <= 0 || w*h > 1<<28 {
+		return nil, fmt.Errorf("imgutil: implausible pgm dimensions %dx%d", w, h)
+	}
+	if max <= 0 || max > 255 {
+		return nil, fmt.Errorf("imgutil: unsupported pgm max %d", max)
+	}
+	// Exactly one whitespace byte separates the header from the samples.
+	if _, err := br.ReadByte(); err != nil {
+		return nil, fmt.Errorf("imgutil: pgm separator: %w", err)
+	}
+	im := NewImage(w, h)
+	buf := make([]byte, w*h)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, fmt.Errorf("imgutil: pgm samples: %w", err)
+	}
+	for i, b := range buf {
+		im.Pix[i] = float32(b)
+	}
+	return im, nil
+}

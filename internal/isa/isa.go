@@ -1,0 +1,230 @@
+// Package isa defines the micro instruction set the simulator's agents
+// execute. The paper specifies its micro-benchmarks as PTX instruction mixes
+// (ld.global / st.global / fma.rn / add.s32 plus CPU-side float ops such as
+// sqrt and div); this package is that vocabulary, together with per-op issue
+// cost tables for CPU cores and GPU SMs.
+//
+// Programs stay deliberately tiny: an instruction is an opcode plus, for
+// memory ops, an address and size. Timing comes from the agents (internal/cpu,
+// internal/gpu), which combine issue costs from a CostModel with memory
+// latencies from the cache hierarchy.
+package isa
+
+import (
+	"fmt"
+
+	"igpucomm/internal/units"
+)
+
+// Op is a micro-ISA opcode.
+type Op uint8
+
+// Opcodes. Memory ops carry an address; compute ops only cost issue cycles.
+const (
+	Nop Op = iota
+	LdGlobal
+	StGlobal
+	FMA    // fused multiply-add (fma.rn)
+	AddS32 // integer add (add.s32)
+	AddF32
+	MulF32
+	DivF32
+	SqrtF32
+	// LdShared and StShared are on-chip shared-memory (scratchpad)
+	// accesses: they cost issue cycles on the SM but generate no memory-
+	// hierarchy traffic — how tiled kernels stage their working sets.
+	LdShared
+	StShared
+	opCount // sentinel
+)
+
+var opNames = [...]string{
+	Nop:      "nop",
+	LdGlobal: "ld.global",
+	StGlobal: "st.global",
+	FMA:      "fma.rn",
+	AddS32:   "add.s32",
+	AddF32:   "add.f32",
+	MulF32:   "mul.f32",
+	DivF32:   "div.f32",
+	SqrtF32:  "sqrt.f32",
+	LdShared: "ld.shared",
+	StShared: "st.shared",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// IsMemory reports whether the op references the global memory hierarchy.
+// Shared-memory ops are on-chip and deliberately excluded: they cost issue
+// cycles but never reach the caches or DRAM.
+func (o Op) IsMemory() bool { return o == LdGlobal || o == StGlobal }
+
+// Instr is one instruction. Addr/Size are meaningful only for memory ops.
+type Instr struct {
+	Op   Op
+	Addr int64
+	Size int64
+}
+
+func (i Instr) String() string {
+	if i.Op.IsMemory() {
+		return fmt.Sprintf("%s [%#x], %d", i.Op, i.Addr, i.Size)
+	}
+	return i.Op.String()
+}
+
+// Validate reports structural problems with an instruction.
+func (i Instr) Validate() error {
+	if i.Op >= opCount {
+		return fmt.Errorf("unknown opcode %d", uint8(i.Op))
+	}
+	if i.Op.IsMemory() {
+		if i.Size <= 0 {
+			return fmt.Errorf("%s: size %d must be positive", i.Op, i.Size)
+		}
+		if i.Addr < 0 {
+			return fmt.Errorf("%s: negative address %#x", i.Op, i.Addr)
+		}
+	}
+	return nil
+}
+
+// CostModel gives per-op issue costs in cycles of the executing agent's
+// clock. Memory ops' costs cover issue only; the service latency comes from
+// the memory system.
+type CostModel struct {
+	Issue map[Op]units.Cycles
+}
+
+// Cost returns the issue cost of op (0 for unknown ops, so a sparse table is
+// usable).
+func (m CostModel) Cost(op Op) units.Cycles { return m.Issue[op] }
+
+// Validate checks that no cost is negative.
+func (m CostModel) Validate() error {
+	for op, c := range m.Issue {
+		if c < 0 {
+			return fmt.Errorf("cost model: negative cost %v for %s", c, op)
+		}
+	}
+	return nil
+}
+
+// DefaultCPUCosts is a Cortex-A-class in-order issue cost table.
+func DefaultCPUCosts() CostModel {
+	return CostModel{Issue: map[Op]units.Cycles{
+		Nop:      1,
+		LdGlobal: 1,
+		StGlobal: 1,
+		FMA:      1,
+		AddS32:   1,
+		AddF32:   1,
+		MulF32:   1,
+		DivF32:   12,
+		SqrtF32:  14,
+		LdShared: 1,
+		StShared: 1,
+	}}
+}
+
+// DefaultGPUCosts is a per-warp issue cost table for a Maxwell/Volta-class
+// integrated GPU SM (costs are per warp-instruction, throughput-normalized).
+func DefaultGPUCosts() CostModel {
+	return CostModel{Issue: map[Op]units.Cycles{
+		Nop:      1,
+		LdGlobal: 1,
+		StGlobal: 1,
+		FMA:      1,
+		AddS32:   1,
+		AddF32:   1,
+		MulF32:   1,
+		DivF32:   8,
+		SqrtF32:  8,
+		LdShared: 2,
+		StShared: 2,
+	}}
+}
+
+// Program is a buildable instruction sequence with fluent emitters, used by
+// the micro-benchmarks to express their kernels compactly.
+type Program struct {
+	instrs []Instr
+}
+
+// Instrs returns the underlying instruction slice (not a copy; callers must
+// not mutate it while an agent is executing).
+func (p *Program) Instrs() []Instr { return p.instrs }
+
+// Reset empties the program, keeping capacity, so warp-granular executors can
+// reuse per-lane buffers.
+func (p *Program) Reset() { p.instrs = p.instrs[:0] }
+
+// Len returns the instruction count.
+func (p *Program) Len() int { return len(p.instrs) }
+
+// Ld appends a global load.
+func (p *Program) Ld(addr, size int64) *Program {
+	p.instrs = append(p.instrs, Instr{Op: LdGlobal, Addr: addr, Size: size})
+	return p
+}
+
+// St appends a global store.
+func (p *Program) St(addr, size int64) *Program {
+	p.instrs = append(p.instrs, Instr{Op: StGlobal, Addr: addr, Size: size})
+	return p
+}
+
+// Compute appends n copies of a compute op.
+func (p *Program) Compute(op Op, n int) *Program {
+	for i := 0; i < n; i++ {
+		p.instrs = append(p.instrs, Instr{Op: op})
+	}
+	return p
+}
+
+// Validate checks every instruction.
+func (p *Program) Validate() error {
+	for idx, in := range p.instrs {
+		if err := in.Validate(); err != nil {
+			return fmt.Errorf("instr %d: %w", idx, err)
+		}
+	}
+	return nil
+}
+
+// MemoryBytes sums the bytes referenced by memory ops (requested bytes, not
+// line-inflated traffic).
+func (p *Program) MemoryBytes() int64 {
+	var n int64
+	for _, in := range p.instrs {
+		if in.Op.IsMemory() {
+			n += in.Size
+		}
+	}
+	return n
+}
+
+// Counts tallies instructions by opcode.
+func (p *Program) Counts() map[Op]int {
+	c := make(map[Op]int)
+	for _, in := range p.instrs {
+		c[in.Op]++
+	}
+	return c
+}
+
+// PadTo appends Nops until the program reaches n instructions — the
+// predication helper for SIMT kernels whose lanes would otherwise emit
+// different instruction counts (all lanes must converge; real GPUs execute
+// the masked path too).
+func (p *Program) PadTo(n int) *Program {
+	for p.Len() < n {
+		p.instrs = append(p.instrs, Instr{Op: Nop})
+	}
+	return p
+}

@@ -1,0 +1,178 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"igpucomm/internal/units"
+)
+
+func TestOpStrings(t *testing.T) {
+	tests := []struct {
+		op   Op
+		want string
+	}{
+		{LdGlobal, "ld.global"},
+		{StGlobal, "st.global"},
+		{FMA, "fma.rn"},
+		{AddS32, "add.s32"},
+		{SqrtF32, "sqrt.f32"},
+		{DivF32, "div.f32"},
+		{Nop, "nop"},
+		{Op(200), "Op(200)"},
+	}
+	for _, tt := range tests {
+		if got := tt.op.String(); got != tt.want {
+			t.Errorf("Op(%d).String() = %q, want %q", tt.op, got, tt.want)
+		}
+	}
+}
+
+func TestIsMemory(t *testing.T) {
+	for op := Nop; op < opCount; op++ {
+		want := op == LdGlobal || op == StGlobal
+		if got := op.IsMemory(); got != want {
+			t.Errorf("%s.IsMemory() = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	ld := Instr{Op: LdGlobal, Addr: 0x40, Size: 4}
+	if got := ld.String(); !strings.Contains(got, "0x40") || !strings.Contains(got, "ld.global") {
+		t.Errorf("memory instr string = %q", got)
+	}
+	if got := (Instr{Op: FMA}).String(); got != "fma.rn" {
+		t.Errorf("compute instr string = %q", got)
+	}
+}
+
+func TestInstrValidate(t *testing.T) {
+	good := []Instr{
+		{Op: Nop},
+		{Op: LdGlobal, Addr: 0, Size: 4},
+		{Op: StGlobal, Addr: 64, Size: 64},
+		{Op: FMA},
+	}
+	for _, in := range good {
+		if err := in.Validate(); err != nil {
+			t.Errorf("valid %v rejected: %v", in, err)
+		}
+	}
+	bad := []Instr{
+		{Op: opCount},
+		{Op: Op(99)},
+		{Op: LdGlobal, Addr: 0, Size: 0},
+		{Op: StGlobal, Addr: -4, Size: 4},
+		{Op: LdGlobal, Addr: 4, Size: -1},
+	}
+	for _, in := range bad {
+		if err := in.Validate(); err == nil {
+			t.Errorf("invalid %v accepted", in)
+		}
+	}
+}
+
+func TestCostModels(t *testing.T) {
+	cpu := DefaultCPUCosts()
+	gpu := DefaultGPUCosts()
+	if err := cpu.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := gpu.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cpu.Cost(DivF32) <= cpu.Cost(MulF32) {
+		t.Error("CPU division should cost more than multiply")
+	}
+	if cpu.Cost(SqrtF32) <= cpu.Cost(AddF32) {
+		t.Error("CPU sqrt should cost more than add")
+	}
+	if gpu.Cost(FMA) != 1 {
+		t.Error("GPU FMA should be single-issue")
+	}
+	if cpu.Cost(Op(250)) != 0 {
+		t.Error("unknown op should cost 0")
+	}
+	badModel := CostModel{Issue: map[Op]units.Cycles{FMA: -1}}
+	if err := badModel.Validate(); err == nil {
+		t.Error("negative cost accepted")
+	}
+}
+
+func TestProgramBuilder(t *testing.T) {
+	var p Program
+	p.Ld(0, 4).Compute(FMA, 3).St(4, 4).Compute(SqrtF32, 1)
+	if p.Len() != 6 {
+		t.Fatalf("len = %d, want 6", p.Len())
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.MemoryBytes(); got != 8 {
+		t.Errorf("memory bytes = %d, want 8", got)
+	}
+	counts := p.Counts()
+	if counts[FMA] != 3 || counts[LdGlobal] != 1 || counts[StGlobal] != 1 || counts[SqrtF32] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestProgramValidateCatchesBadInstr(t *testing.T) {
+	var p Program
+	p.Ld(0, 4)
+	p.instrs = append(p.instrs, Instr{Op: LdGlobal, Size: 0})
+	if err := p.Validate(); err == nil {
+		t.Error("program with invalid instruction accepted")
+	}
+}
+
+// Property: builder programs are always valid, and MemoryBytes equals the sum
+// of emitted sizes.
+func TestPropertyBuilderValid(t *testing.T) {
+	f := func(loads []uint8, fmas uint8) bool {
+		var p Program
+		var want int64
+		for i, sz := range loads {
+			size := int64(sz%64) + 1
+			p.Ld(int64(i)*64, size)
+			want += size
+		}
+		p.Compute(FMA, int(fmas%32))
+		return p.Validate() == nil && p.MemoryBytes() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProgramReset(t *testing.T) {
+	var p Program
+	p.Ld(0, 4).Compute(FMA, 3)
+	p.Reset()
+	if p.Len() != 0 {
+		t.Errorf("len after reset = %d, want 0", p.Len())
+	}
+	p.St(8, 4)
+	if p.Len() != 1 || p.Instrs()[0].Op != StGlobal {
+		t.Error("program unusable after reset")
+	}
+}
+
+func TestPadTo(t *testing.T) {
+	var p Program
+	p.Ld(0, 4).PadTo(5)
+	if p.Len() != 5 {
+		t.Fatalf("len = %d, want 5", p.Len())
+	}
+	for _, in := range p.Instrs()[1:] {
+		if in.Op != Nop {
+			t.Error("padding is not Nop")
+		}
+	}
+	p.PadTo(3) // shorter target: no-op
+	if p.Len() != 5 {
+		t.Error("PadTo shrank the program")
+	}
+}

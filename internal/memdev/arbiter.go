@@ -1,0 +1,73 @@
+package memdev
+
+import "igpucomm/internal/units"
+
+// Demand is one agent's bandwidth appetite during an overlapped interval.
+type Demand struct {
+	Name string
+	Want units.BytesPerSecond // bandwidth the stream would use if alone
+}
+
+// Share runs a max-min fair (water-filling) allocation of the peak bandwidth
+// across concurrent demands. Streams that want less than their fair share
+// keep what they want; the slack is redistributed among the rest. This is the
+// arbiter the timing layer uses to model CPU/GPU DRAM contention during
+// overlapped zero-copy phases.
+//
+// The returned slice is aligned with demands. The sum of grants never exceeds
+// peak, and no grant exceeds its demand.
+func Share(peak units.BytesPerSecond, demands []Demand) []units.BytesPerSecond {
+	grants := make([]units.BytesPerSecond, len(demands))
+	if peak <= 0 || len(demands) == 0 {
+		return grants
+	}
+	remaining := peak
+	satisfied := make([]bool, len(demands))
+	unsat := 0
+	for i, d := range demands {
+		if d.Want <= 0 {
+			satisfied[i] = true
+			continue
+		}
+		unsat++
+	}
+	for unsat > 0 {
+		fair := remaining / units.BytesPerSecond(unsat)
+		progressed := false
+		for i, d := range demands {
+			if satisfied[i] {
+				continue
+			}
+			if d.Want <= fair {
+				grants[i] = d.Want
+				remaining -= d.Want
+				satisfied[i] = true
+				unsat--
+				progressed = true
+			}
+		}
+		if !progressed {
+			// Everyone left wants at least the fair share: split evenly.
+			for i := range demands {
+				if !satisfied[i] {
+					grants[i] = fair
+				}
+			}
+			return grants
+		}
+	}
+	return grants
+}
+
+// Slowdown returns the factor by which a stream's memory-bound time grows
+// when it is granted `got` instead of its solo demand `want`. By construction
+// it is >= 1 (with got <= want).
+func Slowdown(want, got units.BytesPerSecond) float64 {
+	if want <= 0 || got <= 0 {
+		return 1
+	}
+	if got >= want {
+		return 1
+	}
+	return float64(want) / float64(got)
+}

@@ -1,0 +1,26 @@
+package memdev_test
+
+import (
+	"fmt"
+
+	"igpucomm/internal/memdev"
+	"igpucomm/internal/units"
+)
+
+// The arbiter splits DRAM bandwidth max-min fairly between concurrent
+// streams — how the simulator prices overlapped zero-copy phases.
+func ExampleShare() {
+	grants := memdev.Share(10*units.GBps, []memdev.Demand{
+		{Name: "cpu", Want: 2 * units.GBps},  // modest stream keeps its demand
+		{Name: "gpu", Want: 20 * units.GBps}, // greedy stream takes the rest
+	})
+	fmt.Printf("cpu %.0f GB/s, gpu %.0f GB/s\n", grants[0].GB(), grants[1].GB())
+	// Output: cpu 2 GB/s, gpu 8 GB/s
+}
+
+// Slowdown converts a grant into the stretch factor of a stream's
+// memory-bound time.
+func ExampleSlowdown() {
+	fmt.Printf("%.1fx\n", memdev.Slowdown(20*units.GBps, 8*units.GBps))
+	// Output: 2.5x
+}

@@ -1,0 +1,90 @@
+package microbench
+
+import (
+	"fmt"
+
+	"igpucomm/internal/comm"
+	"igpucomm/internal/soc"
+	"igpucomm/internal/units"
+)
+
+// MB1Row is one communication model's measurement in the first
+// micro-benchmark.
+type MB1Row struct {
+	Model      string
+	CPUTime    units.Latency
+	KernelTime units.Latency
+	// Throughput is the GPU LL-L1 requested-byte throughput — the paper's
+	// Table I quantity.
+	Throughput units.BytesPerSecond
+	// Overlapped ZC total (side-by-side bars in Fig 5).
+	Total units.Latency
+}
+
+// MB1Result characterizes the device's cache paths under each model.
+type MB1Result struct {
+	Platform string
+	Rows     []MB1Row
+}
+
+// Row returns the measurement for a model name.
+func (r MB1Result) Row(model string) (MB1Row, bool) {
+	for _, row := range r.Rows {
+		if row.Model == model {
+			return row, true
+		}
+	}
+	return MB1Row{}, false
+}
+
+// PeakThroughput is the cached-path peak (the SC row): the
+// GPU_Cache_LL_L1^max_throughput of eqn 2.
+func (r MB1Result) PeakThroughput() units.BytesPerSecond {
+	row, _ := r.Row("sc")
+	return row.Throughput
+}
+
+// PinnedThroughput is the ZC row's throughput.
+func (r MB1Result) PinnedThroughput() units.BytesPerSecond {
+	row, _ := r.Row("zc")
+	return row.Throughput
+}
+
+// ZCSCMaxSpeedup is the cached/pinned throughput ratio: the upper bound on
+// what a cache-dependent application can gain by leaving zero-copy
+// (ZC/SC_Max_speedup; 77x on TX2, 3.7-7x on Xavier in the paper).
+func (r MB1Result) ZCSCMaxSpeedup() float64 {
+	pinned := r.PinnedThroughput()
+	if pinned <= 0 {
+		return 1
+	}
+	ratio := float64(r.PeakThroughput()) / float64(pinned)
+	if ratio < 1 {
+		return 1
+	}
+	return ratio
+}
+
+// RunMB1 executes the first micro-benchmark on the platform.
+func RunMB1(s *soc.SoC, p Params) (MB1Result, error) {
+	w := mb1Workload(p)
+	res := MB1Result{Platform: s.Name()}
+	for _, m := range comm.Models() {
+		rep, err := m.Run(s, w)
+		if err != nil {
+			return MB1Result{}, fmt.Errorf("mb1 under %s: %w", m.Name(), err)
+		}
+		row := MB1Row{
+			Model:      m.Name(),
+			CPUTime:    rep.CPUTime,
+			KernelTime: rep.KernelTime,
+			Total:      rep.Total,
+		}
+		if rep.KernelTime > 0 {
+			row.Throughput = units.BytesPerSecond(
+				float64(rep.GPU.BytesRequested) / rep.KernelTime.Seconds())
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

@@ -1,0 +1,290 @@
+// Package mmu manages the simulated SoC's physically shared address space:
+// buffer allocation, the logical CPU/GPU partitioning the communication
+// models rely on, pinned (zero-copy) mappings, and the on-demand page
+// migration engine behind the unified-memory model.
+package mmu
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// DefaultPageSize is the 4 KiB page the UM driver migrates.
+const DefaultPageSize int64 = 4096
+
+// Kind classifies an allocation by the communication model that created it.
+type Kind uint8
+
+// Allocation kinds.
+const (
+	// HostAlloc is ordinary CPU-partition memory (malloc).
+	HostAlloc Kind = iota
+	// DeviceAlloc is GPU-partition memory (cudaMalloc).
+	DeviceAlloc
+	// Pinned is page-locked memory shared by CPU and GPU (cudaHostAlloc) —
+	// the zero-copy mapping.
+	Pinned
+	// Managed is unified-memory (cudaMallocManaged), migrated on demand.
+	Managed
+)
+
+func (k Kind) String() string {
+	switch k {
+	case HostAlloc:
+		return "host"
+	case DeviceAlloc:
+		return "device"
+	case Pinned:
+		return "pinned"
+	case Managed:
+		return "managed"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Buffer is one allocation in the shared physical space.
+type Buffer struct {
+	Name string
+	Addr int64
+	Size int64
+	Kind Kind
+}
+
+// End returns the first address past the buffer.
+func (b Buffer) End() int64 { return b.Addr + b.Size }
+
+// Contains reports whether addr falls inside the buffer.
+func (b Buffer) Contains(addr int64) bool { return addr >= b.Addr && addr < b.End() }
+
+// ErrOutOfMemory is returned when no free extent can satisfy a request.
+var ErrOutOfMemory = errors.New("mmu: out of memory")
+
+type extent struct{ addr, size int64 }
+
+// Space is a first-fit allocator over the SoC's physical memory. Not safe
+// for concurrent use.
+type Space struct {
+	size    int64
+	align   int64
+	free    []extent // sorted by addr, coalesced
+	buffers map[string]Buffer
+}
+
+// NewSpace creates an address space of the given size. align is the minimum
+// allocation alignment (use the largest cache line size in the SoC); it must
+// be a power of two. Panics on invalid parameters.
+func NewSpace(size, align int64) *Space {
+	if size <= 0 {
+		panic(fmt.Sprintf("mmu: space size %d must be positive", size))
+	}
+	if align <= 0 || align&(align-1) != 0 {
+		panic(fmt.Sprintf("mmu: alignment %d must be a positive power of two", align))
+	}
+	return &Space{
+		size:    size,
+		align:   align,
+		free:    []extent{{0, size}},
+		buffers: make(map[string]Buffer),
+	}
+}
+
+// Size returns the total space size.
+func (s *Space) Size() int64 { return s.size }
+
+// Alloc carves a named buffer out of the space. Names must be unique among
+// live buffers.
+func (s *Space) Alloc(name string, size int64, kind Kind) (Buffer, error) {
+	if size <= 0 {
+		return Buffer{}, fmt.Errorf("mmu: alloc %q: size %d must be positive", name, size)
+	}
+	if _, exists := s.buffers[name]; exists {
+		return Buffer{}, fmt.Errorf("mmu: alloc %q: name already in use", name)
+	}
+	rounded := (size + s.align - 1) &^ (s.align - 1)
+	for i, e := range s.free {
+		if e.size < rounded {
+			continue
+		}
+		b := Buffer{Name: name, Addr: e.addr, Size: rounded, Kind: kind}
+		if e.size == rounded {
+			s.free = append(s.free[:i], s.free[i+1:]...)
+		} else {
+			s.free[i] = extent{e.addr + rounded, e.size - rounded}
+		}
+		s.buffers[name] = b
+		return b, nil
+	}
+	return Buffer{}, fmt.Errorf("%w: %d bytes requested", ErrOutOfMemory, rounded)
+}
+
+// MustAlloc is Alloc for static setup paths where failure is a bug.
+func (s *Space) MustAlloc(name string, size int64, kind Kind) Buffer {
+	b, err := s.Alloc(name, size, kind)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Free releases a named buffer, coalescing free extents.
+func (s *Space) Free(name string) error {
+	b, ok := s.buffers[name]
+	if !ok {
+		return fmt.Errorf("mmu: free %q: no such buffer", name)
+	}
+	delete(s.buffers, name)
+	s.free = append(s.free, extent{b.Addr, b.Size})
+	sort.Slice(s.free, func(i, j int) bool { return s.free[i].addr < s.free[j].addr })
+	merged := s.free[:1]
+	for _, e := range s.free[1:] {
+		last := &merged[len(merged)-1]
+		if last.addr+last.size == e.addr {
+			last.size += e.size
+		} else {
+			merged = append(merged, e)
+		}
+	}
+	s.free = merged
+	return nil
+}
+
+// Lookup returns a live buffer by name.
+func (s *Space) Lookup(name string) (Buffer, bool) {
+	b, ok := s.buffers[name]
+	return b, ok
+}
+
+// Buffers returns all live buffers sorted by address.
+func (s *Space) Buffers() []Buffer {
+	out := make([]Buffer, 0, len(s.buffers))
+	for _, b := range s.buffers {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// FreeBytes returns the total unallocated space.
+func (s *Space) FreeBytes() int64 {
+	var n int64
+	for _, e := range s.free {
+		n += e.size
+	}
+	return n
+}
+
+// Owner says which agent currently holds a managed page.
+type Owner uint8
+
+// Page owners.
+const (
+	OwnerCPU Owner = iota
+	OwnerGPU
+)
+
+func (o Owner) String() string {
+	if o == OwnerCPU {
+		return "cpu"
+	}
+	return "gpu"
+}
+
+// MigrationStats accumulates the UM driver's work.
+type MigrationStats struct {
+	Faults        int64
+	PagesMigrated int64
+	BytesMigrated int64
+}
+
+// Migrator is the unified-memory driver: it tracks the owner of each page of
+// the managed region and migrates pages on first touch by the other side.
+// This is the mechanism whose overhead the paper reports as the ±8% UM-vs-SC
+// band.
+type Migrator struct {
+	pageSize int64
+	owner    map[int64]Owner
+	stats    MigrationStats
+}
+
+// NewMigrator creates a UM driver with the given page size (power of two).
+func NewMigrator(pageSize int64) *Migrator {
+	if pageSize <= 0 || pageSize&(pageSize-1) != 0 {
+		panic(fmt.Sprintf("mmu: page size %d must be a positive power of two", pageSize))
+	}
+	return &Migrator{pageSize: pageSize, owner: make(map[int64]Owner)}
+}
+
+// PageSize returns the migration granularity.
+func (m *Migrator) PageSize() int64 { return m.pageSize }
+
+// Touch records that `by` is about to access [addr, addr+size) and migrates
+// any pages the other side owns. It returns the number of faulting pages and
+// the bytes moved; the caller converts those to time using the device's
+// fault overhead and copy bandwidth. Pages touched for the first time are
+// adopted fault-free (first-touch placement).
+func (m *Migrator) Touch(addr, size int64, by Owner) (faults int64, bytes int64) {
+	if size <= 0 {
+		return 0, 0
+	}
+	first := addr / m.pageSize
+	last := (addr + size - 1) / m.pageSize
+	for p := first; p <= last; p++ {
+		cur, seen := m.owner[p]
+		if !seen {
+			m.owner[p] = by
+			continue
+		}
+		if cur != by {
+			m.owner[p] = by
+			faults++
+			bytes += m.pageSize
+		}
+	}
+	m.stats.Faults += faults
+	m.stats.PagesMigrated += faults
+	m.stats.BytesMigrated += bytes
+	return faults, bytes
+}
+
+// Prefetch moves [addr, addr+size) to `to` proactively, the way
+// cudaMemPrefetchAsync does: the bytes still travel, but no demand faults
+// are taken (the driver batches the transfer ahead of the access). It
+// returns the bytes moved; pages already on the target side cost nothing.
+func (m *Migrator) Prefetch(addr, size int64, to Owner) (bytes int64) {
+	if size <= 0 {
+		return 0
+	}
+	first := addr / m.pageSize
+	last := (addr + size - 1) / m.pageSize
+	for p := first; p <= last; p++ {
+		cur, seen := m.owner[p]
+		if !seen {
+			m.owner[p] = to
+			continue
+		}
+		if cur != to {
+			m.owner[p] = to
+			bytes += m.pageSize
+		}
+	}
+	m.stats.PagesMigrated += bytes / m.pageSize
+	m.stats.BytesMigrated += bytes
+	return bytes
+}
+
+// OwnerOf reports the current owner of the page holding addr.
+func (m *Migrator) OwnerOf(addr int64) (Owner, bool) {
+	o, ok := m.owner[addr/m.pageSize]
+	return o, ok
+}
+
+// Stats returns accumulated migration work.
+func (m *Migrator) Stats() MigrationStats { return m.stats }
+
+// Reset forgets all placements and zeroes the stats.
+func (m *Migrator) Reset() {
+	m.owner = make(map[int64]Owner)
+	m.stats = MigrationStats{}
+}

@@ -1,0 +1,301 @@
+package mmu
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	tests := []struct {
+		k    Kind
+		want string
+	}{
+		{HostAlloc, "host"}, {DeviceAlloc, "device"}, {Pinned, "pinned"},
+		{Managed, "managed"}, {Kind(9), "Kind(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.k.String(); got != tt.want {
+			t.Errorf("Kind string = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestNewSpacePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero size":  func() { NewSpace(0, 64) },
+		"bad align":  func() { NewSpace(1024, 48) },
+		"zero align": func() { NewSpace(1024, 0) },
+		"neg size":   func() { NewSpace(-1, 64) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s accepted", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAllocBasics(t *testing.T) {
+	s := NewSpace(4096, 64)
+	b, err := s.Alloc("a", 100, HostAlloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Size != 128 {
+		t.Errorf("size = %d, want 128 (aligned up)", b.Size)
+	}
+	if b.Addr%64 != 0 {
+		t.Errorf("addr %d not aligned", b.Addr)
+	}
+	if !b.Contains(b.Addr) || b.Contains(b.End()) {
+		t.Error("Contains boundary behaviour wrong")
+	}
+	if got, ok := s.Lookup("a"); !ok || got != b {
+		t.Error("Lookup mismatch")
+	}
+	if s.FreeBytes() != 4096-128 {
+		t.Errorf("free = %d, want %d", s.FreeBytes(), 4096-128)
+	}
+}
+
+func TestAllocErrors(t *testing.T) {
+	s := NewSpace(1024, 64)
+	if _, err := s.Alloc("x", 0, HostAlloc); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := s.Alloc("x", -5, HostAlloc); err == nil {
+		t.Error("negative size accepted")
+	}
+	if _, err := s.Alloc("a", 64, HostAlloc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Alloc("a", 64, HostAlloc); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	_, err := s.Alloc("big", 2048, HostAlloc)
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("oversize alloc error = %v, want ErrOutOfMemory", err)
+	}
+}
+
+func TestMustAllocPanicsWhenFull(t *testing.T) {
+	s := NewSpace(128, 64)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAlloc did not panic when full")
+		}
+	}()
+	s.MustAlloc("too-big", 4096, HostAlloc)
+}
+
+func TestFreeAndCoalesce(t *testing.T) {
+	s := NewSpace(4096, 64)
+	a := s.MustAlloc("a", 1024, HostAlloc)
+	s.MustAlloc("b", 1024, HostAlloc)
+	s.MustAlloc("c", 1024, HostAlloc)
+	if err := s.Free("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Free("b"); err != nil {
+		t.Fatal(err)
+	}
+	// a+b coalesce with each other: a 2048 block must now fit at the front.
+	d, err := s.Alloc("d", 2048, HostAlloc)
+	if err != nil {
+		t.Fatalf("coalesced alloc failed: %v", err)
+	}
+	if d.Addr != a.Addr {
+		t.Errorf("reused addr = %d, want %d", d.Addr, a.Addr)
+	}
+	if err := s.Free("nope"); err == nil {
+		t.Error("freeing unknown buffer accepted")
+	}
+}
+
+func TestBuffersSorted(t *testing.T) {
+	s := NewSpace(4096, 64)
+	s.MustAlloc("a", 64, HostAlloc)
+	s.MustAlloc("b", 64, Pinned)
+	s.MustAlloc("c", 64, Managed)
+	bufs := s.Buffers()
+	if len(bufs) != 3 {
+		t.Fatalf("len = %d, want 3", len(bufs))
+	}
+	for i := 1; i < len(bufs); i++ {
+		if bufs[i-1].Addr >= bufs[i].Addr {
+			t.Error("buffers not sorted by address")
+		}
+	}
+}
+
+// Property: allocations never overlap and never exceed the space.
+func TestPropertyAllocationsDisjoint(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		s := NewSpace(1<<20, 64)
+		var live []Buffer
+		for i, sz := range sizes {
+			b, err := s.Alloc(string(rune('a'+i%26))+string(rune('0'+i/26)), int64(sz)+1, HostAlloc)
+			if err != nil {
+				continue
+			}
+			live = append(live, b)
+		}
+		for i := range live {
+			if live[i].End() > 1<<20 || live[i].Addr < 0 {
+				return false
+			}
+			for j := i + 1; j < len(live); j++ {
+				if live[i].Addr < live[j].End() && live[j].Addr < live[i].End() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: alloc-free-alloc of the same size reuses space (no leak).
+func TestPropertyFreeRestoresSpace(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		s := NewSpace(1<<20, 64)
+		before := s.FreeBytes()
+		names := make([]string, 0, len(sizes))
+		for i, sz := range sizes {
+			name := string(rune('a'+i%26)) + string(rune('0'+i))
+			if _, err := s.Alloc(name, int64(sz)+1, HostAlloc); err == nil {
+				names = append(names, name)
+			}
+		}
+		for _, n := range names {
+			if err := s.Free(n); err != nil {
+				return false
+			}
+		}
+		return s.FreeBytes() == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMigratorPanicsOnBadPageSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad page size accepted")
+		}
+	}()
+	NewMigrator(1000)
+}
+
+func TestMigratorFirstTouchIsFree(t *testing.T) {
+	m := NewMigrator(4096)
+	faults, bytes := m.Touch(0, 4*4096, OwnerCPU)
+	if faults != 0 || bytes != 0 {
+		t.Errorf("first touch cost faults=%d bytes=%d, want free", faults, bytes)
+	}
+	if o, ok := m.OwnerOf(8192); !ok || o != OwnerCPU {
+		t.Error("first touch did not record owner")
+	}
+}
+
+func TestMigratorMigratesOnOtherSideTouch(t *testing.T) {
+	m := NewMigrator(4096)
+	m.Touch(0, 4*4096, OwnerCPU)
+	faults, bytes := m.Touch(0, 4*4096, OwnerGPU)
+	if faults != 4 || bytes != 4*4096 {
+		t.Errorf("migration faults=%d bytes=%d, want 4 pages", faults, bytes)
+	}
+	// Same side again: no faults.
+	if faults, _ := m.Touch(0, 4*4096, OwnerGPU); faults != 0 {
+		t.Errorf("re-touch faulted %d times", faults)
+	}
+	st := m.Stats()
+	if st.Faults != 4 || st.PagesMigrated != 4 || st.BytesMigrated != 4*4096 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestMigratorPartialPageTouch(t *testing.T) {
+	m := NewMigrator(4096)
+	m.Touch(100, 10, OwnerCPU) // page 0 only
+	faults, _ := m.Touch(4000, 200, OwnerGPU)
+	// Range [4000,4200) spans pages 0 and 1; page 0 migrates, page 1 is new.
+	if faults != 1 {
+		t.Errorf("faults = %d, want 1", faults)
+	}
+}
+
+func TestMigratorDegenerateAndReset(t *testing.T) {
+	m := NewMigrator(4096)
+	if f, b := m.Touch(0, 0, OwnerCPU); f != 0 || b != 0 {
+		t.Error("zero-size touch did work")
+	}
+	m.Touch(0, 4096, OwnerCPU)
+	m.Touch(0, 4096, OwnerGPU)
+	m.Reset()
+	if m.Stats() != (MigrationStats{}) {
+		t.Error("stats survived reset")
+	}
+	if _, ok := m.OwnerOf(0); ok {
+		t.Error("placements survived reset")
+	}
+}
+
+// Property: ping-pong touches always migrate every previously-seen page.
+func TestPropertyPingPongMigration(t *testing.T) {
+	f := func(pages uint8, rounds uint8) bool {
+		n := int64(pages%32) + 1
+		m := NewMigrator(4096)
+		m.Touch(0, n*4096, OwnerCPU)
+		side := OwnerGPU
+		for r := 0; r < int(rounds%8)+1; r++ {
+			faults, bytes := m.Touch(0, n*4096, side)
+			if faults != n || bytes != n*4096 {
+				return false
+			}
+			if side == OwnerGPU {
+				side = OwnerCPU
+			} else {
+				side = OwnerGPU
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrefetchMovesWithoutFaults(t *testing.T) {
+	m := NewMigrator(4096)
+	m.Touch(0, 4*4096, OwnerCPU)
+	bytes := m.Prefetch(0, 4*4096, OwnerGPU)
+	if bytes != 4*4096 {
+		t.Errorf("prefetched %d bytes, want %d", bytes, 4*4096)
+	}
+	st := m.Stats()
+	if st.Faults != 0 {
+		t.Errorf("prefetch took %d faults, want 0", st.Faults)
+	}
+	if st.BytesMigrated != 4*4096 || st.PagesMigrated != 4 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Already resident: free.
+	if bytes := m.Prefetch(0, 4*4096, OwnerGPU); bytes != 0 {
+		t.Errorf("re-prefetch moved %d bytes", bytes)
+	}
+	// First touch adopts for free, like Touch.
+	if bytes := m.Prefetch(1<<20, 4096, OwnerGPU); bytes != 0 {
+		t.Errorf("first-touch prefetch moved %d bytes", bytes)
+	}
+	if m.Prefetch(0, 0, OwnerCPU) != 0 {
+		t.Error("degenerate prefetch did work")
+	}
+}

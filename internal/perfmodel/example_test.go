@@ -1,0 +1,44 @@
+package perfmodel_test
+
+import (
+	"fmt"
+
+	"igpucomm/internal/perfmodel"
+	"igpucomm/internal/units"
+)
+
+// Eqn 1: an application whose L1 misses are all caught by the LLC depends on
+// that LLC — disabling it under zero-copy will hurt.
+func ExampleCPUCacheUsage() {
+	usage := perfmodel.CPUCacheUsage(0.25, 0.2) // 25% L1 misses, 20% of those miss the LLC
+	fmt.Printf("%.0f%% of requests are served by the CPU LLC\n", usage*100)
+	// Output: 20% of requests are served by the CPU LLC
+}
+
+// Eqn 3: the potential gain of replacing standard copy with zero-copy —
+// the copies disappear and the CPU and GPU tasks overlap.
+func ExampleSCToZC() {
+	speedup, err := perfmodel.SCToZC(perfmodel.Inputs{
+		Runtime:  units.Lat(1000 * 1000), // 1ms per frame under SC
+		CopyTime: units.Lat(200 * 1000),  // 200µs of that is copying
+		CPUTime:  units.Lat(400 * 1000),
+		GPUTime:  units.Lat(400 * 1000),
+	}, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("up to %.1fx (%.0f%%)\n", speedup, perfmodel.SpeedupPercent(speedup))
+	// Output: up to 2.5x (150%)
+}
+
+// Eqn 2: the kernel's demand on the GPU LL-L1 cache, as a fraction of what
+// the device can serve (the peak comes from the first micro-benchmark).
+func ExampleGPUCacheUsage() {
+	usage := perfmodel.GPUCacheUsage(
+		1_000_000, 64, 0.5, // 1M transactions of 64B, half absorbed by L1
+		units.Lat(1000*1000), // over a 1ms kernel
+		97*units.GBps,        // against a 97 GB/s peak (TX2)
+	)
+	fmt.Printf("GPU cache usage %.0f%%\n", usage*100)
+	// Output: GPU cache usage 33%
+}

@@ -1,0 +1,194 @@
+// Package perfmodel implements the paper's performance model (§III-A):
+// the LLC cache-usage metrics derived from profiler counters (eqns 1-2) and
+// the potential-speedup estimators for switching communication model
+// (eqns 3-4), capped by the device maxima the micro-benchmarks extract.
+package perfmodel
+
+import (
+	"fmt"
+
+	"igpucomm/internal/units"
+)
+
+// CPUCacheUsage is eqn 1: the fraction of all CPU-requested data served by
+// the CPU LLC —
+//
+//	CPU_Cache_usage = miss_rate_L1_CPU * (1 - miss_rate_LL_CPU)
+//
+// An L1 miss that the LLC catches is exactly the traffic that disappears
+// (or becomes DRAM traffic) when zero-copy disables/bypasses the LLC, so a
+// high value means the application depends on the CPU cache.
+func CPUCacheUsage(l1MissRate, llcMissRate float64) float64 {
+	return clamp01(l1MissRate) * (1 - clamp01(llcMissRate))
+}
+
+// CPUCacheUsagePerInstr is the instruction-normalized variant of eqn 1:
+// the fraction of *instructions* whose data was served by the CPU LLC,
+//
+//	(L1_misses * (1 - miss_rate_LL_CPU)) / instructions
+//
+// It reduces to eqn 1 when every instruction is a load, and unlike the
+// per-access form it is sensitive to how memory-dense the routine is — which
+// is what the framework's CPU threshold (extracted by a density sweep in the
+// second micro-benchmark) discriminates on.
+func CPUCacheUsagePerInstr(l1Misses int64, llcMissRate float64, instrs int64) float64 {
+	if instrs <= 0 || l1Misses <= 0 {
+		return 0
+	}
+	return float64(l1Misses) * (1 - clamp01(llcMissRate)) / float64(instrs)
+}
+
+// GPUCacheUsage is eqn 2: the GPU LL-L1 demand throughput of the kernel,
+//
+//	(t_n * t_size * (1 - hit_rate_L1_GPU)) / kernel_runtime
+//
+// normalized by the device's peak GPU cache throughput (from the first
+// micro-benchmark). The result is the fraction of the cache's capability the
+// kernel actually leans on; past the device's threshold, zero-copy (which
+// bypasses that cache) starves the kernel.
+func GPUCacheUsage(transactions, transactionSize int64, l1HitRate float64,
+	kernelRuntime units.Latency, maxThroughput units.BytesPerSecond) float64 {
+	if kernelRuntime <= 0 || maxThroughput <= 0 {
+		return 0
+	}
+	demandBytes := float64(transactions) * float64(transactionSize) * (1 - clamp01(l1HitRate))
+	demand := demandBytes / kernelRuntime.Seconds()
+	return demand / float64(maxThroughput)
+}
+
+// GPUCacheUsageFromBytes is the same metric when the profiler reports total
+// transaction bytes directly (t_n * t_size pre-multiplied).
+func GPUCacheUsageFromBytes(transactionBytes int64, l1HitRate float64,
+	kernelRuntime units.Latency, maxThroughput units.BytesPerSecond) float64 {
+	if kernelRuntime <= 0 || maxThroughput <= 0 {
+		return 0
+	}
+	demand := float64(transactionBytes) * (1 - clamp01(l1HitRate)) / kernelRuntime.Seconds()
+	return demand / float64(maxThroughput)
+}
+
+// Inputs carries the measured quantities eqns 3-4 consume.
+type Inputs struct {
+	Runtime  units.Latency // end-to-end runtime under the current model
+	CopyTime units.Latency // total CPU-iGPU transfer time within Runtime
+	CPUTime  units.Latency // CPU-task-only time
+	GPUTime  units.Latency // GPU-kernel-only time
+}
+
+// Validate reports impossible measurements.
+func (in Inputs) Validate() error {
+	if in.Runtime <= 0 {
+		return fmt.Errorf("perfmodel: runtime must be positive")
+	}
+	if in.CopyTime < 0 || in.CPUTime < 0 || in.GPUTime <= 0 {
+		return fmt.Errorf("perfmodel: negative component time")
+	}
+	if in.CopyTime >= in.Runtime {
+		return fmt.Errorf("perfmodel: copy time %v not inside runtime %v", in.CopyTime, in.Runtime)
+	}
+	return nil
+}
+
+// SCToZC is eqn 3: the potential speedup of replacing SC with ZC for an
+// application classified as NOT cache-dependent. The estimated ZC runtime
+// removes the copy time and overlaps the CPU and GPU tasks:
+//
+//	speedup = SC_runtime / [ (SC_runtime - copy_time) / (1 + CPU/GPU) ]
+//
+// capped at the device's SC/ZC_Max_speedup (from the third micro-benchmark).
+// Values are ratios: 1.0 means no change; the paper reports (ratio-1)*100%.
+func SCToZC(in Inputs, maxSpeedup float64) (float64, error) {
+	if err := in.Validate(); err != nil {
+		return 0, err
+	}
+	overlap := 1 + float64(in.CPUTime)/float64(in.GPUTime)
+	est := (float64(in.Runtime) - float64(in.CopyTime)) / overlap
+	speedup := float64(in.Runtime) / est
+	return capSpeedup(speedup, maxSpeedup), nil
+}
+
+// ZCToSC is eqn 4: the potential speedup of replacing ZC with SC for an
+// application classified as cache-dependent. The estimated SC runtime
+// serializes the (currently overlapped) CPU and GPU tasks and re-adds the
+// copy time:
+//
+//	speedup = ZC_runtime / ( ZC_runtime / [1/(1 + CPU/GPU)] + copy_time )
+//
+// The cache benefit itself is bounded separately by ZC/SC_Max_speedup (the
+// cached-vs-pinned throughput ratio from the first micro-benchmark), which
+// caps the returned value.
+func ZCToSC(in Inputs, maxSpeedup float64) (float64, error) {
+	if err := in.Validate(); err != nil {
+		return 0, err
+	}
+	serialize := 1 + float64(in.CPUTime)/float64(in.GPUTime)
+	est := float64(in.Runtime)*serialize + float64(in.CopyTime)
+	speedup := float64(in.Runtime) / est
+	return capSpeedup(speedup, maxSpeedup), nil
+}
+
+// KernelGainZCToSC estimates how much faster the kernel alone becomes when a
+// cache-dependent application leaves the pinned path: the ratio of demanded
+// throughput to what the pinned path can serve, bounded by the device
+// maximum. This is the quantity the framework combines with eqn 4 when the
+// structural estimate alone (which only sees serialization and copy
+// overhead) says "no change".
+func KernelGainZCToSC(demand, pinnedThroughput units.BytesPerSecond, maxSpeedup float64) float64 {
+	if demand <= 0 || pinnedThroughput <= 0 {
+		return 1
+	}
+	gain := float64(demand) / float64(pinnedThroughput)
+	if gain < 1 {
+		gain = 1
+	}
+	return capSpeedup(gain, maxSpeedup)
+}
+
+// SpeedupPercent converts a speedup ratio to the paper's percentage
+// convention: 1.38x -> +38%, 0.33x -> -67%.
+func SpeedupPercent(ratio float64) float64 { return (ratio - 1) * 100 }
+
+func capSpeedup(s, max float64) float64 {
+	if max > 0 && s > max {
+		return max
+	}
+	return s
+}
+
+func clamp01(x float64) float64 {
+	switch {
+	case x < 0:
+		return 0
+	case x > 1:
+		return 1
+	default:
+		return x
+	}
+}
+
+// Thresholds holds one device's cache-usage decision boundaries, as
+// extracted by the second micro-benchmark.
+type Thresholds struct {
+	// CPUCache is the CPU cache-usage level above which ZC's cache
+	// disabling hurts (1.0 on devices whose CPU caches stay enabled).
+	CPUCache float64
+	// GPUCacheLow is the GPU cache usage below which ZC performs on par
+	// with SC (the left zone of Figs 3/6).
+	GPUCacheLow float64
+	// GPUCacheHigh bounds the middle zone where ZC is tolerable if the
+	// application gains enough from overlap; above it, ZC is strongly
+	// discouraged. Devices without a usable middle zone set it equal to
+	// GPUCacheLow.
+	GPUCacheHigh float64
+}
+
+// Validate checks ordering.
+func (t Thresholds) Validate() error {
+	if t.CPUCache < 0 || t.GPUCacheLow < 0 {
+		return fmt.Errorf("perfmodel: negative threshold")
+	}
+	if t.GPUCacheHigh < t.GPUCacheLow {
+		return fmt.Errorf("perfmodel: GPU threshold zone inverted (%v > %v)", t.GPUCacheLow, t.GPUCacheHigh)
+	}
+	return nil
+}

@@ -1,0 +1,228 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"igpucomm/internal/units"
+)
+
+func TestCPUCacheUsage(t *testing.T) {
+	tests := []struct {
+		name           string
+		l1Miss, llMiss float64
+		want           float64
+	}{
+		{"all L1 hits", 0, 0.5, 0},
+		{"L1 misses all caught by LLC", 0.2, 0, 0.2},
+		{"L1 misses all missing LLC", 0.2, 1, 0},
+		{"paper-ish value", 0.25, 0.2, 0.2},
+		{"clamped inputs", 1.5, -0.5, 1},
+	}
+	for _, tt := range tests {
+		if got := CPUCacheUsage(tt.l1Miss, tt.llMiss); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("%s: usage = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestGPUCacheUsage(t *testing.T) {
+	// 1e6 transactions of 64B with 0% L1 hits in 1ms = 64 GB/s demand;
+	// against a 128 GB/s peak -> 50% usage.
+	got := GPUCacheUsage(1e6, 64, 0, units.Latency(1e6), 128*units.GBps)
+	if math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("usage = %v, want 0.5", got)
+	}
+	// 50% L1 hit rate halves the demand.
+	got = GPUCacheUsage(1e6, 64, 0.5, units.Latency(1e6), 128*units.GBps)
+	if math.Abs(got-0.25) > 1e-9 {
+		t.Errorf("usage with hits = %v, want 0.25", got)
+	}
+	if GPUCacheUsage(1, 64, 0, 0, units.GBps) != 0 {
+		t.Error("zero runtime should give zero usage")
+	}
+	if GPUCacheUsage(1, 64, 0, 1, 0) != 0 {
+		t.Error("zero peak should give zero usage")
+	}
+}
+
+func TestGPUCacheUsageFromBytesMatches(t *testing.T) {
+	a := GPUCacheUsage(1000, 64, 0.3, units.Latency(5e5), 97*units.GBps)
+	b := GPUCacheUsageFromBytes(64000, 0.3, units.Latency(5e5), 97*units.GBps)
+	if math.Abs(a-b) > 1e-12 {
+		t.Errorf("two forms disagree: %v vs %v", a, b)
+	}
+}
+
+func TestInputsValidate(t *testing.T) {
+	good := Inputs{Runtime: 1000, CopyTime: 100, CPUTime: 300, GPUTime: 400}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid inputs rejected: %v", err)
+	}
+	bad := []Inputs{
+		{Runtime: 0, GPUTime: 1},
+		{Runtime: 100, CopyTime: -1, GPUTime: 1},
+		{Runtime: 100, GPUTime: 0},
+		{Runtime: 100, CopyTime: 100, GPUTime: 1},
+		{Runtime: 100, CPUTime: -5, GPUTime: 1},
+	}
+	for i, in := range bad {
+		if err := in.Validate(); err == nil {
+			t.Errorf("bad input %d accepted", i)
+		}
+	}
+}
+
+func TestSCToZCKnownValues(t *testing.T) {
+	// Balanced tasks, copy = 20% of runtime: est = 0.8R/2 = 0.4R -> 2.5x.
+	in := Inputs{Runtime: 1000, CopyTime: 200, CPUTime: 400, GPUTime: 400}
+	sp, err := SCToZC(in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sp-2.5) > 1e-9 {
+		t.Errorf("speedup = %v, want 2.5", sp)
+	}
+	// Cap applies.
+	sp, err = SCToZC(in, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp != 2.0 {
+		t.Errorf("capped speedup = %v, want 2.0", sp)
+	}
+}
+
+func TestSCToZCNoCopyNoCPU(t *testing.T) {
+	// Without copy time and CPU work there is nothing to gain.
+	in := Inputs{Runtime: 1000, CopyTime: 0, CPUTime: 0, GPUTime: 1000}
+	sp, err := SCToZC(in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sp-1.0) > 1e-9 {
+		t.Errorf("speedup = %v, want 1.0", sp)
+	}
+}
+
+func TestZCToSCSerializationPenalty(t *testing.T) {
+	// Overlapped ZC run: serializing always looks worse structurally
+	// (eqn 4 captures SC's overheads; the cache gain is capped separately).
+	in := Inputs{Runtime: 1000, CopyTime: 100, CPUTime: 500, GPUTime: 1000}
+	sp, err := ZCToSC(in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// est = 1000*1.5 + 100 = 1600 -> 0.625.
+	if math.Abs(sp-0.625) > 1e-9 {
+		t.Errorf("speedup = %v, want 0.625", sp)
+	}
+}
+
+func TestKernelGainZCToSC(t *testing.T) {
+	if g := KernelGainZCToSC(10*units.GBps, 1.28*units.GBps, 77); math.Abs(g-7.8125) > 1e-6 {
+		t.Errorf("gain = %v, want ~7.81", g)
+	}
+	if g := KernelGainZCToSC(100*units.GBps, 1*units.GBps, 10); g != 10 {
+		t.Errorf("cap not applied: %v", g)
+	}
+	if g := KernelGainZCToSC(0.5*units.GBps, 1*units.GBps, 77); g != 1 {
+		t.Errorf("sub-path demand should give 1, got %v", g)
+	}
+	if g := KernelGainZCToSC(0, 0, 0); g != 1 {
+		t.Errorf("degenerate gain = %v, want 1", g)
+	}
+}
+
+func TestSpeedupPercent(t *testing.T) {
+	if got := SpeedupPercent(1.38); math.Abs(got-38) > 1e-9 {
+		t.Errorf("1.38x = %v%%, want 38", got)
+	}
+	if got := SpeedupPercent(0.33); math.Abs(got+67) > 1e-9 {
+		t.Errorf("0.33x = %v%%, want -67", got)
+	}
+}
+
+func TestThresholdsValidate(t *testing.T) {
+	good := Thresholds{CPUCache: 0.156, GPUCacheLow: 0.162, GPUCacheHigh: 0.571}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid thresholds rejected: %v", err)
+	}
+	if err := (Thresholds{GPUCacheLow: 0.5, GPUCacheHigh: 0.2}).Validate(); err == nil {
+		t.Error("inverted zone accepted")
+	}
+	if err := (Thresholds{CPUCache: -0.1}).Validate(); err == nil {
+		t.Error("negative threshold accepted")
+	}
+}
+
+// Property: eqn 3 speedup grows with copy time (more copy to eliminate =>
+// more to gain) and is always >= 1 when CPU time is nonnegative.
+func TestPropertySCToZCMonotoneInCopy(t *testing.T) {
+	f := func(copyPct uint8, cpuPct uint8) bool {
+		runtime := units.Latency(1e6)
+		copyT := units.Latency(float64(copyPct%90) / 100 * 1e6)
+		cpuT := units.Latency(float64(cpuPct%100) / 100 * 1e6)
+		in1 := Inputs{Runtime: runtime, CopyTime: copyT, CPUTime: cpuT, GPUTime: 1e5}
+		in2 := in1
+		in2.CopyTime += 1e4
+		s1, err1 := SCToZC(in1, 0)
+		s2, err2 := SCToZC(in2, 0)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return s2 >= s1 && s1 >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: caps are respected by both estimators.
+func TestPropertyCapsRespected(t *testing.T) {
+	f := func(copyPct, cap8 uint8) bool {
+		max := 1 + float64(cap8%50)/10
+		in := Inputs{
+			Runtime:  1e6,
+			CopyTime: units.Latency(float64(copyPct%90) / 100 * 1e6),
+			CPUTime:  5e5,
+			GPUTime:  5e5,
+		}
+		s3, err := SCToZC(in, max)
+		if err != nil || s3 > max+1e-12 {
+			return false
+		}
+		s4, err := ZCToSC(in, max)
+		return err == nil && s4 <= max+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCPUCacheUsagePerInstr(t *testing.T) {
+	// 100 L1 misses all caught by the LLC over 1000 instructions: 10%.
+	if got := CPUCacheUsagePerInstr(100, 0, 1000); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("usage = %v, want 0.1", got)
+	}
+	// LLC misses discount the metric: only LLC-served misses count.
+	if got := CPUCacheUsagePerInstr(100, 0.5, 1000); math.Abs(got-0.05) > 1e-12 {
+		t.Errorf("usage with LLC misses = %v, want 0.05", got)
+	}
+	if CPUCacheUsagePerInstr(0, 0, 1000) != 0 {
+		t.Error("no misses should give 0")
+	}
+	if CPUCacheUsagePerInstr(10, 0, 0) != 0 {
+		t.Error("no instructions should give 0")
+	}
+	if CPUCacheUsagePerInstr(-5, 0, 100) != 0 {
+		t.Error("negative misses should give 0")
+	}
+	// Reduces to eqn 1 when every instruction is a load.
+	perAccess := CPUCacheUsage(0.25, 0.2)
+	perInstr := CPUCacheUsagePerInstr(250, 0.2, 1000)
+	if math.Abs(perAccess-perInstr) > 1e-12 {
+		t.Errorf("per-instr %v != eqn1 %v for all-load streams", perInstr, perAccess)
+	}
+}

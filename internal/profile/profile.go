@@ -1,0 +1,103 @@
+// Package profile is the simulator's stand-in for nvprof/perf: it runs a
+// workload under a communication model and distills the counters the
+// performance model consumes — L1/LLC miss rates on the CPU side, GPU L1 hit
+// rate, transaction counts and sizes, kernel runtime, copy time per kernel.
+//
+// Because the cache simulator counts exactly, these "profiles" are noise-free
+// versions of what a sampling profiler reports on real hardware.
+package profile
+
+import (
+	"fmt"
+
+	"igpucomm/internal/comm"
+	"igpucomm/internal/perfmodel"
+	"igpucomm/internal/soc"
+	"igpucomm/internal/units"
+)
+
+// Profile condenses one profiled run.
+type Profile struct {
+	Platform string
+	Workload string
+	Model    string
+
+	// CPU-side counters (eqn 1 inputs) measured over the CPU task.
+	CPUL1MissRate  float64
+	CPULLCMissRate float64
+	// CPUCacheUsage is eqn 1 evaluated on the above.
+	CPUCacheUsage float64
+	// CPUCacheUsagePerInstr is the instruction-normalized variant the
+	// framework's CPU threshold is defined against.
+	CPUCacheUsagePerInstr float64
+
+	// GPU-side counters (eqn 2 inputs) aggregated over all launches.
+	GPUL1HitRate     float64
+	Transactions     int64
+	TransactionBytes int64
+
+	// Times.
+	CPUTime       units.Latency
+	KernelTime    units.Latency // total across launches
+	KernelTimePer units.Latency
+	CopyTimePer   units.Latency
+	Total         units.Latency
+
+	// GPUDemand is the kernel's LL-L1 demand throughput (eqn 2 numerator
+	// over kernel runtime). Dividing by the device's measured peak (first
+	// micro-benchmark) yields GPUCacheUsage.
+	GPUDemand units.BytesPerSecond
+
+	// Report keeps the full run record for downstream consumers.
+	Report comm.Report
+}
+
+// GPUCacheUsage evaluates eqn 2 against a device peak throughput.
+func (p Profile) GPUCacheUsage(peak units.BytesPerSecond) float64 {
+	if peak <= 0 {
+		return 0
+	}
+	return float64(p.GPUDemand) / float64(peak)
+}
+
+// Collect profiles the workload under the given model on the platform.
+func Collect(s *soc.SoC, w comm.Workload, m comm.Model) (Profile, error) {
+	if m == nil {
+		return Profile{}, fmt.Errorf("profile: nil model")
+	}
+	rep, err := m.Run(s, w)
+	if err != nil {
+		return Profile{}, fmt.Errorf("profile: %s under %s: %w", w.Name, m.Name(), err)
+	}
+	return FromReport(rep), nil
+}
+
+// FromReport distills an existing run report into a Profile, so callers that
+// already ran the workload (the framework does, for every model) need not
+// re-simulate.
+func FromReport(rep comm.Report) Profile {
+	p := Profile{
+		Platform:       rep.Platform,
+		Workload:       rep.Workload,
+		Model:          rep.Model,
+		CPUL1MissRate:  rep.CPUL1MissRate,
+		CPULLCMissRate: rep.CPULLCMissRate,
+		CPUCacheUsage:  perfmodel.CPUCacheUsage(rep.CPUL1MissRate, rep.CPULLCMissRate),
+		CPUCacheUsagePerInstr: perfmodel.CPUCacheUsagePerInstr(
+			rep.CPUL1Misses, rep.CPULLCMissRate, rep.CPUInstrs),
+		GPUL1HitRate:     rep.GPU.L1.HitRate(),
+		Transactions:     rep.GPU.Transactions,
+		TransactionBytes: rep.GPU.TransactionBytes,
+		CPUTime:          rep.CPUTime,
+		KernelTime:       rep.KernelTime,
+		KernelTimePer:    rep.KernelTimePer(),
+		CopyTimePer:      rep.CopyTimePer(),
+		Total:            rep.Total,
+		Report:           rep,
+	}
+	if rep.KernelTime > 0 {
+		demandBytes := float64(p.TransactionBytes) * (1 - p.GPUL1HitRate)
+		p.GPUDemand = units.BytesPerSecond(demandBytes / rep.KernelTime.Seconds())
+	}
+	return p
+}

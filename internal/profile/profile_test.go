@@ -1,0 +1,143 @@
+package profile
+
+import (
+	"math"
+	"testing"
+
+	"igpucomm/internal/comm"
+	"igpucomm/internal/cpu"
+	"igpucomm/internal/devices"
+	"igpucomm/internal/gpu"
+	"igpucomm/internal/isa"
+	"igpucomm/internal/soc"
+	"igpucomm/internal/units"
+)
+
+func testWorkload() comm.Workload {
+	const n = 4096
+	return comm.Workload{
+		Name: "prof",
+		In:   []comm.BufferSpec{{Name: "in", Size: n * 4}},
+		Out:  []comm.BufferSpec{{Name: "out", Size: n * 4}},
+		CPUTask: func(c *cpu.CPU, lay comm.Layout) {
+			base := lay.Addr("in")
+			for i := int64(0); i < n; i++ {
+				c.Store(base+i*4, 4)
+			}
+		},
+		MakeKernel: func(lay comm.Layout, launch int) gpu.Kernel {
+			in, out := lay.Addr("in"), lay.Addr("out")
+			return gpu.Kernel{
+				Name:    "k",
+				Threads: n,
+				Program: func(tid int, p *isa.Program) {
+					p.Ld(in+int64(tid)*4, 4)
+					p.St(out+int64(tid)*4, 4)
+				},
+			}
+		},
+		Warmup: 1,
+	}
+}
+
+func TestCollectFillsEverything(t *testing.T) {
+	s := soc.New(devices.TX2())
+	p, err := Collect(s, testWorkload(), comm.SC{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Platform != devices.TX2Name || p.Workload != "prof" || p.Model != "sc" {
+		t.Errorf("identity fields wrong: %+v", p)
+	}
+	if p.Transactions == 0 || p.TransactionBytes == 0 {
+		t.Error("no transactions recorded")
+	}
+	if p.KernelTime <= 0 || p.CPUTime <= 0 || p.Total <= 0 {
+		t.Error("missing times")
+	}
+	if p.GPUDemand <= 0 {
+		t.Error("no GPU demand computed")
+	}
+	if p.CopyTimePer <= 0 {
+		t.Error("SC profile must include copy time per kernel")
+	}
+	if p.CPUCacheUsage < 0 || p.CPUCacheUsage > 1 {
+		t.Errorf("CPU cache usage out of range: %v", p.CPUCacheUsage)
+	}
+}
+
+func TestCollectNilModel(t *testing.T) {
+	s := soc.New(devices.TX2())
+	if _, err := Collect(s, testWorkload(), nil); err == nil {
+		t.Error("nil model accepted")
+	}
+}
+
+func TestCollectPropagatesErrors(t *testing.T) {
+	s := soc.New(devices.TX2())
+	w := testWorkload()
+	w.Name = ""
+	if _, err := Collect(s, w, comm.SC{}); err == nil {
+		t.Error("invalid workload accepted")
+	}
+}
+
+func TestGPUCacheUsageNormalization(t *testing.T) {
+	p := Profile{GPUDemand: 48.5 * units.GBps}
+	if got := p.GPUCacheUsage(97 * units.GBps); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("usage = %v, want 0.5", got)
+	}
+	if p.GPUCacheUsage(0) != 0 {
+		t.Error("zero peak should give 0")
+	}
+}
+
+func TestFromReportConsistentWithCollect(t *testing.T) {
+	s := soc.New(devices.TX2())
+	rep, err := comm.SC{}.Run(s, testWorkload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := FromReport(rep)
+	p2, err := Collect(s, testWorkload(), comm.SC{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Transactions != p2.Transactions || p.KernelTime != p2.KernelTime {
+		t.Error("FromReport and Collect disagree on identical runs")
+	}
+}
+
+func TestGPUDemandReflectsL1Hits(t *testing.T) {
+	// A kernel whose warm L1 absorbs everything should show low demand.
+	s := soc.New(devices.TX2())
+	reuse := testWorkload()
+	reuse.Name = "reuse"
+	reuse.MakeKernel = func(lay comm.Layout, launch int) gpu.Kernel {
+		in := lay.Addr("in")
+		return gpu.Kernel{
+			Name:    "hot",
+			Threads: 4096,
+			Program: func(tid int, p *isa.Program) {
+				// Every warp re-reads the same single line, repeatedly.
+				for i := 0; i < 8; i++ {
+					p.Ld(in, 4)
+				}
+			},
+		}
+	}
+	hot, err := Collect(s, reuse, comm.SC{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot.GPUL1HitRate < 0.9 {
+		t.Errorf("hot-loop L1 hit rate = %v, want high", hot.GPUL1HitRate)
+	}
+	stream, err := Collect(s, testWorkload(), comm.SC{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot.GPUCacheUsage(97*units.GBps) >= stream.GPUCacheUsage(97*units.GBps) {
+		t.Error("L1-resident kernel should show lower LL demand than streaming kernel")
+	}
+}

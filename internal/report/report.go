@@ -1,0 +1,160 @@
+// Package report renders the experiment results as aligned ASCII tables and
+// plottable series, matching the layout of the paper's tables and figures so
+// side-by-side comparison is direct.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled grid with a header row.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+	// Note is a free-form footer (substitutions, scale factors, caveats).
+	Note string
+}
+
+// AddRow appends a row; values are stringified with %v, floats with 2
+// decimals.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[minInt(i, len(widths)-1)], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Note)
+	}
+	return b.String()
+}
+
+// Series is a figure's data: one x column and named y columns.
+type Series struct {
+	Title   string
+	XLabel  string
+	Columns []string
+	Points  [][]float64 // each row: x followed by the y values
+	Note    string
+}
+
+// AddPoint appends one x plus its y values.
+func (s *Series) AddPoint(x float64, ys ...float64) {
+	s.Points = append(s.Points, append([]float64{x}, ys...))
+}
+
+// String renders the series as an aligned data listing (gnuplot-ready).
+func (s Series) String() string {
+	var b strings.Builder
+	if s.Title != "" {
+		fmt.Fprintf(&b, "%s\n", s.Title)
+	}
+	fmt.Fprintf(&b, "# %-14s", s.XLabel)
+	for _, c := range s.Columns {
+		fmt.Fprintf(&b, "  %14s", c)
+	}
+	b.WriteByte('\n')
+	for _, row := range s.Points {
+		for i, v := range row {
+			if i == 0 {
+				fmt.Fprintf(&b, "%-16.8g", v)
+			} else {
+				fmt.Fprintf(&b, "  %14.6g", v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	if s.Note != "" {
+		fmt.Fprintf(&b, "note: %s\n", s.Note)
+	}
+	return b.String()
+}
+
+// PaperVsMeasured formats a comparison cell: "measured (paper X)".
+func PaperVsMeasured(measured float64, paper float64, unit string) string {
+	return fmt.Sprintf("%.2f%s (paper %.2f%s)", measured, unit, paper, unit)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Markdown renders the table as GitHub-flavored markdown (for dropping
+// experiment results into EXPERIMENTS.md-style documents).
+func (t Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		b.WriteString("|")
+		for _, c := range cells {
+			b.WriteString(" ")
+			b.WriteString(strings.ReplaceAll(c, "|", "\\|"))
+			b.WriteString(" |")
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "\n*%s*\n", t.Note)
+	}
+	return b.String()
+}

@@ -1,0 +1,96 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := Table{
+		Title:   "Test Table",
+		Headers: []string{"Board", "Value"},
+		Note:    "a footnote",
+	}
+	tab.AddRow("tx2", 1.2345)
+	tab.AddRow("xavier", float32(2.5))
+	tab.AddRow("nano", "text", "extra-cell")
+	out := tab.String()
+
+	for _, want := range []string{"Test Table", "Board", "Value", "tx2", "1.23", "2.50", "note: a footnote", "extra-cell"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + header + separator + 3 rows + note
+	if len(lines) != 7 {
+		t.Errorf("rendered %d lines, want 7:\n%s", len(lines), out)
+	}
+	// Header and separator align.
+	if !strings.HasPrefix(lines[2], "------") {
+		t.Errorf("separator line missing: %q", lines[2])
+	}
+}
+
+func TestTableColumnAlignment(t *testing.T) {
+	tab := Table{Headers: []string{"A", "B"}}
+	tab.AddRow("longer-cell", "x")
+	tab.AddRow("y", "z")
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// The second column must start at the same offset in both data rows.
+	r1, r2 := lines[2], lines[3]
+	if strings.Index(r1, "x") != strings.Index(r2, "z") {
+		t.Errorf("columns misaligned:\n%q\n%q", r1, r2)
+	}
+}
+
+func TestSeriesRendering(t *testing.T) {
+	s := Series{
+		Title:   "Sweep",
+		XLabel:  "fraction",
+		Columns: []string{"sc", "zc"},
+		Note:    "threshold at 0.1",
+	}
+	s.AddPoint(0.25, 1.5, 3.0)
+	s.AddPoint(0.5, 2.5, 9.0)
+	out := s.String()
+	for _, want := range []string{"Sweep", "# fraction", "sc", "zc", "0.25", "note: threshold"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered series missing %q:\n%s", want, out)
+		}
+	}
+	if len(s.Points) != 2 || len(s.Points[0]) != 3 {
+		t.Error("AddPoint shape wrong")
+	}
+}
+
+func TestPaperVsMeasured(t *testing.T) {
+	got := PaperVsMeasured(97.03, 97.34, " GB/s")
+	if got != "97.03 GB/s (paper 97.34 GB/s)" {
+		t.Errorf("PaperVsMeasured = %q", got)
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tab := Table{Headers: []string{"only", "headers"}}
+	out := tab.String()
+	if !strings.Contains(out, "only") {
+		t.Error("empty table should still render headers")
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tab := Table{
+		Title:   "MD",
+		Headers: []string{"A", "B"},
+		Note:    "footnote",
+	}
+	tab.AddRow("x|y", 1.5)
+	md := tab.Markdown()
+	for _, want := range []string{"**MD**", "| A | B |", "| --- | --- |", "x\\|y", "1.50", "*footnote*"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}

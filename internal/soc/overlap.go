@@ -1,0 +1,57 @@
+package soc
+
+import (
+	"igpucomm/internal/cache"
+	"igpucomm/internal/memdev"
+	"igpucomm/internal/units"
+)
+
+func copyAccessRead(n int64) cache.Access {
+	return cache.Access{Addr: 0, Size: n, Kind: cache.Read}
+}
+
+func copyAccessWrite(n int64) cache.Access {
+	return cache.Access{Addr: 0, Size: n, Kind: cache.Writeback}
+}
+
+// Stream is one agent's contribution to an overlapped interval: how long it
+// runs alone and how much DRAM traffic it generates in that time.
+type Stream struct {
+	Name  string
+	Solo  units.Latency // runtime when executed alone
+	Bytes int64         // DRAM bytes it moves during Solo
+}
+
+// Demand returns the stream's solo bandwidth appetite.
+func (s Stream) Demand() units.BytesPerSecond {
+	if s.Solo <= 0 || s.Bytes <= 0 {
+		return 0
+	}
+	return units.BytesPerSecond(float64(s.Bytes) / s.Solo.Seconds())
+}
+
+// Overlap models running the streams concurrently on this SoC's DRAM: the
+// memory controller arbitrates bandwidth max-min fairly, each stream's
+// runtime stretches by its grant ratio, and the interval ends when the
+// slowest stream finishes. This is the primitive behind the zero-copy
+// communication pattern's CPU/GPU task overlap (paper §III-C) and the third
+// micro-benchmark.
+//
+// Returned are the overlapped makespan and the per-stream stretched times.
+func (s *SoC) Overlap(streams ...Stream) (units.Latency, []units.Latency) {
+	demands := make([]memdev.Demand, len(streams))
+	for i, st := range streams {
+		demands[i] = memdev.Demand{Name: st.Name, Want: st.Demand()}
+	}
+	grants := memdev.Share(s.cfg.DRAM.Bandwidth, demands)
+	times := make([]units.Latency, len(streams))
+	var makespan units.Latency
+	for i, st := range streams {
+		slow := memdev.Slowdown(demands[i].Want, grants[i])
+		times[i] = units.Latency(float64(st.Solo) * slow)
+		if times[i] > makespan {
+			makespan = times[i]
+		}
+	}
+	return makespan, times
+}

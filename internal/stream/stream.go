@@ -1,0 +1,162 @@
+// Package stream analyzes a workload as a continuous real-time pipeline —
+// the deployment the paper motivates (camera- and sensor-driven edge
+// applications, §I): frames arrive at a fixed rate, each must be processed
+// before its deadline, and the communication model determines whether the
+// platform keeps up. This is what "the Nano does not allow satisfying the
+// real-time constraints" (§IV-C) means quantitatively.
+//
+// The model is a deterministic single-server queue: the per-frame service
+// time comes from one measured run under the chosen communication model;
+// arrivals are strictly periodic; frames queue FIFO when the pipeline falls
+// behind.
+package stream
+
+import (
+	"fmt"
+
+	"igpucomm/internal/comm"
+	"igpucomm/internal/soc"
+	"igpucomm/internal/units"
+)
+
+// Config describes the streaming deployment.
+type Config struct {
+	// RateHz is the arrival rate (camera frame rate, AO loop rate).
+	RateHz float64
+	// Frames is how many arrivals to simulate.
+	Frames int
+	// Deadline is the per-frame completion budget; 0 means one period.
+	Deadline units.Latency
+}
+
+// Validate reports configuration problems.
+func (c Config) Validate() error {
+	if c.RateHz <= 0 {
+		return fmt.Errorf("stream: rate %v must be positive", c.RateHz)
+	}
+	if c.Frames <= 0 {
+		return fmt.Errorf("stream: frame count %d must be positive", c.Frames)
+	}
+	if c.Deadline < 0 {
+		return fmt.Errorf("stream: negative deadline")
+	}
+	return nil
+}
+
+// Period is the inter-arrival time.
+func (c Config) Period() units.Latency {
+	return units.Latency(1e9 / c.RateHz)
+}
+
+// deadline resolves the effective per-frame budget.
+func (c Config) deadline() units.Latency {
+	if c.Deadline > 0 {
+		return c.Deadline
+	}
+	return c.Period()
+}
+
+// Stats is the streaming verdict for one (platform, model) pair.
+type Stats struct {
+	Platform string
+	Model    string
+	Workload string
+
+	// Service is the steady-state per-frame processing time.
+	Service units.Latency
+	// Utilization is Service / Period; above 1.0 the backlog grows without
+	// bound.
+	Utilization float64
+	// Sustainable reports whether the pipeline keeps up indefinitely.
+	Sustainable bool
+	// DeadlineMisses counts frames completing after their budget, over the
+	// simulated horizon.
+	DeadlineMisses int
+	// MaxLatency is the worst arrival-to-completion latency observed.
+	MaxLatency units.Latency
+	// EnergyPerSecond is the average power draw while streaming at the
+	// configured rate (idle gaps draw static power only).
+	EnergyPerSecond float64
+}
+
+// Run measures the workload under the model and plays the arrival schedule.
+func Run(s *soc.SoC, w comm.Workload, m comm.Model, cfg Config) (Stats, error) {
+	if err := cfg.Validate(); err != nil {
+		return Stats{}, err
+	}
+	if m == nil {
+		return Stats{}, fmt.Errorf("stream: nil model")
+	}
+	rep, err := m.Run(s, w)
+	if err != nil {
+		return Stats{}, fmt.Errorf("stream: %w", err)
+	}
+	st := FromReport(rep, cfg)
+	st.EnergyPerSecond = powerAtRate(s, rep, cfg)
+	return st, nil
+}
+
+// FromReport derives the streaming statistics from an existing measured run.
+func FromReport(rep comm.Report, cfg Config) Stats {
+	period := cfg.Period()
+	deadline := cfg.deadline()
+	service := rep.Total
+
+	st := Stats{
+		Platform:    rep.Platform,
+		Model:       rep.Model,
+		Workload:    rep.Workload,
+		Service:     service,
+		Utilization: float64(service) / float64(period),
+		Sustainable: service <= period,
+	}
+
+	// Deterministic FIFO queue over the horizon.
+	var done units.Latency
+	for i := 0; i < cfg.Frames; i++ {
+		arrival := units.Latency(float64(i) * float64(period))
+		start := arrival
+		if done > start {
+			start = done
+		}
+		done = start + service
+		latency := done - arrival
+		if latency > st.MaxLatency {
+			st.MaxLatency = latency
+		}
+		if latency > deadline {
+			st.DeadlineMisses++
+		}
+	}
+	return st
+}
+
+// powerAtRate averages the per-frame energy over the arrival period: the
+// frame's activity energy plus static draw during any idle remainder.
+func powerAtRate(s *soc.SoC, rep comm.Report, cfg Config) float64 {
+	period := cfg.Period()
+	frameJ := s.Config().Power.Joules(rep.Energy)
+	idle := period - rep.Total
+	if idle > 0 {
+		frameJ += s.Config().Power.StaticWatts * idle.Seconds()
+	}
+	effective := period
+	if rep.Total > period {
+		effective = rep.Total // saturated: frames back to back
+	}
+	return frameJ / effective.Seconds()
+}
+
+// Compare runs the workload under several models and returns the stats in
+// model order.
+func Compare(s *soc.SoC, w comm.Workload, models []comm.Model, cfg Config) ([]Stats, error) {
+	out := make([]Stats, 0, len(models))
+	for _, m := range models {
+		st, err := Run(s, w, m, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}

@@ -1,0 +1,181 @@
+package stream
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"igpucomm/internal/comm"
+	"igpucomm/internal/cpu"
+	"igpucomm/internal/devices"
+	"igpucomm/internal/gpu"
+	"igpucomm/internal/isa"
+	"igpucomm/internal/units"
+)
+
+func testWorkload(n int64) comm.Workload {
+	return comm.Workload{
+		Name: "streamtest",
+		In:   []comm.BufferSpec{{Name: "in", Size: n * 4}},
+		Out:  []comm.BufferSpec{{Name: "out", Size: n * 4}},
+		CPUTask: func(c *cpu.CPU, lay comm.Layout) {
+			base := lay.Addr("in")
+			for i := int64(0); i < n; i += 16 {
+				c.Store(base+i*4, 4)
+			}
+		},
+		MakeKernel: func(lay comm.Layout, _ int) gpu.Kernel {
+			in, out := lay.Addr("in"), lay.Addr("out")
+			return gpu.Kernel{Name: "k", Threads: int(n), Program: func(tid int, p *isa.Program) {
+				p.Ld(in+int64(tid)*4, 4)
+				p.Compute(isa.FMA, 16)
+				p.St(out+int64(tid)*4, 4)
+			}}
+		},
+		Warmup: 1,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{RateHz: 30, Frames: 100}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	for name, c := range map[string]Config{
+		"zero rate":    {RateHz: 0, Frames: 10},
+		"neg rate":     {RateHz: -1, Frames: 10},
+		"zero frames":  {RateHz: 30, Frames: 0},
+		"neg deadline": {RateHz: 30, Frames: 10, Deadline: -1},
+	} {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	if got := (Config{RateHz: 30, Frames: 1}).Period(); math.Abs(float64(got)-1e9/30) > 1 {
+		t.Errorf("period = %v", got)
+	}
+}
+
+func TestSustainablePipeline(t *testing.T) {
+	// Service well below the period: no misses, latency == service.
+	rep := comm.Report{Platform: "p", Model: "sc", Workload: "w", Total: 1e6} // 1ms
+	st := FromReport(rep, Config{RateHz: 100, Frames: 50})                    // 10ms period
+	if !st.Sustainable {
+		t.Error("1ms service at 100Hz should be sustainable")
+	}
+	if st.DeadlineMisses != 0 {
+		t.Errorf("misses = %d, want 0", st.DeadlineMisses)
+	}
+	if st.MaxLatency != rep.Total {
+		t.Errorf("max latency = %v, want service time %v", st.MaxLatency, rep.Total)
+	}
+	if math.Abs(st.Utilization-0.1) > 1e-9 {
+		t.Errorf("utilization = %v, want 0.1", st.Utilization)
+	}
+}
+
+func TestSaturatedPipelineBacklogGrows(t *testing.T) {
+	// Service 2x the period: every frame after the first misses, and the
+	// worst latency grows linearly with the horizon.
+	rep := comm.Report{Total: 2e6} // 2ms
+	st := FromReport(rep, Config{RateHz: 1000, Frames: 100})
+	if st.Sustainable {
+		t.Error("2ms service at 1kHz cannot be sustainable")
+	}
+	if st.Utilization < 1.9 {
+		t.Errorf("utilization = %v, want ~2", st.Utilization)
+	}
+	if st.DeadlineMisses < 99 {
+		t.Errorf("misses = %d, want nearly all", st.DeadlineMisses)
+	}
+	// After n frames the backlog is (n-1)*(service-period)+service.
+	want := units.Latency(99*(2e6-1e6) + 2e6)
+	if st.MaxLatency != want {
+		t.Errorf("max latency = %v, want %v", st.MaxLatency, want)
+	}
+}
+
+func TestCustomDeadlineTighterThanPeriod(t *testing.T) {
+	rep := comm.Report{Total: 5e5} // 0.5ms
+	st := FromReport(rep, Config{RateHz: 100, Frames: 10, Deadline: 4e5})
+	if st.DeadlineMisses != 10 {
+		t.Errorf("misses = %d, want all 10 (budget below service)", st.DeadlineMisses)
+	}
+	if !st.Sustainable {
+		t.Error("pipeline is sustainable even while missing tight deadlines")
+	}
+}
+
+func TestRunAndCompareOnSimulatedBoard(t *testing.T) {
+	s, err := devices.NewSoC(devices.XavierName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Compare(s, testWorkload(1<<14), comm.Models(), Config{RateHz: 1000, Frames: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 3 {
+		t.Fatalf("stats = %d, want 3", len(stats))
+	}
+	for _, st := range stats {
+		if st.Service <= 0 {
+			t.Errorf("%s: missing service time", st.Model)
+		}
+		if st.EnergyPerSecond <= 0 {
+			t.Errorf("%s: missing power", st.Model)
+		}
+		if st.Platform != devices.XavierName {
+			t.Errorf("%s: platform %q", st.Model, st.Platform)
+		}
+	}
+	// ZC drops copies: its power should not exceed SC's at the same rate.
+	var scPower, zcPower float64
+	for _, st := range stats {
+		switch st.Model {
+		case "sc":
+			scPower = st.EnergyPerSecond
+		case "zc":
+			zcPower = st.EnergyPerSecond
+		}
+	}
+	if zcPower > scPower {
+		t.Errorf("ZC power %v above SC %v on the coherent board", zcPower, scPower)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	s, _ := devices.NewSoC(devices.TX2Name)
+	if _, err := Run(s, testWorkload(1024), nil, Config{RateHz: 30, Frames: 1}); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := Run(s, testWorkload(1024), comm.SC{}, Config{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+	bad := testWorkload(1024)
+	bad.Name = ""
+	if _, err := Run(s, bad, comm.SC{}, Config{RateHz: 30, Frames: 1}); err == nil {
+		t.Error("invalid workload accepted")
+	}
+}
+
+// Property: utilization <= 1 implies zero deadline misses at the default
+// deadline, and the max latency never exceeds service + total backlog.
+func TestPropertyQueueSoundness(t *testing.T) {
+	f := func(serviceUS, periodUS uint16, frames8 uint8) bool {
+		service := units.Latency(serviceUS%5000+1) * 1000
+		period := units.Latency(periodUS%5000+1) * 1000
+		frames := int(frames8%64) + 1
+		rep := comm.Report{Total: service}
+		cfg := Config{RateHz: 1e9 / float64(period), Frames: frames}
+		st := FromReport(rep, cfg)
+		if service <= period && st.DeadlineMisses != 0 {
+			return false
+		}
+		bound := units.Latency(float64(frames)) * service
+		return st.MaxLatency >= service && st.MaxLatency <= bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,93 @@
+package tiling
+
+import (
+	"fmt"
+
+	"igpucomm/internal/cpu"
+	"igpucomm/internal/gpu"
+	"igpucomm/internal/soc"
+	"igpucomm/internal/units"
+)
+
+// SoCWork binds the pattern to simulated hardware: what the CPU does per
+// tile and what kernel the GPU launches over its tile set each phase.
+type SoCWork struct {
+	// CPUTile processes one tile on the CPU model.
+	CPUTile func(c *cpu.CPU, t Tile)
+	// GPUKernel builds the phase's kernel over the GPU-side tiles.
+	GPUKernel func(phase int, tiles []Tile) gpu.Kernel
+	// Barrier is the per-phase synchronization cost (event record + wait).
+	Barrier units.Latency
+}
+
+// PhaseTrace records one simulated phase for inspection.
+type PhaseTrace struct {
+	Phase    int
+	CPUTime  units.Latency
+	GPUTime  units.Latency
+	Overlap  units.Latency // arbited makespan of the two sides
+	CPUTiles int
+	GPUTiles int
+}
+
+// SimulateOnSoC runs the pattern phase-accurately on the simulated platform:
+// each phase, the CPU model processes its parity's tiles while the GPU model
+// runs a kernel over the other parity's, the two streams contend for DRAM
+// through the arbiter, and the phase ends at the slower side plus the
+// barrier. This is the mechanical version of what comm.ZC approximates with
+// a single whole-iteration overlap.
+func (p Pattern) SimulateOnSoC(s *soc.SoC, work SoCWork) (units.Latency, []PhaseTrace, error) {
+	if err := p.Validate(); err != nil {
+		return 0, nil, err
+	}
+	if work.CPUTile == nil || work.GPUKernel == nil {
+		return 0, nil, fmt.Errorf("tiling: nil SoC work")
+	}
+	if work.Barrier < 0 {
+		return 0, nil, fmt.Errorf("tiling: negative barrier cost")
+	}
+
+	var total units.Latency
+	traces := make([]PhaseTrace, 0, p.Phases)
+	for phase := 0; phase < p.Phases; phase++ {
+		cpuParity := Parity(phase % 2)
+		cpuTiles := p.Geo.Tiles(cpuParity)
+		gpuTiles := p.Geo.Tiles(cpuParity.Flip())
+
+		// CPU side, measured through the CPU model.
+		trafficBefore := s.CPUTraffic()
+		start := s.CPU.Elapsed()
+		for _, t := range cpuTiles {
+			work.CPUTile(s.CPU, t)
+		}
+		cpuTime := s.CPU.Elapsed() - start
+		cpuBytes := s.CPUTraffic().Bytes() - trafficBefore.Bytes()
+
+		// GPU side, one launch over its tile set.
+		var gpuTime units.Latency
+		var gpuBytes int64
+		if len(gpuTiles) > 0 {
+			res, err := s.GPU.Launch(work.GPUKernel(phase, gpuTiles))
+			if err != nil {
+				return 0, nil, fmt.Errorf("tiling: phase %d: %w", phase, err)
+			}
+			gpuTime = res.Time + res.LaunchOverhead
+			gpuBytes = res.DRAM.Bytes() + res.Pinned.Bytes()
+		}
+
+		makespan, _ := s.Overlap(
+			soc.Stream{Name: "cpu", Solo: cpuTime, Bytes: cpuBytes},
+			soc.Stream{Name: "gpu", Solo: gpuTime, Bytes: gpuBytes},
+		)
+		total += makespan + work.Barrier
+		traces = append(traces, PhaseTrace{
+			Phase:    phase,
+			CPUTime:  cpuTime,
+			GPUTime:  gpuTime,
+			Overlap:  makespan,
+			CPUTiles: len(cpuTiles),
+			GPUTiles: len(gpuTiles),
+		})
+	}
+	return total, traces, nil
+}

@@ -1,0 +1,112 @@
+package tiling
+
+import (
+	"testing"
+
+	"igpucomm/internal/cpu"
+	"igpucomm/internal/devices"
+	"igpucomm/internal/gpu"
+	"igpucomm/internal/isa"
+	"igpucomm/internal/soc"
+	"igpucomm/internal/units"
+)
+
+func simSetup(t *testing.T) (*soc.SoC, Pattern, int64) {
+	t.Helper()
+	s, err := devices.NewSoC(devices.XavierName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := s.AllocPinned("tiles", 512*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	geo, err := NewGeometry(1024, 64, 4, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, Pattern{Geo: geo, Phases: 4}, buf.Addr
+}
+
+func simWork(base int64, width int, barrier int64) SoCWork {
+	return SoCWork{
+		Barrier: 500,
+		CPUTile: func(c *cpu.CPU, tl Tile) {
+			addr := base + int64(tl.Y0*width+tl.X0)*4
+			c.Load(addr, 4)
+			c.Work(isa.FMA, 8)
+			c.Store(addr, 4)
+		},
+		GPUKernel: func(phase int, tiles []Tile) gpu.Kernel {
+			return gpu.Kernel{
+				Name:    "tile-consume",
+				Threads: len(tiles) * 16,
+				Program: func(tid int, p *isa.Program) {
+					tl := tiles[tid/16]
+					lane := int64(tid % 16)
+					addr := base + int64(tl.Y0*width+tl.X0)*4 + lane*4
+					p.Ld(addr, 4)
+					p.Compute(isa.FMA, 4)
+				},
+			}
+		},
+	}
+}
+
+func TestSimulateOnSoC(t *testing.T) {
+	s, p, base := simSetup(t)
+	total, traces, err := p.SimulateOnSoC(s, simWork(base, p.Geo.Width, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total <= 0 {
+		t.Fatal("no simulated time")
+	}
+	if len(traces) != p.Phases {
+		t.Fatalf("traces = %d, want %d", len(traces), p.Phases)
+	}
+	half := p.Geo.TileCount() / 2
+	for _, tr := range traces {
+		if tr.CPUTiles+tr.GPUTiles != p.Geo.TileCount() {
+			t.Errorf("phase %d covers %d tiles", tr.Phase, tr.CPUTiles+tr.GPUTiles)
+		}
+		if tr.CPUTiles < half-64 || tr.CPUTiles > half+64 {
+			t.Errorf("phase %d unbalanced: %d cpu tiles", tr.Phase, tr.CPUTiles)
+		}
+		// The overlapped makespan is bounded by its components.
+		floor := tr.CPUTime
+		if tr.GPUTime > floor {
+			floor = tr.GPUTime
+		}
+		if tr.Overlap < floor {
+			t.Errorf("phase %d overlap %v below slower side %v", tr.Phase, tr.Overlap, floor)
+		}
+		if tr.Overlap > tr.CPUTime+tr.GPUTime {
+			t.Errorf("phase %d overlap %v above serial sum", tr.Phase, tr.Overlap)
+		}
+	}
+	// Phase-accurate total beats serializing the sides phase by phase.
+	var serial units.Latency
+	for _, tr := range traces {
+		serial += tr.CPUTime + tr.GPUTime + 500
+	}
+	if total >= serial {
+		t.Errorf("overlapped total %v not below serialized %v", total, serial)
+	}
+}
+
+func TestSimulateOnSoCErrors(t *testing.T) {
+	s, p, base := simSetup(t)
+	if _, _, err := p.SimulateOnSoC(s, SoCWork{}); err == nil {
+		t.Error("nil work accepted")
+	}
+	w := simWork(base, p.Geo.Width, 0)
+	w.Barrier = -1
+	if _, _, err := p.SimulateOnSoC(s, w); err == nil {
+		t.Error("negative barrier accepted")
+	}
+	bad := Pattern{Geo: p.Geo, Phases: 0}
+	if _, _, err := bad.SimulateOnSoC(s, simWork(base, p.Geo.Width, 0)); err == nil {
+		t.Error("invalid pattern accepted")
+	}
+}

@@ -1,0 +1,242 @@
+// Package tiling implements the paper's zero-copy communication pattern
+// (§III-C, Fig 4): an n-dimensional data structure sized from the available
+// GPU LLC is partitioned into tiles whose size matches the smaller of the
+// CPU and GPU cache line sizes, and CPU and iGPU alternate over even/odd
+// tiles in pipelined producer-consumer phases. No per-access synchronization
+// is needed: within a phase the two sides own disjoint tile sets, and the
+// phase barrier is the only ordering point.
+//
+// The package provides both a *real* concurrent implementation (goroutines
+// standing in for the CPU thread and the GPU stream; race-free by
+// construction and verified under -race) and a timing twin that prices the
+// pattern on a simulated SoC.
+package tiling
+
+import (
+	"fmt"
+	"sync"
+
+	"igpucomm/internal/units"
+)
+
+// Parity selects the even or odd tile set of a phase.
+type Parity int
+
+// Tile parities.
+const (
+	Even Parity = 0
+	Odd  Parity = 1
+)
+
+func (p Parity) String() string {
+	if p == Even {
+		return "even"
+	}
+	return "odd"
+}
+
+// Flip returns the other parity.
+func (p Parity) Flip() Parity { return 1 - p }
+
+// Geometry is the tile decomposition of a 2D data structure.
+type Geometry struct {
+	// Width and Height are the data dimensions in elements.
+	Width, Height int
+	// ElemSize is bytes per element.
+	ElemSize int
+	// TileW and TileH are the tile dimensions in elements.
+	TileW, TileH int
+}
+
+// NewGeometry sizes the decomposition the way §III-C prescribes: the overall
+// structure (Width_x × Width_y) should fit the available GPU LLC (the caller
+// picks Width/Height accordingly — Fits reports whether it does), and the
+// tile byte size (B_size) is derived from the smaller of the CPU and GPU
+// LLC line sizes so each tile access coalesces into whole-line transactions.
+// Tiles are lineBytes wide and one element tall, the finest decomposition
+// that keeps every transaction line-aligned.
+func NewGeometry(width, height, elemSize int, cpuLine, gpuLine int64) (Geometry, error) {
+	if width <= 0 || height <= 0 {
+		return Geometry{}, fmt.Errorf("tiling: dimensions %dx%d must be positive", width, height)
+	}
+	if elemSize <= 0 {
+		return Geometry{}, fmt.Errorf("tiling: element size %d must be positive", elemSize)
+	}
+	line := cpuLine
+	if gpuLine < line {
+		line = gpuLine
+	}
+	if line <= 0 {
+		return Geometry{}, fmt.Errorf("tiling: line sizes must be positive")
+	}
+	tileW := int(line) / elemSize
+	if tileW < 1 {
+		tileW = 1
+	}
+	if tileW > width {
+		tileW = width
+	}
+	g := Geometry{Width: width, Height: height, ElemSize: elemSize, TileW: tileW, TileH: 1}
+	return g, nil
+}
+
+// TilesX and TilesY are the tile-grid dimensions (ceiling division: edge
+// tiles may be narrower).
+func (g Geometry) TilesX() int { return (g.Width + g.TileW - 1) / g.TileW }
+
+// TilesY is the vertical tile count.
+func (g Geometry) TilesY() int { return (g.Height + g.TileH - 1) / g.TileH }
+
+// TileCount is the total number of tiles.
+func (g Geometry) TileCount() int { return g.TilesX() * g.TilesY() }
+
+// Bytes is the total data size.
+func (g Geometry) Bytes() int64 {
+	return int64(g.Width) * int64(g.Height) * int64(g.ElemSize)
+}
+
+// TileBytes is B_size, the byte size of one full tile.
+func (g Geometry) TileBytes() int64 {
+	return int64(g.TileW) * int64(g.TileH) * int64(g.ElemSize)
+}
+
+// Fits reports whether the whole structure fits a cache of llcBytes — the
+// §III-C sizing rule for Width_x × Width_y.
+func (g Geometry) Fits(llcBytes int64) bool { return g.Bytes() <= llcBytes }
+
+// Tile is one block of the decomposition.
+type Tile struct {
+	Index  int // linear tile index (row-major over the tile grid)
+	X0, Y0 int // element coordinates of the top-left corner
+	W, H   int // extent in elements (edge tiles may be clipped)
+}
+
+// Parity is the checkerboard colour of the tile: (tx + ty) % 2, so that
+// horizontally and vertically adjacent tiles always belong to opposite
+// sides within a phase.
+func (t Tile) Parity(g Geometry) Parity {
+	tx := t.Index % g.TilesX()
+	ty := t.Index / g.TilesX()
+	return Parity((tx + ty) % 2)
+}
+
+// TileAt returns tile number idx.
+func (g Geometry) TileAt(idx int) Tile {
+	tx := idx % g.TilesX()
+	ty := idx / g.TilesX()
+	x0 := tx * g.TileW
+	y0 := ty * g.TileH
+	w := g.TileW
+	if x0+w > g.Width {
+		w = g.Width - x0
+	}
+	h := g.TileH
+	if y0+h > g.Height {
+		h = g.Height - y0
+	}
+	return Tile{Index: idx, X0: x0, Y0: y0, W: w, H: h}
+}
+
+// Tiles returns all tiles of one parity, in index order.
+func (g Geometry) Tiles(p Parity) []Tile {
+	var out []Tile
+	for i := 0; i < g.TileCount(); i++ {
+		t := g.TileAt(i)
+		if t.Parity(g) == p {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Pattern runs the alternating-phase schedule.
+type Pattern struct {
+	Geo Geometry
+	// Phases is the number of producer/consumer rounds. After an even
+	// number of phases every tile has been visited the same number of
+	// times by each side.
+	Phases int
+}
+
+// Validate reports structural problems.
+func (p Pattern) Validate() error {
+	if p.Phases <= 0 {
+		return fmt.Errorf("tiling: phases %d must be positive", p.Phases)
+	}
+	if p.Geo.TileCount() == 0 {
+		return fmt.Errorf("tiling: empty geometry")
+	}
+	return nil
+}
+
+// Run executes the pattern concurrently: in phase i the cpu function is
+// applied to all tiles of parity i%2 and the gpu function to the others, by
+// two goroutines running simultaneously; a barrier separates phases. The
+// two sides never touch the same tile in the same phase, so data functions
+// may freely read and write their tile without synchronization.
+func (p Pattern) Run(cpu, gpu func(phase int, t Tile)) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if cpu == nil || gpu == nil {
+		return fmt.Errorf("tiling: nil worker")
+	}
+	for phase := 0; phase < p.Phases; phase++ {
+		cpuParity := Parity(phase % 2)
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for _, t := range p.Geo.Tiles(cpuParity) {
+				cpu(phase, t)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for _, t := range p.Geo.Tiles(cpuParity.Flip()) {
+				gpu(phase, t)
+			}
+		}()
+		wg.Wait() // the phase barrier — the pattern's only synchronization
+	}
+	return nil
+}
+
+// Timing prices the pattern on simulated hardware. Per phase each side
+// processes half the tiles; the phase lasts as long as the slower side plus
+// the barrier cost; phases serialize.
+type Timing struct {
+	// CPUTilePerNs and GPUTilePerNs are the per-tile processing times.
+	CPUTile units.Latency
+	GPUTile units.Latency
+	// Barrier is the per-phase synchronization cost (an event record +
+	// wait on real hardware).
+	Barrier units.Latency
+}
+
+// Estimate returns the overlapped makespan of running the pattern and, for
+// comparison, the serialized time the same work would take without the
+// pattern (all CPU tiles then all GPU tiles, per phase). The ratio of the
+// two is the overlap gain §III-C buys.
+func (p Pattern) Estimate(t Timing) (overlapped, serialized units.Latency, err error) {
+	if err := p.Validate(); err != nil {
+		return 0, 0, err
+	}
+	if t.CPUTile < 0 || t.GPUTile < 0 || t.Barrier < 0 {
+		return 0, 0, fmt.Errorf("tiling: negative timing component")
+	}
+	for phase := 0; phase < p.Phases; phase++ {
+		cpuParity := Parity(phase % 2)
+		nCPU := len(p.Geo.Tiles(cpuParity))
+		nGPU := p.Geo.TileCount() - nCPU
+		cpuTime := units.Latency(float64(nCPU) * float64(t.CPUTile))
+		gpuTime := units.Latency(float64(nGPU) * float64(t.GPUTile))
+		phaseTime := cpuTime
+		if gpuTime > phaseTime {
+			phaseTime = gpuTime
+		}
+		overlapped += phaseTime + t.Barrier
+		serialized += cpuTime + gpuTime + t.Barrier
+	}
+	return overlapped, serialized, nil
+}

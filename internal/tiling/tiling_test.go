@@ -1,0 +1,267 @@
+package tiling
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustGeometry(t *testing.T, w, h, elem int, cpuLine, gpuLine int64) Geometry {
+	t.Helper()
+	g, err := NewGeometry(w, h, elem, cpuLine, gpuLine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewGeometryErrors(t *testing.T) {
+	cases := []struct {
+		name             string
+		w, h, elem       int
+		cpuLine, gpuLine int64
+	}{
+		{"zero width", 0, 4, 4, 64, 64},
+		{"zero height", 4, 0, 4, 64, 64},
+		{"zero elem", 4, 4, 0, 64, 64},
+		{"zero lines", 4, 4, 4, 0, 0},
+	}
+	for _, c := range cases {
+		if _, err := NewGeometry(c.w, c.h, c.elem, c.cpuLine, c.gpuLine); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+}
+
+func TestGeometryUsesSmallerLine(t *testing.T) {
+	g := mustGeometry(t, 256, 16, 4, 128, 64)
+	if g.TileW != 16 { // 64B line / 4B elements
+		t.Errorf("tile width = %d, want 16 (from the smaller 64B line)", g.TileW)
+	}
+	if g.TileBytes() != 64 {
+		t.Errorf("B_size = %d, want 64", g.TileBytes())
+	}
+}
+
+func TestGeometryCounts(t *testing.T) {
+	g := mustGeometry(t, 256, 16, 4, 64, 64)
+	if g.TilesX() != 16 || g.TilesY() != 16 {
+		t.Errorf("grid = %dx%d, want 16x16", g.TilesX(), g.TilesY())
+	}
+	if g.TileCount() != 256 {
+		t.Errorf("count = %d, want 256", g.TileCount())
+	}
+	if g.Bytes() != 256*16*4 {
+		t.Errorf("bytes = %d", g.Bytes())
+	}
+	if !g.Fits(256*16*4) || g.Fits(256*16*4-1) {
+		t.Error("Fits boundary wrong")
+	}
+}
+
+func TestEdgeTilesClipped(t *testing.T) {
+	g := mustGeometry(t, 100, 3, 4, 64, 64) // tileW 16 -> 7 tiles/row, last 4 wide
+	last := g.TileAt(g.TilesX() - 1)
+	if last.W != 100-6*16 {
+		t.Errorf("edge tile width = %d, want 4", last.W)
+	}
+	var area int
+	for i := 0; i < g.TileCount(); i++ {
+		tl := g.TileAt(i)
+		area += tl.W * tl.H
+	}
+	if area != 100*3 {
+		t.Errorf("tile areas sum to %d, want %d (full coverage)", area, 300)
+	}
+}
+
+func TestCheckerboardParity(t *testing.T) {
+	g := mustGeometry(t, 128, 8, 4, 64, 64)
+	for i := 0; i < g.TileCount(); i++ {
+		tl := g.TileAt(i)
+		p := tl.Parity(g)
+		// Horizontal neighbour must differ.
+		if (i+1)%g.TilesX() != 0 {
+			if g.TileAt(i+1).Parity(g) == p {
+				t.Fatalf("tiles %d and %d share parity", i, i+1)
+			}
+		}
+		// Vertical neighbour must differ.
+		if i+g.TilesX() < g.TileCount() {
+			if g.TileAt(i+g.TilesX()).Parity(g) == p {
+				t.Fatalf("tiles %d and %d (below) share parity", i, i+g.TilesX())
+			}
+		}
+	}
+	even := len(g.Tiles(Even))
+	odd := len(g.Tiles(Odd))
+	if even+odd != g.TileCount() {
+		t.Error("parities do not partition the tile set")
+	}
+}
+
+func TestParityHelpers(t *testing.T) {
+	if Even.Flip() != Odd || Odd.Flip() != Even {
+		t.Error("Flip wrong")
+	}
+	if Even.String() != "even" || Odd.String() != "odd" {
+		t.Error("String wrong")
+	}
+}
+
+func TestPatternValidate(t *testing.T) {
+	g := mustGeometry(t, 64, 4, 4, 64, 64)
+	if err := (Pattern{Geo: g, Phases: 0}).Validate(); err == nil {
+		t.Error("zero phases accepted")
+	}
+	if err := (Pattern{Geo: g, Phases: 2}).Run(nil, nil); err == nil {
+		t.Error("nil workers accepted")
+	}
+}
+
+// TestRunDisjointOwnership verifies the pattern's core guarantee: within a
+// phase, no tile is visited by both sides, and across a phase pair every
+// tile is visited exactly once by each side. Runs under -race with both
+// goroutines writing a shared slice to prove freedom from data races.
+func TestRunDisjointOwnership(t *testing.T) {
+	g := mustGeometry(t, 128, 16, 4, 64, 64)
+	p := Pattern{Geo: g, Phases: 4}
+	type visit struct{ cpu, gpu int }
+	visits := make([][]visit, p.Phases)
+	for i := range visits {
+		visits[i] = make([]visit, g.TileCount())
+	}
+	shared := make([]float32, g.Width*g.Height) // both sides write their tiles
+
+	err := p.Run(
+		func(phase int, tl Tile) {
+			visits[phase][tl.Index].cpu++ // safe: disjoint tiles per phase per side
+			for y := tl.Y0; y < tl.Y0+tl.H; y++ {
+				for x := tl.X0; x < tl.X0+tl.W; x++ {
+					shared[y*g.Width+x] += 1
+				}
+			}
+		},
+		func(phase int, tl Tile) {
+			visits[phase][tl.Index].gpu++
+			for y := tl.Y0; y < tl.Y0+tl.H; y++ {
+				for x := tl.X0; x < tl.X0+tl.W; x++ {
+					shared[y*g.Width+x] *= 2
+				}
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for phase := range visits {
+		for idx, v := range visits[phase] {
+			if v.cpu+v.gpu != 1 {
+				t.Fatalf("phase %d tile %d visited %d times by cpu and %d by gpu", phase, idx, v.cpu, v.gpu)
+			}
+		}
+	}
+	// Across consecutive phase pairs, sides swap: tile visited by cpu in
+	// phase 0 must be visited by gpu in phase 1.
+	for idx := range visits[0] {
+		if visits[0][idx].cpu == 1 && visits[1][idx].gpu != 1 {
+			t.Fatalf("tile %d not handed over between phases", idx)
+		}
+	}
+}
+
+// Property: for any geometry, every element belongs to exactly one tile.
+func TestPropertyFullCoverage(t *testing.T) {
+	f := func(w8, h8, elemSel uint8) bool {
+		w := int(w8%200) + 1
+		h := int(h8%20) + 1
+		elem := []int{1, 2, 4, 8}[elemSel%4]
+		g, err := NewGeometry(w, h, elem, 64, 64)
+		if err != nil {
+			return false
+		}
+		seen := make([]int, w*h)
+		for i := 0; i < g.TileCount(); i++ {
+			tl := g.TileAt(i)
+			for y := tl.Y0; y < tl.Y0+tl.H; y++ {
+				for x := tl.X0; x < tl.X0+tl.W; x++ {
+					seen[y*w+x]++
+				}
+			}
+		}
+		for _, n := range seen {
+			if n != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: parity sets are balanced to within one tile per row pair.
+func TestPropertyParityBalance(t *testing.T) {
+	f := func(w8, h8 uint8) bool {
+		w := int(w8%200) + 16
+		h := int(h8%20) + 1
+		g, err := NewGeometry(w, h, 4, 64, 64)
+		if err != nil {
+			return false
+		}
+		even := len(g.Tiles(Even))
+		odd := len(g.Tiles(Odd))
+		diff := even - odd
+		if diff < 0 {
+			diff = -diff
+		}
+		// A checkerboard over an n-tile grid is balanced within ceil(rows/2).
+		return diff <= (g.TilesY()+1)/2+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEstimateOverlapGain(t *testing.T) {
+	g := mustGeometry(t, 256, 16, 4, 64, 64) // 256 tiles
+	p := Pattern{Geo: g, Phases: 2}
+	over, serial, err := p.Estimate(Timing{CPUTile: 100, GPUTile: 100, Barrier: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Balanced sides: phase = 128*100 + 50; serial = 256*100 + 50.
+	if over != 2*(12800+50) {
+		t.Errorf("overlapped = %v, want %v", over, 2*(12800+50))
+	}
+	if serial != 2*(25600+50) {
+		t.Errorf("serialized = %v, want %v", serial, 2*(25600+50))
+	}
+	if float64(serial)/float64(over) < 1.9 {
+		t.Errorf("balanced overlap gain = %.2f, want ~2x", float64(serial)/float64(over))
+	}
+}
+
+func TestEstimateImbalancedSides(t *testing.T) {
+	g := mustGeometry(t, 256, 16, 4, 64, 64)
+	p := Pattern{Geo: g, Phases: 1}
+	over, serial, err := p.Estimate(Timing{CPUTile: 10, GPUTile: 1000, Barrier: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The slow side dominates: gain approaches 1 + cpu share.
+	gain := float64(serial) / float64(over)
+	if gain < 1.0 || gain > 1.05 {
+		t.Errorf("imbalanced gain = %.3f, want barely above 1", gain)
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	g := mustGeometry(t, 64, 4, 4, 64, 64)
+	if _, _, err := (Pattern{Geo: g, Phases: 2}).Estimate(Timing{CPUTile: -1}); err == nil {
+		t.Error("negative timing accepted")
+	}
+	if _, _, err := (Pattern{Geo: g}).Estimate(Timing{}); err == nil {
+		t.Error("invalid pattern accepted")
+	}
+}

@@ -1,0 +1,124 @@
+// Package units provides the physical quantities the simulator is built on:
+// byte sizes, clock frequencies, bandwidths, and the cycle/time conversions
+// between them. Keeping these as distinct types prevents the classic
+// "was that cycles or nanoseconds?" class of bugs in timing models.
+package units
+
+import (
+	"fmt"
+	"time"
+)
+
+// Common byte sizes.
+const (
+	KiB int64 = 1 << 10
+	MiB int64 = 1 << 20
+	GiB int64 = 1 << 30
+)
+
+// Hertz is a clock frequency in Hz.
+type Hertz float64
+
+// Frequency helpers.
+const (
+	MHz Hertz = 1e6
+	GHz Hertz = 1e9
+)
+
+// Cycles is a duration measured in clock cycles of some domain.
+type Cycles float64
+
+// Duration converts a cycle count in the given clock domain to wall time.
+func (c Cycles) Duration(f Hertz) time.Duration {
+	if f <= 0 {
+		return 0
+	}
+	return time.Duration(float64(c) / float64(f) * float64(time.Second))
+}
+
+// Seconds converts a cycle count to seconds in the given clock domain.
+func (c Cycles) Seconds(f Hertz) float64 {
+	if f <= 0 {
+		return 0
+	}
+	return float64(c) / float64(f)
+}
+
+// CyclesOf converts wall time to cycles in the given clock domain.
+func CyclesOf(d time.Duration, f Hertz) Cycles {
+	return Cycles(d.Seconds() * float64(f))
+}
+
+// Latency is simulated time in nanoseconds. The whole simulator accounts
+// critical-path time in this single unit so that latencies composed across
+// clock domains (CPU caches serving GPU requests through the I/O-coherence
+// port, say) add up without conversion mistakes.
+type Latency float64
+
+// Lat converts a wall-clock duration to simulated latency.
+func Lat(d time.Duration) Latency { return Latency(d.Nanoseconds()) }
+
+// Duration converts simulated latency back to wall time.
+func (l Latency) Duration() time.Duration {
+	return time.Duration(float64(l) * float64(time.Nanosecond))
+}
+
+// Seconds returns the latency in seconds.
+func (l Latency) Seconds() float64 { return float64(l) * 1e-9 }
+
+// Lat converts a cycle count in clock domain f to simulated latency.
+func (c Cycles) Lat(f Hertz) Latency {
+	if f <= 0 {
+		return 0
+	}
+	return Latency(float64(c) / float64(f) * 1e9)
+}
+
+// BytesPerSecond is a bandwidth. The value is bytes per second.
+type BytesPerSecond float64
+
+// Bandwidth helpers.
+const (
+	MBps BytesPerSecond = 1e6
+	GBps BytesPerSecond = 1e9
+)
+
+// GB returns the bandwidth expressed in GB/s (decimal), the unit the paper's
+// tables use.
+func (b BytesPerSecond) GB() float64 { return float64(b) / 1e9 }
+
+// TimeFor returns how long moving n bytes takes at this bandwidth.
+func (b BytesPerSecond) TimeFor(n int64) time.Duration {
+	if b <= 0 || n <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / float64(b) * float64(time.Second))
+}
+
+// Throughput returns the bandwidth achieved moving n bytes in d.
+func Throughput(n int64, d time.Duration) BytesPerSecond {
+	if d <= 0 {
+		return 0
+	}
+	return BytesPerSecond(float64(n) / d.Seconds())
+}
+
+// FormatBytes renders a byte count in the most natural binary unit.
+func FormatBytes(n int64) string {
+	switch {
+	case n >= GiB && n%GiB == 0:
+		return fmt.Sprintf("%dGiB", n/GiB)
+	case n >= MiB && n%MiB == 0:
+		return fmt.Sprintf("%dMiB", n/MiB)
+	case n >= KiB && n%KiB == 0:
+		return fmt.Sprintf("%dKiB", n/KiB)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// Percent formats a ratio as a percentage with one decimal.
+func Percent(x float64) string { return fmt.Sprintf("%.1f%%", x*100) }
+
+// String renders the bandwidth in GB/s.
+func (b BytesPerSecond) String() string { return fmt.Sprintf("%.3gGB/s", b.GB()) }

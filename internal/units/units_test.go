@@ -1,0 +1,155 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCyclesDuration(t *testing.T) {
+	tests := []struct {
+		name string
+		c    Cycles
+		f    Hertz
+		want time.Duration
+	}{
+		{"1GHz one cycle", 1, GHz, time.Nanosecond},
+		{"1GHz thousand cycles", 1000, GHz, time.Microsecond},
+		{"500MHz one cycle", 1, 500 * MHz, 2 * time.Nanosecond},
+		{"zero frequency", 100, 0, 0},
+	}
+	for _, tt := range tests {
+		if got := tt.c.Duration(tt.f); got != tt.want {
+			t.Errorf("%s: Duration = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestCyclesSeconds(t *testing.T) {
+	if got := Cycles(2e9).Seconds(GHz); math.Abs(got-2.0) > 1e-12 {
+		t.Errorf("Seconds = %v, want 2.0", got)
+	}
+	if got := Cycles(5).Seconds(0); got != 0 {
+		t.Errorf("Seconds with zero freq = %v, want 0", got)
+	}
+}
+
+func TestCyclesOfRoundTrip(t *testing.T) {
+	f := 1.3 * GHz
+	err := quick.Check(func(us uint16) bool {
+		d := time.Duration(us) * time.Microsecond
+		c := CyclesOf(d, f)
+		back := c.Duration(f)
+		diff := back - d
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= time.Nanosecond
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBandwidthTimeFor(t *testing.T) {
+	tests := []struct {
+		name string
+		b    BytesPerSecond
+		n    int64
+		want time.Duration
+	}{
+		{"1GBps 1GB", GBps, 1e9, time.Second},
+		{"2GBps 1GB", 2 * GBps, 1e9, 500 * time.Millisecond},
+		{"zero bandwidth", 0, 100, 0},
+		{"zero bytes", GBps, 0, 0},
+	}
+	for _, tt := range tests {
+		if got := tt.b.TimeFor(tt.n); got != tt.want {
+			t.Errorf("%s: TimeFor = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	got := Throughput(2e9, time.Second)
+	if math.Abs(got.GB()-2.0) > 1e-9 {
+		t.Errorf("Throughput GB = %v, want 2.0", got.GB())
+	}
+	if Throughput(100, 0) != 0 {
+		t.Error("Throughput with zero duration should be 0")
+	}
+}
+
+func TestThroughputTimeForInverse(t *testing.T) {
+	err := quick.Check(func(kb uint16) bool {
+		n := int64(kb)*KiB + 1
+		b := 3.7 * GBps
+		d := b.TimeFor(n)
+		if d == 0 {
+			return true
+		}
+		back := Throughput(n, d)
+		// Duration quantizes to whole nanoseconds, so allow that rounding.
+		return math.Abs(float64(back-b))/float64(b) < 1e-3
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	tests := []struct {
+		n    int64
+		want string
+	}{
+		{512, "512B"},
+		{KiB, "1KiB"},
+		{32 * KiB, "32KiB"},
+		{2 * MiB, "2MiB"},
+		{4 * GiB, "4GiB"},
+		{KiB + 1, "1025B"},
+	}
+	for _, tt := range tests {
+		if got := FormatBytes(tt.n); got != tt.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if got := Percent(0.162); got != "16.2%" {
+		t.Errorf("Percent = %q, want 16.2%%", got)
+	}
+}
+
+func TestLatencyConversions(t *testing.T) {
+	if Lat(time.Microsecond) != 1000 {
+		t.Errorf("Lat(1µs) = %v, want 1000", Lat(time.Microsecond))
+	}
+	if Latency(2500).Duration() != 2500*time.Nanosecond {
+		t.Errorf("Duration = %v", Latency(2500).Duration())
+	}
+	if got := Latency(5e8).Seconds(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Seconds = %v, want 0.5", got)
+	}
+}
+
+func TestCyclesLat(t *testing.T) {
+	// 10 cycles at 2 GHz = 5ns.
+	if got := Cycles(10).Lat(2 * GHz); math.Abs(float64(got)-5) > 1e-12 {
+		t.Errorf("Lat = %v, want 5", got)
+	}
+	if Cycles(10).Lat(0) != 0 {
+		t.Error("zero frequency should give 0")
+	}
+}
+
+func TestBandwidthString(t *testing.T) {
+	if got := (15 * GBps).String(); got != "15GB/s" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (1.28 * GBps).String(); got != "1.28GB/s" {
+		t.Errorf("String = %q", got)
+	}
+}

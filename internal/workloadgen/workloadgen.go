@@ -1,0 +1,294 @@
+// Package workloadgen provides reusable building blocks for describing
+// application workloads to the framework: parameterized GPU kernel shapes
+// (streaming, strided, reduction, stencil, gather) and CPU routine shapes
+// (streaming pass, hot loop, pointer chase). The micro-benchmarks and case
+// studies hand-roll their patterns for fidelity to the paper; this package
+// is the convenience layer for users describing *their* applications.
+package workloadgen
+
+import (
+	"fmt"
+
+	"igpucomm/internal/comm"
+	"igpucomm/internal/cpu"
+	"igpucomm/internal/gpu"
+	"igpucomm/internal/isa"
+)
+
+// KernelShape enumerates the GPU access-pattern archetypes.
+type KernelShape int
+
+// Kernel shapes.
+const (
+	// Streaming: each thread reads and writes its own element once,
+	// perfectly coalesced — bandwidth-bound, cache-independent.
+	Streaming KernelShape = iota
+	// Strided: each thread touches its own cache line — uncoalesced,
+	// latency/bandwidth-hostile.
+	Strided
+	// Reduction: repeated coalesced passes over a buffer that should live
+	// in the LLC — the cache-dependent archetype.
+	Reduction
+	// Stencil: each thread reads a neighborhood around its element —
+	// heavy L1 reuse between adjacent threads.
+	Stencil
+	// Gather: pseudo-random reads across the buffer — cache-hostile,
+	// maximum miss rate.
+	Gather
+)
+
+func (k KernelShape) String() string {
+	switch k {
+	case Streaming:
+		return "streaming"
+	case Strided:
+		return "strided"
+	case Reduction:
+		return "reduction"
+	case Stencil:
+		return "stencil"
+	case Gather:
+		return "gather"
+	default:
+		return fmt.Sprintf("KernelShape(%d)", int(k))
+	}
+}
+
+// KernelSpec parameterizes one kernel archetype.
+type KernelSpec struct {
+	Shape KernelShape
+	// Threads is the grid size; 0 derives one thread per element.
+	Threads int
+	// ComputePerThread is the FMA depth accompanying the memory work.
+	ComputePerThread int
+	// Passes is the reuse factor for Reduction (>=1).
+	Passes int
+}
+
+// Validate reports problems.
+func (k KernelSpec) Validate() error {
+	if k.Shape < Streaming || k.Shape > Gather {
+		return fmt.Errorf("workloadgen: unknown kernel shape %d", k.Shape)
+	}
+	if k.Threads < 0 || k.ComputePerThread < 0 {
+		return fmt.Errorf("workloadgen: negative kernel parameter")
+	}
+	if k.Shape == Reduction && k.Passes < 1 {
+		return fmt.Errorf("workloadgen: reduction needs at least one pass")
+	}
+	return nil
+}
+
+// CPUShape enumerates the CPU routine archetypes.
+type CPUShape int
+
+// CPU routine shapes.
+const (
+	// StreamPass: sequential loads over the input with FMA work.
+	StreamPass CPUShape = iota
+	// HotLoop: compute on one address (the paper's MB1 CPU routine shape).
+	HotLoop
+	// StridedScan: line-granular loads (L1-missing, LLC-served when the
+	// buffer fits — the CPU-cache-dependent archetype).
+	StridedScan
+)
+
+func (c CPUShape) String() string {
+	switch c {
+	case StreamPass:
+		return "stream-pass"
+	case HotLoop:
+		return "hot-loop"
+	case StridedScan:
+		return "strided-scan"
+	default:
+		return fmt.Sprintf("CPUShape(%d)", int(c))
+	}
+}
+
+// CPUSpec parameterizes the CPU routine.
+type CPUSpec struct {
+	Shape CPUShape
+	// Iterations of the routine's loop; 0 derives from the buffer size.
+	Iterations int
+	// ComputePerIteration is the FP depth per loop step.
+	ComputePerIteration int
+	// Passes repeats the scan (reuse across passes is what the LLC
+	// serves).
+	Passes int
+}
+
+// Validate reports problems.
+func (c CPUSpec) Validate() error {
+	if c.Shape < StreamPass || c.Shape > StridedScan {
+		return fmt.Errorf("workloadgen: unknown CPU shape %d", c.Shape)
+	}
+	if c.Iterations < 0 || c.ComputePerIteration < 0 || c.Passes < 0 {
+		return fmt.Errorf("workloadgen: negative CPU parameter")
+	}
+	return nil
+}
+
+// Spec describes a whole synthetic workload.
+type Spec struct {
+	Name string
+	// Elements is the shared buffer size in float32 elements (one In and
+	// one Out buffer of this size).
+	Elements int64
+	CPU      CPUSpec
+	Kernel   KernelSpec
+	// Launches splits the kernel grid.
+	Launches int
+	// Overlappable marks the CPU and GPU phases independent.
+	Overlappable bool
+	Warmup       int
+}
+
+// Validate reports problems.
+func (s Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("workloadgen: spec needs a name")
+	}
+	if s.Elements < 64 {
+		return fmt.Errorf("workloadgen: %d elements too small", s.Elements)
+	}
+	if err := s.CPU.Validate(); err != nil {
+		return err
+	}
+	if err := s.Kernel.Validate(); err != nil {
+		return err
+	}
+	if s.Launches < 0 || s.Warmup < 0 {
+		return fmt.Errorf("workloadgen: negative spec parameter")
+	}
+	return nil
+}
+
+// Build assembles the comm.Workload.
+func Build(s Spec) (comm.Workload, error) {
+	if err := s.Validate(); err != nil {
+		return comm.Workload{}, err
+	}
+	size := s.Elements * 4
+	return comm.Workload{
+		Name:         s.Name,
+		In:           []comm.BufferSpec{{Name: "in", Size: size}},
+		Out:          []comm.BufferSpec{{Name: "out", Size: size}},
+		CPUTask:      buildCPUTask(s),
+		MakeKernel:   buildKernel(s),
+		Launches:     s.Launches,
+		Overlappable: s.Overlappable,
+		Warmup:       s.Warmup,
+	}, nil
+}
+
+func buildCPUTask(s Spec) func(c *cpu.CPU, lay comm.Layout) {
+	spec := s.CPU
+	elements := s.Elements
+	return func(c *cpu.CPU, lay comm.Layout) {
+		base := lay.Addr("in")
+		passes := spec.Passes
+		if passes == 0 {
+			passes = 1
+		}
+		switch spec.Shape {
+		case StreamPass:
+			iters := int64(spec.Iterations)
+			if iters == 0 {
+				iters = elements
+			}
+			for p := 0; p < passes; p++ {
+				for i := int64(0); i < iters; i++ {
+					c.Load(base+(i%elements)*4, 4)
+					c.Work(isa.FMA, spec.ComputePerIteration)
+				}
+			}
+		case HotLoop:
+			iters := spec.Iterations
+			if iters == 0 {
+				iters = 4096
+			}
+			for i := 0; i < iters; i++ {
+				c.Load(base, 4)
+				c.Work(isa.SqrtF32, 1)
+				c.Work(isa.FMA, spec.ComputePerIteration)
+				c.Store(base, 4)
+			}
+		case StridedScan:
+			lines := elements * 4 / 64
+			for p := 0; p < passes; p++ {
+				for i := int64(0); i < lines; i++ {
+					c.Load(base+i*64, 4)
+					c.Work(isa.FMA, spec.ComputePerIteration)
+				}
+			}
+		}
+	}
+}
+
+func buildKernel(s Spec) func(lay comm.Layout, launch int) gpu.Kernel {
+	spec := s.Kernel
+	elements := s.Elements
+	launches := s.Launches
+	if launches <= 0 {
+		launches = 1
+	}
+	return func(lay comm.Layout, launch int) gpu.Kernel {
+		in, out := lay.Addr("in"), lay.Addr("out")
+		threads := spec.Threads
+		if threads == 0 {
+			threads = int(elements) / launches
+		}
+		stripe := int64(launch) * int64(threads)
+		name := fmt.Sprintf("%s-%s-%d", s.Name, spec.Shape, launch)
+		switch spec.Shape {
+		case Strided:
+			return gpu.Kernel{Name: name, Threads: threads, Program: func(tid int, p *isa.Program) {
+				idx := ((stripe + int64(tid)) * 16) % elements
+				p.Ld(in+idx*4, 4)
+				p.Compute(isa.FMA, spec.ComputePerThread)
+				p.St(out+idx*4, 4)
+			}}
+		case Reduction:
+			return gpu.Kernel{Name: name, Threads: threads, Program: func(tid int, p *isa.Program) {
+				for pass := 0; pass < spec.Passes; pass++ {
+					idx := (stripe + int64(tid)) % elements
+					p.Ld(in+idx*4, 4)
+					p.Compute(isa.AddS32, 1)
+				}
+				p.Compute(isa.FMA, spec.ComputePerThread)
+				p.St(out+(stripe+int64(tid))%elements*4, 4)
+			}}
+		case Stencil:
+			return gpu.Kernel{Name: name, Threads: threads, Program: func(tid int, p *isa.Program) {
+				idx := (stripe + int64(tid)) % elements
+				for d := int64(-1); d <= 1; d++ {
+					n := (idx + d + elements) % elements
+					p.Ld(in+n*4, 4)
+				}
+				p.Compute(isa.FMA, spec.ComputePerThread)
+				p.St(out+idx*4, 4)
+			}}
+		case Gather:
+			return gpu.Kernel{Name: name, Threads: threads, Program: func(tid int, p *isa.Program) {
+				// Proper avalanche mix: a plain multiplicative constant
+				// mod a power of two degenerates into a fixed stride.
+				h := uint64(stripe + int64(tid))
+				h ^= h >> 33
+				h *= 0xFF51AFD7ED558CCD
+				h ^= h >> 29
+				idx := int64(h % uint64(elements))
+				p.Ld(in+idx*4, 4)
+				p.Compute(isa.FMA, spec.ComputePerThread)
+				p.St(out+(stripe+int64(tid))%elements*4, 4)
+			}}
+		default: // Streaming
+			return gpu.Kernel{Name: name, Threads: threads, Program: func(tid int, p *isa.Program) {
+				idx := (stripe + int64(tid)) % elements
+				p.Ld(in+idx*4, 4)
+				p.Compute(isa.FMA, spec.ComputePerThread)
+				p.St(out+idx*4, 4)
+			}}
+		}
+	}
+}

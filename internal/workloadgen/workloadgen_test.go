@@ -1,0 +1,289 @@
+package workloadgen
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"igpucomm/internal/comm"
+	"igpucomm/internal/devices"
+	"igpucomm/internal/profile"
+)
+
+func baseSpec(shape KernelShape) Spec {
+	return Spec{
+		Name:     "gen-" + shape.String(),
+		Elements: 1 << 14,
+		CPU:      CPUSpec{Shape: StreamPass, ComputePerIteration: 2},
+		Kernel:   KernelSpec{Shape: shape, ComputePerThread: 4, Passes: 4},
+		Warmup:   1,
+	}
+}
+
+func TestShapeStrings(t *testing.T) {
+	for _, s := range []KernelShape{Streaming, Strided, Reduction, Stencil, Gather} {
+		if strings.Contains(s.String(), "KernelShape") {
+			t.Errorf("missing name for shape %d", s)
+		}
+	}
+	if !strings.Contains(KernelShape(99).String(), "99") {
+		t.Error("unknown shape string wrong")
+	}
+	for _, s := range []CPUShape{StreamPass, HotLoop, StridedScan} {
+		if strings.Contains(s.String(), "CPUShape") {
+			t.Errorf("missing name for cpu shape %d", s)
+		}
+	}
+	if !strings.Contains(CPUShape(99).String(), "99") {
+		t.Error("unknown cpu shape string wrong")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	good := baseSpec(Streaming)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	cases := map[string]func(*Spec){
+		"no name":       func(s *Spec) { s.Name = "" },
+		"tiny buffer":   func(s *Spec) { s.Elements = 4 },
+		"bad kernel":    func(s *Spec) { s.Kernel.Shape = KernelShape(99) },
+		"bad cpu":       func(s *Spec) { s.CPU.Shape = CPUShape(99) },
+		"neg compute":   func(s *Spec) { s.Kernel.ComputePerThread = -1 },
+		"neg warmup":    func(s *Spec) { s.Warmup = -1 },
+		"zero red pass": func(s *Spec) { s.Kernel.Shape = Reduction; s.Kernel.Passes = 0 },
+	}
+	for name, mut := range cases {
+		s := baseSpec(Streaming)
+		mut(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestBuildAllShapesRun(t *testing.T) {
+	s, err := devices.NewSoC(devices.TX2Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shape := range []KernelShape{Streaming, Strided, Reduction, Stencil, Gather} {
+		w, err := Build(baseSpec(shape))
+		if err != nil {
+			t.Fatalf("%s: %v", shape, err)
+		}
+		if err := w.Validate(); err != nil {
+			t.Fatalf("%s: %v", shape, err)
+		}
+		rep, err := comm.SC{}.Run(s, w)
+		if err != nil {
+			t.Fatalf("%s: %v", shape, err)
+		}
+		if rep.KernelTime <= 0 {
+			t.Errorf("%s: no kernel time", shape)
+		}
+	}
+}
+
+func TestShapesHaveDistinctSignatures(t *testing.T) {
+	s, err := devices.NewSoC(devices.TX2Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles := map[KernelShape]profile.Profile{}
+	for _, shape := range []KernelShape{Streaming, Strided, Gather} {
+		w, err := Build(baseSpec(shape))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := profile.Collect(s, w, comm.SC{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		profiles[shape] = p
+	}
+	// Strided defeats coalescing: far more transactions than streaming.
+	if profiles[Strided].Transactions <= 2*profiles[Streaming].Transactions {
+		t.Errorf("strided txns %d not clearly above streaming %d",
+			profiles[Strided].Transactions, profiles[Streaming].Transactions)
+	}
+	// Gather defeats coalescing too: nearly one transaction per lane.
+	if profiles[Gather].Transactions <= 2*profiles[Streaming].Transactions {
+		t.Errorf("gather txns %d not clearly above streaming %d",
+			profiles[Gather].Transactions, profiles[Streaming].Transactions)
+	}
+}
+
+func TestReductionIsCacheDependent(t *testing.T) {
+	s, err := devices.NewSoC(devices.TX2Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := baseSpec(Reduction)
+	spec.Kernel.Passes = 8
+	spec.Elements = 1 << 13 // 32KiB working set: LLC-resident
+	w, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := comm.SC{}.Run(s, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zc, err := comm.ZC{}.Run(s, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zc.KernelTime < sc.KernelTime*2 {
+		t.Errorf("reduction under ZC (%v) should suffer vs SC (%v) on TX2", zc.KernelTime, sc.KernelTime)
+	}
+}
+
+func TestCPUShapesRun(t *testing.T) {
+	s, err := devices.NewSoC(devices.XavierName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shape := range []CPUShape{StreamPass, HotLoop, StridedScan} {
+		spec := baseSpec(Streaming)
+		spec.Name = "cpu-" + shape.String()
+		spec.CPU = CPUSpec{Shape: shape, ComputePerIteration: 2, Passes: 2}
+		w, err := Build(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := comm.SC{}.Run(s, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.CPUTime <= 0 {
+			t.Errorf("%s: no CPU time", shape)
+		}
+	}
+}
+
+func TestStridedScanShowsCPUCacheUsage(t *testing.T) {
+	s, err := devices.NewSoC(devices.TX2Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := baseSpec(Streaming)
+	spec.Name = "cpu-llc"
+	spec.Elements = 1 << 16 // 256KiB: exceeds L1, fits LLC
+	spec.CPU = CPUSpec{Shape: StridedScan, ComputePerIteration: 1, Passes: 3}
+	w, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := profile.Collect(s, w, comm.SC{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CPUCacheUsagePerInstr <= 0.02 {
+		t.Errorf("strided scan CPU cache usage = %v, want clearly positive", p.CPUCacheUsagePerInstr)
+	}
+}
+
+func TestLaunchStriping(t *testing.T) {
+	spec := baseSpec(Streaming)
+	spec.Launches = 4
+	w, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.LaunchCount() != 4 {
+		t.Errorf("launches = %d", w.LaunchCount())
+	}
+	s, err := devices.NewSoC(devices.TX2Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := comm.SC{}.Run(s, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Launches != 4 {
+		t.Errorf("report launches = %d", rep.Launches)
+	}
+}
+
+// TestPropertyModelInvariants runs randomized specs through every model and
+// checks the cross-model accounting invariants:
+//   - ZC never copies or flushes;
+//   - SC's copy bytes equal the declared transfer volume;
+//   - every total is at least the sum of its components' floor;
+//   - energy activity mirrors the report.
+func TestPropertyModelInvariants(t *testing.T) {
+	s, err := devices.NewSoC(devices.TX2Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shapes := []KernelShape{Streaming, Strided, Reduction, Stencil, Gather}
+	cpuShapes := []CPUShape{StreamPass, HotLoop, StridedScan}
+	f := func(sel, csel, sizeSel, launches8 uint8) bool {
+		spec := Spec{
+			Name:     "prop",
+			Elements: int64(1024 << (sizeSel % 5)),
+			CPU:      CPUSpec{Shape: cpuShapes[int(csel)%len(cpuShapes)], Iterations: 512, ComputePerIteration: 2, Passes: 1},
+			Kernel:   KernelSpec{Shape: shapes[int(sel)%len(shapes)], ComputePerThread: 8, Passes: 2},
+			Launches: int(launches8%4) + 1,
+		}
+		w, err := Build(spec)
+		if err != nil {
+			return false
+		}
+		for _, m := range comm.AllModels() {
+			rep, err := m.Run(s, w)
+			if err != nil {
+				return false
+			}
+			switch m.Name() {
+			case "zc":
+				if rep.CopyTime != 0 || rep.CopyBytes != 0 || rep.FlushTime != 0 {
+					return false
+				}
+			case "sc", "sc-async":
+				if rep.CopyBytes != w.BytesIn()+w.BytesOut() {
+					return false
+				}
+			}
+			floor := rep.KernelTime
+			if rep.CPUTime > floor {
+				floor = rep.CPUTime
+			}
+			if rep.Total < floor {
+				return false
+			}
+			if rep.Energy.Runtime != rep.Total || rep.Energy.CopyBytes != rep.CopyBytes {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+func ExampleBuild() {
+	w, err := Build(Spec{
+		Name:     "example",
+		Elements: 4096,
+		CPU:      CPUSpec{Shape: StreamPass, Iterations: 256, ComputePerIteration: 2},
+		Kernel:   KernelSpec{Shape: Streaming, ComputePerThread: 16},
+	})
+	if err != nil {
+		panic(err)
+	}
+	s, err := devices.NewSoC(devices.XavierName)
+	if err != nil {
+		panic(err)
+	}
+	zc, err := comm.ZC{}.Run(s, w)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("zero-copy moved", zc.CopyBytes, "bytes through the copy engine")
+	// Output: zero-copy moved 0 bytes through the copy engine
+}
