@@ -1,0 +1,36 @@
+# Developer entry points; `make ci` is exactly what .github/workflows/ci.yml
+# runs.
+
+GO ?= go
+
+.PHONY: all build test race fmt vet lint hazardcheck ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+# The repo's own Go-source gate (internal/analysis).
+lint:
+	$(GO) run ./cmd/hazardcheck -lint ./...
+
+# Verify every device × app × model schedule, placement and trace.
+hazardcheck:
+	$(GO) run ./cmd/hazardcheck
+
+ci: fmt vet lint build race hazardcheck

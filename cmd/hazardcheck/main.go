@@ -1,0 +1,190 @@
+// Command hazardcheck is the framework's verification gate. With no flags it
+// statically verifies every catalogued platform × case-study application ×
+// communication model: the model's buffer placement (no overlapping or empty
+// allocations), the §III-C tiled schedule (per-phase CPU/GPU tile
+// disjointness and barrier ordering under a vector-clock model), and a
+// transaction-level replay of the kernel's coalesced trace interleaved with
+// the CPU's accesses and the model's coherence protocol (RAW/WAR/WAW and
+// flush-ordering hazards).
+//
+// With -lint it instead runs the repo's Go-source gate (internal/analysis):
+// no raw buffer-address arithmetic outside the memory system, no naked
+// latency+bytes arithmetic, package-prefixed Validate errors.
+//
+// Usage:
+//
+//	hazardcheck                            # verify all combinations
+//	hazardcheck -device jetson-tx2 -app shwfs -model zc
+//	hazardcheck -no-trace                  # schedule + layout proofs only
+//	hazardcheck -lint ./...                # run the Go analysis gate
+//
+// Exit status 1 when any hazard or lint finding is reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"igpucomm/internal/analysis"
+	"igpucomm/internal/apps/lanedet"
+	"igpucomm/internal/apps/orbslam"
+	"igpucomm/internal/apps/shwfs"
+	"igpucomm/internal/comm"
+	"igpucomm/internal/devices"
+)
+
+var appNames = []string{"shwfs", "orbslam", "lanedet"}
+
+func buildWorkload(app string) (comm.Workload, error) {
+	switch app {
+	case "shwfs":
+		return shwfs.Workload(shwfs.DefaultWorkloadParams())
+	case "orbslam":
+		return orbslam.Workload(orbslam.DefaultWorkloadParams())
+	case "lanedet":
+		return lanedet.Workload(lanedet.DefaultWorkloadParams())
+	}
+	return comm.Workload{}, fmt.Errorf("unknown app %q (have %s)", app, strings.Join(appNames, ", "))
+}
+
+func main() {
+	lint := flag.String("lint", "", "run the Go analysis gate on this path (e.g. ./...) instead of verifying schedules")
+	device := flag.String("device", "", "restrict to one platform (default: all)")
+	app := flag.String("app", "", "restrict to one application (default: all)")
+	model := flag.String("model", "", "restrict to one communication model (default: all)")
+	noTrace := flag.Bool("no-trace", false, "skip the transaction-level trace replay")
+	verbose := flag.Bool("v", false, "print every finding, not just the per-combination summary")
+	flag.Parse()
+
+	if *lint != "" {
+		os.Exit(runLint(*lint))
+	}
+	os.Exit(runVerify(*device, *app, *model, !*noTrace, *verbose))
+}
+
+func runLint(path string) int {
+	// "./..." and friends mean "the tree from here"; a plain directory is
+	// linted as given.
+	sub := strings.TrimSuffix(path, "...")
+	sub = strings.TrimSuffix(sub, "/")
+	if sub == "" {
+		sub = "."
+	}
+	sub, err := filepath.Abs(sub)
+	fatalIf(err)
+	if _, err := os.Stat(sub); err != nil {
+		fatalIf(fmt.Errorf("lint path: %w", err))
+	}
+	// The allowlist in the analysis config is module-root-relative, so
+	// always lint from the enclosing module and filter the findings down to
+	// the requested subtree.
+	root := moduleRoot(sub)
+	findings, err := analysis.Lint(root, analysis.DefaultConfig())
+	fatalIf(err)
+	if sub != root {
+		kept := findings[:0]
+		for _, f := range findings {
+			if strings.HasPrefix(f.Pos.Filename, sub+string(filepath.Separator)) {
+				kept = append(kept, f)
+			}
+		}
+		findings = kept
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if n := len(findings); n > 0 {
+		fmt.Fprintf(os.Stderr, "hazardcheck: %d lint finding(s)\n", n)
+		return 1
+	}
+	fmt.Println("hazardcheck: lint clean")
+	return 0
+}
+
+func runVerify(device, app, model string, trace, verbose bool) int {
+	devs, all := []string{}, []string{}
+	for _, cfg := range devices.All() {
+		all = append(all, cfg.Name)
+		if device == "" || cfg.Name == device {
+			devs = append(devs, cfg.Name)
+		}
+	}
+	if len(devs) == 0 {
+		fatalIf(fmt.Errorf("unknown device %q (have %s)", device, strings.Join(all, ", ")))
+	}
+	apps := appNames
+	if app != "" {
+		apps = []string{app}
+	}
+	models := comm.AllModels()
+	if model != "" {
+		m, err := comm.ByName(model)
+		fatalIf(err)
+		models = []comm.Model{m}
+	}
+
+	combos, bad := 0, 0
+	for _, devName := range devs {
+		for _, appName := range apps {
+			w, err := buildWorkload(appName)
+			fatalIf(err)
+			for _, m := range models {
+				s, err := devices.NewSoC(devName)
+				fatalIf(err)
+				combos++
+
+				rep, err := comm.Verify(s, w, m)
+				fatalIf(err)
+				if trace {
+					trep, terr := comm.TraceCheck(s, w, m, 0)
+					fatalIf(terr)
+					rep.Merge(trep)
+				}
+
+				status := "ok"
+				if !rep.OK() {
+					status = fmt.Sprintf("%d HAZARD(S)", len(rep.Findings))
+					bad++
+				}
+				fmt.Printf("%-18s %-8s %-9s %6d checks  %s\n",
+					devName, appName, m.Name(), rep.Checked, status)
+				if verbose || !rep.OK() {
+					for _, f := range rep.Findings {
+						fmt.Printf("    %s\n", f)
+					}
+				}
+			}
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "hazardcheck: %d of %d combinations refuted\n", bad, combos)
+		return 1
+	}
+	fmt.Printf("hazardcheck: all %d combinations verified\n", combos)
+	return 0
+}
+
+// moduleRoot walks up from dir to the nearest directory containing go.mod.
+// If none is found (linting a bare tree), dir itself is the root.
+func moduleRoot(dir string) string {
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return dir
+		}
+		d = parent
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hazardcheck:", err)
+		os.Exit(1)
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"igpucomm/internal/comm"
 	"igpucomm/internal/devices"
 	"igpucomm/internal/framework"
+	"igpucomm/internal/hazard"
 	"igpucomm/internal/microbench"
 	"igpucomm/internal/profile"
 	"igpucomm/internal/soc"
@@ -111,6 +112,27 @@ func Advise(char Characterization, s *SoC, w Workload, currentModel string) (Rec
 
 // Run executes the workload under a model and reports timings and traffic.
 func Run(s *SoC, w Workload, m Model) (Report, error) { return m.Run(s, w) }
+
+// HazardReport is a verification result (see Verify and CheckedRun).
+type HazardReport = hazard.Report
+
+// Verify statically checks a platform × workload × model combination —
+// layout disjointness, §III-C schedule tile ownership and barrier ordering —
+// without executing it. See also cmd/hazardcheck.
+func Verify(s *SoC, w Workload, m Model) (HazardReport, error) {
+	return comm.Verify(s, w, m)
+}
+
+// CheckedRun verifies the combination first, refuses to execute a refuted
+// schedule, and attaches the verification report to the run's Report.
+func CheckedRun(s *SoC, w Workload, m Model) (Report, error) {
+	return comm.CheckedRun(s, w, m)
+}
+
+// Checked wraps a model so it verifies before every run:
+//
+//	rep, err := igpucomm.Run(s, w, igpucomm.Checked(igpucomm.ZeroCopy))
+func Checked(m Model) Model { return comm.Checked{Inner: m} }
 
 // CollectProfile profiles the workload under a model (nvprof-style counters).
 func CollectProfile(s *SoC, w Workload, m Model) (Profile, error) {

@@ -1,0 +1,286 @@
+// Package analysis is the repo's own Go-source gate: a small, stdlib-only
+// (go/parser + go/ast) analyzer for the invariants the communication
+// framework relies on but the compiler cannot see. Three rules:
+//
+//   - rawaddr: arithmetic directly on a buffer's .Addr field is raw buffer
+//     indexing; only the memory system itself (internal/mmu, internal/comm,
+//     internal/tiling and the other core substrate packages) may do it.
+//     Application, command and example code must go through Layout
+//     accessors so placements stay opaque and verifiable.
+//
+//   - unitsmix: adding or subtracting a latency-like quantity and a
+//     byte-count-like quantity in one expression is a units error no matter
+//     what the Go types say (both are often int64/float64 underneath).
+//     Conversions must go through an explicit rate (divide by bandwidth),
+//     never naked + or -.
+//
+//   - validatewrap: every error built inside an exported Validate method
+//     must carry the package's name as its prefix ("mmu: ...", "cache ...")
+//     so a failure surfaced three layers up still names its origin.
+//
+// The analyzer is syntactic by design — no type checking — so the rules are
+// conservative heuristics tuned to this repository. It runs as
+// `go run ./cmd/hazardcheck -lint ./...` and in CI.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	Pos  token.Position
+	Rule string // "rawaddr", "unitsmix" or "validatewrap"
+	Msg  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Msg)
+}
+
+// Config tunes the gate.
+type Config struct {
+	// RawAddrAllowed lists slash-separated directory prefixes (relative to
+	// the lint root) whose packages may do raw .Addr arithmetic.
+	RawAddrAllowed []string
+}
+
+// DefaultConfig allows raw addressing in the memory system and the
+// substrate simulators — the packages that ARE the address space — and
+// nowhere else (apps, cmds, examples, the facade).
+func DefaultConfig() Config {
+	return Config{
+		RawAddrAllowed: []string{
+			"internal/cache",
+			"internal/coherence",
+			"internal/comm",
+			"internal/cpu",
+			"internal/gpu",
+			"internal/hazard",
+			"internal/isa",
+			"internal/memdev",
+			"internal/mmu",
+			"internal/soc",
+			"internal/tiling",
+		},
+	}
+}
+
+// Lint walks root for non-test .go files (skipping .git, vendor and
+// testdata) and applies the three rules. Findings come back sorted by
+// position.
+func Lint(root string, cfg Config) ([]Finding, error) {
+	var files []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", "vendor", "testdata":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(files)
+
+	fset := token.NewFileSet()
+	var out []Finding
+	for _, path := range files {
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		rel, err := filepath.Rel(root, filepath.Dir(path))
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		dir := filepath.ToSlash(rel)
+		out = append(out, lintFile(fset, f, dir, cfg)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out, nil
+}
+
+func lintFile(fset *token.FileSet, f *ast.File, dir string, cfg Config) []Finding {
+	var out []Finding
+	rawAllowed := false
+	for _, p := range cfg.RawAddrAllowed {
+		if dir == p || strings.HasPrefix(dir, p+"/") {
+			rawAllowed = true
+			break
+		}
+	}
+
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.BinaryExpr:
+			if !rawAllowed {
+				out = append(out, checkRawAddr(fset, node)...)
+			}
+			out = append(out, checkUnitsMix(fset, node)...)
+		case *ast.FuncDecl:
+			if node.Name.Name == "Validate" && node.Recv != nil {
+				out = append(out, checkValidateWrap(fset, node, f.Name.Name)...)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// --- rule: rawaddr ---
+
+var arithmeticOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true, token.MUL: true,
+	token.QUO: true, token.REM: true,
+}
+
+// checkRawAddr flags a .Addr field selection used as an operand of
+// arithmetic. Method calls like lay.Addr("frame") are CallExprs, not bare
+// selectors, so the Layout accessor never trips the rule.
+func checkRawAddr(fset *token.FileSet, b *ast.BinaryExpr) []Finding {
+	if !arithmeticOps[b.Op] {
+		return nil
+	}
+	var out []Finding
+	for _, e := range []ast.Expr{b.X, b.Y} {
+		sel, ok := e.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Addr" {
+			continue
+		}
+		out = append(out, Finding{
+			Pos:  fset.Position(sel.Pos()),
+			Rule: "rawaddr",
+			Msg: "raw arithmetic on a buffer's .Addr outside the memory system; " +
+				"index through Layout accessors instead",
+		})
+	}
+	return out
+}
+
+// --- rule: unitsmix ---
+
+// unitClass classifies an expression by the unit its name advertises:
+// "latency" for durations, "bytes" for sizes and counts of bytes, "" when
+// the name says nothing either way.
+func unitClass(e ast.Expr) string {
+	var name string
+	switch v := e.(type) {
+	case *ast.Ident:
+		name = v.Name
+	case *ast.SelectorExpr:
+		name = v.Sel.Name
+	case *ast.CallExpr:
+		if sel, ok := v.Fun.(*ast.SelectorExpr); ok {
+			name = sel.Sel.Name
+		}
+	case *ast.ParenExpr:
+		return unitClass(v.X)
+	default:
+		return ""
+	}
+	lower := strings.ToLower(name)
+	latency := strings.Contains(lower, "latency") ||
+		strings.Contains(lower, "elapsed") ||
+		strings.HasSuffix(lower, "time")
+	bytes := strings.Contains(lower, "bytes") || strings.HasSuffix(lower, "size")
+	if latency == bytes { // neither, or a name claiming both
+		return ""
+	}
+	if latency {
+		return "latency"
+	}
+	return "bytes"
+}
+
+// checkUnitsMix flags x+y / x-y where one side is latency-named and the
+// other bytes-named: a units error regardless of the Go types. Conversion
+// between the two domains must go through a rate (division), which the rule
+// deliberately leaves alone.
+func checkUnitsMix(fset *token.FileSet, b *ast.BinaryExpr) []Finding {
+	if b.Op != token.ADD && b.Op != token.SUB {
+		return nil
+	}
+	cx, cy := unitClass(b.X), unitClass(b.Y)
+	if cx == "" || cy == "" || cx == cy {
+		return nil
+	}
+	return []Finding{{
+		Pos:  fset.Position(b.Pos()),
+		Rule: "unitsmix",
+		Msg: fmt.Sprintf("adding %s to %s; convert through an explicit rate instead",
+			cx, cy),
+	}}
+}
+
+// --- rule: validatewrap ---
+
+// checkValidateWrap requires every error literal built inside an exported
+// Validate method to open with the package's name ("mmu: ...", "cache %s:
+// ..."), so failures name their origin wherever they surface.
+func checkValidateWrap(fset *token.FileSet, fn *ast.FuncDecl, pkg string) []Finding {
+	var out []Finding
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		recv, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		isErrf := recv.Name == "fmt" && sel.Sel.Name == "Errorf"
+		isNew := recv.Name == "errors" && sel.Sel.Name == "New"
+		if (!isErrf && !isNew) || len(call.Args) == 0 {
+			return true
+		}
+		lit, ok := call.Args[0].(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true
+		}
+		text, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return true
+		}
+		if !strings.HasPrefix(text, pkg+":") && !strings.HasPrefix(text, pkg+" ") {
+			out = append(out, Finding{
+				Pos:  fset.Position(lit.Pos()),
+				Rule: "validatewrap",
+				Msg: fmt.Sprintf("Validate error %q must be prefixed with the package name %q",
+					text, pkg),
+			})
+		}
+		return true
+	})
+	return out
+}

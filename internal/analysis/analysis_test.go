@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// lintSource writes src as a single file in a temp tree under dir and lints
+// the tree with the default config.
+func lintSource(t *testing.T, dir, src string) []Finding {
+	t.Helper()
+	root := t.TempDir()
+	full := filepath.Join(root, filepath.FromSlash(dir))
+	if err := os.MkdirAll(full, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(full, "x.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Lint(root, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func kinds(fs []Finding) map[string]int {
+	m := map[string]int{}
+	for _, f := range fs {
+		m[f.Rule]++
+	}
+	return m
+}
+
+func TestRawAddrFlaggedOutsideMemorySystem(t *testing.T) {
+	src := `package apps
+func f(b struct{ Addr, Size int64 }) int64 { return b.Addr + 64 }
+`
+	got := lintSource(t, "internal/apps/demo", src)
+	if kinds(got)["rawaddr"] != 1 {
+		t.Fatalf("want 1 rawaddr finding, got %v", got)
+	}
+}
+
+func TestRawAddrAllowedInMemorySystem(t *testing.T) {
+	src := `package mmu
+func f(b struct{ Addr, Size int64 }) int64 { return b.Addr + 64 }
+`
+	if got := lintSource(t, "internal/mmu", src); len(got) != 0 {
+		t.Fatalf("memory system flagged: %v", got)
+	}
+}
+
+func TestRawAddrIgnoresLayoutAccessor(t *testing.T) {
+	src := `package apps
+type layout struct{}
+func (layout) Addr(string) int64 { return 0 }
+func f(lay layout, i int64) int64 { return lay.Addr("frame") + i*4 }
+`
+	if got := lintSource(t, "internal/apps/demo", src); len(got) != 0 {
+		t.Fatalf("Layout accessor flagged: %v", got)
+	}
+}
+
+func TestUnitsMixFlagged(t *testing.T) {
+	src := `package apps
+func f(copyTime, dramBytes int64) int64 { return copyTime + dramBytes }
+`
+	got := lintSource(t, "internal/apps/demo", src)
+	if kinds(got)["unitsmix"] != 1 {
+		t.Fatalf("want 1 unitsmix finding, got %v", got)
+	}
+}
+
+func TestUnitsMixAllowsSameDomainAndRates(t *testing.T) {
+	src := `package apps
+func f(copyTime, kernelTime, dramBytes, copyBytes int64) int64 {
+	_ = copyTime + kernelTime          // latency + latency: fine
+	_ = dramBytes - copyBytes          // bytes - bytes: fine
+	return dramBytes / (copyTime + 1)  // conversion through a rate: fine
+}
+`
+	if got := lintSource(t, "internal/apps/demo", src); len(got) != 0 {
+		t.Fatalf("legitimate arithmetic flagged: %v", got)
+	}
+}
+
+func TestValidateWrapFlagged(t *testing.T) {
+	src := `package demo
+import "fmt"
+type C struct{}
+func (C) Validate() error { return fmt.Errorf("bad value %d", 3) }
+`
+	got := lintSource(t, "internal/demo", src)
+	if kinds(got)["validatewrap"] != 1 {
+		t.Fatalf("want 1 validatewrap finding, got %v", got)
+	}
+}
+
+func TestValidateWrapAcceptsPrefixedForms(t *testing.T) {
+	src := `package demo
+import ( "errors"; "fmt" )
+type C struct{}
+func (C) Validate() error {
+	if false { return errors.New("demo: empty") }
+	if false { return fmt.Errorf("demo %s: bad", "x") }
+	return fmt.Errorf("demo: bad value %d", 3)
+}
+func helper() error { return fmt.Errorf("anything goes outside Validate") }
+`
+	if got := lintSource(t, "internal/demo", src); len(got) != 0 {
+		t.Fatalf("prefixed errors flagged: %v", got)
+	}
+}
+
+func TestTestFilesSkipped(t *testing.T) {
+	root := t.TempDir()
+	dir := filepath.Join(root, "internal", "apps")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := `package apps
+func f(b struct{ Addr int64 }) int64 { return b.Addr + 64 }
+`
+	if err := os.WriteFile(filepath.Join(dir, "x_test.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Lint(root, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("test file linted: %v", got)
+	}
+}
+
+// TestRepositoryIsClean is the gate itself: the repo this analyzer ships in
+// must pass its own rules.
+func TestRepositoryIsClean(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Lint(root, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range got {
+		t.Errorf("%s", f)
+	}
+}

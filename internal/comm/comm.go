@@ -21,6 +21,7 @@ import (
 	"igpucomm/internal/cpu"
 	"igpucomm/internal/energy"
 	"igpucomm/internal/gpu"
+	"igpucomm/internal/hazard"
 	"igpucomm/internal/mmu"
 	"igpucomm/internal/soc"
 	"igpucomm/internal/units"
@@ -214,6 +215,12 @@ type Report struct {
 
 	// Energy summarizes the run for the power model.
 	Energy energy.Activity
+
+	// Hazards is the verifier's report when the run went through the
+	// checked mode (CheckedRun / the Checked wrapper); nil otherwise. A
+	// non-nil report with zero findings is a machine-checked statement
+	// that the schedule and layout this run used are race-free.
+	Hazards *hazard.Report
 }
 
 // KernelTimePer is the mean time of one kernel launch.
@@ -268,9 +275,80 @@ func ByName(name string) (Model, error) {
 	return nil, fmt.Errorf("comm: unknown model %q (have sc, sc-async, um, zc, hybrid)", name)
 }
 
+// AllocGroup is one allocation batch in a model's placement plan: which
+// buffer specs it places, with what kind, and which side's view of the
+// workload the resulting layout backs. Every model's Run allocates exactly
+// its AllocPlan, so the verifier reasons about the same placement the
+// execution uses.
+type AllocGroup struct {
+	// Prefix distinguishes the group's buffer names ("host-", "dev-", ...).
+	Prefix string
+	// Kind is the mmu allocation kind for every buffer in the group.
+	Kind mmu.Kind
+	// Specs are the buffers the group places.
+	Specs []BufferSpec
+	// CPUVisible and GPUVisible say whether this group's layout backs the
+	// CPU task's view and the kernels' view of the named buffers.
+	CPUVisible, GPUVisible bool
+}
+
+// Planner exposes a model's placement plan without executing it — what the
+// hazard verifier mirrors. Every communication model implements it.
+type Planner interface {
+	AllocPlan(w Workload) []AllocGroup
+}
+
+// allocPlan materializes a placement plan group by group. It returns one
+// Layout per group, in plan order, plus the allocated names for cleanup.
+func allocPlan(s *soc.SoC, wName string, plan []AllocGroup) ([]Layout, []string, error) {
+	lays := make([]Layout, 0, len(plan))
+	var all []string
+	for _, g := range plan {
+		lay, names, err := allocAll(s, wName, g.Specs, g.Kind, g.Prefix)
+		if err != nil {
+			freeAll(s, all)
+			return nil, nil, err
+		}
+		lays = append(lays, lay)
+		all = append(all, names...)
+	}
+	return lays, all, nil
+}
+
+// planViews merges a plan's layouts into the CPU-side and GPU-side views of
+// the workload's buffers (later groups win on name collisions, matching the
+// hybrid model's host+pinned / device+pinned composition).
+func planViews(plan []AllocGroup, lays []Layout) (cpuLay, gpuLay Layout) {
+	cpuLay, gpuLay = Layout{}, Layout{}
+	for i, g := range plan {
+		for name, b := range lays[i] {
+			if g.CPUVisible {
+				cpuLay[name] = b
+			}
+			if g.GPUVisible {
+				gpuLay[name] = b
+			}
+		}
+	}
+	return cpuLay, gpuLay
+}
+
 // allocAll places the given buffers with one kind, returning the layout.
-// Buffer names are prefixed with the workload name to stay unique.
+// Buffer names are prefixed with the workload name to stay unique. Zero- or
+// negative-sized and duplicate specs are rejected here — before any space
+// is carved — so a malformed spec list cannot corrupt the layout.
 func allocAll(s *soc.SoC, wName string, specs []BufferSpec, kind mmu.Kind, prefix string) (Layout, []string, error) {
+	seen := make(map[string]bool, len(specs))
+	for _, spec := range specs {
+		if spec.Size <= 0 {
+			return nil, nil, fmt.Errorf("comm: alloc %s/%s%s: buffer size %d must be positive",
+				wName, prefix, spec.Name, spec.Size)
+		}
+		if seen[spec.Name] {
+			return nil, nil, fmt.Errorf("comm: alloc %s/%s%s: duplicate buffer spec", wName, prefix, spec.Name)
+		}
+		seen[spec.Name] = true
+	}
 	lay := make(Layout, len(specs))
 	var names []string
 	for _, spec := range specs {
@@ -295,6 +373,13 @@ func allocAll(s *soc.SoC, wName string, specs []BufferSpec, kind mmu.Kind, prefi
 		}
 		lay[spec.Name] = b
 		names = append(names, full)
+	}
+	// The allocator's invariants (live buffers pairwise disjoint, free list
+	// consistent) hold by construction; check them anyway so a future
+	// allocator bug surfaces here instead of as silent layout corruption.
+	if err := s.Space.Validate(); err != nil {
+		freeAll(s, names)
+		return nil, nil, fmt.Errorf("comm: alloc %s: %w", wName, err)
 	}
 	return lay, names, nil
 }

@@ -17,6 +17,17 @@ type Hybrid struct{}
 // Name returns "hybrid".
 func (Hybrid) Name() string { return "hybrid" }
 
+// AllocPlan stages inputs through host+device partitions (the SC path) and
+// shares one pinned window for the outputs (the ZC path).
+func (Hybrid) AllocPlan(w Workload) []AllocGroup {
+	return []AllocGroup{
+		{Prefix: "host-", Kind: mmu.HostAlloc, Specs: w.In, CPUVisible: true},
+		{Prefix: "dev-", Kind: mmu.DeviceAlloc,
+			Specs: append(append([]BufferSpec{}, w.In...), w.Scratch...), GPUVisible: true},
+		{Prefix: "pin-", Kind: mmu.Pinned, Specs: w.Out, CPUVisible: true, GPUVisible: true},
+	}
+}
+
 // Run executes the workload under the hybrid model.
 func (Hybrid) Run(s *soc.SoC, w Workload) (Report, error) {
 	if err := w.Validate(); err != nil {
@@ -24,28 +35,17 @@ func (Hybrid) Run(s *soc.SoC, w Workload) (Report, error) {
 	}
 	s.ResetState()
 
-	// Inputs: host + device partitions, as under SC.
-	hostLay, hostNames, err := allocAll(s, w.Name, w.In, mmu.HostAlloc, "host-")
+	plan := Hybrid{}.AllocPlan(w)
+	lays, names, err := allocPlan(s, w.Name, plan)
 	if err != nil {
 		return Report{}, err
 	}
-	defer freeAll(s, hostNames)
-	devLay, devNames, err := allocAll(s, w.Name, append(append([]BufferSpec{}, w.In...), w.Scratch...), mmu.DeviceAlloc, "dev-")
-	if err != nil {
-		return Report{}, err
-	}
-	defer freeAll(s, devNames)
-	// Outputs: one pinned window shared by both sides.
-	pinLay, pinNames, err := allocAll(s, w.Name, w.Out, mmu.Pinned, "pin-")
-	if err != nil {
-		return Report{}, err
-	}
-	defer freeAll(s, pinNames)
+	defer freeAll(s, names)
+	hostLay, devLay := lays[0], lays[1]
 
 	// The CPU sees host inputs + pinned outputs; the GPU sees device
 	// inputs/scratch + the same pinned outputs.
-	cpuLay := merge(hostLay, pinLay)
-	gpuLay := merge(devLay, pinLay)
+	cpuLay, gpuLay := planViews(plan, lays)
 
 	var rep Report
 	for i := 0; i <= w.Warmup; i++ {
@@ -65,17 +65,6 @@ func (Hybrid) Run(s *soc.SoC, w Workload) (Report, error) {
 	rep.DeclaredBytesOut = w.BytesOut()
 	rep.OverlapCapable = w.Overlappable
 	return rep, nil
-}
-
-func merge(a, b Layout) Layout {
-	out := make(Layout, len(a)+len(b))
-	for k, v := range a {
-		out[k] = v
-	}
-	for k, v := range b {
-		out[k] = v
-	}
-	return out
 }
 
 func hybridIteration(s *soc.SoC, w Workload, cpuLay, gpuLay, hostLay, devLay Layout) (Report, error) {

@@ -20,24 +20,28 @@ func (SC) Name() string { return "sc" }
 // flush, in ns.
 const GPUFlushLineCost units.Latency = 2
 
+// AllocPlan places the transfer buffers in the host partition and every
+// buffer the kernels address — transfers plus scratch — in the device
+// partition. The CPU task sees the host copies, the kernels the device ones.
+func (SC) AllocPlan(w Workload) []AllocGroup {
+	return []AllocGroup{
+		{Prefix: "host-", Kind: mmu.HostAlloc, Specs: transferSpecs(w), CPUVisible: true},
+		{Prefix: "dev-", Kind: mmu.DeviceAlloc, Specs: allSpecs(w), GPUVisible: true},
+	}
+}
+
 // Run executes the workload under standard copy.
 func (SC) Run(s *soc.SoC, w Workload) (Report, error) {
 	if err := w.Validate(); err != nil {
 		return Report{}, err
 	}
 	s.ResetState()
-	hostLay, hostNames, err := allocAll(s, w.Name, transferSpecs(w), mmu.HostAlloc, "host-")
+	lays, names, err := allocPlan(s, w.Name, SC{}.AllocPlan(w))
 	if err != nil {
 		return Report{}, err
 	}
-	defer freeAll(s, hostNames)
-	// The device partition holds the transfer buffers plus the GPU-side
-	// scratch storage the kernels work in.
-	devLay, devNames, err := allocAll(s, w.Name, allSpecs(w), mmu.DeviceAlloc, "dev-")
-	if err != nil {
-		return Report{}, err
-	}
-	defer freeAll(s, devNames)
+	defer freeAll(s, names)
+	hostLay, devLay := lays[0], lays[1]
 
 	var rep Report
 	for i := 0; i <= w.Warmup; i++ {

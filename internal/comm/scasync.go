@@ -22,22 +22,28 @@ type SCAsync struct{}
 // Name returns "sc-async".
 func (SCAsync) Name() string { return "sc-async" }
 
+// AllocPlan matches SC's placement: host partition for transfers, device
+// partition for everything the kernels address. Double buffering changes
+// the timeline, not the layout.
+func (SCAsync) AllocPlan(w Workload) []AllocGroup {
+	return []AllocGroup{
+		{Prefix: "host-", Kind: mmu.HostAlloc, Specs: transferSpecs(w), CPUVisible: true},
+		{Prefix: "dev-", Kind: mmu.DeviceAlloc, Specs: allSpecs(w), GPUVisible: true},
+	}
+}
+
 // Run executes the workload under double-buffered standard copy.
 func (SCAsync) Run(s *soc.SoC, w Workload) (Report, error) {
 	if err := w.Validate(); err != nil {
 		return Report{}, err
 	}
 	s.ResetState()
-	hostLay, hostNames, err := allocAll(s, w.Name, transferSpecs(w), mmu.HostAlloc, "host-")
+	lays, names, err := allocPlan(s, w.Name, SCAsync{}.AllocPlan(w))
 	if err != nil {
 		return Report{}, err
 	}
-	defer freeAll(s, hostNames)
-	devLay, devNames, err := allocAll(s, w.Name, allSpecs(w), mmu.DeviceAlloc, "dev-")
-	if err != nil {
-		return Report{}, err
-	}
-	defer freeAll(s, devNames)
+	defer freeAll(s, names)
+	hostLay, devLay := lays[0], lays[1]
 
 	var rep Report
 	for i := 0; i <= w.Warmup; i++ {

@@ -28,17 +28,26 @@ func umTouch(s *soc.SoC, w Workload, addr, size int64, by mmu.Owner) (faults, by
 // Name returns "um".
 func (UM) Name() string { return "um" }
 
+// AllocPlan places every buffer in one managed allocation both sides
+// address; the migrator keeps the views coherent.
+func (UM) AllocPlan(w Workload) []AllocGroup {
+	return []AllocGroup{
+		{Prefix: "um-", Kind: mmu.Managed, Specs: allSpecs(w), CPUVisible: true, GPUVisible: true},
+	}
+}
+
 // Run executes the workload under unified memory.
 func (UM) Run(s *soc.SoC, w Workload) (Report, error) {
 	if err := w.Validate(); err != nil {
 		return Report{}, err
 	}
 	s.ResetState()
-	lay, names, err := allocAll(s, w.Name, allSpecs(w), mmu.Managed, "um-")
+	lays, names, err := allocPlan(s, w.Name, UM{}.AllocPlan(w))
 	if err != nil {
 		return Report{}, err
 	}
 	defer freeAll(s, names)
+	lay := lays[0]
 
 	var rep Report
 	for i := 0; i <= w.Warmup; i++ {

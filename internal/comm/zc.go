@@ -22,17 +22,27 @@ type ZC struct{}
 // Name returns "zc".
 func (ZC) Name() string { return "zc" }
 
+// AllocPlan pins every buffer once; both sides address the same bytes —
+// the whole point of the model, and the reason its schedules need the
+// hazard verifier.
+func (ZC) AllocPlan(w Workload) []AllocGroup {
+	return []AllocGroup{
+		{Prefix: "zc-", Kind: mmu.Pinned, Specs: allSpecs(w), CPUVisible: true, GPUVisible: true},
+	}
+}
+
 // Run executes the workload under zero-copy.
 func (ZC) Run(s *soc.SoC, w Workload) (Report, error) {
 	if err := w.Validate(); err != nil {
 		return Report{}, err
 	}
 	s.ResetState()
-	lay, names, err := allocAll(s, w.Name, allSpecs(w), mmu.Pinned, "zc-")
+	lays, names, err := allocPlan(s, w.Name, ZC{}.AllocPlan(w))
 	if err != nil {
 		return Report{}, err
 	}
 	defer freeAll(s, names)
+	lay := lays[0]
 
 	var rep Report
 	for i := 0; i <= w.Warmup; i++ {

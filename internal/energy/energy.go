@@ -23,7 +23,7 @@ type PowerConfig struct {
 func (p PowerConfig) Validate() error {
 	if p.StaticWatts < 0 || p.CPUActiveWatts < 0 || p.GPUActiveWatts < 0 ||
 		p.DRAMPJPerByte < 0 || p.CopyPJPerByte < 0 {
-		return fmt.Errorf("power config: negative coefficient %+v", p)
+		return fmt.Errorf("energy: power config: negative coefficient %+v", p)
 	}
 	return nil
 }

@@ -1,0 +1,155 @@
+package hazard
+
+import (
+	"strings"
+	"testing"
+
+	"igpucomm/internal/mmu"
+	"igpucomm/internal/tiling"
+)
+
+func mustGeometry(t *testing.T, w, h int) tiling.Geometry {
+	t.Helper()
+	g, err := tiling.NewGeometry(w, h, 4, 64, 64)
+	if err != nil {
+		t.Fatalf("NewGeometry: %v", err)
+	}
+	return g
+}
+
+func TestClockHappensBefore(t *testing.T) {
+	a := NewClock(2)
+	b := NewClock(2)
+	if !Concurrent(a, b) == false && a.HappensBefore(b) {
+		t.Fatalf("equal clocks must not be ordered")
+	}
+	a.Tick(0) // a = [1,0]
+	if !Concurrent(a, b) {
+		// b = [0,0] ≤ a but b != a, so b -> a; they are ordered.
+	}
+	if !b.HappensBefore(a) {
+		t.Fatalf("zero clock should precede ticked clock")
+	}
+	if a.HappensBefore(b) {
+		t.Fatalf("ticked clock must not precede zero clock")
+	}
+	b.Tick(1) // b = [0,1]: now concurrent with a = [1,0]
+	if !Concurrent(a, b) {
+		t.Fatalf("[1,0] and [0,1] must be concurrent")
+	}
+	b.Join(a) // b = [1,1]
+	if !a.HappensBefore(b) {
+		t.Fatalf("after join, a must precede b")
+	}
+}
+
+func TestFromPatternVerifies(t *testing.T) {
+	g := mustGeometry(t, 64, 8)
+	sched, err := FromPattern(tiling.Pattern{Geo: g, Phases: 6})
+	if err != nil {
+		t.Fatalf("FromPattern: %v", err)
+	}
+	rep := VerifySchedule(sched)
+	if !rep.OK() {
+		t.Fatalf("even/odd schedule must verify clean, got:\n%s", rep)
+	}
+	if rep.Checked == 0 {
+		t.Fatalf("clean report must record facts checked")
+	}
+}
+
+func TestVerifyScheduleParityOverlap(t *testing.T) {
+	g := mustGeometry(t, 64, 2) // 4x2 tiles
+	sched, err := FromPattern(tiling.Pattern{Geo: g, Phases: 2})
+	if err != nil {
+		t.Fatalf("FromPattern: %v", err)
+	}
+	// Inject the bug the verifier exists to catch: give the GPU a tile the
+	// CPU already owns in phase 1.
+	stolen := sched.Phases[1].CPU[0]
+	sched.Phases[1].GPU = append(sched.Phases[1].GPU, stolen)
+
+	rep := VerifySchedule(sched)
+	if rep.OK() {
+		t.Fatalf("overlapping schedule must be refuted")
+	}
+	if rep.CountKind(ParityOverlap) != 1 {
+		t.Fatalf("want exactly 1 parity-overlap finding, got:\n%s", rep)
+	}
+	f := rep.Findings[0]
+	if f.Phase != 1 || f.Tile != stolen {
+		t.Fatalf("counterexample must name phase 1 and tile %d, got %+v", stolen, f)
+	}
+	if !strings.Contains(f.Detail, "phase 1") || !strings.Contains(f.Detail, "both cpu and gpu") {
+		t.Fatalf("counterexample detail unhelpful: %s", f.Detail)
+	}
+}
+
+func TestVerifyScheduleMissingBarrier(t *testing.T) {
+	g := mustGeometry(t, 32, 2)
+	sched, err := FromPattern(tiling.Pattern{Geo: g, Phases: 2})
+	if err != nil {
+		t.Fatalf("FromPattern: %v", err)
+	}
+	// Omit the barrier between phase 0 and phase 1: every tile is then
+	// touched by both sides with no ordering edge between the touches.
+	sched.SkipBarrierAfter = map[int]bool{0: true}
+
+	rep := VerifySchedule(sched)
+	if rep.OK() {
+		t.Fatalf("barrier-free schedule must be refuted")
+	}
+	if rep.CountKind(BarrierOrder) != g.TileCount() {
+		t.Fatalf("want one barrier-order finding per tile (%d), got %d:\n%s",
+			g.TileCount(), rep.CountKind(BarrierOrder), rep)
+	}
+}
+
+func TestVerifyScheduleEmpty(t *testing.T) {
+	rep := VerifySchedule(Schedule{})
+	if rep.OK() || rep.Findings[0].Kind != ZeroSized {
+		t.Fatalf("empty schedule must yield a zero-sized finding, got:\n%s", rep)
+	}
+}
+
+func TestVerifyLayout(t *testing.T) {
+	clean := []mmu.Buffer{
+		{Name: "a", Addr: 0, Size: 64},
+		{Name: "b", Addr: 64, Size: 128},
+		{Name: "c", Addr: 1024, Size: 64},
+	}
+	if rep := VerifyLayout("clean", clean); !rep.OK() {
+		t.Fatalf("disjoint layout must verify, got:\n%s", rep)
+	}
+
+	overlapped := []mmu.Buffer{
+		{Name: "a", Addr: 0, Size: 128},
+		{Name: "b", Addr: 64, Size: 64},
+	}
+	rep := VerifyLayout("overlap", overlapped)
+	if rep.CountKind(LayoutOverlap) != 1 {
+		t.Fatalf("want 1 overlap finding, got:\n%s", rep)
+	}
+	f := rep.Findings[0]
+	if f.Buffer != "a" || f.OtherBuffer != "b" || f.Size != 64 {
+		t.Fatalf("overlap counterexample wrong: %+v", f)
+	}
+
+	zero := []mmu.Buffer{{Name: "z", Addr: 0, Size: 0}}
+	if rep := VerifyLayout("zero", zero); rep.CountKind(ZeroSized) != 1 {
+		t.Fatalf("want zero-sized finding, got:\n%s", rep)
+	}
+}
+
+func TestReportMergeAndString(t *testing.T) {
+	a := Report{Subject: "a", Checked: 3}
+	b := Report{Subject: "b", Checked: 4}
+	b.add(Finding{Kind: RAW, Detail: "x"})
+	a.Merge(b)
+	if a.Checked != 7 || len(a.Findings) != 1 {
+		t.Fatalf("merge wrong: %+v", a)
+	}
+	if s := a.String(); !strings.Contains(s, "1 hazards") || !strings.Contains(s, "[raw]") {
+		t.Fatalf("report string unhelpful: %s", s)
+	}
+}

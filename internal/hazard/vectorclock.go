@@ -1,0 +1,67 @@
+package hazard
+
+// Clock is a vector clock over a fixed set of agents. Index i is agent i's
+// logical time. The schedule verifier runs one clock per agent and joins
+// them at every phase barrier, so "ordered by a barrier" becomes the
+// checkable statement "the earlier access's clock happens-before the later
+// access's clock".
+type Clock []int
+
+// NewClock returns a zeroed clock for n agents.
+func NewClock(n int) Clock { return make(Clock, n) }
+
+// Copy returns an independent copy.
+func (c Clock) Copy() Clock {
+	out := make(Clock, len(c))
+	copy(out, c)
+	return out
+}
+
+// Tick advances agent i's component (a local event).
+func (c Clock) Tick(i int) { c[i]++ }
+
+// Join folds another clock in component-wise (a synchronization edge).
+func (c Clock) Join(o Clock) {
+	for i := range c {
+		if i < len(o) && o[i] > c[i] {
+			c[i] = o[i]
+		}
+	}
+}
+
+// LessEq reports whether c ≤ o component-wise.
+func (c Clock) LessEq(o Clock) bool {
+	for i := range c {
+		oi := 0
+		if i < len(o) {
+			oi = o[i]
+		}
+		if c[i] > oi {
+			return false
+		}
+	}
+	return true
+}
+
+// HappensBefore reports whether c strictly precedes o: c ≤ o and c ≠ o.
+func (c Clock) HappensBefore(o Clock) bool {
+	if !c.LessEq(o) {
+		return false
+	}
+	for i := range c {
+		oi := 0
+		if i < len(o) {
+			oi = o[i]
+		}
+		if c[i] < oi {
+			return true
+		}
+	}
+	return false
+}
+
+// Concurrent reports whether neither clock precedes the other — the
+// condition under which two conflicting accesses are a data race.
+func Concurrent(a, b Clock) bool {
+	return !a.HappensBefore(b) && !b.HappensBefore(a)
+}

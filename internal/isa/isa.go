@@ -81,14 +81,14 @@ func (i Instr) String() string {
 // Validate reports structural problems with an instruction.
 func (i Instr) Validate() error {
 	if i.Op >= opCount {
-		return fmt.Errorf("unknown opcode %d", uint8(i.Op))
+		return fmt.Errorf("isa: unknown opcode %d", uint8(i.Op))
 	}
 	if i.Op.IsMemory() {
 		if i.Size <= 0 {
-			return fmt.Errorf("%s: size %d must be positive", i.Op, i.Size)
+			return fmt.Errorf("isa: %s: size %d must be positive", i.Op, i.Size)
 		}
 		if i.Addr < 0 {
-			return fmt.Errorf("%s: negative address %#x", i.Op, i.Addr)
+			return fmt.Errorf("isa: %s: negative address %#x", i.Op, i.Addr)
 		}
 	}
 	return nil
@@ -109,7 +109,7 @@ func (m CostModel) Cost(op Op) units.Cycles { return m.Issue[op] }
 func (m CostModel) Validate() error {
 	for op, c := range m.Issue {
 		if c < 0 {
-			return fmt.Errorf("cost model: negative cost %v for %s", c, op)
+			return fmt.Errorf("isa: cost model: negative cost %v for %s", c, op)
 		}
 	}
 	return nil
@@ -191,7 +191,7 @@ func (p *Program) Compute(op Op, n int) *Program {
 func (p *Program) Validate() error {
 	for idx, in := range p.instrs {
 		if err := in.Validate(); err != nil {
-			return fmt.Errorf("instr %d: %w", idx, err)
+			return fmt.Errorf("isa: instr %d: %w", idx, err)
 		}
 	}
 	return nil

@@ -31,10 +31,10 @@ type Config struct {
 // Validate reports whether the configuration is usable.
 func (c Config) Validate() error {
 	if c.Latency < 0 {
-		return fmt.Errorf("dram %s: negative latency", c.Name)
+		return fmt.Errorf("memdev: dram %s: negative latency", c.Name)
 	}
 	if c.Bandwidth <= 0 {
-		return fmt.Errorf("dram %s: bandwidth must be positive", c.Name)
+		return fmt.Errorf("memdev: dram %s: bandwidth must be positive", c.Name)
 	}
 	return nil
 }

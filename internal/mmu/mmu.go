@@ -119,6 +119,92 @@ func (s *Space) Alloc(name string, size int64, kind Kind) (Buffer, error) {
 	return Buffer{}, fmt.Errorf("%w: %d bytes requested", ErrOutOfMemory, rounded)
 }
 
+// AllocAt carves a named buffer at a fixed address — how tests and layout
+// replays place buffers deterministically. Unlike Alloc, the requested range
+// can collide with live buffers, so overlap is checked explicitly and
+// rejected with the conflicting buffer named.
+func (s *Space) AllocAt(name string, addr, size int64, kind Kind) (Buffer, error) {
+	if size <= 0 {
+		return Buffer{}, fmt.Errorf("mmu: alloc %q at %d: size %d must be positive", name, addr, size)
+	}
+	if _, exists := s.buffers[name]; exists {
+		return Buffer{}, fmt.Errorf("mmu: alloc %q at %d: name already in use", name, addr)
+	}
+	if addr < 0 || addr+size > s.size {
+		return Buffer{}, fmt.Errorf("mmu: alloc %q: range [%d,%d) outside space of %d bytes",
+			name, addr, addr+size, s.size)
+	}
+	if addr%s.align != 0 {
+		return Buffer{}, fmt.Errorf("mmu: alloc %q: address %d not %d-byte aligned", name, addr, s.align)
+	}
+	rounded := (size + s.align - 1) &^ (s.align - 1)
+	for _, b := range s.buffers {
+		if addr < b.End() && b.Addr < addr+rounded {
+			return Buffer{}, fmt.Errorf("mmu: alloc %q: range [%d,%d) overlaps live buffer %q [%d,%d)",
+				name, addr, addr+rounded, b.Name, b.Addr, b.End())
+		}
+	}
+	for i, e := range s.free {
+		if e.addr <= addr && addr+rounded <= e.addr+e.size {
+			b := Buffer{Name: name, Addr: addr, Size: rounded, Kind: kind}
+			// Split the extent around the carved range.
+			var repl []extent
+			if addr > e.addr {
+				repl = append(repl, extent{e.addr, addr - e.addr})
+			}
+			if end := addr + rounded; end < e.addr+e.size {
+				repl = append(repl, extent{end, e.addr + e.size - end})
+			}
+			s.free = append(s.free[:i], append(repl, s.free[i+1:]...)...)
+			s.buffers[name] = b
+			return b, nil
+		}
+	}
+	return Buffer{}, fmt.Errorf("%w: no free extent covers [%d,%d)", ErrOutOfMemory, addr, addr+rounded)
+}
+
+// Validate checks the allocator's invariants: live buffers are pairwise
+// disjoint and in bounds, free extents are sorted, coalesced and disjoint
+// from every buffer, and free plus allocated bytes account for the whole
+// space. A violation means the simulated layout is corrupt.
+func (s *Space) Validate() error {
+	bufs := s.Buffers()
+	var allocated int64
+	for i, b := range bufs {
+		if b.Size <= 0 {
+			return fmt.Errorf("mmu: buffer %q has size %d", b.Name, b.Size)
+		}
+		if b.Addr < 0 || b.End() > s.size {
+			return fmt.Errorf("mmu: buffer %q [%d,%d) outside space of %d bytes", b.Name, b.Addr, b.End(), s.size)
+		}
+		allocated += b.Size
+		if i > 0 && bufs[i-1].End() > b.Addr {
+			return fmt.Errorf("mmu: buffers %q [%d,%d) and %q [%d,%d) overlap",
+				bufs[i-1].Name, bufs[i-1].Addr, bufs[i-1].End(), b.Name, b.Addr, b.End())
+		}
+	}
+	var free int64
+	for i, e := range s.free {
+		if e.size <= 0 {
+			return fmt.Errorf("mmu: free extent [%d,%d) has size %d", e.addr, e.addr+e.size, e.size)
+		}
+		free += e.size
+		if i > 0 && s.free[i-1].addr+s.free[i-1].size > e.addr {
+			return fmt.Errorf("mmu: free extents out of order or overlapping at %d", e.addr)
+		}
+		for _, b := range bufs {
+			if e.addr < b.End() && b.Addr < e.addr+e.size {
+				return fmt.Errorf("mmu: free extent [%d,%d) overlaps buffer %q [%d,%d)",
+					e.addr, e.addr+e.size, b.Name, b.Addr, b.End())
+			}
+		}
+	}
+	if allocated+free != s.size {
+		return fmt.Errorf("mmu: %d allocated + %d free != %d total", allocated, free, s.size)
+	}
+	return nil
+}
+
 // MustAlloc is Alloc for static setup paths where failure is a bug.
 func (s *Space) MustAlloc(name string, size int64, kind Kind) Buffer {
 	b, err := s.Alloc(name, size, kind)

@@ -2,6 +2,7 @@ package mmu
 
 import (
 	"errors"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -297,5 +298,131 @@ func TestPrefetchMovesWithoutFaults(t *testing.T) {
 	}
 	if m.Prefetch(0, 0, OwnerCPU) != 0 {
 		t.Error("degenerate prefetch did work")
+	}
+}
+
+func TestAllocAtFailures(t *testing.T) {
+	// Table of rejected placements; every case must name the problem and
+	// leave the space untouched.
+	newSpace := func() *Space {
+		s := NewSpace(4096, 64)
+		s.MustAlloc("live", 256, HostAlloc) // occupies [0,256)
+		return s
+	}
+	cases := []struct {
+		name       string
+		buf        string
+		addr, size int64
+		wantSubstr string
+	}{
+		{"zero size", "z", 512, 0, "must be positive"},
+		{"negative size", "n", 512, -64, "must be positive"},
+		{"duplicate name", "live", 512, 64, "already in use"},
+		{"negative addr", "neg", -64, 64, "outside space"},
+		{"beyond end", "end", 4096 - 64, 128, "outside space"},
+		{"misaligned", "mis", 100, 64, "aligned"},
+		{"overlap live", "clash", 128, 64, `overlaps live buffer "live"`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := newSpace()
+			freeBefore := s.FreeBytes()
+			_, err := s.AllocAt(c.buf, c.addr, c.size, DeviceAlloc)
+			if err == nil {
+				t.Fatalf("AllocAt(%q, %d, %d) accepted", c.buf, c.addr, c.size)
+			}
+			if !strings.Contains(err.Error(), c.wantSubstr) {
+				t.Errorf("error %q does not mention %q", err, c.wantSubstr)
+			}
+			if s.FreeBytes() != freeBefore {
+				t.Error("failed AllocAt changed the space")
+			}
+			if err := s.Validate(); err != nil {
+				t.Errorf("space invalid after rejected AllocAt: %v", err)
+			}
+		})
+	}
+}
+
+func TestAllocAtCarvesAndFrees(t *testing.T) {
+	s := NewSpace(4096, 64)
+	// Carve from the middle of the single free extent.
+	b, err := s.AllocAt("mid", 1024, 256, Pinned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Addr != 1024 || b.Size != 256 || b.Kind != Pinned {
+		t.Errorf("buffer = %+v", b)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The split extents still serve ordinary allocations on both sides.
+	lo, err := s.Alloc("lo", 1024, HostAlloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo.Addr != 0 {
+		t.Errorf("first-fit landed at %d, want 0", lo.Addr)
+	}
+	if _, err := s.Alloc("hi", 2048, HostAlloc); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Free("mid"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.FreeBytes() != 4096-1024-2048 {
+		t.Errorf("free = %d after freeing the carve", s.FreeBytes())
+	}
+}
+
+func TestValidateDetectsCorruption(t *testing.T) {
+	cases := []struct {
+		name       string
+		corrupt    func(*Space)
+		wantSubstr string
+	}{
+		{"overlapping buffers", func(s *Space) {
+			b := s.buffers["a"]
+			b.Name = "evil"
+			b.Addr += 32 // overlaps "a"
+			s.buffers["evil"] = b
+		}, "overlap"},
+		{"zero-size buffer", func(s *Space) {
+			b := s.buffers["a"]
+			b.Size = 0
+			s.buffers["a"] = b
+		}, "has size"},
+		{"buffer outside space", func(s *Space) {
+			b := s.buffers["a"]
+			b.Addr = 1 << 40
+			s.buffers["a"] = b
+		}, "outside space"},
+		{"free overlaps buffer", func(s *Space) {
+			s.free = append([]extent{{0, 64}}, s.free...)
+		}, "overlaps buffer"},
+		{"accounting mismatch", func(s *Space) {
+			s.free[len(s.free)-1].size -= 64
+		}, "total"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := NewSpace(4096, 64)
+			s.MustAlloc("a", 256, HostAlloc)
+			if err := s.Validate(); err != nil {
+				t.Fatalf("clean space invalid: %v", err)
+			}
+			c.corrupt(s)
+			err := s.Validate()
+			if err == nil {
+				t.Fatal("corruption not detected")
+			}
+			if !strings.Contains(err.Error(), c.wantSubstr) {
+				t.Errorf("error %q does not mention %q", err, c.wantSubstr)
+			}
+		})
 	}
 }
