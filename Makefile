@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fmt vet lint hazardcheck ci
+.PHONY: all build test race fmt vet lint hazardcheck cover fuzz bench ci
 
 all: build
 
@@ -33,4 +33,24 @@ lint:
 hazardcheck:
 	$(GO) run ./cmd/hazardcheck
 
-ci: fmt vet lint build race hazardcheck
+# Combined statement coverage of the execution engine and the framework it
+# must stay byte-equivalent to; fails under 80%.
+COVER_MIN ?= 80.0
+cover:
+	$(GO) test -coverprofile=coverage.out -coverpkg=./internal/engine,./internal/framework ./internal/engine ./internal/framework
+	@total="$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}')"; \
+	echo "engine+framework coverage: $$total% (minimum $(COVER_MIN)%)"; \
+	awk -v t="$$total" -v min="$(COVER_MIN)" 'BEGIN { exit (t+0 >= min+0) ? 0 : 1 }' || \
+		{ echo "coverage below $(COVER_MIN)%"; exit 1; }
+
+# Short fuzz pass over the hazard-trace CSV parsers.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test ./internal/hazard -run '^$$' -fuzz FuzzParseTrace -fuzztime $(FUZZTIME)
+
+# One full iteration of every engine benchmark (the sweep pair is the
+# headline: serial vs memoized-parallel advisory sweep).
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/engine
+
+ci: fmt vet lint build race cover fuzz hazardcheck

@@ -14,13 +14,13 @@ import (
 	"fmt"
 	"os"
 
-	"igpucomm/internal/apps/lanedet"
-	"igpucomm/internal/apps/orbslam"
-	"igpucomm/internal/apps/shwfs"
+	"igpucomm/internal/apps/catalog"
 	"igpucomm/internal/comm"
 	"igpucomm/internal/devices"
+	"igpucomm/internal/engine"
 	"igpucomm/internal/framework"
 	"igpucomm/internal/microbench"
+	"igpucomm/internal/soc"
 )
 
 func main() {
@@ -30,26 +30,16 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced micro-benchmark scale")
 	verify := flag.Bool("verify", false, "also measure every model and report the true ranking")
 	charFile := flag.String("char", "", "load a saved characterization instead of re-running the micro-benchmarks")
+	workers := flag.Int("workers", 0, "simulation parallelism (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	var (
-		w   comm.Workload
-		err error
-	)
-	switch *app {
-	case "shwfs":
-		w, err = shwfs.Workload(shwfs.DefaultWorkloadParams())
-	case "orbslam":
-		w, err = orbslam.Workload(orbslam.DefaultWorkloadParams())
-	case "lanedet":
-		w, err = lanedet.Workload(lanedet.DefaultWorkloadParams())
-	default:
-		err = fmt.Errorf("unknown app %q (have shwfs, orbslam, lanedet)", *app)
-	}
+	w, err := catalog.ByName(*app, catalog.Full)
 	fatalIf(err)
 
-	s, err := devices.NewSoC(*device)
+	cfg, err := devices.ByName(*device)
 	fatalIf(err)
+	s := soc.New(cfg)
+	eng := engine.New(engine.Options{Workers: *workers})
 
 	var char framework.Characterization
 	if *charFile != "" {
@@ -68,7 +58,7 @@ func main() {
 			params = microbench.TestParams()
 		}
 		fmt.Printf("characterizing %s ...\n", *device)
-		char, err = framework.Characterize(s, params)
+		char, err = eng.Characterize(cfg, params)
 		fatalIf(err)
 	}
 
@@ -110,7 +100,7 @@ func main() {
 	if *verify {
 		fmt.Println()
 		fmt.Println("measured ranking (brute force):")
-		exp, err := framework.Explore(s, w, nil)
+		exp, err := eng.Explore(cfg, w, nil)
 		fatalIf(err)
 		for i, cand := range exp.Ranked {
 			fmt.Printf("  %d. %-3s %v\n", i+1, cand.Model, cand.Total.Duration())

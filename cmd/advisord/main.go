@@ -1,0 +1,75 @@
+// Command advisord serves the paper's tuning flow as an HTTP service: batch
+// advisory requests, cached device characterizations, health and status.
+// Characterizations are memoized in the execution engine's LRU cache (with
+// singleflight deduplication), so concurrent requests for the same device
+// share one simulation and warm traffic skips characterization entirely.
+//
+// Endpoints:
+//
+//	POST /v1/advise        {"requests":[{"device":"jetson-tx2","app":"shwfs","current":"sc"}]}
+//	GET  /v1/characterize?device=jetson-agx-xavier
+//	GET  /healthz
+//	GET  /statusz
+//
+// Usage:
+//
+//	advisord -addr :8025
+//	advisord -addr :8025 -quick -workers 8 -ttl 1h -cache-dir /var/cache/advisord
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"igpucomm/internal/apps/catalog"
+	"igpucomm/internal/engine"
+	"igpucomm/internal/microbench"
+)
+
+func main() {
+	addr := flag.String("addr", ":8025", "listen address")
+	workers := flag.Int("workers", 0, "simulation parallelism (0 = GOMAXPROCS)")
+	cacheEntries := flag.Int("cache-entries", 64, "characterization cache capacity")
+	ttl := flag.Duration("ttl", 0, "characterization TTL (0 = never expires)")
+	quick := flag.Bool("quick", false, "reduced micro-benchmark and workload scale")
+	cacheDir := flag.String("cache-dir", "", "warm-start directory: load cached characterizations at boot, persist new ones")
+	flag.Parse()
+
+	params := microbench.DefaultParams()
+	scale := catalog.Full
+	if *quick {
+		params = microbench.TestParams()
+		scale = catalog.Quick
+	}
+
+	eng := engine.New(engine.Options{
+		Workers:      *workers,
+		CacheEntries: *cacheEntries,
+		TTL:          *ttl,
+	})
+	if *cacheDir != "" {
+		if _, err := os.Stat(*cacheDir); err == nil {
+			n, err := eng.LoadCache(*cacheDir)
+			if err != nil {
+				log.Fatalf("advisord: warm start from %s: %v", *cacheDir, err)
+			}
+			log.Printf("advisord: warm start: %d characterization(s) from %s", n, *cacheDir)
+		}
+	}
+
+	srv := newServer(eng, params, scale, *cacheDir)
+	log.Printf("advisord: listening on %s (workers=%d, quick=%v)", *addr, eng.Workers(), *quick)
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	if err := httpSrv.ListenAndServe(); err != nil {
+		fmt.Fprintln(os.Stderr, "advisord:", err)
+		os.Exit(1)
+	}
+}

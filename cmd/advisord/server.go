@@ -1,0 +1,215 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+
+	"igpucomm/internal/apps/catalog"
+	"igpucomm/internal/devices"
+	"igpucomm/internal/engine"
+	"igpucomm/internal/framework"
+	"igpucomm/internal/microbench"
+)
+
+// server wires the execution engine to the HTTP surface. All state lives in
+// the engine; the server only translates requests and persists the cache.
+type server struct {
+	eng    *engine.Engine
+	params microbench.Params
+	scale  catalog.Scale
+	start  time.Time
+
+	// cacheDir, when set, receives a SaveCache snapshot whenever new
+	// characterizations were executed; persistMu serializes the writers
+	// and lastSaved tracks the execution count already on disk.
+	cacheDir  string
+	persistMu sync.Mutex
+	lastSaved uint64
+}
+
+func newServer(eng *engine.Engine, params microbench.Params, scale catalog.Scale, cacheDir string) *server {
+	return &server{eng: eng, params: params, scale: scale, start: time.Now(), cacheDir: cacheDir}
+}
+
+// handler builds the service's route table.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/statusz", s.handleStatusz)
+	mux.HandleFunc("/v1/advise", s.handleAdvise)
+	mux.HandleFunc("/v1/characterize", s.handleCharacterize)
+	return mux
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// statuszResponse is the /statusz payload.
+type statuszResponse struct {
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Devices       []string     `json:"devices"`
+	Apps          []string     `json:"apps"`
+	Engine        engine.Stats `json:"engine"`
+}
+
+func (s *server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	var names []string
+	for _, cfg := range devices.All() {
+		names = append(names, cfg.Name)
+	}
+	writeJSON(w, http.StatusOK, statuszResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Devices:       names,
+		Apps:          catalog.Names(),
+		Engine:        s.eng.Stats(),
+	})
+}
+
+// adviseRequest is one advisory question over the wire.
+type adviseRequest struct {
+	Device string `json:"device"`
+	App    string `json:"app"`
+	// Current is the model the application currently implements
+	// (default "sc").
+	Current string `json:"current"`
+}
+
+type adviseBody struct {
+	Requests []adviseRequest `json:"requests"`
+}
+
+// adviseResult mirrors engine.Result for the wire: either a recommendation
+// or a per-request error, never both.
+type adviseResult struct {
+	Recommendation *framework.Recommendation `json:"recommendation,omitempty"`
+	Zone           string                    `json:"zone,omitempty"`
+	Error          string                    `json:"error,omitempty"`
+}
+
+type adviseResponse struct {
+	Results []adviseResult `json:"results"`
+}
+
+func (s *server) handleAdvise(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST a JSON body to /v1/advise")
+		return
+	}
+	var body adviseBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("decode request: %v", err))
+		return
+	}
+	if len(body.Requests) == 0 {
+		writeError(w, http.StatusBadRequest, "no requests")
+		return
+	}
+
+	// Translate wire requests to engine requests; translation failures
+	// (unknown device or app) become per-request errors so the rest of
+	// the batch still runs.
+	results := make([]adviseResult, len(body.Requests))
+	reqs := make([]engine.Request, 0, len(body.Requests))
+	slots := make([]int, 0, len(body.Requests))
+	for i, ar := range body.Requests {
+		req, err := s.toEngineRequest(ar)
+		if err != nil {
+			results[i] = adviseResult{Error: err.Error()}
+			continue
+		}
+		reqs = append(reqs, req)
+		slots = append(slots, i)
+	}
+	for j, res := range s.eng.AdviseBatch(reqs) {
+		i := slots[j]
+		if res.Err != nil {
+			results[i] = adviseResult{Error: res.Err.Error()}
+			continue
+		}
+		rec := res.Rec
+		results[i] = adviseResult{Recommendation: &rec, Zone: rec.Zone.String()}
+	}
+	s.maybePersist()
+	writeJSON(w, http.StatusOK, adviseResponse{Results: results})
+}
+
+func (s *server) toEngineRequest(ar adviseRequest) (engine.Request, error) {
+	cfg, err := devices.ByName(ar.Device)
+	if err != nil {
+		return engine.Request{}, err
+	}
+	wl, err := catalog.ByName(ar.App, s.scale)
+	if err != nil {
+		return engine.Request{}, err
+	}
+	current := ar.Current
+	if current == "" {
+		current = "sc"
+	}
+	return engine.Request{Config: cfg, Params: s.params, Workload: wl, Current: current}, nil
+}
+
+// handleCharacterize serves the (cached) device characterization in the
+// framework persist format, so the response body is directly usable as
+// cmd/advisor's -char file.
+func (s *server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
+	device := r.URL.Query().Get("device")
+	if device == "" {
+		writeError(w, http.StatusBadRequest, "missing ?device= parameter")
+		return
+	}
+	cfg, err := devices.ByName(device)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	char, err := s.eng.Characterize(cfg, s.params)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.maybePersist()
+	w.Header().Set("Content-Type", "application/json")
+	if err := framework.SaveCharacterization(w, char); err != nil {
+		log.Printf("advisord: write characterization: %v", err)
+	}
+}
+
+// maybePersist snapshots the cache to disk when new characterizations were
+// executed since the last snapshot.
+func (s *server) maybePersist() {
+	if s.cacheDir == "" {
+		return
+	}
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	execs := s.eng.Stats().Characterizations.Executions
+	if execs == s.lastSaved {
+		return
+	}
+	if _, err := s.eng.SaveCache(s.cacheDir); err != nil {
+		log.Printf("advisord: persist cache: %v", err)
+		return
+	}
+	s.lastSaved = execs
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("advisord: encode response: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -17,6 +17,7 @@ import (
 
 	"igpucomm/internal/calibrate"
 	"igpucomm/internal/devices"
+	"igpucomm/internal/engine"
 	"igpucomm/internal/microbench"
 	"igpucomm/internal/units"
 )
@@ -27,6 +28,7 @@ func main() {
 	zc := flag.Float64("zc", 0, "measured pinned-path GPU throughput, GB/s (0 = skip)")
 	tol := flag.Float64("tol", 0.05, "relative tolerance")
 	quick := flag.Bool("quick", false, "reduced micro-benchmark scale")
+	workers := flag.Int("workers", 0, "simulation parallelism (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	cfg, err := devices.ByName(*base)
@@ -39,15 +41,22 @@ func main() {
 		fatalIf(fmt.Errorf("nothing to fit: pass -sc and/or -zc"))
 	}
 
+	// The bisection re-measures MB1 at every probe; routing it through the
+	// engine parallelizes the three model rows and memoizes repeated probes
+	// of the same candidate config (the final verification pass, for one,
+	// re-measures the fitted config for free).
+	eng := engine.New(engine.Options{Workers: *workers})
+	runMB1 := calibrate.MB1Runner(eng.MB1)
+
 	if *sc > 0 {
 		fmt.Printf("fitting GPU LLC bandwidth to SC throughput %.2f GB/s ...\n", *sc)
-		cfg, err = calibrate.TuneLLCBandwidth(cfg, params, units.BytesPerSecond(*sc)*units.GBps, *tol)
+		cfg, err = calibrate.TuneLLCBandwidthWith(runMB1, cfg, params, units.BytesPerSecond(*sc)*units.GBps, *tol)
 		fatalIf(err)
 		fmt.Printf("  -> LLCBandwidth = %.2f GB/s\n", cfg.GPU.LLCBandwidth.GB())
 	}
 	if *zc > 0 {
 		fmt.Printf("fitting zero-copy path to ZC throughput %.2f GB/s ...\n", *zc)
-		cfg, err = calibrate.TunePinnedBandwidth(cfg, params, units.BytesPerSecond(*zc)*units.GBps, *tol)
+		cfg, err = calibrate.TunePinnedBandwidthWith(runMB1, cfg, params, units.BytesPerSecond(*zc)*units.GBps, *tol)
 		fatalIf(err)
 		if cfg.IOCoherent {
 			fmt.Printf("  -> IOBandwidth = %.2f GB/s\n", cfg.IOBandwidth.GB())
@@ -56,7 +65,7 @@ func main() {
 		}
 	}
 
-	err = calibrate.Verify(cfg, params, calibrate.Target{
+	err = calibrate.VerifyWith(runMB1, cfg, params, calibrate.Target{
 		SCThroughput: units.BytesPerSecond(*sc) * units.GBps,
 		ZCThroughput: units.BytesPerSecond(*zc) * units.GBps,
 		Tolerance:    *tol,

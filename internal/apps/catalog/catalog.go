@@ -1,0 +1,84 @@
+// Package catalog is the registry of the paper's case-study applications,
+// keyed by the names the CLIs and the advisory service accept. It exists so
+// cmd/advisor, cmd/advisord and the test suites resolve "shwfs" to the same
+// workload construction instead of each carrying its own switch.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+
+	"igpucomm/internal/apps/lanedet"
+	"igpucomm/internal/apps/orbslam"
+	"igpucomm/internal/apps/shwfs"
+	"igpucomm/internal/comm"
+)
+
+// Scale selects the workload size.
+type Scale int
+
+// Workload scales.
+const (
+	// Full is the paper-scale configuration (each app's
+	// DefaultWorkloadParams).
+	Full Scale = iota
+	// Quick is a reduced configuration with the same structure — the same
+	// buffers, launch schedule and access patterns at a fraction of the
+	// footprint — for tests, benchmarks and -quick CLI runs.
+	Quick
+)
+
+var builders = map[string]func(Scale) (comm.Workload, error){
+	"shwfs": func(sc Scale) (comm.Workload, error) {
+		p := shwfs.DefaultWorkloadParams()
+		if sc == Quick {
+			p.Config = shwfs.Config{SubapsX: 8, SubapsY: 8, SubapPx: 8, Threshold: 10}
+			p.Launches = 2
+			p.PerPixelOps = 50
+			p.ReduceSteps = 4
+		}
+		return shwfs.Workload(p)
+	},
+	"orbslam": func(sc Scale) (comm.Workload, error) {
+		p := orbslam.DefaultWorkloadParams()
+		if sc == Quick {
+			p.FrameW, p.FrameH = 160, 120
+			p.Frontend.Levels = 3
+			p.Frontend.MaxPerLevel = 32
+			p.PerPixelOps = 16
+			p.DescLoads = 8
+			p.DescOps = 20
+			p.MatchComparisons = 5000
+		}
+		return orbslam.Workload(p)
+	},
+	"lanedet": func(sc Scale) (comm.Workload, error) {
+		p := lanedet.DefaultWorkloadParams()
+		if sc == Quick {
+			p.FrameW, p.FrameH = 96, 64
+			p.SobelOps = 6
+			p.VoteOps = 2
+			p.TrackOps = 2
+		}
+		return lanedet.Workload(p)
+	},
+}
+
+// Names lists the catalogued application names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(builders))
+	for n := range builders {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByName builds the named application's workload at the given scale.
+func ByName(name string, sc Scale) (comm.Workload, error) {
+	b, ok := builders[name]
+	if !ok {
+		return comm.Workload{}, fmt.Errorf("catalog: unknown application %q (have %v)", name, Names())
+	}
+	return b(sc)
+}

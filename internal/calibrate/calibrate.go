@@ -35,9 +35,22 @@ func (t Target) Validate() error {
 	return nil
 }
 
+// MB1Runner measures the first micro-benchmark for a candidate
+// configuration. The default, SerialMB1, builds a fresh platform and runs the
+// benchmark inline; callers with an execution engine inject its memoized
+// runner instead, so re-measuring the same candidate (the Verify step after a
+// fit, or fitting -sc and -zc against one config) costs one simulation, not
+// two.
+type MB1Runner func(cfg soc.Config, p microbench.Params) (microbench.MB1Result, error)
+
+// SerialMB1 is the default, uncached MB1Runner.
+func SerialMB1(cfg soc.Config, p microbench.Params) (microbench.MB1Result, error) {
+	return microbench.RunMB1(soc.New(cfg), p)
+}
+
 // measureSC runs MB1 and returns the SC-row throughput.
-func measureSC(cfg soc.Config, p microbench.Params) (units.BytesPerSecond, error) {
-	res, err := microbench.RunMB1(soc.New(cfg), p)
+func measureSC(run MB1Runner, cfg soc.Config, p microbench.Params) (units.BytesPerSecond, error) {
+	res, err := run(cfg, p)
 	if err != nil {
 		return 0, err
 	}
@@ -45,8 +58,8 @@ func measureSC(cfg soc.Config, p microbench.Params) (units.BytesPerSecond, error
 }
 
 // measureZC runs MB1 and returns the ZC-row throughput.
-func measureZC(cfg soc.Config, p microbench.Params) (units.BytesPerSecond, error) {
-	res, err := microbench.RunMB1(soc.New(cfg), p)
+func measureZC(run MB1Runner, cfg soc.Config, p microbench.Params) (units.BytesPerSecond, error) {
+	res, err := run(cfg, p)
 	if err != nil {
 		return 0, err
 	}
@@ -110,13 +123,18 @@ func bisect(lo, hi float64, target units.BytesPerSecond, tol float64,
 // TuneLLCBandwidth fits cfg.GPU.LLCBandwidth so the first micro-benchmark's
 // SC throughput matches the target. Returns the fitted config.
 func TuneLLCBandwidth(cfg soc.Config, p microbench.Params, target units.BytesPerSecond, tol float64) (soc.Config, error) {
+	return TuneLLCBandwidthWith(SerialMB1, cfg, p, target, tol)
+}
+
+// TuneLLCBandwidthWith is TuneLLCBandwidth with an injected MB1 runner.
+func TuneLLCBandwidthWith(run MB1Runner, cfg soc.Config, p microbench.Params, target units.BytesPerSecond, tol float64) (soc.Config, error) {
 	if target <= 0 || tol <= 0 {
 		return soc.Config{}, fmt.Errorf("calibrate: invalid LLC target")
 	}
 	v, err := bisect(float64(target)/8, float64(target)*8, target, tol, func(v float64) (units.BytesPerSecond, error) {
 		c := cfg
 		c.GPU.LLCBandwidth = units.BytesPerSecond(v)
-		return measureSC(c, p)
+		return measureSC(run, c, p)
 	})
 	if err != nil {
 		return soc.Config{}, err
@@ -130,6 +148,11 @@ func TuneLLCBandwidth(cfg soc.Config, p microbench.Params, target units.BytesPer
 // port on non-coherent platforms, the I/O-coherent port otherwise) so MB1's
 // ZC throughput matches the target.
 func TunePinnedBandwidth(cfg soc.Config, p microbench.Params, target units.BytesPerSecond, tol float64) (soc.Config, error) {
+	return TunePinnedBandwidthWith(SerialMB1, cfg, p, target, tol)
+}
+
+// TunePinnedBandwidthWith is TunePinnedBandwidth with an injected MB1 runner.
+func TunePinnedBandwidthWith(run MB1Runner, cfg soc.Config, p microbench.Params, target units.BytesPerSecond, tol float64) (soc.Config, error) {
 	if target <= 0 || tol <= 0 {
 		return soc.Config{}, fmt.Errorf("calibrate: invalid pinned target")
 	}
@@ -143,7 +166,7 @@ func TunePinnedBandwidth(cfg soc.Config, p microbench.Params, target units.Bytes
 	v, err := bisect(float64(target)/8, float64(target)*8, target, tol, func(v float64) (units.BytesPerSecond, error) {
 		c := cfg
 		apply(&c, v)
-		return measureZC(c, p)
+		return measureZC(run, c, p)
 	})
 	if err != nil {
 		return soc.Config{}, err
@@ -155,10 +178,15 @@ func TunePinnedBandwidth(cfg soc.Config, p microbench.Params, target units.Bytes
 
 // Verify runs MB1 on the config and checks it against the target.
 func Verify(cfg soc.Config, p microbench.Params, target Target) error {
+	return VerifyWith(SerialMB1, cfg, p, target)
+}
+
+// VerifyWith is Verify with an injected MB1 runner.
+func VerifyWith(run MB1Runner, cfg soc.Config, p microbench.Params, target Target) error {
 	if err := target.Validate(); err != nil {
 		return err
 	}
-	res, err := microbench.RunMB1(soc.New(cfg), p)
+	res, err := run(cfg, p)
 	if err != nil {
 		return err
 	}

@@ -48,7 +48,7 @@ func TestTuneLLCBandwidthRecoversPerturbation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := measureSC(fitted, p)
+	got, err := measureSC(SerialMB1, fitted, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +69,7 @@ func TestTunePinnedBandwidthRecoversPerturbation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := measureZC(fitted, p)
+	got, err := measureZC(SerialMB1, fitted, p)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,256 @@
+// Package engine is the repo's parallel execution and advisory engine: a
+// bounded worker pool that fans device characterization and model
+// exploration out across cloned platforms, an LRU+TTL memo cache (with
+// singleflight deduplication) for the expensive application-independent
+// characterizations, and a batch advisory API on top — the machinery that
+// turns the paper's one-shot tuning flow (Fig 2) into something that can
+// serve sustained advisory traffic.
+//
+// Correctness contract: every simulation task runs on its own soc.Clone, and
+// results are assembled in the same order the serial paths produce them, so
+// the engine's Characterize and Explore outputs are byte-identical to
+// framework.Characterize and framework.Explore (the golden equivalence test
+// holds the engine to this for every device x app x model combination).
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"igpucomm/internal/comm"
+	"igpucomm/internal/framework"
+	"igpucomm/internal/microbench"
+	"igpucomm/internal/soc"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Workers bounds the number of concurrently executing simulation
+	// tasks. <=0 means GOMAXPROCS.
+	Workers int
+	// CacheEntries is the LRU capacity of each memo cache (<=0: 64).
+	CacheEntries int
+	// TTL expires cached characterizations this long after insertion
+	// (0: never). Characterizations are pure functions of (config,
+	// params), so the TTL exists for operational hygiene — bounding how
+	// long a service trusts any one simulation — not for correctness.
+	TTL time.Duration
+	// Clock overrides time.Now for TTL bookkeeping (tests).
+	Clock func() time.Time
+}
+
+// Engine executes characterizations, explorations and advisory requests with
+// bounded parallelism and memoization. Safe for concurrent use.
+type Engine struct {
+	workers int
+	sem     sem
+	chars   *memo[framework.Characterization]
+	mb1s    *memo[microbench.MB1Result]
+
+	requests atomic.Uint64
+	batches  atomic.Uint64
+}
+
+// New builds an engine.
+func New(o Options) *Engine {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		workers: o.Workers,
+		sem:     make(sem, o.Workers),
+		chars:   newMemo[framework.Characterization](o.CacheEntries, o.TTL, o.Clock),
+		mb1s:    newMemo[microbench.MB1Result](o.CacheEntries, o.TTL, o.Clock),
+	}
+}
+
+// Workers returns the configured simulation-parallelism bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// Stats is the engine's counter snapshot (served by advisord's /statusz).
+type Stats struct {
+	Workers           int       `json:"workers"`
+	Requests          uint64    `json:"requests"`
+	Batches           uint64    `json:"batches"`
+	Characterizations MemoStats `json:"characterizations"`
+	MB1               MemoStats `json:"mb1"`
+}
+
+// Stats snapshots the engine's counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Workers:           e.workers,
+		Requests:          e.requests.Load(),
+		Batches:           e.batches.Load(),
+		Characterizations: e.chars.snapshot(),
+		MB1:               e.mb1s.snapshot(),
+	}
+}
+
+// Characterize returns the device characterization for (cfg, p), from the
+// memo cache when possible. Concurrent calls for the same key share one
+// execution; a cold execution fans the micro-benchmark sweep points out
+// across cloned platforms under the worker bound.
+func (e *Engine) Characterize(cfg soc.Config, p microbench.Params) (framework.Characterization, error) {
+	key, err := CacheKey(cfg, p)
+	if err != nil {
+		return framework.Characterization{}, err
+	}
+	return e.chars.do(key, func() (framework.Characterization, error) {
+		return e.characterize(cfg, p)
+	})
+}
+
+// characterize is the cold path: the parallel equivalent of
+// framework.Characterize.
+func (e *Engine) characterize(cfg soc.Config, p microbench.Params) (framework.Characterization, error) {
+	// Stage 1: the MB1 rows and MB3 have no mutual dependencies — run the
+	// three model rows and the third micro-benchmark concurrently, each on
+	// its own clone.
+	models := comm.Models()
+	rows := make([]microbench.MB1Row, len(models))
+	var mb3 microbench.MB3Result
+	err := fanOut(e.sem, len(models)+1, func(i int) error {
+		if i == len(models) {
+			r, err := microbench.RunMB3(soc.New(cfg), p)
+			mb3 = r
+			return err
+		}
+		row, err := microbench.RunMB1Model(soc.New(cfg), p, models[i])
+		rows[i] = row
+		return err
+	})
+	if err != nil {
+		return framework.Characterization{}, fmt.Errorf("engine: %w", err)
+	}
+	mb1 := microbench.MB1Result{Platform: cfg.Name, Rows: rows}
+
+	// Stage 2: MB2 needs MB1's peak throughput; its sweep points are then
+	// independent of each other.
+	peak := mb1.PeakThroughput()
+	nf := len(p.MB2Fractions)
+	gpuPts := make([]microbench.MB2GPUPoint, nf)
+	cpuPts := make([]microbench.MB2CPUPoint, nf)
+	err = fanOut(e.sem, 2*nf, func(i int) error {
+		if i < nf {
+			pt, err := microbench.RunMB2GPUPoint(soc.New(cfg), p, p.MB2Fractions[i], peak)
+			gpuPts[i] = pt
+			return err
+		}
+		pt, err := microbench.RunMB2CPUPoint(soc.New(cfg), p, p.MB2Fractions[i-nf])
+		cpuPts[i-nf] = pt
+		return err
+	})
+	if err != nil {
+		return framework.Characterization{}, fmt.Errorf("engine: %w", err)
+	}
+	mb2, err := microbench.BuildMB2Result(cfg.Name, cfg.IOCoherent, gpuPts, cpuPts)
+	if err != nil {
+		return framework.Characterization{}, fmt.Errorf("engine: %w", err)
+	}
+	return framework.NewCharacterization(cfg.Name, cfg.IOCoherent, mb1, mb2, mb3), nil
+}
+
+// MB1 returns just the first micro-benchmark's result, memoized under the
+// same key scheme. Calibration loops use this: re-measuring a config the
+// loop (or a previous fit against the same config) already measured is a
+// cache hit.
+func (e *Engine) MB1(cfg soc.Config, p microbench.Params) (microbench.MB1Result, error) {
+	key, err := CacheKey(cfg, p)
+	if err != nil {
+		return microbench.MB1Result{}, err
+	}
+	return e.mb1s.do(key, func() (microbench.MB1Result, error) {
+		models := comm.Models()
+		rows := make([]microbench.MB1Row, len(models))
+		err := fanOut(e.sem, len(models), func(i int) error {
+			row, err := microbench.RunMB1Model(soc.New(cfg), p, models[i])
+			rows[i] = row
+			return err
+		})
+		if err != nil {
+			return microbench.MB1Result{}, fmt.Errorf("engine: %w", err)
+		}
+		return microbench.MB1Result{Platform: cfg.Name, Rows: rows}, nil
+	})
+}
+
+// Explore measures the workload under every given model (comm.Models when
+// nil) concurrently, one clone per model, and returns the same ranking the
+// serial framework.Explore produces.
+func (e *Engine) Explore(cfg soc.Config, w comm.Workload, models []comm.Model) (framework.Exploration, error) {
+	if models == nil {
+		models = comm.Models()
+	}
+	if len(models) == 0 {
+		return framework.Exploration{}, fmt.Errorf("engine: no models to explore")
+	}
+	cands := make([]framework.Candidate, len(models))
+	err := fanOut(e.sem, len(models), func(i int) error {
+		rep, err := models[i].Run(soc.New(cfg), w)
+		if err != nil {
+			return fmt.Errorf("engine: explore %s: %w", models[i].Name(), err)
+		}
+		cands[i] = framework.Candidate{Model: models[i].Name(), Total: rep.Total, Report: rep}
+		return nil
+	})
+	if err != nil {
+		return framework.Exploration{}, err
+	}
+	return framework.NewExploration(cfg.Name, w.Name, cands), nil
+}
+
+// Request is one advisory question: which communication model should this
+// workload use on this platform, given it currently uses Current?
+type Request struct {
+	Config   soc.Config
+	Params   microbench.Params
+	Workload comm.Workload
+	Current  string
+}
+
+// Result pairs a request's recommendation with its error; a batch reports
+// per-request failures instead of aborting the requests that can succeed.
+type Result struct {
+	Rec framework.Recommendation
+	Err error
+}
+
+// Advise answers one request: characterization from the cache (or one shared
+// cold run), profiling and the Fig-2 decision flow on a private clone.
+func (e *Engine) Advise(req Request) (framework.Recommendation, error) {
+	e.requests.Add(1)
+	char, err := e.Characterize(req.Config, req.Params)
+	if err != nil {
+		return framework.Recommendation{}, err
+	}
+	var rec framework.Recommendation
+	err = fanOut(e.sem, 1, func(int) error {
+		var err error
+		rec, err = framework.AdviseWorkload(char, soc.New(req.Config), req.Workload, req.Current)
+		return err
+	})
+	return rec, err
+}
+
+// AdviseBatch answers a batch of requests concurrently. Requests sharing a
+// (config, params) key share one characterization — under a cold cache a
+// 3-device batch of any size simulates exactly three characterizations —
+// and results come back in request order.
+func (e *Engine) AdviseBatch(reqs []Request) []Result {
+	e.batches.Add(1)
+	out := make([]Result, len(reqs))
+	var wg sync.WaitGroup
+	wg.Add(len(reqs))
+	for i := range reqs {
+		go func(i int) {
+			defer wg.Done()
+			out[i].Rec, out[i].Err = e.Advise(reqs[i])
+		}(i)
+	}
+	wg.Wait()
+	return out
+}

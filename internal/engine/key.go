@@ -1,0 +1,43 @@
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"igpucomm/internal/microbench"
+	"igpucomm/internal/soc"
+)
+
+// cacheKeyEnvelope is what gets hashed. Both members are plain exported
+// data, and encoding/json emits struct fields in declaration order and map
+// keys sorted, so the encoding — and therefore the key — is deterministic
+// for equal inputs.
+type cacheKeyEnvelope struct {
+	// Version bumps whenever the characterization semantics change, so a
+	// persisted warm-start cache from an older engine can never satisfy a
+	// newer engine's lookups.
+	Version int               `json:"version"`
+	Config  soc.Config        `json:"config"`
+	Params  microbench.Params `json:"params"`
+}
+
+// cacheKeyVersion mirrors the persist format's notion of "same physics":
+// bump it together with framework's persistFormatVersion.
+const cacheKeyVersion = 1
+
+// CacheKey derives the content-hash cache key for characterizing a platform
+// configuration with the given micro-benchmark parameters. Two (config,
+// params) pairs collide exactly when their characterizations are
+// interchangeable: the platform name is part of the config, but so is every
+// physical parameter, so renamed-but-identical and same-named-but-retuned
+// configs both hash apart.
+func CacheKey(cfg soc.Config, p microbench.Params) (string, error) {
+	raw, err := json.Marshal(cacheKeyEnvelope{Version: cacheKeyVersion, Config: cfg, Params: p})
+	if err != nil {
+		return "", fmt.Errorf("engine: hash cache key: %w", err)
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:]), nil
+}

@@ -1,0 +1,68 @@
+package engine
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"igpucomm/internal/framework"
+)
+
+// Cache persistence: each cached characterization is written as one file,
+// named by its cache key, in the exact format framework.SaveCharacterization
+// defines — so the files are interchangeable with cmd/advisor's -char files
+// and inherit the persist format's versioning (a stale cache fails loudly at
+// load instead of silently advising from old physics).
+
+// SaveCache writes every live characterization entry into dir (created if
+// missing) as <key>.json. It returns the number of entries written.
+func (e *Engine) SaveCache(dir string) (int, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, fmt.Errorf("engine: save cache: %w", err)
+	}
+	entries := e.chars.dump()
+	n := 0
+	for key, char := range entries {
+		f, err := os.Create(filepath.Join(dir, key+".json"))
+		if err != nil {
+			return n, fmt.Errorf("engine: save cache: %w", err)
+		}
+		err = framework.SaveCharacterization(f, char)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return n, fmt.Errorf("engine: save cache entry %s: %w", key, err)
+		}
+		n++
+	}
+	return n, nil
+}
+
+// LoadCache warm-starts the characterization cache from a directory written
+// by SaveCache. Every *.json file is validated through
+// framework.LoadCharacterization; any malformed or version-mismatched file
+// fails the load. It returns the number of entries loaded.
+func (e *Engine) LoadCache(dir string) (int, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return 0, fmt.Errorf("engine: load cache: %w", err)
+	}
+	n := 0
+	for _, name := range names {
+		f, err := os.Open(name)
+		if err != nil {
+			return n, fmt.Errorf("engine: load cache: %w", err)
+		}
+		char, err := framework.LoadCharacterization(f)
+		f.Close()
+		if err != nil {
+			return n, fmt.Errorf("engine: load cache entry %s: %w", filepath.Base(name), err)
+		}
+		key := strings.TrimSuffix(filepath.Base(name), ".json")
+		e.chars.put(key, char)
+		n++
+	}
+	return n, nil
+}

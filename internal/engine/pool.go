@@ -1,0 +1,41 @@
+package engine
+
+import "sync"
+
+// sem is the engine's global simulation-concurrency bound. Coordination
+// goroutines (batch requests waiting on a singleflight, assembly barriers)
+// run unbounded — they are cheap and mostly blocked — but every goroutine
+// that actually simulates holds a slot, so the total simulation parallelism
+// never exceeds Options.Workers no matter how batches, characterizations and
+// explorations nest.
+type sem chan struct{}
+
+func (s sem) acquire() { s <- struct{}{} }
+func (s sem) release() { <-s }
+
+// fanOut runs task(0..n-1) concurrently, each under a semaphore slot, and
+// waits for all of them. It returns the lowest-index error so the reported
+// failure is deterministic regardless of scheduling.
+func fanOut(s sem, n int, task func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			s.acquire()
+			defer s.release()
+			errs[i] = task(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

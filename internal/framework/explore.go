@@ -65,18 +65,27 @@ func Explore(s *soc.SoC, w comm.Workload, models []comm.Model) (Exploration, err
 	if len(models) == 0 {
 		return Exploration{}, fmt.Errorf("framework: no models to explore")
 	}
-	out := Exploration{Platform: s.Name(), Workload: w.Name}
+	cands := make([]Candidate, 0, len(models))
 	for _, m := range models {
 		rep, err := m.Run(s, w)
 		if err != nil {
 			return Exploration{}, fmt.Errorf("framework: explore %s: %w", m.Name(), err)
 		}
-		out.Ranked = append(out.Ranked, Candidate{Model: m.Name(), Total: rep.Total, Report: rep})
+		cands = append(cands, Candidate{Model: m.Name(), Total: rep.Total, Report: rep})
 	}
+	return NewExploration(s.Name(), w.Name, cands), nil
+}
+
+// NewExploration ranks measured candidates (given in measurement order) into
+// an Exploration. The sort is stable, so ties keep measurement order — the
+// parallel engine feeds candidates in the same model order as the serial
+// path and therefore produces the identical ranking.
+func NewExploration(platform, workload string, cands []Candidate) Exploration {
+	out := Exploration{Platform: platform, Workload: workload, Ranked: cands}
 	sort.SliceStable(out.Ranked, func(i, j int) bool {
 		return out.Ranked[i].Total < out.Ranked[j].Total
 	})
-	return out, nil
+	return out
 }
 
 // Validate checks a Recommendation against a measured exploration: did the

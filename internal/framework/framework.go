@@ -39,7 +39,10 @@ type Characterization struct {
 	SCZCMaxSpeedup float64
 }
 
-// Characterize runs the three micro-benchmarks on the platform.
+// Characterize runs the three micro-benchmarks on the platform, serially.
+// The execution engine (internal/engine) produces the identical result by
+// fanning the sweep points out across cloned platforms and assembling them
+// with NewCharacterization.
 func Characterize(s *soc.SoC, p microbench.Params) (Characterization, error) {
 	mb1, err := microbench.RunMB1(s, p)
 	if err != nil {
@@ -53,9 +56,18 @@ func Characterize(s *soc.SoC, p microbench.Params) (Characterization, error) {
 	if err != nil {
 		return Characterization{}, fmt.Errorf("framework: %w", err)
 	}
+	return NewCharacterization(s.Name(), s.IOCoherent(), mb1, mb2, mb3), nil
+}
+
+// NewCharacterization assembles micro-benchmark results into the framework's
+// device characterization. It is the single place the derived quantities
+// (thresholds, peaks, speedup caps) are computed, so serial and parallel
+// characterization paths cannot diverge.
+func NewCharacterization(platform string, ioCoherent bool,
+	mb1 microbench.MB1Result, mb2 microbench.MB2Result, mb3 microbench.MB3Result) Characterization {
 	return Characterization{
-		Platform:            s.Name(),
-		IOCoherent:          s.IOCoherent(),
+		Platform:            platform,
+		IOCoherent:          ioCoherent,
 		MB1:                 mb1,
 		MB2:                 mb2,
 		MB3:                 mb3,
@@ -64,7 +76,7 @@ func Characterize(s *soc.SoC, p microbench.Params) (Characterization, error) {
 		PinnedGPUThroughput: mb1.PinnedThroughput(),
 		ZCSCMaxSpeedup:      mb1.ZCSCMaxSpeedup(),
 		SCZCMaxSpeedup:      mb3.SCZCMaxSpeedup(),
-	}, nil
+	}
 }
 
 // Zone classifies where the application's GPU cache usage lands on the

@@ -228,6 +228,28 @@ func CheckTrace(subject string, events []Event, opt TraceOptions) Report {
 	return rep
 }
 
+// maxTraceSpan bounds addr+size for any parsed event. 2^48 covers every
+// physical address a catalogued SoC can emit with a wide margin; anything
+// larger is a corrupt trace, and admitting it would make CheckTrace's
+// per-line loops walk on the order of 2^40 lines — an effective hang on
+// attacker-shaped input.
+const maxTraceSpan = int64(1) << 48
+
+// validateSpan rejects the [addr, addr+size) spans CheckTrace cannot safely
+// walk: negative addresses or sizes, spans that overflow int64, and spans
+// past maxTraceSpan.
+func validateSpan(addr, size int64) error {
+	switch {
+	case addr < 0:
+		return fmt.Errorf("negative addr %d", addr)
+	case size < 0:
+		return fmt.Errorf("negative size %d", size)
+	case size > maxTraceSpan || addr > maxTraceSpan-size:
+		return fmt.Errorf("span [%d, %d+%d) exceeds %d", addr, addr, size, maxTraceSpan)
+	}
+	return nil
+}
+
 // ParseGPUTrace reads the CSV cmd/trace (gpu.TraceTransactions) emits —
 // header "warp,instr,kind,path,addr,size" — into GPU-agent events, in file
 // order. The caller composes these with CPU-side events and barriers before
@@ -258,6 +280,9 @@ func ParseGPUTrace(r io.Reader) ([]Event, error) {
 		size, err2 := strconv.ParseInt(f[5], 10, 64)
 		if err1 != nil || err2 != nil {
 			return nil, fmt.Errorf("hazard: gpu trace line %d: bad addr/size %q/%q", lineNo, f[4], f[5])
+		}
+		if err := validateSpan(addr, size); err != nil {
+			return nil, fmt.Errorf("hazard: gpu trace line %d: %w", lineNo, err)
 		}
 		events = append(events, Event{
 			Seq: len(events), Agent: TraceGPU, Op: op, Path: f[3], Addr: addr, Size: size,
@@ -312,6 +337,9 @@ func ParseEvents(r io.Reader) ([]Event, error) {
 		size, err2 := strconv.ParseInt(f[5], 10, 64)
 		if err1 != nil || err2 != nil {
 			return nil, fmt.Errorf("hazard: events line %d: bad addr/size %q/%q", lineNo, f[4], f[5])
+		}
+		if err := validateSpan(addr, size); err != nil {
+			return nil, fmt.Errorf("hazard: events line %d: %w", lineNo, err)
 		}
 		events = append(events, Event{Seq: seq, Agent: agent, Op: op, Path: f[3], Addr: addr, Size: size})
 	}

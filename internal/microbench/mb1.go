@@ -67,24 +67,37 @@ func (r MB1Result) ZCSCMaxSpeedup() float64 {
 
 // RunMB1 executes the first micro-benchmark on the platform.
 func RunMB1(s *soc.SoC, p Params) (MB1Result, error) {
-	w := mb1Workload(p)
 	res := MB1Result{Platform: s.Name()}
 	for _, m := range comm.Models() {
-		rep, err := m.Run(s, w)
+		row, err := RunMB1Model(s, p, m)
 		if err != nil {
-			return MB1Result{}, fmt.Errorf("mb1 under %s: %w", m.Name(), err)
-		}
-		row := MB1Row{
-			Model:      m.Name(),
-			CPUTime:    rep.CPUTime,
-			KernelTime: rep.KernelTime,
-			Total:      rep.Total,
-		}
-		if rep.KernelTime > 0 {
-			row.Throughput = units.BytesPerSecond(
-				float64(rep.GPU.BytesRequested) / rep.KernelTime.Seconds())
+			return MB1Result{}, err
 		}
 		res.Rows = append(res.Rows, row)
 	}
 	return res, nil
+}
+
+// RunMB1Model runs the first micro-benchmark under a single communication
+// model and returns its row. Every model run resets the platform state at
+// entry and frees its buffers on exit, so rows measured on separate clones of
+// the same configuration are identical to rows measured back-to-back on one
+// instance — which is what lets the execution engine fan the models out
+// across workers.
+func RunMB1Model(s *soc.SoC, p Params, m comm.Model) (MB1Row, error) {
+	rep, err := m.Run(s, mb1Workload(p))
+	if err != nil {
+		return MB1Row{}, fmt.Errorf("mb1 under %s: %w", m.Name(), err)
+	}
+	row := MB1Row{
+		Model:      m.Name(),
+		CPUTime:    rep.CPUTime,
+		KernelTime: rep.KernelTime,
+		Total:      rep.Total,
+	}
+	if rep.KernelTime > 0 {
+		row.Throughput = units.BytesPerSecond(
+			float64(rep.GPU.BytesRequested) / rep.KernelTime.Seconds())
+	}
+	return row, nil
 }

@@ -50,26 +50,53 @@ type MB2Result struct {
 // GPU LL-L1 peak throughput from RunMB1, used to express the thresholds as
 // cache-usage percentages.
 func RunMB2(s *soc.SoC, p Params, peak units.BytesPerSecond) (MB2Result, error) {
-	if peak <= 0 {
-		return MB2Result{}, fmt.Errorf("mb2: need a positive peak throughput from mb1")
-	}
-	res := MB2Result{Platform: s.Name()}
-
+	var gpu []MB2GPUPoint
+	var cpu []MB2CPUPoint
 	for _, f := range p.MB2Fractions {
-		if f <= 0 || f > 1 {
-			return MB2Result{}, fmt.Errorf("mb2: fraction %v out of (0,1]", f)
-		}
-		pt, err := mb2GPUPoint(s, p, f, peak)
+		pt, err := RunMB2GPUPoint(s, p, f, peak)
 		if err != nil {
 			return MB2Result{}, err
 		}
-		res.GPU = append(res.GPU, pt)
+		gpu = append(gpu, pt)
 	}
 	for _, f := range p.MB2Fractions {
-		res.CPU = append(res.CPU, mb2CPUPoint(s, p, f))
+		pt, err := RunMB2CPUPoint(s, p, f)
+		if err != nil {
+			return MB2Result{}, err
+		}
+		cpu = append(cpu, pt)
 	}
+	return BuildMB2Result(s.Name(), s.IOCoherent(), gpu, cpu)
+}
 
-	res.Thresholds = extractThresholds(s, res)
+// RunMB2GPUPoint measures one density step of the GPU sweep. Each point
+// resets the platform state, so points measured on separate clones equal
+// points measured sequentially on one instance — the execution engine relies
+// on this to run the sweep in parallel.
+func RunMB2GPUPoint(s *soc.SoC, p Params, f float64, peak units.BytesPerSecond) (MB2GPUPoint, error) {
+	if peak <= 0 {
+		return MB2GPUPoint{}, fmt.Errorf("mb2: need a positive peak throughput from mb1")
+	}
+	if f <= 0 || f > 1 {
+		return MB2GPUPoint{}, fmt.Errorf("mb2: fraction %v out of (0,1]", f)
+	}
+	return mb2GPUPoint(s, p, f, peak)
+}
+
+// RunMB2CPUPoint measures one density step of the CPU sweep.
+func RunMB2CPUPoint(s *soc.SoC, p Params, f float64) (MB2CPUPoint, error) {
+	if f <= 0 || f > 1 {
+		return MB2CPUPoint{}, fmt.Errorf("mb2: fraction %v out of (0,1]", f)
+	}
+	return mb2CPUPoint(s, p, f), nil
+}
+
+// BuildMB2Result assembles sweep points (in sweep order) into an MB2Result,
+// extracting and validating the thresholds. ioCoherent is the platform's
+// coherence capability (it decides whether a CPU knee exists at all).
+func BuildMB2Result(platform string, ioCoherent bool, gpu []MB2GPUPoint, cpu []MB2CPUPoint) (MB2Result, error) {
+	res := MB2Result{Platform: platform, GPU: gpu, CPU: cpu}
+	res.Thresholds = extractThresholds(ioCoherent, res)
 	if err := res.Thresholds.Validate(); err != nil {
 		return MB2Result{}, fmt.Errorf("mb2: %w", err)
 	}
@@ -209,7 +236,7 @@ func mb2CPUPoint(s *soc.SoC, p Params, f float64) MB2CPUPoint {
 }
 
 // extractThresholds locates the knees of both sweeps.
-func extractThresholds(s *soc.SoC, res MB2Result) perfmodel.Thresholds {
+func extractThresholds(ioCoherent bool, res MB2Result) perfmodel.Thresholds {
 	th := perfmodel.Thresholds{CPUCache: 1.0} // "never" unless a knee exists
 
 	// GPU: the low threshold is the last density where ZC stays comparable
@@ -239,7 +266,7 @@ func extractThresholds(s *soc.SoC, res MB2Result) perfmodel.Thresholds {
 	// CPU: on I/O-coherent platforms the CPU keeps its caches under ZC, so
 	// there is no knee (threshold 100%). Otherwise the threshold is the
 	// usage at the last comparable density.
-	if !s.IOCoherent() {
+	if !ioCoherent {
 		found := false
 		for _, pt := range res.CPU {
 			if pt.Cached <= 0 {

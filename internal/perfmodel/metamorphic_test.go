@@ -1,0 +1,232 @@
+package perfmodel_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"igpucomm/internal/apps/catalog"
+	"igpucomm/internal/devices"
+	"igpucomm/internal/framework"
+	"igpucomm/internal/microbench"
+	"igpucomm/internal/perfmodel"
+	"igpucomm/internal/soc"
+	"igpucomm/internal/units"
+	"time"
+)
+
+// Metamorphic tests for the paper's performance model: instead of asserting
+// exact outputs, these pin down how the outputs must MOVE when the inputs
+// move — the relations eqns 1-4 promise — and that the device maxima from the
+// micro-benchmarks really cap the estimators, on every catalog device.
+
+// ms is one simulated millisecond.
+const ms = units.Latency(float64(time.Millisecond / time.Nanosecond))
+
+func baseInputs() perfmodel.Inputs {
+	return perfmodel.Inputs{
+		Runtime:  100 * ms,
+		CopyTime: 20 * ms,
+		CPUTime:  30 * ms,
+		GPUTime:  40 * ms,
+	}
+}
+
+// Eqn 1: more L1 misses -> more LLC-served traffic; more LLC misses -> less.
+func TestCPUCacheUsageMonotone(t *testing.T) {
+	prev := -1.0
+	for _, l1 := range []float64{0, 0.1, 0.3, 0.5, 0.8, 1} {
+		u := perfmodel.CPUCacheUsage(l1, 0.2)
+		if u < prev {
+			t.Errorf("CPUCacheUsage not monotone in L1 miss rate at %v: %v < %v", l1, u, prev)
+		}
+		prev = u
+	}
+	prev = 2.0
+	for _, llc := range []float64{0, 0.1, 0.3, 0.5, 0.8, 1} {
+		u := perfmodel.CPUCacheUsage(0.5, llc)
+		if u > prev {
+			t.Errorf("CPUCacheUsage not antitone in LLC miss rate at %v: %v > %v", llc, u, prev)
+		}
+		prev = u
+	}
+	// Out-of-range profiler rates clamp instead of exploding.
+	if u := perfmodel.CPUCacheUsage(1.5, -0.2); u != 1 {
+		t.Errorf("clamped usage = %v, want 1", u)
+	}
+}
+
+// Eqn 2: more transactions -> more demand; better L1 hit rate or a slower
+// kernel -> less.
+func TestGPUCacheUsageMonotone(t *testing.T) {
+	const size = 32
+	rt := 10 * ms
+	peak := 100 * units.GBps
+	prev := -1.0
+	for _, tn := range []int64{0, 1e3, 1e5, 1e7} {
+		u := perfmodel.GPUCacheUsage(tn, size, 0.5, rt, peak)
+		if u < prev {
+			t.Errorf("GPUCacheUsage not monotone in transactions at %d: %v < %v", tn, u, prev)
+		}
+		prev = u
+	}
+	prev = 2.0
+	for _, hit := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		u := perfmodel.GPUCacheUsage(1e6, size, hit, rt, peak)
+		if u > prev {
+			t.Errorf("GPUCacheUsage not antitone in L1 hit rate at %v: %v > %v", hit, u, prev)
+		}
+		prev = u
+	}
+	if a, b := perfmodel.GPUCacheUsage(1e6, size, 0.5, rt, peak),
+		perfmodel.GPUCacheUsage(1e6, size, 0.5, 2*rt, peak); b > a {
+		t.Errorf("slower kernel increased usage: %v > %v", b, a)
+	}
+	// The FromBytes variant must agree with the pre-multiplied form.
+	if a, b := perfmodel.GPUCacheUsage(1e6, size, 0.3, rt, peak),
+		perfmodel.GPUCacheUsageFromBytes(1e6*size, 0.3, rt, peak); a != b {
+		t.Errorf("FromBytes variant diverges: %v vs %v", a, b)
+	}
+}
+
+// Eqn 3: removing more copy time can only raise the SC->ZC speedup, and more
+// CPU work to overlap can only raise it too.
+func TestSCToZCMonotone(t *testing.T) {
+	prev := 0.0
+	for _, copyT := range []units.Latency{0, 5 * ms, 20 * ms, 60 * ms} {
+		in := baseInputs()
+		in.CopyTime = copyT
+		s, err := perfmodel.SCToZC(in, 0) // uncapped
+		if err != nil {
+			t.Fatalf("CopyTime %v: %v", copyT, err)
+		}
+		if s < prev {
+			t.Errorf("SCToZC not monotone in copy time at %v: %v < %v", copyT, s, prev)
+		}
+		prev = s
+	}
+	prev = 0.0
+	for _, cpuT := range []units.Latency{0, 10 * ms, 30 * ms, 80 * ms} {
+		in := baseInputs()
+		in.CPUTime = cpuT
+		s, err := perfmodel.SCToZC(in, 0)
+		if err != nil {
+			t.Fatalf("CPUTime %v: %v", cpuT, err)
+		}
+		if s < prev {
+			t.Errorf("SCToZC not monotone in CPU overlap at %v: %v < %v", cpuT, s, prev)
+		}
+		prev = s
+	}
+	// With nothing to remove and nothing to overlap, the estimate is exactly
+	// "no change".
+	in := baseInputs()
+	in.CopyTime, in.CPUTime = 0, 0
+	if s, err := perfmodel.SCToZC(in, 0); err != nil || s != 1 {
+		t.Errorf("degenerate SCToZC = %v, %v, want exactly 1", s, err)
+	}
+}
+
+// Eqn 4's structural estimate only sees costs (serialization + copies), so it
+// can never exceed 1; the cache win rides in through KernelGainZCToSC, which
+// is bounded below by 1 and above by the device cap.
+func TestZCToSCBounds(t *testing.T) {
+	for _, copyT := range []units.Latency{0, 10 * ms, 50 * ms} {
+		in := baseInputs()
+		in.CopyTime = copyT
+		s, err := perfmodel.ZCToSC(in, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s > 1 {
+			t.Errorf("structural ZCToSC = %v > 1 (it models pure cost)", s)
+		}
+	}
+	if g := perfmodel.KernelGainZCToSC(50*units.GBps, 100*units.GBps, 0); g != 1 {
+		t.Errorf("undersubscribed pinned path gain = %v, want 1", g)
+	}
+	if g := perfmodel.KernelGainZCToSC(400*units.GBps, 1*units.GBps, 3.5); g != 3.5 {
+		t.Errorf("gain = %v, want capped at 3.5", g)
+	}
+}
+
+// Symmetric caps, per device: the estimators must never promise more than the
+// micro-benchmarks measured — SCToZC is capped by MB3's SC/ZC_Max_speedup
+// and the ZC->SC kernel gain by MB1's cached/pinned ratio — even for inputs
+// engineered to exceed them.
+func TestCapsHoldOnAllCatalogDevices(t *testing.T) {
+	p := microbench.TestParams()
+	for _, cfg := range devices.All() {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			char, err := framework.Characterize(soc.New(cfg), p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if char.SCZCMaxSpeedup <= 0 || char.ZCSCMaxSpeedup <= 0 {
+				t.Fatalf("degenerate caps: %+v", char)
+			}
+			// Nearly all runtime is copy time with huge CPU overlap: the
+			// uncapped eqn-3 estimate is enormous.
+			extreme := perfmodel.Inputs{
+				Runtime:  100 * ms,
+				CopyTime: 99 * ms,
+				CPUTime:  900 * ms,
+				GPUTime:  1 * ms,
+			}
+			s, err := perfmodel.SCToZC(extreme, char.SCZCMaxSpeedup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s > char.SCZCMaxSpeedup {
+				t.Errorf("SCToZC = %v exceeds device cap %v", s, char.SCZCMaxSpeedup)
+			}
+			g := perfmodel.KernelGainZCToSC(10000*units.GBps, 1*units.GBps, char.ZCSCMaxSpeedup)
+			if g > char.ZCSCMaxSpeedup {
+				t.Errorf("KernelGainZCToSC = %v exceeds device cap %v", g, char.ZCSCMaxSpeedup)
+			}
+		})
+	}
+}
+
+// The advisory pipeline is a pure function of its inputs: advising the same
+// device/app/current-model twice must produce identical recommendations,
+// byte for byte — across every catalog device and app.
+func TestAdviseDeterministic(t *testing.T) {
+	p := microbench.TestParams()
+	for _, cfg := range devices.All() {
+		char, err := framework.Characterize(soc.New(cfg), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, app := range catalog.Names() {
+			for _, current := range []string{"sc", "zc"} {
+				cfg, app, current := cfg, app, current
+				t.Run(cfg.Name+"/"+app+"/"+current, func(t *testing.T) {
+					w, err := catalog.ByName(app, catalog.Quick)
+					if err != nil {
+						t.Fatal(err)
+					}
+					r1, err := framework.AdviseWorkload(char, soc.New(cfg), w, current)
+					if err != nil {
+						t.Fatal(err)
+					}
+					r2, err := framework.AdviseWorkload(char, soc.New(cfg), w, current)
+					if err != nil {
+						t.Fatal(err)
+					}
+					b1, err := json.Marshal(r1)
+					if err != nil {
+						t.Fatal(err)
+					}
+					b2, err := json.Marshal(r2)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if string(b1) != string(b2) {
+						t.Errorf("advice is not deterministic:\nfirst:  %s\nsecond: %s", b1, b2)
+					}
+				})
+			}
+		}
+	}
+}

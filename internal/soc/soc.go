@@ -164,6 +164,13 @@ func maxLine(cfg Config) int64 {
 // Name returns the platform name.
 func (s *SoC) Name() string { return s.cfg.Name }
 
+// Clone builds a fresh, independent platform instance with the same
+// configuration: pristine caches, empty address space, zeroed statistics.
+// Because a SoC is not safe for concurrent use, parallel runners (the
+// execution engine) give every task its own clone instead of sharing one
+// instance.
+func (s *SoC) Clone() *SoC { return New(s.cfg) }
+
 // Config returns the platform configuration.
 func (s *SoC) Config() Config { return s.cfg }
 
