@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fmt vet lint hazardcheck cover fuzz bench ci
+.PHONY: all build test race fmt vet lint hazardcheck cover fuzz bench trace ci
 
 all: build
 
@@ -53,4 +53,10 @@ fuzz:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/engine
 
-ci: fmt vet lint build race cover fuzz hazardcheck
+# Observability smoke: the quick-scale 45-combo sweep (3 devices x 3 apps x
+# 5 models) recorded as a Chrome trace_event file — open trace.json in
+# chrome://tracing or https://ui.perfetto.dev.
+trace:
+	$(GO) run ./cmd/advisor -quick -sweep -trace trace.json
+
+ci: fmt vet lint build race cover fuzz hazardcheck trace

@@ -9,6 +9,7 @@ package igpucomm
 // calls out (I/O coherence, overlap, tiling, copy-engine speed).
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -151,7 +152,7 @@ func BenchmarkAblationIOCoherence(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			s := soc.New(cfg)
-			res, err := microbench.RunMB1(s, microbench.TestParams())
+			res, err := microbench.RunMB1(context.Background(), s, microbench.TestParams())
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -3,24 +3,34 @@
 // the application, classify its cache dependence, and print the recommended
 // communication model with the estimated speedup.
 //
+// With -trace, every phase of the run (characterization, sweep points,
+// profiling, advisory) is recorded as a span and written as a Chrome
+// trace_event JSON file loadable in chrome://tracing or Perfetto. With
+// -sweep, the advisor instead explores every device × app × model
+// combination and prints the measured ranking table.
+//
 // Usage:
 //
 //	advisor -device jetson-agx-xavier -app shwfs -current sc
 //	advisor -device jetson-tx2 -app orbslam -current zc -quick
+//	advisor -quick -sweep -trace trace.json
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"igpucomm/internal/apps/catalog"
+	"igpucomm/internal/buildinfo"
 	"igpucomm/internal/comm"
 	"igpucomm/internal/devices"
 	"igpucomm/internal/engine"
 	"igpucomm/internal/framework"
 	"igpucomm/internal/microbench"
 	"igpucomm/internal/soc"
+	"igpucomm/internal/telemetry"
 )
 
 func main() {
@@ -31,15 +41,45 @@ func main() {
 	verify := flag.Bool("verify", false, "also measure every model and report the true ranking")
 	charFile := flag.String("char", "", "load a saved characterization instead of re-running the micro-benchmarks")
 	workers := flag.Int("workers", 0, "simulation parallelism (0 = GOMAXPROCS)")
+	sweep := flag.Bool("sweep", false, "explore every device x app x model combination instead of advising one")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file of the run to this path")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
 
-	w, err := catalog.ByName(*app, catalog.Full)
+	if *version {
+		fmt.Println(buildinfo.Get())
+		return
+	}
+
+	ctx := context.Background()
+	var tracer *telemetry.Tracer
+	if *traceOut != "" {
+		tracer = telemetry.NewTracer(telemetry.TracerOptions{})
+		ctx = telemetry.WithTracer(ctx, tracer)
+		ctx = telemetry.WithTraceID(ctx, tracer.TraceID())
+	}
+
+	eng := engine.New(engine.Options{Workers: *workers})
+	params := microbench.DefaultParams()
+	scale := catalog.Full
+	if *quick {
+		params = microbench.TestParams()
+		scale = catalog.Quick
+	}
+
+	if *sweep {
+		err := runSweep(ctx, eng, params, scale, os.Stdout)
+		fatalIf(err)
+		writeTrace(tracer, *traceOut)
+		return
+	}
+
+	w, err := catalog.ByName(*app, scale)
 	fatalIf(err)
 
 	cfg, err := devices.ByName(*device)
 	fatalIf(err)
 	s := soc.New(cfg)
-	eng := engine.New(engine.Options{Workers: *workers})
 
 	var char framework.Characterization
 	if *charFile != "" {
@@ -53,17 +93,13 @@ func main() {
 		}
 		fmt.Printf("loaded characterization of %s from %s\n", char.Platform, *charFile)
 	} else {
-		params := microbench.DefaultParams()
-		if *quick {
-			params = microbench.TestParams()
-		}
 		fmt.Printf("characterizing %s ...\n", *device)
-		char, err = eng.Characterize(cfg, params)
+		char, err = eng.Characterize(ctx, cfg, params)
 		fatalIf(err)
 	}
 
 	fmt.Printf("profiling %s under %s ...\n", *app, *current)
-	rec, err := framework.AdviseWorkload(char, s, w, *current)
+	rec, err := framework.AdviseWorkload(ctx, char, s, w, *current)
 	fatalIf(err)
 
 	fmt.Println()
@@ -80,13 +116,13 @@ func main() {
 	fmt.Printf("rationale:          %s\n", rec.Rationale)
 
 	// How robust is the verdict to profiler noise?
-	classify, err := framework.ClassificationProfile(s, w)
+	classify, err := framework.ClassificationProfile(ctx, s, w)
 	fatalIf(err)
 	currentProf := classify
 	if *current != "sc" {
 		m, err := comm.ByName(*current)
 		fatalIf(err)
-		currentProf, err = framework.CurrentProfile(s, w, m)
+		currentProf, err = framework.CurrentProfile(ctx, s, w, m)
 		fatalIf(err)
 	}
 	st, err := framework.DecisionStability(char, classify, currentProf, *current, 0.10)
@@ -100,7 +136,7 @@ func main() {
 	if *verify {
 		fmt.Println()
 		fmt.Println("measured ranking (brute force):")
-		exp, err := eng.Explore(cfg, w, nil)
+		exp, err := eng.Explore(ctx, cfg, w, nil)
 		fatalIf(err)
 		for i, cand := range exp.Ranked {
 			fmt.Printf("  %d. %-3s %v\n", i+1, cand.Model, cand.Total.Duration())
@@ -109,6 +145,24 @@ func main() {
 		fatalIf(err)
 		fmt.Printf("recommendation regret: %.2fx (within 10%%: %v)\n", regret, ok)
 	}
+
+	writeTrace(tracer, *traceOut)
+}
+
+// writeTrace exports the run's span tree as a Chrome trace_event file.
+func writeTrace(tracer *telemetry.Tracer, path string) {
+	if tracer == nil || path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	fatalIf(err)
+	err = tracer.WriteChromeTrace(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	fatalIf(err)
+	fmt.Printf("\ntrace written to %s (%d spans) — open in chrome://tracing or ui.perfetto.dev\n",
+		path, tracer.Len())
 }
 
 func fatalIf(err error) {

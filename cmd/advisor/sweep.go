@@ -1,0 +1,51 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"igpucomm/internal/apps/catalog"
+	"igpucomm/internal/comm"
+	"igpucomm/internal/devices"
+	"igpucomm/internal/engine"
+	"igpucomm/internal/microbench"
+	"igpucomm/internal/telemetry"
+)
+
+// runSweep explores every device x app x model combination (3 x 3 x 5 = 45
+// measurement points with the extended model set) through the engine and
+// prints the measured ranking per combination. Under a tracer, every point
+// shows up as an engine.explore.model span, which makes the sweep the
+// canonical workload for `advisor -trace` / `make trace`.
+func runSweep(ctx context.Context, eng *engine.Engine, params microbench.Params, scale catalog.Scale, out io.Writer) error {
+	ctx, sweep := telemetry.Start(ctx, "advisor.sweep")
+	defer sweep.End()
+
+	models := comm.AllModels()
+	combos := 0
+	for _, cfg := range devices.All() {
+		for _, app := range catalog.Names() {
+			w, err := catalog.ByName(app, scale)
+			if err != nil {
+				return err
+			}
+			exp, err := eng.Explore(ctx, cfg, w, models)
+			if err != nil {
+				return fmt.Errorf("explore %s/%s: %w", cfg.Name, app, err)
+			}
+			combos += len(models)
+			fmt.Fprintf(out, "%s / %s\n", cfg.Name, app)
+			for i, cand := range exp.Ranked {
+				marker := " "
+				if i == 0 {
+					marker = "*"
+				}
+				fmt.Fprintf(out, "  %s %d. %-8s %v\n", marker, i+1, cand.Model, cand.Total.Duration())
+			}
+		}
+	}
+	sweep.SetAttr("points", fmt.Sprintf("%d", combos))
+	fmt.Fprintf(out, "\nswept %d device x app x model points\n", combos)
+	return nil
+}

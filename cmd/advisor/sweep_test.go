@@ -1,0 +1,83 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+
+	"igpucomm/internal/apps/catalog"
+	"igpucomm/internal/engine"
+	"igpucomm/internal/microbench"
+	"igpucomm/internal/telemetry"
+)
+
+// TestSweepTraceCoversAllCombinations is the acceptance check for
+// `advisor -sweep -trace`: the quick-scale 3 devices x 3 apps x 5 models
+// sweep must record at least 45 spans — one engine.explore.model span per
+// measured point — and export them as a loadable Chrome trace.
+func TestSweepTraceCoversAllCombinations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep runs the full quick-scale simulation")
+	}
+	tracer := telemetry.NewTracer(telemetry.TracerOptions{})
+	ctx := telemetry.WithTracer(context.Background(), tracer)
+	eng := engine.New(engine.Options{Workers: 4})
+
+	if err := runSweep(ctx, eng, microbench.TestParams(), catalog.Quick, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+
+	if tracer.Len() < 45 {
+		t.Fatalf("sweep recorded %d spans, want >= 45", tracer.Len())
+	}
+	points := 0
+	for _, s := range tracer.Spans() {
+		if s.Name == "engine.explore.model" {
+			points++
+		}
+	}
+	if points != 45 {
+		t.Fatalf("got %d engine.explore.model spans, want 45 (3 devices x 3 apps x 5 models)", points)
+	}
+
+	var b strings.Builder
+	if err := tracer.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	spanEvents := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			spanEvents++
+		}
+	}
+	if spanEvents < 45 {
+		t.Fatalf("exported trace has %d span events, want >= 45", spanEvents)
+	}
+}
+
+// TestSweepWithoutTracerStillRuns guards the nil-span path: the sweep must
+// work untraced, paying only context lookups.
+func TestSweepWithoutTracerStillRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep runs the full quick-scale simulation")
+	}
+	eng := engine.New(engine.Options{Workers: 4})
+	var out strings.Builder
+	if err := runSweep(context.Background(), eng, microbench.TestParams(), catalog.Quick, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "swept 45 device x app x model points") {
+		t.Fatalf("unexpected sweep summary:\n%s", out.String())
+	}
+}

@@ -1,8 +1,9 @@
 // Command advisord serves the paper's tuning flow as an HTTP service: batch
-// advisory requests, cached device characterizations, health and status.
-// Characterizations are memoized in the execution engine's LRU cache (with
-// singleflight deduplication), so concurrent requests for the same device
-// share one simulation and warm traffic skips characterization entirely.
+// advisory requests, cached device characterizations, health, status and
+// Prometheus metrics. Characterizations are memoized in the execution
+// engine's LRU cache (with singleflight deduplication), so concurrent
+// requests for the same device share one simulation and warm traffic skips
+// characterization entirely.
 //
 // Endpoints:
 //
@@ -10,22 +11,35 @@
 //	GET  /v1/characterize?device=jetson-agx-xavier
 //	GET  /healthz
 //	GET  /statusz
+//	GET  /metrics          Prometheus text exposition
+//
+// Every response carries an X-Trace-Id header (generated, or echoed from the
+// request) that also appears in the structured request log. With -debug-addr
+// set, net/http/pprof is served on a separate listener. SIGINT/SIGTERM drain
+// in-flight requests for up to -drain-timeout before the process exits.
 //
 // Usage:
 //
 //	advisord -addr :8025
 //	advisord -addr :8025 -quick -workers 8 -ttl 1h -cache-dir /var/cache/advisord
+//	advisord -addr :8025 -debug-addr 127.0.0.1:8026 -drain-timeout 30s
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"igpucomm/internal/apps/catalog"
+	"igpucomm/internal/buildinfo"
 	"igpucomm/internal/engine"
 	"igpucomm/internal/microbench"
 )
@@ -37,7 +51,18 @@ func main() {
 	ttl := flag.Duration("ttl", 0, "characterization TTL (0 = never expires)")
 	quick := flag.Bool("quick", false, "reduced micro-benchmark and workload scale")
 	cacheDir := flag.String("cache-dir", "", "warm-start directory: load cached characterizations at boot, persist new ones")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (empty: disabled)")
+	drain := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.Get())
+		return
+	}
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	slog.SetDefault(logger)
 
 	params := microbench.DefaultParams()
 	scale := catalog.Full
@@ -55,21 +80,76 @@ func main() {
 		if _, err := os.Stat(*cacheDir); err == nil {
 			n, err := eng.LoadCache(*cacheDir)
 			if err != nil {
-				log.Fatalf("advisord: warm start from %s: %v", *cacheDir, err)
+				logger.Error("warm start failed", "dir", *cacheDir, "err", err)
+				os.Exit(1)
 			}
-			log.Printf("advisord: warm start: %d characterization(s) from %s", n, *cacheDir)
+			logger.Info("warm start", "characterizations", n, "dir", *cacheDir)
 		}
 	}
 
-	srv := newServer(eng, params, scale, *cacheDir)
-	log.Printf("advisord: listening on %s (workers=%d, quick=%v)", *addr, eng.Workers(), *quick)
+	srv := newServer(eng, params, scale, *cacheDir, logger)
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	if err := httpSrv.ListenAndServe(); err != nil {
-		fmt.Fprintln(os.Stderr, "advisord:", err)
-		os.Exit(1)
+
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugSrv = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           debugMux(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			logger.Info("pprof listening", "addr", *debugAddr)
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug server", "err", err)
+			}
+		}()
 	}
+
+	// Serve until SIGINT/SIGTERM, then drain: Shutdown stops accepting new
+	// connections and waits for in-flight advise requests to complete, up
+	// to the drain timeout.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Info("listening", "addr", *addr,
+			"workers", eng.Workers(), "quick", *quick, "build", buildinfo.Get().String())
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		logger.Error("serve", "err", err)
+		os.Exit(1)
+	case <-ctx.Done():
+		stop()
+		logger.Info("shutting down, draining in-flight requests", "timeout", *drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			logger.Error("drain incomplete", "err", err)
+			os.Exit(1)
+		}
+		if debugSrv != nil {
+			_ = debugSrv.Shutdown(shutdownCtx)
+		}
+		logger.Info("shutdown complete")
+	}
+}
+
+// debugMux builds the pprof handler set without relying on the global
+// http.DefaultServeMux (which the main listener intentionally never serves).
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"igpucomm/internal/buildinfo"
+	"igpucomm/internal/engine"
+	"igpucomm/internal/telemetry"
+)
+
+// serverMetrics is advisord's /metrics surface: HTTP-side instruments owned
+// by the middleware plus scrape-time collectors over the engine's own atomic
+// counters, so a scrape never takes a lock the hot path contends on.
+type serverMetrics struct {
+	reg *telemetry.Registry
+
+	requests  *telemetry.CounterVec   // by endpoint
+	responses *telemetry.CounterVec   // by status code
+	latency   *telemetry.HistogramVec // by endpoint, seconds
+	inFlight  *telemetry.Gauge
+}
+
+func newServerMetrics(eng *engine.Engine, start time.Time, info buildinfo.Info) *serverMetrics {
+	reg := telemetry.NewRegistry()
+	m := &serverMetrics{
+		reg: reg,
+		requests: reg.CounterVec("igpucomm_http_requests_total",
+			"HTTP requests received, by endpoint.", "endpoint"),
+		responses: reg.CounterVec("igpucomm_http_responses_total",
+			"HTTP responses sent, by status code.", "code"),
+		latency: reg.HistogramVec("igpucomm_http_request_duration_seconds",
+			"HTTP request latency, by endpoint.", "endpoint", nil),
+		inFlight: reg.Gauge("igpucomm_http_requests_in_flight",
+			"HTTP requests currently being served."),
+	}
+
+	reg.InfoGauge("igpucomm_build_info",
+		"Build identity of the running advisord binary.", info.Labels())
+	reg.GaugeFunc("igpucomm_uptime_seconds",
+		"Seconds since the server started.",
+		func() float64 { return time.Since(start).Seconds() })
+
+	reg.CounterFunc("igpucomm_engine_requests_total",
+		"Advisory requests answered by the engine.",
+		func() float64 { return float64(eng.Stats().Requests) })
+	reg.CounterFunc("igpucomm_engine_batches_total",
+		"Advisory batches answered by the engine.",
+		func() float64 { return float64(eng.Stats().Batches) })
+	reg.GaugeFunc("igpucomm_engine_pool_workers",
+		"Configured simulation-parallelism bound.",
+		func() float64 { return float64(eng.Workers()) })
+	reg.GaugeFunc("igpucomm_engine_pool_in_use",
+		"Simulation worker slots held right now.",
+		func() float64 { return float64(eng.PoolInUse()) })
+	reg.GaugeFunc("igpucomm_engine_pool_utilization",
+		"Fraction of the simulation pool in use.",
+		func() float64 {
+			if eng.Workers() == 0 {
+				return 0
+			}
+			return float64(eng.PoolInUse()) / float64(eng.Workers())
+		})
+
+	registerCacheMetrics(reg, "char", "characterization",
+		func() engine.MemoStats { return eng.Stats().Characterizations })
+	registerCacheMetrics(reg, "mb1", "MB1",
+		func() engine.MemoStats { return eng.Stats().MB1 })
+	return m
+}
+
+// registerCacheMetrics exports one memo cache's counters under
+// igpucomm_engine_<cache>_cache_*.
+func registerCacheMetrics(reg *telemetry.Registry, cache, what string, stats func() engine.MemoStats) {
+	prefix := "igpucomm_engine_" + cache + "_cache_"
+	counters := []struct {
+		name string
+		help string
+		get  func(engine.MemoStats) float64
+	}{
+		{"hits_total", "requests served from the cache", func(s engine.MemoStats) float64 { return float64(s.Hits) }},
+		{"misses_total", "requests that found no live entry", func(s engine.MemoStats) float64 { return float64(s.Misses) }},
+		{"shared_total", "misses that piggybacked on an in-flight execution (singleflight)", func(s engine.MemoStats) float64 { return float64(s.Shared) }},
+		{"executions_total", "compute functions actually run", func(s engine.MemoStats) float64 { return float64(s.Executions) }},
+		{"evictions_total", "LRU capacity evictions", func(s engine.MemoStats) float64 { return float64(s.Evictions) }},
+		{"expirations_total", "entries dropped because their TTL lapsed", func(s engine.MemoStats) float64 { return float64(s.Expirations) }},
+	}
+	for _, c := range counters {
+		c := c
+		reg.CounterFunc(prefix+c.name,
+			fmt.Sprintf("%s cache: %s.", what, c.help),
+			func() float64 { return c.get(stats()) })
+	}
+	reg.GaugeFunc(prefix+"entries",
+		fmt.Sprintf("%s cache: live cached values.", what),
+		func() float64 { return float64(stats().Entries) })
+	reg.GaugeFunc(prefix+"in_flight",
+		fmt.Sprintf("%s cache: executions running right now.", what),
+		func() float64 { return float64(stats().InFlight) })
+}

@@ -3,25 +3,32 @@ package main
 import (
 	"encoding/json"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
 	"igpucomm/internal/apps/catalog"
+	"igpucomm/internal/buildinfo"
 	"igpucomm/internal/devices"
 	"igpucomm/internal/engine"
 	"igpucomm/internal/framework"
 	"igpucomm/internal/microbench"
+	"igpucomm/internal/telemetry"
 )
 
 // server wires the execution engine to the HTTP surface. All state lives in
-// the engine; the server only translates requests and persists the cache.
+// the engine; the server only translates requests, records telemetry, and
+// persists the cache.
 type server struct {
-	eng    *engine.Engine
-	params microbench.Params
-	scale  catalog.Scale
-	start  time.Time
+	eng     *engine.Engine
+	params  microbench.Params
+	scale   catalog.Scale
+	start   time.Time
+	log     *slog.Logger
+	metrics *serverMetrics
+	info    buildinfo.Info
 
 	// cacheDir, when set, receives a SaveCache snapshot whenever new
 	// characterizations were executed; persistMu serializes the writers
@@ -31,18 +38,93 @@ type server struct {
 	lastSaved uint64
 }
 
-func newServer(eng *engine.Engine, params microbench.Params, scale catalog.Scale, cacheDir string) *server {
-	return &server{eng: eng, params: params, scale: scale, start: time.Now(), cacheDir: cacheDir}
+func newServer(eng *engine.Engine, params microbench.Params, scale catalog.Scale, cacheDir string, logger *slog.Logger) *server {
+	if logger == nil {
+		logger = slog.Default()
+	}
+	start := time.Now()
+	info := buildinfo.Get()
+	return &server{
+		eng:      eng,
+		params:   params,
+		scale:    scale,
+		start:    start,
+		log:      logger,
+		metrics:  newServerMetrics(eng, start, info),
+		info:     info,
+		cacheDir: cacheDir,
+	}
 }
 
-// handler builds the service's route table.
+// handler builds the service's route table, every endpoint wrapped in the
+// observability middleware.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/statusz", s.handleStatusz)
+	mux.Handle("/metrics", s.metrics.reg.Handler())
 	mux.HandleFunc("/v1/advise", s.handleAdvise)
 	mux.HandleFunc("/v1/characterize", s.handleCharacterize)
-	return mux
+	return s.observe(mux)
+}
+
+// endpoints the middleware labels metrics with; anything else is "other" so
+// an URL scan cannot explode the label space.
+var knownEndpoints = map[string]bool{
+	"/healthz":         true,
+	"/statusz":         true,
+	"/metrics":         true,
+	"/v1/advise":       true,
+	"/v1/characterize": true,
+}
+
+// statusRecorder captures the status code the handler wrote.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// observe is the per-request observability middleware: a trace ID (accepted
+// from X-Trace-Id or generated) echoed in the response header and stamped on
+// every span the request opens, in-flight and latency metrics per endpoint,
+// and a structured request log line.
+func (s *server) observe(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		endpoint := r.URL.Path
+		if !knownEndpoints[endpoint] {
+			endpoint = "other"
+		}
+		traceID := r.Header.Get("X-Trace-Id")
+		if traceID == "" {
+			traceID = telemetry.NewTraceID()
+		}
+		w.Header().Set("X-Trace-Id", traceID)
+		ctx := telemetry.WithTraceID(r.Context(), traceID)
+
+		s.metrics.requests.With(endpoint).Inc()
+		s.metrics.inFlight.Inc()
+		defer s.metrics.inFlight.Dec()
+
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		t0 := time.Now()
+		next.ServeHTTP(rec, r.WithContext(ctx))
+		elapsed := time.Since(t0)
+
+		s.metrics.latency.With(endpoint).Observe(elapsed.Seconds())
+		s.metrics.responses.With(strconv.Itoa(rec.status)).Inc()
+		s.log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.status,
+			"duration", elapsed,
+			"trace_id", traceID,
+		)
+	})
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -52,10 +134,11 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // statuszResponse is the /statusz payload.
 type statuszResponse struct {
-	UptimeSeconds float64      `json:"uptime_seconds"`
-	Devices       []string     `json:"devices"`
-	Apps          []string     `json:"apps"`
-	Engine        engine.Stats `json:"engine"`
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Build         buildinfo.Info `json:"build"`
+	Devices       []string       `json:"devices"`
+	Apps          []string       `json:"apps"`
+	Engine        engine.Stats   `json:"engine"`
 }
 
 func (s *server) handleStatusz(w http.ResponseWriter, r *http.Request) {
@@ -65,6 +148,7 @@ func (s *server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, statuszResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
+		Build:         s.info,
 		Devices:       names,
 		Apps:          catalog.Names(),
 		Engine:        s.eng.Stats(),
@@ -126,7 +210,7 @@ func (s *server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 		reqs = append(reqs, req)
 		slots = append(slots, i)
 	}
-	for j, res := range s.eng.AdviseBatch(reqs) {
+	for j, res := range s.eng.AdviseBatch(r.Context(), reqs) {
 		i := slots[j]
 		if res.Err != nil {
 			results[i] = adviseResult{Error: res.Err.Error()}
@@ -169,7 +253,7 @@ func (s *server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, err.Error())
 		return
 	}
-	char, err := s.eng.Characterize(cfg, s.params)
+	char, err := s.eng.Characterize(r.Context(), cfg, s.params)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
@@ -177,7 +261,7 @@ func (s *server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 	s.maybePersist()
 	w.Header().Set("Content-Type", "application/json")
 	if err := framework.SaveCharacterization(w, char); err != nil {
-		log.Printf("advisord: write characterization: %v", err)
+		s.log.Error("write characterization", "err", err)
 	}
 }
 
@@ -194,7 +278,7 @@ func (s *server) maybePersist() {
 		return
 	}
 	if _, err := s.eng.SaveCache(s.cacheDir); err != nil {
-		log.Printf("advisord: persist cache: %v", err)
+		s.log.Error("persist cache", "err", err)
 		return
 	}
 	s.lastSaved = execs
@@ -206,7 +290,7 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
-		log.Printf("advisord: encode response: %v", err)
+		slog.Error("encode response", "err", err)
 	}
 }
 

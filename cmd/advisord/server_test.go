@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -18,7 +20,7 @@ import (
 func testServer(t *testing.T) (*server, *httptest.Server) {
 	t.Helper()
 	eng := engine.New(engine.Options{Workers: 2})
-	srv := newServer(eng, microbench.TestParams(), catalog.Quick, "")
+	srv := newServer(eng, microbench.TestParams(), catalog.Quick, "", testLogger())
 	ts := httptest.NewServer(srv.handler())
 	t.Cleanup(ts.Close)
 	return srv, ts
@@ -221,7 +223,7 @@ func TestCharacterizeEndpointRoundTrips(t *testing.T) {
 func TestCachePersistenceAcrossServers(t *testing.T) {
 	dir := t.TempDir()
 	eng := engine.New(engine.Options{Workers: 2})
-	srv := newServer(eng, microbench.TestParams(), catalog.Quick, dir)
+	srv := newServer(eng, microbench.TestParams(), catalog.Quick, dir, testLogger())
 	ts := httptest.NewServer(srv.handler())
 	defer ts.Close()
 
@@ -242,7 +244,7 @@ func TestCachePersistenceAcrossServers(t *testing.T) {
 	if n != 1 {
 		t.Fatalf("warm start loaded %d entries, want 1", n)
 	}
-	srv2 := newServer(eng2, microbench.TestParams(), catalog.Quick, "")
+	srv2 := newServer(eng2, microbench.TestParams(), catalog.Quick, "", testLogger())
 	ts2 := httptest.NewServer(srv2.handler())
 	defer ts2.Close()
 	resp2, err := http.Get(ts2.URL + "/v1/characterize?device=" + devices.TX2Name)
@@ -257,4 +259,9 @@ func TestCachePersistenceAcrossServers(t *testing.T) {
 	if st.Characterizations.Hits != 1 {
 		t.Errorf("warm server hits = %d, want 1", st.Characterizations.Hits)
 	}
+}
+
+// testLogger keeps request logging out of test output.
+func testLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
 }

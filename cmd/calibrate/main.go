@@ -11,14 +11,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"igpucomm/internal/buildinfo"
 	"os"
 
 	"igpucomm/internal/calibrate"
 	"igpucomm/internal/devices"
 	"igpucomm/internal/engine"
 	"igpucomm/internal/microbench"
+	"igpucomm/internal/soc"
 	"igpucomm/internal/units"
 )
 
@@ -29,7 +32,13 @@ func main() {
 	tol := flag.Float64("tol", 0.05, "relative tolerance")
 	quick := flag.Bool("quick", false, "reduced micro-benchmark scale")
 	workers := flag.Int("workers", 0, "simulation parallelism (0 = GOMAXPROCS)")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.Get())
+		return
+	}
 
 	cfg, err := devices.ByName(*base)
 	fatalIf(err)
@@ -46,7 +55,10 @@ func main() {
 	// of the same candidate config (the final verification pass, for one,
 	// re-measures the fitted config for free).
 	eng := engine.New(engine.Options{Workers: *workers})
-	runMB1 := calibrate.MB1Runner(eng.MB1)
+	ctx := context.Background()
+	runMB1 := calibrate.MB1Runner(func(cfg soc.Config, p microbench.Params) (microbench.MB1Result, error) {
+		return eng.MB1(ctx, cfg, p)
+	})
 
 	if *sc > 0 {
 		fmt.Printf("fitting GPU LLC bandwidth to SC throughput %.2f GB/s ...\n", *sc)

@@ -24,6 +24,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"igpucomm/internal/buildinfo"
 	"os"
 	"path/filepath"
 	"strings"
@@ -57,7 +58,13 @@ func main() {
 	model := flag.String("model", "", "restrict to one communication model (default: all)")
 	noTrace := flag.Bool("no-trace", false, "skip the transaction-level trace replay")
 	verbose := flag.Bool("v", false, "print every finding, not just the per-combination summary")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.Get())
+		return
+	}
 
 	if *lint != "" {
 		os.Exit(runLint(*lint))

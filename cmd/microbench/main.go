@@ -10,8 +10,10 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"igpucomm/internal/buildinfo"
 	"os"
 	"strings"
 
@@ -24,7 +26,13 @@ func main() {
 	device := flag.String("device", devices.XavierName, "platform: "+strings.Join(names(), ", "))
 	quick := flag.Bool("quick", false, "reduced scale")
 	save := flag.String("save", "", "write the characterization to this JSON file")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.Get())
+		return
+	}
 
 	s, err := devices.NewSoC(*device)
 	if err != nil {
@@ -35,7 +43,7 @@ func main() {
 	if *quick {
 		params = microbench.TestParams()
 	}
-	char, err := framework.Characterize(s, params)
+	char, err := framework.Characterize(context.Background(), s, params)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "microbench:", err)
 		os.Exit(1)

@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"igpucomm/internal/buildinfo"
 	"os"
 	"strings"
 
@@ -24,7 +25,13 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run: all, table1..table5, fig3, fig5, fig6, fig7, async, energy, realtime")
 	quick := flag.Bool("quick", false, "use the reduced micro-benchmark scale")
 	format := flag.String("format", "text", "output format for tables: text or md")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.Get())
+		return
+	}
 
 	params := microbench.DefaultParams()
 	if *quick {

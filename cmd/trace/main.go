@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"igpucomm/internal/buildinfo"
 	"os"
 
 	"igpucomm/internal/apps/lanedet"
@@ -29,7 +30,13 @@ func main() {
 	model := flag.String("model", "sc", "buffer placement to trace under: sc or zc")
 	launch := flag.Int("launch", 0, "which kernel launch to trace")
 	out := flag.String("o", "", "output file (default stdout)")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.Get())
+		return
+	}
 
 	var (
 		w   comm.Workload

@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"igpucomm/internal/buildinfo"
 	"os"
 
 	"igpucomm/internal/apps/lanedet"
@@ -29,7 +30,13 @@ func main() {
 	max := flag.Float64("max", 64, "axis maximum (GB/s)")
 	steps := flag.Int("steps", 7, "sweep points (geometric)")
 	app := flag.String("app", "shwfs", "application: shwfs, orbslam, lanedet")
+	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.Get())
+		return
+	}
 
 	var (
 		w   comm.Workload

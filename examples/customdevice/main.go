@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -60,7 +61,7 @@ func main() {
 
 	// 3. Characterize and advise, exactly as for a catalog board.
 	s := soc.New(fitted)
-	char, err := framework.Characterize(s, params)
+	char, err := framework.Characterize(context.Background(), s, params)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rec, err := framework.AdviseWorkload(char, s, w, "sc")
+	rec, err := framework.AdviseWorkload(context.Background(), char, s, w, "sc")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -27,6 +27,7 @@
 package igpucomm
 
 import (
+	"context"
 	"fmt"
 
 	"igpucomm/internal/apps/lanedet"
@@ -100,14 +101,14 @@ func DefaultParams() Params { return microbench.DefaultParams() }
 
 // Characterize runs the paper's three micro-benchmarks on a platform.
 func Characterize(s *SoC, p Params) (Characterization, error) {
-	return framework.Characterize(s, p)
+	return framework.Characterize(context.Background(), s, p)
 }
 
 // Advise profiles the workload and runs the paper's Fig-2 decision flow:
 // which communication model should this application use on this device, and
 // what speedup would the switch buy?
 func Advise(char Characterization, s *SoC, w Workload, currentModel string) (Recommendation, error) {
-	return framework.AdviseWorkload(char, s, w, currentModel)
+	return framework.AdviseWorkload(context.Background(), char, s, w, currentModel)
 }
 
 // Run executes the workload under a model and reports timings and traffic.
@@ -126,7 +127,7 @@ func Verify(s *SoC, w Workload, m Model) (HazardReport, error) {
 // CheckedRun verifies the combination first, refuses to execute a refuted
 // schedule, and attaches the verification report to the run's Report.
 func CheckedRun(s *SoC, w Workload, m Model) (Report, error) {
-	return comm.CheckedRun(s, w, m)
+	return comm.CheckedRun(context.Background(), s, w, m)
 }
 
 // Checked wraps a model so it verifies before every run:
@@ -136,7 +137,7 @@ func Checked(m Model) Model { return comm.Checked{Inner: m} }
 
 // CollectProfile profiles the workload under a model (nvprof-style counters).
 func CollectProfile(s *SoC, w Workload, m Model) (Profile, error) {
-	return profile.Collect(s, w, m)
+	return profile.Collect(context.Background(), s, w, m)
 }
 
 // ModelByName resolves "sc", "um" or "zc".

@@ -1,0 +1,91 @@
+// Package buildinfo is the shared version/build identity helper behind every
+// binary's -version flag, advisord's /statusz, and the build_info metric: one
+// place that interrogates runtime/debug.ReadBuildInfo so the eight cmd/
+// binaries cannot drift in how they report themselves.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Info is the distilled build identity.
+type Info struct {
+	// Main is the main module path (e.g. "igpucomm").
+	Main string `json:"main"`
+	// Version is the main module version ("(devel)" for local builds).
+	Version string `json:"version"`
+	// Revision is the VCS commit, with a "+dirty" suffix for modified
+	// trees; empty when the binary was built outside version control.
+	Revision string `json:"revision,omitempty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// OS and Arch are the target platform.
+	OS   string `json:"os"`
+	Arch string `json:"arch"`
+}
+
+// Get reads the running binary's build information. It degrades gracefully
+// (test binaries and unusual link modes may carry no build info).
+func Get() Info {
+	info := Info{
+		Main:      "igpucomm",
+		Version:   "unknown",
+		GoVersion: runtime.Version(),
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+	}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	if bi.Main.Path != "" {
+		info.Main = bi.Main.Path
+	}
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	var revision string
+	var dirty bool
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			revision = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if revision != "" {
+		if len(revision) > 12 {
+			revision = revision[:12]
+		}
+		if dirty {
+			revision += "+dirty"
+		}
+		info.Revision = revision
+	}
+	return info
+}
+
+// String renders the one-line form the -version flags print.
+func (i Info) String() string {
+	rev := i.Revision
+	if rev == "" {
+		rev = "unknown"
+	}
+	return fmt.Sprintf("%s %s (rev %s, %s, %s/%s)", i.Main, i.Version, rev, i.GoVersion, i.OS, i.Arch)
+}
+
+// Labels returns the info as metric labels for a build_info gauge.
+func (i Info) Labels() map[string]string {
+	rev := i.Revision
+	if rev == "" {
+		rev = "unknown"
+	}
+	return map[string]string{
+		"version":    i.Version,
+		"revision":   rev,
+		"go_version": i.GoVersion,
+	}
+}

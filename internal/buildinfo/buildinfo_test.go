@@ -1,0 +1,37 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGet(t *testing.T) {
+	info := Get()
+	if info.GoVersion == "" {
+		t.Fatal("GoVersion should always be set")
+	}
+	if info.OS == "" || info.Arch == "" {
+		t.Fatalf("OS/Arch empty: %+v", info)
+	}
+	if info.Version == "" {
+		t.Fatal("Version should default to a placeholder, never empty")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := Get().String()
+	for _, part := range []string{Get().Main, Get().GoVersion, Get().OS + "/" + Get().Arch} {
+		if !strings.Contains(s, part) {
+			t.Fatalf("String() = %q, missing %q", s, part)
+		}
+	}
+}
+
+func TestLabels(t *testing.T) {
+	labels := Get().Labels()
+	for _, k := range []string{"version", "revision", "go_version"} {
+		if labels[k] == "" {
+			t.Fatalf("Labels() missing %q: %v", k, labels)
+		}
+	}
+}

@@ -7,6 +7,7 @@
 package calibrate
 
 import (
+	"context"
 	"fmt"
 
 	"igpucomm/internal/microbench"
@@ -45,7 +46,7 @@ type MB1Runner func(cfg soc.Config, p microbench.Params) (microbench.MB1Result, 
 
 // SerialMB1 is the default, uncached MB1Runner.
 func SerialMB1(cfg soc.Config, p microbench.Params) (microbench.MB1Result, error) {
-	return microbench.RunMB1(soc.New(cfg), p)
+	return microbench.RunMB1(context.Background(), soc.New(cfg), p)
 }
 
 // measureSC runs MB1 and returns the SC-row throughput.

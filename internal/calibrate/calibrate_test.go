@@ -1,6 +1,7 @@
 package calibrate
 
 import (
+	"context"
 	"testing"
 
 	"igpucomm/internal/devices"
@@ -15,7 +16,7 @@ func reference(t *testing.T) (soc.Config, units.BytesPerSecond, units.BytesPerSe
 	t.Helper()
 	cfg := devices.TX2()
 	p := microbench.TestParams()
-	res, err := microbench.RunMB1(soc.New(cfg), p)
+	res, err := microbench.RunMB1(context.Background(), soc.New(cfg), p)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,11 +2,13 @@ package comm
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 
 	"igpucomm/internal/hazard"
 	"igpucomm/internal/mmu"
 	"igpucomm/internal/soc"
+	"igpucomm/internal/telemetry"
 	"igpucomm/internal/tiling"
 )
 
@@ -243,16 +245,28 @@ func cpuPath(s *soc.SoC, b mmu.Buffer) string {
 
 // CheckedRun is the checked mode: verify first, refuse to run a refuted
 // combination, and attach the verification report to the run's Report.
-func CheckedRun(s *soc.SoC, w Workload, m Model) (Report, error) {
+func CheckedRun(ctx context.Context, s *soc.SoC, w Workload, m Model) (Report, error) {
+	ctx, span := telemetry.Start(ctx, "comm.checked_run",
+		telemetry.String("platform", s.Name()),
+		telemetry.String("workload", w.Name),
+		telemetry.String("model", m.Name()))
+	defer span.End()
+	_, vspan := telemetry.Start(ctx, "comm.verify")
 	hz, err := Verify(s, w, m)
+	vspan.End()
 	if err != nil {
+		span.SetAttr("verdict", "error")
 		return Report{}, err
 	}
 	if !hz.OK() {
+		span.SetAttr("verdict", "refuted")
 		return Report{Model: m.Name(), Platform: s.Name(), Workload: w.Name, Hazards: &hz},
 			fmt.Errorf("comm: %s refuted: %d hazards (first: %s)", hz.Subject, len(hz.Findings), hz.Findings[0])
 	}
+	span.SetAttr("verdict", "proven")
+	_, rspan := telemetry.Start(ctx, "comm.run")
 	rep, err := m.Run(s, w)
+	rspan.End()
 	if err != nil {
 		return rep, err
 	}
@@ -271,5 +285,9 @@ type Checked struct {
 // Name returns the inner model's name with a "+checked" suffix.
 func (c Checked) Name() string { return c.Inner.Name() + "+checked" }
 
-// Run verifies, then executes the inner model (see CheckedRun).
-func (c Checked) Run(s *soc.SoC, w Workload) (Report, error) { return CheckedRun(s, w, c.Inner) }
+// Run verifies, then executes the inner model (see CheckedRun). The Model
+// interface carries no context, so spans only appear when a caller uses
+// CheckedRun directly with a traced context.
+func (c Checked) Run(s *soc.SoC, w Workload) (Report, error) {
+	return CheckedRun(context.Background(), s, w, c.Inner)
+}

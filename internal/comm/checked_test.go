@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -82,7 +83,7 @@ func TestVerifyBrokenScheduleCounterexample(t *testing.T) {
 func TestCheckedRunRefusesBrokenSchedule(t *testing.T) {
 	s := soc.New(devices.TX2())
 	w := streamWorkload(4096, false)
-	rep, err := CheckedRun(s, w, brokenZC{})
+	rep, err := CheckedRun(context.Background(), s, w, brokenZC{})
 	if err == nil {
 		t.Fatal("checked run executed a refuted schedule")
 	}
@@ -100,7 +101,7 @@ func TestCheckedRunRefusesBrokenSchedule(t *testing.T) {
 func TestCheckedRunAttachesReport(t *testing.T) {
 	s := soc.New(devices.TX2())
 	w := streamWorkload(4096, false)
-	rep, err := CheckedRun(s, w, ZC{})
+	rep, err := CheckedRun(context.Background(), s, w, ZC{})
 	if err != nil {
 		t.Fatal(err)
 	}

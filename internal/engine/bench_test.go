@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"testing"
 
 	"igpucomm/internal/apps/catalog"
@@ -42,11 +43,11 @@ func BenchmarkSweepSerial(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, req := range reqs {
-			char, err := framework.Characterize(soc.New(req.Config), req.Params)
+			char, err := framework.Characterize(context.Background(), soc.New(req.Config), req.Params)
 			if err != nil {
 				b.Fatal(err)
 			}
-			if _, err := framework.AdviseWorkload(char, soc.New(req.Config), req.Workload, req.Current); err != nil {
+			if _, err := framework.AdviseWorkload(context.Background(), char, soc.New(req.Config), req.Workload, req.Current); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -59,7 +60,7 @@ func BenchmarkSweepEngine(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e := New(Options{}) // cold cache every iteration
-		for _, res := range e.AdviseBatch(reqs) {
+		for _, res := range e.AdviseBatch(context.Background(), reqs) {
 			if res.Err != nil {
 				b.Fatal(res.Err)
 			}
@@ -78,7 +79,7 @@ func BenchmarkAdviseBatchCold(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e := New(Options{})
-		for _, res := range e.AdviseBatch(reqs) {
+		for _, res := range e.AdviseBatch(context.Background(), reqs) {
 			if res.Err != nil {
 				b.Fatal(res.Err)
 			}
@@ -90,14 +91,14 @@ func BenchmarkAdviseBatchWarm(b *testing.B) {
 	p := microbench.DefaultParams()
 	reqs := sweepRequests(b, p)
 	e := New(Options{})
-	for _, res := range e.AdviseBatch(reqs) { // prime the cache
+	for _, res := range e.AdviseBatch(context.Background(), reqs) { // prime the cache
 		if res.Err != nil {
 			b.Fatal(res.Err)
 		}
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		for _, res := range e.AdviseBatch(reqs) {
+		for _, res := range e.AdviseBatch(context.Background(), reqs) {
 			if res.Err != nil {
 				b.Fatal(res.Err)
 			}
@@ -118,7 +119,7 @@ func BenchmarkCharacterizeSerial(b *testing.B) {
 	p := microbench.DefaultParams()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := framework.Characterize(soc.New(cfg), p); err != nil {
+		if _, err := framework.Characterize(context.Background(), soc.New(cfg), p); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -133,7 +134,7 @@ func BenchmarkCharacterizeEngine(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e := New(Options{})
-		if _, err := e.Characterize(cfg, p); err != nil {
+		if _, err := e.Characterize(context.Background(), cfg, p); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -173,7 +174,7 @@ func BenchmarkExploreEngine(b *testing.B) {
 	e := New(Options{})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.Explore(cfg, w, models); err != nil {
+		if _, err := e.Explore(context.Background(), cfg, w, models); err != nil {
 			b.Fatal(err)
 		}
 	}

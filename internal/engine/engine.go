@@ -14,6 +14,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -24,6 +25,7 @@ import (
 	"igpucomm/internal/framework"
 	"igpucomm/internal/microbench"
 	"igpucomm/internal/soc"
+	"igpucomm/internal/telemetry"
 )
 
 // Options configures an Engine.
@@ -70,6 +72,10 @@ func New(o Options) *Engine {
 // Workers returns the configured simulation-parallelism bound.
 func (e *Engine) Workers() int { return e.workers }
 
+// PoolInUse returns how many simulation slots are held right now — the
+// numerator of the pool-utilization gauge advisord exports.
+func (e *Engine) PoolInUse() int { return len(e.sem) }
+
 // Stats is the engine's counter snapshot (served by advisord's /statusz).
 type Stats struct {
 	Workers           int       `json:"workers"`
@@ -94,19 +100,22 @@ func (e *Engine) Stats() Stats {
 // memo cache when possible. Concurrent calls for the same key share one
 // execution; a cold execution fans the micro-benchmark sweep points out
 // across cloned platforms under the worker bound.
-func (e *Engine) Characterize(cfg soc.Config, p microbench.Params) (framework.Characterization, error) {
+func (e *Engine) Characterize(ctx context.Context, cfg soc.Config, p microbench.Params) (framework.Characterization, error) {
 	key, err := CacheKey(cfg, p)
 	if err != nil {
 		return framework.Characterization{}, err
 	}
-	return e.chars.do(key, func() (framework.Characterization, error) {
-		return e.characterize(cfg, p)
+	ctx, span := telemetry.Start(ctx, "engine.characterize",
+		telemetry.String("device", cfg.Name))
+	defer span.End()
+	return e.chars.do(ctx, key, func() (framework.Characterization, error) {
+		return e.characterize(ctx, cfg, p)
 	})
 }
 
 // characterize is the cold path: the parallel equivalent of
 // framework.Characterize.
-func (e *Engine) characterize(cfg soc.Config, p microbench.Params) (framework.Characterization, error) {
+func (e *Engine) characterize(ctx context.Context, cfg soc.Config, p microbench.Params) (framework.Characterization, error) {
 	// Stage 1: the MB1 rows and MB3 have no mutual dependencies — run the
 	// three model rows and the third micro-benchmark concurrently, each on
 	// its own clone.
@@ -115,11 +124,11 @@ func (e *Engine) characterize(cfg soc.Config, p microbench.Params) (framework.Ch
 	var mb3 microbench.MB3Result
 	err := fanOut(e.sem, len(models)+1, func(i int) error {
 		if i == len(models) {
-			r, err := microbench.RunMB3(soc.New(cfg), p)
+			r, err := microbench.RunMB3(ctx, soc.New(cfg), p)
 			mb3 = r
 			return err
 		}
-		row, err := microbench.RunMB1Model(soc.New(cfg), p, models[i])
+		row, err := microbench.RunMB1Model(ctx, soc.New(cfg), p, models[i])
 		rows[i] = row
 		return err
 	})
@@ -136,11 +145,11 @@ func (e *Engine) characterize(cfg soc.Config, p microbench.Params) (framework.Ch
 	cpuPts := make([]microbench.MB2CPUPoint, nf)
 	err = fanOut(e.sem, 2*nf, func(i int) error {
 		if i < nf {
-			pt, err := microbench.RunMB2GPUPoint(soc.New(cfg), p, p.MB2Fractions[i], peak)
+			pt, err := microbench.RunMB2GPUPoint(ctx, soc.New(cfg), p, p.MB2Fractions[i], peak)
 			gpuPts[i] = pt
 			return err
 		}
-		pt, err := microbench.RunMB2CPUPoint(soc.New(cfg), p, p.MB2Fractions[i-nf])
+		pt, err := microbench.RunMB2CPUPoint(ctx, soc.New(cfg), p, p.MB2Fractions[i-nf])
 		cpuPts[i-nf] = pt
 		return err
 	})
@@ -158,16 +167,18 @@ func (e *Engine) characterize(cfg soc.Config, p microbench.Params) (framework.Ch
 // same key scheme. Calibration loops use this: re-measuring a config the
 // loop (or a previous fit against the same config) already measured is a
 // cache hit.
-func (e *Engine) MB1(cfg soc.Config, p microbench.Params) (microbench.MB1Result, error) {
+func (e *Engine) MB1(ctx context.Context, cfg soc.Config, p microbench.Params) (microbench.MB1Result, error) {
 	key, err := CacheKey(cfg, p)
 	if err != nil {
 		return microbench.MB1Result{}, err
 	}
-	return e.mb1s.do(key, func() (microbench.MB1Result, error) {
+	ctx, span := telemetry.Start(ctx, "engine.mb1", telemetry.String("device", cfg.Name))
+	defer span.End()
+	return e.mb1s.do(ctx, key, func() (microbench.MB1Result, error) {
 		models := comm.Models()
 		rows := make([]microbench.MB1Row, len(models))
 		err := fanOut(e.sem, len(models), func(i int) error {
-			row, err := microbench.RunMB1Model(soc.New(cfg), p, models[i])
+			row, err := microbench.RunMB1Model(ctx, soc.New(cfg), p, models[i])
 			rows[i] = row
 			return err
 		})
@@ -181,15 +192,21 @@ func (e *Engine) MB1(cfg soc.Config, p microbench.Params) (microbench.MB1Result,
 // Explore measures the workload under every given model (comm.Models when
 // nil) concurrently, one clone per model, and returns the same ranking the
 // serial framework.Explore produces.
-func (e *Engine) Explore(cfg soc.Config, w comm.Workload, models []comm.Model) (framework.Exploration, error) {
+func (e *Engine) Explore(ctx context.Context, cfg soc.Config, w comm.Workload, models []comm.Model) (framework.Exploration, error) {
 	if models == nil {
 		models = comm.Models()
 	}
 	if len(models) == 0 {
 		return framework.Exploration{}, fmt.Errorf("engine: no models to explore")
 	}
+	ctx, span := telemetry.Start(ctx, "engine.explore",
+		telemetry.String("device", cfg.Name), telemetry.String("workload", w.Name))
+	defer span.End()
 	cands := make([]framework.Candidate, len(models))
 	err := fanOut(e.sem, len(models), func(i int) error {
+		_, mspan := telemetry.Start(ctx, "engine.explore.model",
+			telemetry.String("model", models[i].Name()))
+		defer mspan.End()
 		rep, err := models[i].Run(soc.New(cfg), w)
 		if err != nil {
 			return fmt.Errorf("engine: explore %s: %w", models[i].Name(), err)
@@ -221,16 +238,21 @@ type Result struct {
 
 // Advise answers one request: characterization from the cache (or one shared
 // cold run), profiling and the Fig-2 decision flow on a private clone.
-func (e *Engine) Advise(req Request) (framework.Recommendation, error) {
+func (e *Engine) Advise(ctx context.Context, req Request) (framework.Recommendation, error) {
 	e.requests.Add(1)
-	char, err := e.Characterize(req.Config, req.Params)
+	ctx, span := telemetry.Start(ctx, "engine.advise",
+		telemetry.String("device", req.Config.Name),
+		telemetry.String("workload", req.Workload.Name),
+		telemetry.String("current", req.Current))
+	defer span.End()
+	char, err := e.Characterize(ctx, req.Config, req.Params)
 	if err != nil {
 		return framework.Recommendation{}, err
 	}
 	var rec framework.Recommendation
 	err = fanOut(e.sem, 1, func(int) error {
 		var err error
-		rec, err = framework.AdviseWorkload(char, soc.New(req.Config), req.Workload, req.Current)
+		rec, err = framework.AdviseWorkload(ctx, char, soc.New(req.Config), req.Workload, req.Current)
 		return err
 	})
 	return rec, err
@@ -240,15 +262,18 @@ func (e *Engine) Advise(req Request) (framework.Recommendation, error) {
 // (config, params) key share one characterization — under a cold cache a
 // 3-device batch of any size simulates exactly three characterizations —
 // and results come back in request order.
-func (e *Engine) AdviseBatch(reqs []Request) []Result {
+func (e *Engine) AdviseBatch(ctx context.Context, reqs []Request) []Result {
 	e.batches.Add(1)
+	ctx, span := telemetry.Start(ctx, "engine.advise_batch",
+		telemetry.String("requests", fmt.Sprintf("%d", len(reqs))))
+	defer span.End()
 	out := make([]Result, len(reqs))
 	var wg sync.WaitGroup
 	wg.Add(len(reqs))
 	for i := range reqs {
 		go func(i int) {
 			defer wg.Done()
-			out[i].Rec, out[i].Err = e.Advise(reqs[i])
+			out[i].Rec, out[i].Err = e.Advise(ctx, reqs[i])
 		}(i)
 	}
 	wg.Wait()

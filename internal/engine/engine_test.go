@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -66,7 +67,7 @@ func TestMemoHitMissCounters(t *testing.T) {
 	m := newMemo[int](4, 0, nil)
 	var calls atomic.Int32
 	get := func(key string, v int) (int, error) {
-		return m.do(key, func() (int, error) {
+		return m.do(context.Background(), key, func() (int, error) {
 			calls.Add(1)
 			return v, nil
 		})
@@ -92,7 +93,7 @@ func TestMemoErrorsAreNotCached(t *testing.T) {
 	boom := errors.New("boom")
 	fail := true
 	get := func() (int, error) {
-		return m.do("k", func() (int, error) {
+		return m.do(context.Background(), "k", func() (int, error) {
 			if fail {
 				return 0, boom
 			}
@@ -116,7 +117,7 @@ func TestMemoLRUEviction(t *testing.T) {
 	m.put("a", 1)
 	m.put("b", 2)
 	// Touch a so b is the least recently used.
-	if _, err := m.do("a", func() (int, error) { return 0, errors.New("must not run") }); err != nil {
+	if _, err := m.do(context.Background(), "a", func() (int, error) { return 0, errors.New("must not run") }); err != nil {
 		t.Fatal(err)
 	}
 	m.put("c", 3)
@@ -134,13 +135,13 @@ func TestMemoTTLExpiry(t *testing.T) {
 	m.put("a", 1)
 
 	clock.advance(59 * time.Second)
-	if v, err := m.do("a", func() (int, error) { return 0, errors.New("must not run") }); err != nil || v != 1 {
+	if v, err := m.do(context.Background(), "a", func() (int, error) { return 0, errors.New("must not run") }); err != nil || v != 1 {
 		t.Fatalf("pre-TTL get = %d, %v, want cached 1", v, err)
 	}
 
 	clock.advance(2 * time.Second) // now 61s past insertion
 	ran := false
-	if v, err := m.do("a", func() (int, error) { ran = true; return 2, nil }); err != nil || v != 2 {
+	if v, err := m.do(context.Background(), "a", func() (int, error) { ran = true; return 2, nil }); err != nil || v != 2 {
 		t.Fatalf("post-TTL get = %d, %v, want recomputed 2", v, err)
 	}
 	if !ran {
@@ -165,11 +166,11 @@ func TestEngineCharacterizeCaches(t *testing.T) {
 	e := New(Options{Workers: 2})
 	p := microbench.TestParams()
 
-	c1, err := e.Characterize(cfg, p)
+	c1, err := e.Characterize(context.Background(), cfg, p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	c2, err := e.Characterize(cfg, p)
+	c2, err := e.Characterize(context.Background(), cfg, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func TestEnginePersistRoundTrip(t *testing.T) {
 	}
 	p := microbench.TestParams()
 	e := New(Options{Workers: 2})
-	want, err := e.Characterize(cfg, p)
+	want, err := e.Characterize(context.Background(), cfg, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +215,7 @@ func TestEnginePersistRoundTrip(t *testing.T) {
 	if n != 1 {
 		t.Fatalf("loaded %d entries, want 1", n)
 	}
-	got, err := e2.Characterize(cfg, p)
+	got, err := e2.Characterize(context.Background(), cfg, p)
 	if err != nil {
 		t.Fatal(err)
 	}

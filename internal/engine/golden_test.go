@@ -2,6 +2,7 @@ package engine
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"testing"
 
@@ -23,11 +24,11 @@ func TestGoldenCharacterizeMatchesSerial(t *testing.T) {
 	for _, cfg := range devices.All() {
 		cfg := cfg
 		t.Run(cfg.Name, func(t *testing.T) {
-			serial, err := framework.Characterize(soc.New(cfg), p)
+			serial, err := framework.Characterize(context.Background(), soc.New(cfg), p)
 			if err != nil {
 				t.Fatal(err)
 			}
-			par, err := e.Characterize(cfg, p)
+			par, err := e.Characterize(context.Background(), cfg, p)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -60,7 +61,7 @@ func TestGoldenExploreMatchesSerial(t *testing.T) {
 					t.Fatal(err)
 				}
 				e := New(Options{Workers: 4})
-				par, err := e.Explore(cfg, w, models)
+				par, err := e.Explore(context.Background(), cfg, w, models)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -94,15 +95,15 @@ func TestGoldenAdviseMatchesSerial(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				char, err := framework.Characterize(soc.New(cfg), p)
+				char, err := framework.Characterize(context.Background(), soc.New(cfg), p)
 				if err != nil {
 					t.Fatal(err)
 				}
-				serial, err := framework.AdviseWorkload(char, soc.New(cfg), w, "sc")
+				serial, err := framework.AdviseWorkload(context.Background(), char, soc.New(cfg), w, "sc")
 				if err != nil {
 					t.Fatal(err)
 				}
-				par, err := e.Advise(Request{Config: cfg, Params: p, Workload: w, Current: "sc"})
+				par, err := e.Advise(context.Background(), Request{Config: cfg, Params: p, Workload: w, Current: "sc"})
 				if err != nil {
 					t.Fatal(err)
 				}

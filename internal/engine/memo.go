@@ -2,8 +2,11 @@ package engine
 
 import (
 	"container/list"
+	"context"
 	"sync"
 	"time"
+
+	"igpucomm/internal/telemetry"
 )
 
 // MemoStats is one memo cache's counter snapshot, served by /statusz.
@@ -133,21 +136,27 @@ func (m *memo[V]) put(key string, val V) {
 
 // do returns the cached value for key, or computes it via fn. Concurrent
 // calls for one key share a single fn execution; its error is delivered to
-// every sharer and not cached.
-func (m *memo[V]) do(key string, fn func() (V, error)) (V, error) {
+// every sharer and not cached. The context's current span (if any) is
+// annotated with the cache outcome: hit, shared (singleflight piggyback) or
+// miss (this call executed).
+func (m *memo[V]) do(ctx context.Context, key string, fn func() (V, error)) (V, error) {
+	span := telemetry.SpanFrom(ctx)
 	m.lock()
 	if v, ok := m.lookupLocked(key); ok {
 		m.stats.Hits++
 		m.unlock()
+		span.SetAttr("cache", "hit")
 		return v, nil
 	}
 	m.stats.Misses++
 	if fl, ok := m.inflight[key]; ok {
 		m.stats.Shared++
 		m.unlock()
+		span.SetAttr("cache", "shared")
 		<-fl.done
 		return fl.val, fl.err
 	}
+	span.SetAttr("cache", "miss")
 	fl := &flight[V]{done: make(chan struct{})}
 	m.inflight[key] = fl
 	m.stats.InFlight++

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -48,7 +49,7 @@ func TestAdviseBatchStress(t *testing.T) {
 	for g := 0; g < goroutines; g++ {
 		go func() {
 			defer wg.Done()
-			for i, res := range e.AdviseBatch(reqs) {
+			for i, res := range e.AdviseBatch(context.Background(), reqs) {
 				if res.Err != nil {
 					errs <- res.Err
 					continue

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"igpucomm/internal/comm"
@@ -35,11 +36,11 @@ func (c *Context) profileApp(board string, w comm.Workload, currentModel string)
 	if err != nil {
 		return AppProfile{}, err
 	}
-	prof, err := profile.Collect(s, w, comm.SC{})
+	prof, err := profile.Collect(context.Background(), s, w, comm.SC{})
 	if err != nil {
 		return AppProfile{}, err
 	}
-	rec, err := framework.AdviseWorkload(char, s, w, currentModel)
+	rec, err := framework.AdviseWorkload(context.Background(), char, s, w, currentModel)
 	if err != nil {
 		return AppProfile{}, err
 	}

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"igpucomm/internal/apps/orbslam"
@@ -58,7 +59,7 @@ func (c *Context) Char(name string) (framework.Characterization, error) {
 	if err != nil {
 		return framework.Characterization{}, err
 	}
-	ch, err := framework.Characterize(s, c.Params)
+	ch, err := framework.Characterize(context.Background(), s, c.Params)
 	if err != nil {
 		return framework.Characterization{}, err
 	}
@@ -134,7 +135,7 @@ func (c *Context) Prewarm(names ...string) error {
 				results <- result{name: name, err: err}
 				return
 			}
-			char, err := framework.Characterize(s, c.Params)
+			char, err := framework.Characterize(context.Background(), s, c.Params)
 			results <- result{name: name, s: s, char: char, err: err}
 		}(name)
 	}

@@ -6,6 +6,7 @@
 package framework
 
 import (
+	"context"
 	"fmt"
 
 	"igpucomm/internal/comm"
@@ -13,6 +14,7 @@ import (
 	"igpucomm/internal/perfmodel"
 	"igpucomm/internal/profile"
 	"igpucomm/internal/soc"
+	"igpucomm/internal/telemetry"
 	"igpucomm/internal/units"
 )
 
@@ -43,16 +45,19 @@ type Characterization struct {
 // The execution engine (internal/engine) produces the identical result by
 // fanning the sweep points out across cloned platforms and assembling them
 // with NewCharacterization.
-func Characterize(s *soc.SoC, p microbench.Params) (Characterization, error) {
-	mb1, err := microbench.RunMB1(s, p)
+func Characterize(ctx context.Context, s *soc.SoC, p microbench.Params) (Characterization, error) {
+	ctx, span := telemetry.Start(ctx, "framework.characterize",
+		telemetry.String("platform", s.Name()))
+	defer span.End()
+	mb1, err := microbench.RunMB1(ctx, s, p)
 	if err != nil {
 		return Characterization{}, fmt.Errorf("framework: %w", err)
 	}
-	mb2, err := microbench.RunMB2(s, p, mb1.PeakThroughput())
+	mb2, err := microbench.RunMB2(ctx, s, p, mb1.PeakThroughput())
 	if err != nil {
 		return Characterization{}, fmt.Errorf("framework: %w", err)
 	}
-	mb3, err := microbench.RunMB3(s, p)
+	mb3, err := microbench.RunMB3(ctx, s, p)
 	if err != nil {
 		return Characterization{}, fmt.Errorf("framework: %w", err)
 	}
@@ -142,8 +147,13 @@ func (r Recommendation) SpeedupPercent() float64 { return perfmodel.SpeedupPerce
 // classification — profiling under ZC would hide cache demand behind the
 // inflated kernel time) and under the current model (for the switching
 // estimates), then runs the Fig-2 decision flow.
-func AdviseWorkload(char Characterization, s *soc.SoC, w comm.Workload, currentModel string) (Recommendation, error) {
-	classify, err := profile.Collect(s, w, comm.SC{})
+func AdviseWorkload(ctx context.Context, char Characterization, s *soc.SoC, w comm.Workload, currentModel string) (Recommendation, error) {
+	ctx, span := telemetry.Start(ctx, "framework.advise",
+		telemetry.String("platform", char.Platform),
+		telemetry.String("workload", w.Name),
+		telemetry.String("current", currentModel))
+	defer span.End()
+	classify, err := profile.Collect(ctx, s, w, comm.SC{})
 	if err != nil {
 		return Recommendation{}, fmt.Errorf("framework: classification profile: %w", err)
 	}
@@ -153,12 +163,17 @@ func AdviseWorkload(char Characterization, s *soc.SoC, w comm.Workload, currentM
 		if err != nil {
 			return Recommendation{}, fmt.Errorf("framework: %w", err)
 		}
-		current, err = profile.Collect(s, w, m)
+		current, err = profile.Collect(ctx, s, w, m)
 		if err != nil {
 			return Recommendation{}, fmt.Errorf("framework: current-model profile: %w", err)
 		}
 	}
-	return Advise(char, classify, current, currentModel)
+	rec, err := Advise(char, classify, current, currentModel)
+	if err == nil {
+		span.SetAttr("suggested", rec.Suggested)
+		span.SetAttr("zone", rec.Zone.String())
+	}
+	return rec, err
 }
 
 // Advise runs the Fig-2 decision flow. classify must be a caches-on (SC)
@@ -404,11 +419,11 @@ func (r Recommendation) String() string {
 
 // ClassificationProfile collects the caches-on (SC) profile Advise
 // classifies with — exposed so tools can reuse it for stability analysis.
-func ClassificationProfile(s *soc.SoC, w comm.Workload) (profile.Profile, error) {
-	return profile.Collect(s, w, comm.SC{})
+func ClassificationProfile(ctx context.Context, s *soc.SoC, w comm.Workload) (profile.Profile, error) {
+	return profile.Collect(ctx, s, w, comm.SC{})
 }
 
 // CurrentProfile collects a profile under the given model.
-func CurrentProfile(s *soc.SoC, w comm.Workload, m comm.Model) (profile.Profile, error) {
-	return profile.Collect(s, w, m)
+func CurrentProfile(ctx context.Context, s *soc.SoC, w comm.Workload, m comm.Model) (profile.Profile, error) {
+	return profile.Collect(ctx, s, w, m)
 }

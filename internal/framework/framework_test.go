@@ -2,6 +2,7 @@ package framework
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"strings"
 	"testing"
@@ -29,7 +30,7 @@ func characterize(t *testing.T, name string) (Characterization, *soc.SoC) {
 	if c, ok := charCache[name]; ok {
 		return c, s
 	}
-	c, err := Characterize(s, microbench.TestParams())
+	c, err := Characterize(context.Background(), s, microbench.TestParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestZoneString(t *testing.T) {
 
 func TestAdviseRejectsBadInputs(t *testing.T) {
 	char, s := characterize(t, devices.TX2Name)
-	prof, err := profile.Collect(s, computeWorkload(), comm.SC{})
+	prof, err := profile.Collect(context.Background(), s, computeWorkload(), comm.SC{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestAdviseRejectsBadInputs(t *testing.T) {
 
 func TestCacheDependentOnZCSuggestsSC(t *testing.T) {
 	char, s := characterize(t, devices.TX2Name)
-	rec, err := AdviseWorkload(char, s, cacheHungryWorkload(), "zc")
+	rec, err := AdviseWorkload(context.Background(), char, s, cacheHungryWorkload(), "zc")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +164,7 @@ func TestCacheDependentOnZCSuggestsSC(t *testing.T) {
 
 func TestCacheDependentOnSCKeeps(t *testing.T) {
 	char, s := characterize(t, devices.TX2Name)
-	rec, err := AdviseWorkload(char, s, cacheHungryWorkload(), "sc")
+	rec, err := AdviseWorkload(context.Background(), char, s, cacheHungryWorkload(), "sc")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +175,7 @@ func TestCacheDependentOnSCKeeps(t *testing.T) {
 
 func TestComputeWorkloadGetsZC(t *testing.T) {
 	char, s := characterize(t, devices.XavierName)
-	rec, err := AdviseWorkload(char, s, computeWorkload(), "sc")
+	rec, err := AdviseWorkload(context.Background(), char, s, computeWorkload(), "sc")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +198,7 @@ func TestComputeWorkloadGetsZC(t *testing.T) {
 
 func TestComputeWorkloadOnZCKeeps(t *testing.T) {
 	char, s := characterize(t, devices.XavierName)
-	rec, err := AdviseWorkload(char, s, computeWorkload(), "zc")
+	rec, err := AdviseWorkload(context.Background(), char, s, computeWorkload(), "zc")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +238,7 @@ func TestCPUDependentOnNonCoherentAvoidsZC(t *testing.T) {
 		},
 		Warmup: 1,
 	}
-	rec, err := AdviseWorkload(char, s, w, "sc")
+	rec, err := AdviseWorkload(context.Background(), char, s, w, "sc")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +256,7 @@ func TestSameWorkloadDifferentVerdictAcrossDevices(t *testing.T) {
 	verdicts := map[string]Recommendation{}
 	for _, name := range []string{devices.TX2Name, devices.XavierName} {
 		char, s := characterize(t, name)
-		rec, err := AdviseWorkload(char, s, w, "zc")
+		rec, err := AdviseWorkload(context.Background(), char, s, w, "zc")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -277,7 +278,7 @@ func TestSameWorkloadDifferentVerdictAcrossDevices(t *testing.T) {
 func TestRationaleAlwaysPresent(t *testing.T) {
 	char, s := characterize(t, devices.TX2Name)
 	for _, model := range []string{"sc", "um", "zc"} {
-		rec, err := AdviseWorkload(char, s, computeWorkload(), model)
+		rec, err := AdviseWorkload(context.Background(), char, s, computeWorkload(), model)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -347,7 +348,7 @@ func TestAdviceValidatesAgainstExploration(t *testing.T) {
 	// best for the scenarios it was built for.
 	char, s := characterize(t, devices.XavierName)
 	w := computeWorkload()
-	rec, err := AdviseWorkload(char, s, w, "sc")
+	rec, err := AdviseWorkload(context.Background(), char, s, w, "sc")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -391,11 +392,11 @@ func TestCharacterizationRoundTrip(t *testing.T) {
 		t.Error("micro-benchmark payloads lost")
 	}
 	// A loaded characterization must drive Advise exactly like the original.
-	recA, err := AdviseWorkload(char, mustSoC(t, devices.TX2Name), computeWorkload(), "sc")
+	recA, err := AdviseWorkload(context.Background(), char, mustSoC(t, devices.TX2Name), computeWorkload(), "sc")
 	if err != nil {
 		t.Fatal(err)
 	}
-	recB, err := AdviseWorkload(back, mustSoC(t, devices.TX2Name), computeWorkload(), "sc")
+	recB, err := AdviseWorkload(context.Background(), back, mustSoC(t, devices.TX2Name), computeWorkload(), "sc")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,10 +1,12 @@
 package microbench
 
 import (
+	"context"
 	"fmt"
 
 	"igpucomm/internal/comm"
 	"igpucomm/internal/soc"
+	"igpucomm/internal/telemetry"
 	"igpucomm/internal/units"
 )
 
@@ -66,10 +68,12 @@ func (r MB1Result) ZCSCMaxSpeedup() float64 {
 }
 
 // RunMB1 executes the first micro-benchmark on the platform.
-func RunMB1(s *soc.SoC, p Params) (MB1Result, error) {
+func RunMB1(ctx context.Context, s *soc.SoC, p Params) (MB1Result, error) {
+	ctx, span := telemetry.Start(ctx, "mb1", telemetry.String("platform", s.Name()))
+	defer span.End()
 	res := MB1Result{Platform: s.Name()}
 	for _, m := range comm.Models() {
-		row, err := RunMB1Model(s, p, m)
+		row, err := RunMB1Model(ctx, s, p, m)
 		if err != nil {
 			return MB1Result{}, err
 		}
@@ -84,7 +88,9 @@ func RunMB1(s *soc.SoC, p Params) (MB1Result, error) {
 // the same configuration are identical to rows measured back-to-back on one
 // instance — which is what lets the execution engine fan the models out
 // across workers.
-func RunMB1Model(s *soc.SoC, p Params, m comm.Model) (MB1Row, error) {
+func RunMB1Model(ctx context.Context, s *soc.SoC, p Params, m comm.Model) (MB1Row, error) {
+	_, span := telemetry.Start(ctx, "mb1.model", telemetry.String("model", m.Name()))
+	defer span.End()
 	rep, err := m.Run(s, mb1Workload(p))
 	if err != nil {
 		return MB1Row{}, fmt.Errorf("mb1 under %s: %w", m.Name(), err)

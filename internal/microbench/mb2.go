@@ -1,7 +1,9 @@
 package microbench
 
 import (
+	"context"
 	"fmt"
+	"strconv"
 
 	"igpucomm/internal/comm"
 	"igpucomm/internal/cpu"
@@ -9,6 +11,7 @@ import (
 	"igpucomm/internal/isa"
 	"igpucomm/internal/perfmodel"
 	"igpucomm/internal/soc"
+	"igpucomm/internal/telemetry"
 	"igpucomm/internal/units"
 )
 
@@ -49,18 +52,20 @@ type MB2Result struct {
 // RunMB2 executes the second micro-benchmark. peak is the device's cached
 // GPU LL-L1 peak throughput from RunMB1, used to express the thresholds as
 // cache-usage percentages.
-func RunMB2(s *soc.SoC, p Params, peak units.BytesPerSecond) (MB2Result, error) {
+func RunMB2(ctx context.Context, s *soc.SoC, p Params, peak units.BytesPerSecond) (MB2Result, error) {
+	ctx, span := telemetry.Start(ctx, "mb2", telemetry.String("platform", s.Name()))
+	defer span.End()
 	var gpu []MB2GPUPoint
 	var cpu []MB2CPUPoint
 	for _, f := range p.MB2Fractions {
-		pt, err := RunMB2GPUPoint(s, p, f, peak)
+		pt, err := RunMB2GPUPoint(ctx, s, p, f, peak)
 		if err != nil {
 			return MB2Result{}, err
 		}
 		gpu = append(gpu, pt)
 	}
 	for _, f := range p.MB2Fractions {
-		pt, err := RunMB2CPUPoint(s, p, f)
+		pt, err := RunMB2CPUPoint(ctx, s, p, f)
 		if err != nil {
 			return MB2Result{}, err
 		}
@@ -73,21 +78,27 @@ func RunMB2(s *soc.SoC, p Params, peak units.BytesPerSecond) (MB2Result, error) 
 // resets the platform state, so points measured on separate clones equal
 // points measured sequentially on one instance — the execution engine relies
 // on this to run the sweep in parallel.
-func RunMB2GPUPoint(s *soc.SoC, p Params, f float64, peak units.BytesPerSecond) (MB2GPUPoint, error) {
+func RunMB2GPUPoint(ctx context.Context, s *soc.SoC, p Params, f float64, peak units.BytesPerSecond) (MB2GPUPoint, error) {
 	if peak <= 0 {
 		return MB2GPUPoint{}, fmt.Errorf("mb2: need a positive peak throughput from mb1")
 	}
 	if f <= 0 || f > 1 {
 		return MB2GPUPoint{}, fmt.Errorf("mb2: fraction %v out of (0,1]", f)
 	}
+	_, span := telemetry.Start(ctx, "mb2.gpu.point",
+		telemetry.String("fraction", strconv.FormatFloat(f, 'g', -1, 64)))
+	defer span.End()
 	return mb2GPUPoint(s, p, f, peak)
 }
 
 // RunMB2CPUPoint measures one density step of the CPU sweep.
-func RunMB2CPUPoint(s *soc.SoC, p Params, f float64) (MB2CPUPoint, error) {
+func RunMB2CPUPoint(ctx context.Context, s *soc.SoC, p Params, f float64) (MB2CPUPoint, error) {
 	if f <= 0 || f > 1 {
 		return MB2CPUPoint{}, fmt.Errorf("mb2: fraction %v out of (0,1]", f)
 	}
+	_, span := telemetry.Start(ctx, "mb2.cpu.point",
+		telemetry.String("fraction", strconv.FormatFloat(f, 'g', -1, 64)))
+	defer span.End()
 	return mb2CPUPoint(s, p, f), nil
 }
 

@@ -1,6 +1,7 @@
 package microbench
 
 import (
+	"context"
 	"fmt"
 
 	"igpucomm/internal/comm"
@@ -8,6 +9,7 @@ import (
 	"igpucomm/internal/gpu"
 	"igpucomm/internal/isa"
 	"igpucomm/internal/soc"
+	"igpucomm/internal/telemetry"
 	"igpucomm/internal/units"
 )
 
@@ -91,10 +93,12 @@ func mb3Workload(p Params) comm.Workload {
 }
 
 // RunMB3 executes the third micro-benchmark.
-func RunMB3(s *soc.SoC, p Params) (MB3Result, error) {
+func RunMB3(ctx context.Context, s *soc.SoC, p Params) (MB3Result, error) {
 	if p.MB3Floats < 1024 {
 		return MB3Result{}, fmt.Errorf("mb3: data set %d too small to be meaningful", p.MB3Floats)
 	}
+	_, span := telemetry.Start(ctx, "mb3", telemetry.String("platform", s.Name()))
+	defer span.End()
 	w := mb3Workload(p)
 	res := MB3Result{Platform: s.Name(), Floats: p.MB3Floats}
 

@@ -1,6 +1,7 @@
 package microbench
 
 import (
+	"context"
 	"testing"
 
 	"igpucomm/internal/devices"
@@ -10,7 +11,7 @@ import (
 
 func TestMB1RowsAndAccessors(t *testing.T) {
 	s := soc.New(devices.TX2())
-	res, err := RunMB1(s, TestParams())
+	res, err := RunMB1(context.Background(), s, TestParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func TestMB1ZeroCopyStarvesCache(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := RunMB1(s, TestParams())
+		res, err := RunMB1(context.Background(), s, TestParams())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -61,11 +62,11 @@ func TestMB1Table1Shape(t *testing.T) {
 		t.Skip("full-scale characterization")
 	}
 	p := DefaultParams()
-	tx2, err := RunMB1(soc.New(devices.TX2()), p)
+	tx2, err := RunMB1(context.Background(), soc.New(devices.TX2()), p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	xavier, err := RunMB1(soc.New(devices.Xavier()), p)
+	xavier, err := RunMB1(context.Background(), soc.New(devices.Xavier()), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestMB1Fig5CPUShape(t *testing.T) {
 		t.Skip("full-scale characterization")
 	}
 	p := DefaultParams()
-	tx2, err := RunMB1(soc.New(devices.TX2()), p)
+	tx2, err := RunMB1(context.Background(), soc.New(devices.TX2()), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestMB1Fig5CPUShape(t *testing.T) {
 	if penalty < 1.3 || penalty > 2.5 {
 		t.Errorf("TX2 ZC CPU penalty = %.2fx, want ~1.7x", penalty)
 	}
-	xavier, err := RunMB1(soc.New(devices.Xavier()), p)
+	xavier, err := RunMB1(context.Background(), soc.New(devices.Xavier()), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,11 +123,11 @@ func TestMB1Fig5CPUShape(t *testing.T) {
 func TestMB2ThresholdsStructure(t *testing.T) {
 	s := soc.New(devices.TX2())
 	p := TestParams()
-	mb1, err := RunMB1(s, p)
+	mb1, err := RunMB1(context.Background(), s, p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := RunMB2(s, p, mb1.PeakThroughput())
+	res, err := RunMB2(context.Background(), s, p, mb1.PeakThroughput())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,11 +163,11 @@ func TestMB2XavierHasWiderZCZone(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		mb1, err := RunMB1(s, p)
+		mb1, err := RunMB1(context.Background(), s, p)
 		if err != nil {
 			t.Fatal(err)
 		}
-		mb2, err := RunMB2(s, p, mb1.PeakThroughput())
+		mb2, err := RunMB2(context.Background(), s, p, mb1.PeakThroughput())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -187,11 +188,11 @@ func TestMB2XavierHasWiderZCZone(t *testing.T) {
 func TestMB2XavierCPUThresholdIs100(t *testing.T) {
 	s := soc.New(devices.Xavier())
 	p := TestParams()
-	mb1, err := RunMB1(s, p)
+	mb1, err := RunMB1(context.Background(), s, p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := RunMB2(s, p, mb1.PeakThroughput())
+	res, err := RunMB2(context.Background(), s, p, mb1.PeakThroughput())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,22 +209,22 @@ func TestMB2XavierCPUThresholdIs100(t *testing.T) {
 func TestMB2RejectsBadInputs(t *testing.T) {
 	s := soc.New(devices.TX2())
 	p := TestParams()
-	if _, err := RunMB2(s, p, 0); err == nil {
+	if _, err := RunMB2(context.Background(), s, p, 0); err == nil {
 		t.Error("zero peak accepted")
 	}
 	p.MB2Fractions = []float64{0}
-	if _, err := RunMB2(s, p, units.GBps); err == nil {
+	if _, err := RunMB2(context.Background(), s, p, units.GBps); err == nil {
 		t.Error("zero fraction accepted")
 	}
 	p.MB2Fractions = []float64{1.5}
-	if _, err := RunMB2(s, p, units.GBps); err == nil {
+	if _, err := RunMB2(context.Background(), s, p, units.GBps); err == nil {
 		t.Error("fraction above 1 accepted")
 	}
 }
 
 func TestMB3BalancedAndOverlapped(t *testing.T) {
 	s := soc.New(devices.Xavier())
-	res, err := RunMB3(s, TestParams())
+	res, err := RunMB3(context.Background(), s, TestParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +240,7 @@ func TestMB3XavierZCWins(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-scale characterization")
 	}
-	res, err := RunMB3(soc.New(devices.Xavier()), DefaultParams())
+	res, err := RunMB3(context.Background(), soc.New(devices.Xavier()), DefaultParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +257,7 @@ func TestMB3TX2ZCLosesOnUncachedPath(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-scale characterization")
 	}
-	res, err := RunMB3(soc.New(devices.TX2()), DefaultParams())
+	res, err := RunMB3(context.Background(), soc.New(devices.TX2()), DefaultParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +271,7 @@ func TestMB3TX2ZCLosesOnUncachedPath(t *testing.T) {
 func TestMB3RejectsTinyDataset(t *testing.T) {
 	p := TestParams()
 	p.MB3Floats = 16
-	if _, err := RunMB3(soc.New(devices.TX2()), p); err == nil {
+	if _, err := RunMB3(context.Background(), soc.New(devices.TX2()), p); err == nil {
 		t.Error("tiny dataset accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package perfmodel_test
 
 import (
+	"context"
 	"encoding/json"
 	"testing"
 
@@ -158,7 +159,7 @@ func TestCapsHoldOnAllCatalogDevices(t *testing.T) {
 	for _, cfg := range devices.All() {
 		cfg := cfg
 		t.Run(cfg.Name, func(t *testing.T) {
-			char, err := framework.Characterize(soc.New(cfg), p)
+			char, err := framework.Characterize(context.Background(), soc.New(cfg), p)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -194,7 +195,7 @@ func TestCapsHoldOnAllCatalogDevices(t *testing.T) {
 func TestAdviseDeterministic(t *testing.T) {
 	p := microbench.TestParams()
 	for _, cfg := range devices.All() {
-		char, err := framework.Characterize(soc.New(cfg), p)
+		char, err := framework.Characterize(context.Background(), soc.New(cfg), p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -206,11 +207,11 @@ func TestAdviseDeterministic(t *testing.T) {
 					if err != nil {
 						t.Fatal(err)
 					}
-					r1, err := framework.AdviseWorkload(char, soc.New(cfg), w, current)
+					r1, err := framework.AdviseWorkload(context.Background(), char, soc.New(cfg), w, current)
 					if err != nil {
 						t.Fatal(err)
 					}
-					r2, err := framework.AdviseWorkload(char, soc.New(cfg), w, current)
+					r2, err := framework.AdviseWorkload(context.Background(), char, soc.New(cfg), w, current)
 					if err != nil {
 						t.Fatal(err)
 					}

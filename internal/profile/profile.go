@@ -8,11 +8,13 @@
 package profile
 
 import (
+	"context"
 	"fmt"
 
 	"igpucomm/internal/comm"
 	"igpucomm/internal/perfmodel"
 	"igpucomm/internal/soc"
+	"igpucomm/internal/telemetry"
 	"igpucomm/internal/units"
 )
 
@@ -61,10 +63,13 @@ func (p Profile) GPUCacheUsage(peak units.BytesPerSecond) float64 {
 }
 
 // Collect profiles the workload under the given model on the platform.
-func Collect(s *soc.SoC, w comm.Workload, m comm.Model) (Profile, error) {
+func Collect(ctx context.Context, s *soc.SoC, w comm.Workload, m comm.Model) (Profile, error) {
 	if m == nil {
 		return Profile{}, fmt.Errorf("profile: nil model")
 	}
+	_, span := telemetry.Start(ctx, "profile.collect",
+		telemetry.String("workload", w.Name), telemetry.String("model", m.Name()))
+	defer span.End()
 	rep, err := m.Run(s, w)
 	if err != nil {
 		return Profile{}, fmt.Errorf("profile: %s under %s: %w", w.Name, m.Name(), err)

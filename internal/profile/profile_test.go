@@ -1,6 +1,7 @@
 package profile
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -42,7 +43,7 @@ func testWorkload() comm.Workload {
 
 func TestCollectFillsEverything(t *testing.T) {
 	s := soc.New(devices.TX2())
-	p, err := Collect(s, testWorkload(), comm.SC{})
+	p, err := Collect(context.Background(), s, testWorkload(), comm.SC{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestCollectFillsEverything(t *testing.T) {
 
 func TestCollectNilModel(t *testing.T) {
 	s := soc.New(devices.TX2())
-	if _, err := Collect(s, testWorkload(), nil); err == nil {
+	if _, err := Collect(context.Background(), s, testWorkload(), nil); err == nil {
 		t.Error("nil model accepted")
 	}
 }
@@ -77,7 +78,7 @@ func TestCollectPropagatesErrors(t *testing.T) {
 	s := soc.New(devices.TX2())
 	w := testWorkload()
 	w.Name = ""
-	if _, err := Collect(s, w, comm.SC{}); err == nil {
+	if _, err := Collect(context.Background(), s, w, comm.SC{}); err == nil {
 		t.Error("invalid workload accepted")
 	}
 }
@@ -99,7 +100,7 @@ func TestFromReportConsistentWithCollect(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := FromReport(rep)
-	p2, err := Collect(s, testWorkload(), comm.SC{})
+	p2, err := Collect(context.Background(), s, testWorkload(), comm.SC{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,14 +127,14 @@ func TestGPUDemandReflectsL1Hits(t *testing.T) {
 			},
 		}
 	}
-	hot, err := Collect(s, reuse, comm.SC{})
+	hot, err := Collect(context.Background(), s, reuse, comm.SC{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if hot.GPUL1HitRate < 0.9 {
 		t.Errorf("hot-loop L1 hit rate = %v, want high", hot.GPUL1HitRate)
 	}
-	stream, err := Collect(s, testWorkload(), comm.SC{})
+	stream, err := Collect(context.Background(), s, testWorkload(), comm.SC{})
 	if err != nil {
 		t.Fatal(err)
 	}

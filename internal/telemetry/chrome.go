@@ -1,0 +1,185 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// WriteChromeTrace writes the trace as Chrome trace_event JSON ("X" complete
+// events), loadable in chrome://tracing and Perfetto. Spans are emitted in
+// (start, ID) order and IDs are allocation counters, so for a given span tree
+// the output is byte-deterministic — no wall-clock leaks into IDs or
+// ordering (timestamps are offsets from the tracer epoch).
+//
+// Chrome nests events on one tid by time containment, so the exporter
+// assigns each span a lane ("tid") such that every lane holds a properly
+// nested set: a child rides its parent's lane when no placed sibling
+// overlaps it, and overlapping siblings — the engine's fan-out — spill to
+// fresh lanes, which is exactly what makes the parallelism visible.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans := t.exportOrder()
+	lanes := assignLanes(spans)
+	var b strings.Builder
+	b.WriteString("{\"traceEvents\":[")
+	b.WriteString(`{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"igpucomm"}}`)
+	for _, s := range spans {
+		b.WriteString(",\n")
+		fmt.Fprintf(&b, `{"name":%s,"cat":"igpucomm","ph":"X","ts":%s,"dur":%s,"pid":1,"tid":%d,"args":{`,
+			jsonString(s.Name), micros(s.Start), micros(s.Duration()), lanes[s.ID])
+		fmt.Fprintf(&b, `"span_id":"%d"`, s.ID)
+		if s.ParentID != 0 {
+			fmt.Fprintf(&b, `,"parent_id":"%d"`, s.ParentID)
+		}
+		for _, a := range s.Attrs() {
+			fmt.Fprintf(&b, ",%s:%s", jsonString(a.Key), jsonString(a.Value))
+		}
+		b.WriteString("}}")
+	}
+	fmt.Fprintf(&b, "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"traceId\":%s}}\n", jsonString(t.traceID))
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteText writes the trace as an indented tree — a flame graph for
+// terminals: each line is a span with its duration and attributes, children
+// indented under parents in start order.
+func (t *Tracer) WriteText(w io.Writer) error {
+	spans := t.exportOrder()
+	children := make(map[int64][]*Span)
+	var roots []*Span
+	for _, s := range spans {
+		if s.ParentID == 0 {
+			roots = append(roots, s)
+		} else {
+			children[s.ParentID] = append(children[s.ParentID], s)
+		}
+	}
+	var b strings.Builder
+	var walk func(s *Span, depth int)
+	walk = func(s *Span, depth int) {
+		fmt.Fprintf(&b, "%s%s %v", strings.Repeat("  ", depth), s.Name, s.Duration())
+		for _, a := range s.Attrs() {
+			fmt.Fprintf(&b, " %s=%s", a.Key, a.Value)
+		}
+		b.WriteByte('\n')
+		for _, c := range children[s.ID] {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// exportOrder snapshots spans sorted by (start, ID): a parent is created
+// before its children, so the order is topological even under a frozen fake
+// clock.
+func (t *Tracer) exportOrder() []*Span {
+	spans := t.Spans()
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		return spans[i].ID < spans[j].ID
+	})
+	return spans
+}
+
+// lane is one Chrome tid: a stack of open spans, kept properly nested.
+type lane struct {
+	open []*Span // innermost last
+	ends []time.Duration
+}
+
+// fits reports whether s can be placed on l keeping the lane laminar, after
+// retiring spans that ended at or before s starts.
+func (l *lane) fits(s *Span, end time.Duration) bool {
+	for len(l.open) > 0 && l.ends[len(l.ends)-1] <= s.Start {
+		l.open = l.open[:len(l.open)-1]
+		l.ends = l.ends[:len(l.ends)-1]
+	}
+	return len(l.open) == 0 || l.ends[len(l.ends)-1] >= end
+}
+
+func (l *lane) push(s *Span, end time.Duration) {
+	l.open = append(l.open, s)
+	l.ends = append(l.ends, end)
+}
+
+// assignLanes maps span ID -> tid. Spans must be in (start, ID) order.
+func assignLanes(spans []*Span) map[int64]int {
+	out := make(map[int64]int, len(spans))
+	var lanes []*lane
+	for _, s := range spans {
+		end := s.Start + s.Duration()
+		placed := -1
+		// Prefer the parent's lane when the parent is still the innermost
+		// open span there — that renders the child nested under it.
+		if s.ParentID != 0 {
+			if pl, ok := out[s.ParentID]; ok && lanes[pl-1].fits(s, end) {
+				open := lanes[pl-1].open
+				if len(open) > 0 && open[len(open)-1].ID == s.ParentID {
+					placed = pl - 1
+				}
+			}
+		}
+		if placed < 0 {
+			for i, l := range lanes {
+				if l.fits(s, end) && len(l.open) == 0 {
+					placed = i
+					break
+				}
+			}
+		}
+		if placed < 0 {
+			lanes = append(lanes, &lane{})
+			placed = len(lanes) - 1
+		}
+		lanes[placed].push(s, end)
+		out[s.ID] = placed + 1
+	}
+	return out
+}
+
+// micros renders a duration as microseconds with nanosecond precision,
+// without float formatting jitter.
+func micros(d time.Duration) string {
+	ns := d.Nanoseconds()
+	if ns%1000 == 0 {
+		return fmt.Sprintf("%d", ns/1000)
+	}
+	return fmt.Sprintf("%d.%03d", ns/1000, ns%1000)
+}
+
+// jsonString escapes a string for direct JSON embedding.
+func jsonString(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			if r < 0x20 {
+				fmt.Fprintf(&b, `\u%04x`, r)
+			} else {
+				b.WriteRune(r)
+			}
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}

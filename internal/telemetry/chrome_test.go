@@ -1,0 +1,179 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildFixtureTrace records a small advisory-shaped trace under a manual
+// clock: two sequential phases, then two overlapping fan-out workers.
+func buildFixtureTrace() *Tracer {
+	clk := newManualClock()
+	tr := NewTracer(TracerOptions{Clock: clk.Now, TraceID: "deadbeefdeadbeef"})
+	ctx := WithTracer(context.Background(), tr)
+
+	ctx, root := Start(ctx, "advise", String("device", "tx2"))
+	clk.advance(time.Millisecond)
+	_, mb1 := Start(ctx, "mb1")
+	clk.advance(2 * time.Millisecond)
+	mb1.End()
+	_, mb2 := Start(ctx, "mb2")
+	clk.advance(time.Millisecond)
+	mb2.End()
+	_, wa := Start(ctx, "worker.a")
+	clk.advance(500 * time.Microsecond)
+	_, wb := Start(ctx, "worker.b")
+	clk.advance(500 * time.Microsecond)
+	wa.End()
+	clk.advance(500 * time.Microsecond)
+	wb.End()
+	clk.advance(500 * time.Microsecond)
+	root.End()
+	return tr
+}
+
+// TestChromeTraceGolden pins the exact exported bytes: IDs are allocation
+// counters, timestamps are epoch offsets, sequential children share the
+// parent's lane (tid 1) and the overlapping sibling spills to tid 2 so the
+// fan-out renders as parallel tracks.
+func TestChromeTraceGolden(t *testing.T) {
+	want := `{"traceEvents":[{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"igpucomm"}},
+{"name":"advise","cat":"igpucomm","ph":"X","ts":0,"dur":6000,"pid":1,"tid":1,"args":{"span_id":"1","device":"tx2"}},
+{"name":"mb1","cat":"igpucomm","ph":"X","ts":1000,"dur":2000,"pid":1,"tid":1,"args":{"span_id":"2","parent_id":"1"}},
+{"name":"mb2","cat":"igpucomm","ph":"X","ts":3000,"dur":1000,"pid":1,"tid":1,"args":{"span_id":"3","parent_id":"1"}},
+{"name":"worker.a","cat":"igpucomm","ph":"X","ts":4000,"dur":1000,"pid":1,"tid":1,"args":{"span_id":"4","parent_id":"1"}},
+{"name":"worker.b","cat":"igpucomm","ph":"X","ts":4500,"dur":1000,"pid":1,"tid":2,"args":{"span_id":"5","parent_id":"1"}}
+],"displayTimeUnit":"ms","otherData":{"traceId":"deadbeefdeadbeef"}}
+`
+	var b strings.Builder
+	if err := buildFixtureTrace().WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != want {
+		t.Fatalf("chrome trace mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestChromeTraceDeterministic re-records the identical span tree and
+// demands byte-identical exports: nothing derived from wall-clock or map
+// iteration order may leak into the file.
+func TestChromeTraceDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	if err := buildFixtureTrace().WriteChromeTrace(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := buildFixtureTrace().WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("two identical traces exported differently:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+// TestChromeTraceIsValidJSON parses the export with encoding/json — the
+// exporter builds JSON by hand, so this guards the quoting and comma layout.
+func TestChromeTraceIsValidJSON(t *testing.T) {
+	var b strings.Builder
+	if err := buildFixtureTrace().WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		OtherData map[string]string `json:"otherData"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, b.String())
+	}
+	if len(doc.TraceEvents) != 6 { // metadata + 5 spans
+		t.Fatalf("got %d events, want 6", len(doc.TraceEvents))
+	}
+	if doc.OtherData["traceId"] != "deadbeefdeadbeef" {
+		t.Fatalf("traceId = %q", doc.OtherData["traceId"])
+	}
+	for _, ev := range doc.TraceEvents[1:] {
+		if ev.Ph != "X" {
+			t.Fatalf("span event %q has ph %q, want X", ev.Name, ev.Ph)
+		}
+		if _, ok := ev.Args["span_id"]; !ok {
+			t.Fatalf("span event %q lacks span_id", ev.Name)
+		}
+	}
+}
+
+// TestAssignLanesKeepsLanesLaminar checks the exporter invariant directly:
+// within one tid, spans nest properly (no partial overlap), because Chrome
+// nests purely by time containment.
+func TestAssignLanesKeepsLanesLaminar(t *testing.T) {
+	spans := buildFixtureTrace().exportOrder()
+	lanes := assignLanes(spans)
+	byLane := make(map[int][]*Span)
+	for _, s := range spans {
+		byLane[lanes[s.ID]] = append(byLane[lanes[s.ID]], s)
+	}
+	for tid, ls := range byLane {
+		for i := 0; i < len(ls); i++ {
+			for j := i + 1; j < len(ls); j++ {
+				a, b := ls[i], ls[j]
+				aEnd, bEnd := a.Start+a.Duration(), b.Start+b.Duration()
+				overlap := a.Start < bEnd && b.Start < aEnd
+				contained := (a.Start <= b.Start && bEnd <= aEnd) || (b.Start <= a.Start && aEnd <= bEnd)
+				if overlap && !contained {
+					t.Fatalf("lane %d holds partially overlapping spans %q and %q", tid, a.Name, b.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestWriteTextTree(t *testing.T) {
+	want := `advise 6ms device=tx2
+  mb1 2ms
+  mb2 1ms
+  worker.a 1ms
+  worker.b 1ms
+`
+	var b strings.Builder
+	if err := buildFixtureTrace().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != want {
+		t.Fatalf("text tree mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestMicros(t *testing.T) {
+	cases := map[time.Duration]string{
+		0:                      "0",
+		time.Microsecond:       "1",
+		1500 * time.Nanosecond: "1.500",
+		time.Millisecond:       "1000",
+	}
+	for d, want := range cases {
+		if got := micros(d); got != want {
+			t.Fatalf("micros(%v) = %q, want %q", d, got, want)
+		}
+	}
+}
+
+func TestJSONStringEscaping(t *testing.T) {
+	cases := map[string]string{
+		`plain`:      `"plain"`,
+		"a\"b":       `"a\"b"`,
+		"a\\b":       `"a\\b"`,
+		"a\nb\tc":    `"a\nb\tc"`,
+		"ctl\x01end": `"ctl\u0001end"`,
+	}
+	for in, want := range cases {
+		if got := jsonString(in); got != want {
+			t.Fatalf("jsonString(%q) = %s, want %s", in, got, want)
+		}
+	}
+}

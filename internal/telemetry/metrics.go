@@ -1,0 +1,224 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing value. All methods are atomic.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down. Stored as float64 bits so
+// fractional gauges (utilization ratios) work; all methods are atomic.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d (negative to subtract) with a CAS loop.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket latency histogram. Buckets are upper bounds in
+// ascending order; a +Inf bucket is implicit. Observe is lock-free.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf overflow
+	sum    Gauge
+	count  atomic.Uint64
+}
+
+// DefBuckets is a general-purpose latency spread (seconds), .5ms to 10s.
+var DefBuckets = []float64{.0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram buckets not ascending: %v", bounds))
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v (le semantics)
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// metricKind is the Prometheus TYPE of a family.
+type metricKind string
+
+const (
+	kindCounter   metricKind = "counter"
+	kindGauge     metricKind = "gauge"
+	kindHistogram metricKind = "histogram"
+)
+
+// family is one registered metric name: its metadata plus either a single
+// unlabeled instrument, a set of labeled children, or a scrape-time callback.
+type family struct {
+	name  string
+	help  string
+	kind  metricKind
+	label string // label name for vec families
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() float64    // scrape-time value (counterFunc/gaugeFunc)
+	info    map[string]string // constant-1 info gauge labels
+
+	mu       sync.Mutex
+	counters map[string]*Counter   // vec children by label value
+	hists    map[string]*Histogram // vec children by label value
+	bounds   []float64             // histogram vec bucket template
+}
+
+var nameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// Registry holds metric families and renders them for scraping. Registration
+// panics on invalid or duplicate names (programmer error, caught at boot);
+// everything after registration is safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry { return &Registry{families: make(map[string]*family)} }
+
+func (r *Registry) register(f *family) *family {
+	if !nameRE.MatchString(f.name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", f.name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.families[f.name]; dup {
+		panic(fmt.Sprintf("telemetry: duplicate metric %q", f.name))
+	}
+	r.families[f.name] = f
+	return f
+}
+
+// Counter registers and returns a counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(&family{name: name, help: help, kind: kindCounter, counter: &Counter{}}).counter
+}
+
+// CounterFunc registers a counter whose value is read at scrape time —
+// the bridge for counters owned elsewhere (the engine's cache stats).
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(&family{name: name, help: help, kind: kindCounter, fn: fn})
+}
+
+// Gauge registers and returns a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(&family{name: name, help: help, kind: kindGauge, gauge: &Gauge{}}).gauge
+}
+
+// GaugeFunc registers a gauge read at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(&family{name: name, help: help, kind: kindGauge, fn: fn})
+}
+
+// InfoGauge registers a constant-1 gauge carrying build/runtime facts as
+// labels (the `foo_build_info` idiom).
+func (r *Registry) InfoGauge(name, help string, labels map[string]string) {
+	cp := make(map[string]string, len(labels))
+	for k, v := range labels {
+		cp[k] = v
+	}
+	r.register(&family{name: name, help: help, kind: kindGauge, info: cp})
+}
+
+// Histogram registers and returns a histogram (nil buckets: DefBuckets).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return r.register(&family{name: name, help: help, kind: kindHistogram, hist: newHistogram(buckets)}).hist
+}
+
+// CounterVec registers a family of counters keyed by one label.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	f := r.register(&family{name: name, help: help, kind: kindCounter, label: label,
+		counters: make(map[string]*Counter)})
+	return &CounterVec{f: f}
+}
+
+// HistogramVec registers a family of histograms keyed by one label (nil
+// buckets: DefBuckets).
+func (r *Registry) HistogramVec(name, help, label string, buckets []float64) *HistogramVec {
+	f := r.register(&family{name: name, help: help, kind: kindHistogram, label: label,
+		hists: make(map[string]*Histogram), bounds: buckets})
+	return &HistogramVec{f: f}
+}
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{ f *family }
+
+// With returns (creating on first use) the counter for a label value.
+func (v *CounterVec) With(value string) *Counter {
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	c, ok := v.f.counters[value]
+	if !ok {
+		c = &Counter{}
+		v.f.counters[value] = c
+	}
+	return c
+}
+
+// HistogramVec is a labeled histogram family.
+type HistogramVec struct{ f *family }
+
+// With returns (creating on first use) the histogram for a label value.
+func (v *HistogramVec) With(value string) *Histogram {
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	h, ok := v.f.hists[value]
+	if !ok {
+		h = newHistogram(v.f.bounds)
+		v.f.hists[value] = h
+	}
+	return h
+}

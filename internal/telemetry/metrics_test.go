@@ -1,0 +1,177 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(2.5)
+	g.Inc()
+	g.Dec()
+	g.Add(-0.5)
+	if got := g.Value(); got != 2.0 {
+		t.Fatalf("gauge = %g, want 2", got)
+	}
+}
+
+func TestGaugeConcurrentAdd(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				g.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 3200 {
+		t.Fatalf("gauge after concurrent Inc = %g, want 3200", got)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the le (less-or-equal) bucket semantics:
+// a value exactly on a bound lands in that bound's bucket, zero lands in the
+// first bucket of a zero-bounded histogram, and anything above the last bound
+// — including +Inf itself — lands in the implicit +Inf bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := newHistogram([]float64{0, 0.1, 1})
+	for _, v := range []float64{
+		-1,          // below every bound -> bucket le=0
+		0,           // exactly on the 0 bound -> bucket le=0
+		0.05,        // -> le=0.1
+		0.1,         // exactly on the bound -> le=0.1
+		0.5,         // -> le=1
+		1,           // exactly on the bound -> le=1
+		2,           // above the last bound -> +Inf
+		math.Inf(1), // -> +Inf
+	} {
+		h.Observe(v)
+	}
+	want := []uint64{2, 2, 2, 2} // le=0, le=0.1, le=1, +Inf
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Fatalf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if got := h.Count(); got != 8 {
+		t.Fatalf("count = %d, want 8", got)
+	}
+	if got := h.Sum(); !math.IsInf(got, 1) {
+		t.Fatalf("sum = %g, want +Inf (an Inf observation was recorded)", got)
+	}
+}
+
+func TestHistogramDefaultBuckets(t *testing.T) {
+	h := newHistogram(nil)
+	if len(h.bounds) != len(DefBuckets) {
+		t.Fatalf("default bounds = %d, want %d", len(h.bounds), len(DefBuckets))
+	}
+	h.Observe(0.0001)
+	if got := h.counts[0].Load(); got != 1 {
+		t.Fatal("tiny observation should land in the first default bucket")
+	}
+}
+
+func TestHistogramRejectsNonAscendingBuckets(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("newHistogram should panic on non-ascending bounds")
+		}
+	}()
+	newHistogram([]float64{1, 1})
+}
+
+func TestRegistryRejectsDuplicates(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering the same name twice should panic")
+		}
+	}()
+	r.Gauge("x_total", "again")
+}
+
+func TestRegistryRejectsInvalidNames(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering an invalid name should panic")
+		}
+	}()
+	r.Counter("8bad name", "nope")
+}
+
+func TestVecChildrenAreStable(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("req_total", "requests", "endpoint")
+	cv.With("/a").Inc()
+	cv.With("/a").Inc()
+	cv.With("/b").Inc()
+	if got := cv.With("/a").Value(); got != 2 {
+		t.Fatalf("child /a = %d, want 2", got)
+	}
+	hv := r.HistogramVec("lat_seconds", "latency", "endpoint", []float64{1})
+	hv.With("/a").Observe(0.5)
+	if got := hv.With("/a").Count(); got != 1 {
+		t.Fatalf("histogram child count = %d, want 1", got)
+	}
+}
+
+// TestRegistryConcurrentScrape hammers instruments while scraping; run under
+// -race this proves a scrape never tears or races a hot-path update.
+func TestRegistryConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops_total", "ops")
+	g := r.Gauge("depth", "queue depth")
+	h := r.Histogram("lat_seconds", "latency", nil)
+	cv := r.CounterVec("code_total", "by code", "code")
+	r.GaugeFunc("derived", "scrape-time", func() float64 { return g.Value() * 2 })
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					c.Inc()
+					g.Add(1)
+					h.Observe(0.01)
+					cv.With("200").Inc()
+				}
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatalf("scrape %d: %v", i, err)
+		}
+		if !strings.Contains(b.String(), "ops_total") {
+			t.Fatal("scrape lost a family")
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

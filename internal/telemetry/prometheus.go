@@ -1,0 +1,128 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every family in Prometheus text exposition format
+// (version 0.0.4), families and label values sorted so the output is stable
+// for a given state.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		switch {
+		case f.counter != nil:
+			fmt.Fprintf(&b, "%s %s\n", f.name, formatFloat(float64(f.counter.Value())))
+		case f.gauge != nil:
+			fmt.Fprintf(&b, "%s %s\n", f.name, formatFloat(f.gauge.Value()))
+		case f.fn != nil:
+			fmt.Fprintf(&b, "%s %s\n", f.name, formatFloat(f.fn()))
+		case f.info != nil:
+			fmt.Fprintf(&b, "%s{%s} 1\n", f.name, formatLabels(f.info))
+		case f.hist != nil:
+			writeHistogram(&b, f.name, "", "", f.hist)
+		case f.counters != nil:
+			f.mu.Lock()
+			for _, lv := range sortedKeys(f.counters) {
+				fmt.Fprintf(&b, "%s{%s=%q} %s\n", f.name, f.label, lv,
+					formatFloat(float64(f.counters[lv].Value())))
+			}
+			f.mu.Unlock()
+		case f.hists != nil:
+			f.mu.Lock()
+			for _, lv := range sortedKeys(f.hists) {
+				writeHistogram(&b, f.name, f.label, lv, f.hists[lv])
+			}
+			f.mu.Unlock()
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Handler serves WritePrometheus — mount it on /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+// writeHistogram renders the cumulative bucket series plus _sum and _count.
+func writeHistogram(b *strings.Builder, name, label, lv string, h *Histogram) {
+	prefix := func(le string) string {
+		if label == "" {
+			return fmt.Sprintf("%s_bucket{le=%q}", name, le)
+		}
+		return fmt.Sprintf("%s_bucket{%s=%q,le=%q}", name, label, lv, le)
+	}
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(b, "%s %d\n", prefix(formatFloat(bound)), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(b, "%s %d\n", prefix("+Inf"), cum)
+	suffix := ""
+	if label != "" {
+		suffix = fmt.Sprintf("{%s=%q}", label, lv)
+	}
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, suffix, formatFloat(h.Sum()))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, suffix, h.Count())
+}
+
+func formatLabels(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%q", k, labels[k])
+	}
+	return strings.Join(parts, ",")
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

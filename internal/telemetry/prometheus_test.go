@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the full text exposition output — family
+// ordering, HELP/TYPE lines, label rendering, cumulative histogram buckets
+// with the implicit +Inf, and _sum/_count — against a hand-checked golden.
+// Observation values are dyadic rationals so float formatting is exact.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.InfoGauge("app_build_info", "Build facts.",
+		map[string]string{"version": "v1", "revision": "abc"})
+	hv := r.HistogramVec("app_http_latency_seconds", "Latency by endpoint.", "endpoint", []float64{0.1, 1})
+	hv.With("/a").Observe(0.0625)
+	hv.With("/a").Observe(0.25)
+	hv.With("/a").Observe(5)
+	c := r.Counter("app_ops_total", "Operations.")
+	c.Add(3)
+	g := r.Gauge("app_queue_depth", "Queue depth.")
+	g.Set(2.5)
+	cv := r.CounterVec("app_resp_total", "Responses by code.", "code")
+	cv.With("200").Add(2)
+	cv.With("500").Inc()
+	r.GaugeFunc("app_uptime_seconds", "Uptime.", func() float64 { return 12.5 })
+
+	want := `# HELP app_build_info Build facts.
+# TYPE app_build_info gauge
+app_build_info{revision="abc",version="v1"} 1
+# HELP app_http_latency_seconds Latency by endpoint.
+# TYPE app_http_latency_seconds histogram
+app_http_latency_seconds_bucket{endpoint="/a",le="0.1"} 1
+app_http_latency_seconds_bucket{endpoint="/a",le="1"} 2
+app_http_latency_seconds_bucket{endpoint="/a",le="+Inf"} 3
+app_http_latency_seconds_sum{endpoint="/a"} 5.3125
+app_http_latency_seconds_count{endpoint="/a"} 3
+# HELP app_ops_total Operations.
+# TYPE app_ops_total counter
+app_ops_total 3
+# HELP app_queue_depth Queue depth.
+# TYPE app_queue_depth gauge
+app_queue_depth 2.5
+# HELP app_resp_total Responses by code.
+# TYPE app_resp_total counter
+app_resp_total{code="200"} 2
+app_resp_total{code="500"} 1
+# HELP app_uptime_seconds Uptime.
+# TYPE app_uptime_seconds gauge
+app_uptime_seconds 12.5
+`
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestWritePrometheusUnlabeledHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "Latency.", []float64{1})
+	h.Observe(0.5)
+	h.Observe(2)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	for _, line := range []string{
+		`lat_seconds_bucket{le="1"} 1`,
+		`lat_seconds_bucket{le="+Inf"} 2`,
+		`lat_seconds_sum 2.5`,
+		`lat_seconds_count 2`,
+	} {
+		if !strings.Contains(got, line+"\n") {
+			t.Fatalf("missing %q in:\n%s", line, got)
+		}
+	}
+}
+
+func TestHandlerContentType(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "x").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "x_total 1") {
+		t.Fatalf("body = %q", rec.Body.String())
+	}
+}
+
+func TestFormatFloatSpecials(t *testing.T) {
+	cases := map[float64]string{2.5: "2.5", 0: "0"}
+	for v, want := range cases {
+		if got := formatFloat(v); got != want {
+			t.Fatalf("formatFloat(%g) = %q, want %q", v, got, want)
+		}
+	}
+	if got := formatFloat(1.0 / 0.0001); got != "10000" {
+		t.Fatalf("formatFloat = %q", got)
+	}
+}

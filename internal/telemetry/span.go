@@ -1,0 +1,166 @@
+package telemetry
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Attr is one key=value span attribute. Values are strings; use the
+// formatting helpers for other types so exporters need no type switches.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// String builds a string attribute.
+func String(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// TracerOptions configures a Tracer.
+type TracerOptions struct {
+	// Clock overrides time.Now (golden tests use a stepping fake so trace
+	// exports are byte-deterministic).
+	Clock func() time.Time
+	// TraceID labels the whole trace; a random one is generated when empty.
+	TraceID string
+}
+
+// Tracer collects spans. Safe for concurrent use; span IDs are allocation
+// order, and all times are offsets from the tracer's creation instant so an
+// export never embeds absolute wall-clock.
+type Tracer struct {
+	clock   func() time.Time
+	epoch   time.Time
+	traceID string
+
+	mu    sync.Mutex
+	spans []*Span
+}
+
+// NewTracer builds a tracer.
+func NewTracer(o TracerOptions) *Tracer {
+	if o.Clock == nil {
+		o.Clock = time.Now
+	}
+	if o.TraceID == "" {
+		o.TraceID = NewTraceID()
+	}
+	return &Tracer{clock: o.Clock, epoch: o.Clock(), traceID: o.TraceID}
+}
+
+// TraceID returns the tracer's trace ID.
+func (t *Tracer) TraceID() string { return t.traceID }
+
+// Len returns the number of spans started so far.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Spans snapshots the started spans in ID order.
+func (t *Tracer) Spans() []*Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Span is one timed operation in the trace tree. Exported fields are fixed
+// at creation; duration and attributes are guarded for concurrent readers
+// (an exporter may run while spans are still open).
+type Span struct {
+	ID       int64
+	ParentID int64 // 0: root
+	Name     string
+	Start    time.Duration // offset from the tracer epoch
+
+	tracer *Tracer
+
+	mu    sync.Mutex
+	attrs []Attr
+	dur   time.Duration
+	ended bool
+}
+
+// Start opens a span named name under the context's current span (or as a
+// root when there is none) and returns a context carrying it. When the
+// context has no tracer the returned span is nil — all Span methods are
+// nil-safe, so call sites need no guards.
+func Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	parent := SpanFrom(ctx)
+	var tracer *Tracer
+	if parent != nil {
+		tracer = parent.tracer
+	} else if tracer, _ = ctx.Value(ctxTracerKey).(*Tracer); tracer == nil {
+		return ctx, nil
+	}
+	s := &Span{
+		Name:   name,
+		Start:  tracer.clock().Sub(tracer.epoch),
+		tracer: tracer,
+		attrs:  attrs,
+	}
+	if parent != nil {
+		s.ParentID = parent.ID
+	}
+	if id := TraceIDFrom(ctx); id != "" {
+		s.attrs = append(s.attrs, String("trace_id", id))
+	}
+	tracer.mu.Lock()
+	s.ID = int64(len(tracer.spans)) + 1
+	tracer.spans = append(tracer.spans, s)
+	tracer.mu.Unlock()
+	return context.WithValue(ctx, ctxSpanKey, s), s
+}
+
+// End closes the span, fixing its duration. Second and later calls no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := s.tracer.clock().Sub(s.tracer.epoch)
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.dur = now - s.Start
+	}
+	s.mu.Unlock()
+}
+
+// SetAttr adds (or appends, attributes are not deduplicated) an attribute.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// Duration returns the span's duration; for a still-open span, the elapsed
+// time so far.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return s.dur
+	}
+	return s.tracer.clock().Sub(s.tracer.epoch) - s.Start
+}
+
+// Attrs snapshots the span's attributes.
+func (s *Span) Attrs() []Attr {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Attr, len(s.attrs))
+	copy(out, s.attrs)
+	return out
+}

@@ -1,0 +1,209 @@
+package telemetry
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// manualClock is a hand-stepped clock for deterministic span times.
+type manualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newManualClock() *manualClock { return &manualClock{now: time.Unix(100, 0)} }
+
+func (c *manualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *manualClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestStartWithoutTracerIsNilSafe(t *testing.T) {
+	ctx := context.Background()
+	ctx2, s := Start(ctx, "orphan", String("k", "v"))
+	if s != nil {
+		t.Fatalf("Start without tracer: got span %+v, want nil", s)
+	}
+	if ctx2 != ctx {
+		t.Fatal("Start without tracer should return the context unchanged")
+	}
+	// Every method must no-op on the nil span.
+	s.End()
+	s.SetAttr("a", "b")
+	if d := s.Duration(); d != 0 {
+		t.Fatalf("nil span Duration = %v, want 0", d)
+	}
+	if a := s.Attrs(); a != nil {
+		t.Fatalf("nil span Attrs = %v, want nil", a)
+	}
+	if SpanFrom(ctx2) != nil {
+		t.Fatal("SpanFrom should stay nil")
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	clk := newManualClock()
+	tr := NewTracer(TracerOptions{Clock: clk.Now, TraceID: "feedface00000000"})
+	ctx := WithTracer(context.Background(), tr)
+
+	ctx, root := Start(ctx, "root")
+	clk.advance(time.Millisecond)
+	cctx, child := Start(ctx, "child")
+	clk.advance(time.Millisecond)
+	_, grand := Start(cctx, "grandchild")
+	clk.advance(time.Millisecond)
+	grand.End()
+	child.End()
+	clk.advance(time.Millisecond)
+	root.End()
+
+	if root.ID != 1 || child.ID != 2 || grand.ID != 3 {
+		t.Fatalf("IDs = %d,%d,%d, want allocation order 1,2,3", root.ID, child.ID, grand.ID)
+	}
+	if root.ParentID != 0 {
+		t.Fatalf("root.ParentID = %d, want 0", root.ParentID)
+	}
+	if child.ParentID != root.ID {
+		t.Fatalf("child.ParentID = %d, want %d", child.ParentID, root.ID)
+	}
+	if grand.ParentID != child.ID {
+		t.Fatalf("grandchild.ParentID = %d, want %d", grand.ParentID, child.ID)
+	}
+	if root.Start != 0 || child.Start != time.Millisecond || grand.Start != 2*time.Millisecond {
+		t.Fatalf("starts = %v,%v,%v", root.Start, child.Start, grand.Start)
+	}
+	if d := root.Duration(); d != 4*time.Millisecond {
+		t.Fatalf("root duration = %v, want 4ms", d)
+	}
+	if d := grand.Duration(); d != time.Millisecond {
+		t.Fatalf("grandchild duration = %v, want 1ms", d)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("tracer has %d spans, want 3", tr.Len())
+	}
+}
+
+func TestEndIsIdempotent(t *testing.T) {
+	clk := newManualClock()
+	tr := NewTracer(TracerOptions{Clock: clk.Now})
+	_, s := Start(WithTracer(context.Background(), tr), "op")
+	clk.advance(time.Millisecond)
+	s.End()
+	clk.advance(time.Hour)
+	s.End() // must not stretch the duration
+	if d := s.Duration(); d != time.Millisecond {
+		t.Fatalf("duration after double End = %v, want 1ms", d)
+	}
+}
+
+func TestTraceIDStampedOnSpans(t *testing.T) {
+	tr := NewTracer(TracerOptions{})
+	ctx := WithTracer(context.Background(), tr)
+	ctx = WithTraceID(ctx, "abc123")
+	_, s := Start(ctx, "op")
+	s.End()
+	var got string
+	for _, a := range s.Attrs() {
+		if a.Key == "trace_id" {
+			got = a.Value
+		}
+	}
+	if got != "abc123" {
+		t.Fatalf("trace_id attr = %q, want abc123", got)
+	}
+	if id := TraceIDFrom(ctx); id != "abc123" {
+		t.Fatalf("TraceIDFrom = %q", id)
+	}
+}
+
+// TestSpanTreeConcurrent starts a fan-out of children and grandchildren from
+// many goroutines (run under -race in CI) and checks the recorded tree:
+// parent links intact, IDs unique and dense.
+func TestSpanTreeConcurrent(t *testing.T) {
+	tr := NewTracer(TracerOptions{})
+	ctx := WithTracer(context.Background(), tr)
+	ctx, root := Start(ctx, "root")
+
+	const workers = 64
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cctx, child := Start(ctx, "child")
+			_, grand := Start(cctx, "grandchild")
+			grand.SetAttr("k", "v")
+			grand.End()
+			child.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 1+2*workers {
+		t.Fatalf("got %d spans, want %d", len(spans), 1+2*workers)
+	}
+	byID := make(map[int64]*Span, len(spans))
+	for _, s := range spans {
+		if _, dup := byID[s.ID]; dup {
+			t.Fatalf("duplicate span ID %d", s.ID)
+		}
+		byID[s.ID] = s
+	}
+	for _, s := range spans {
+		if int(s.ID) < 1 || int(s.ID) > len(spans) {
+			t.Fatalf("span ID %d outside dense range 1..%d", s.ID, len(spans))
+		}
+		switch s.Name {
+		case "root":
+			if s.ParentID != 0 {
+				t.Fatalf("root has parent %d", s.ParentID)
+			}
+		case "child":
+			if s.ParentID != root.ID {
+				t.Fatalf("child %d has parent %d, want root %d", s.ID, s.ParentID, root.ID)
+			}
+		case "grandchild":
+			p := byID[s.ParentID]
+			if p == nil || p.Name != "child" {
+				t.Fatalf("grandchild %d has parent %d (%v), want a child span", s.ID, s.ParentID, p)
+			}
+		}
+	}
+}
+
+func TestTracerFrom(t *testing.T) {
+	if TracerFrom(context.Background()) != nil {
+		t.Fatal("TracerFrom on empty context should be nil")
+	}
+	tr := NewTracer(TracerOptions{})
+	ctx := WithTracer(context.Background(), tr)
+	if TracerFrom(ctx) != tr {
+		t.Fatal("TracerFrom should find the installed tracer")
+	}
+	ctx, s := Start(ctx, "op")
+	defer s.End()
+	if TracerFrom(ctx) != tr {
+		t.Fatal("TracerFrom should follow the current span's tracer")
+	}
+}
+
+func TestNewTraceIDFormat(t *testing.T) {
+	a, b := NewTraceID(), NewTraceID()
+	if len(a) != 16 || len(b) != 16 {
+		t.Fatalf("trace IDs %q, %q: want 16 hex chars", a, b)
+	}
+	if a == b {
+		t.Fatalf("two trace IDs collided: %q", a)
+	}
+}

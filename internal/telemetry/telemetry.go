@@ -1,0 +1,85 @@
+// Package telemetry is the repo's zero-dependency observability layer: a
+// span tracer propagated through context.Context and a metrics registry
+// rendered in Prometheus text exposition format.
+//
+// Tracing. A Tracer collects a tree of spans — name, attributes, start
+// offset, duration, parent — started with Start and closed with End. Spans
+// flow through contexts: install a tracer with WithTracer, and every
+// instrumented layer (engine fan-out, framework micro-benchmark phases,
+// profiling, checked execution) opens child spans under whatever span the
+// context carries. When no tracer is installed, Start returns a nil span
+// whose methods no-op, so the hot path pays one context lookup and nothing
+// else. Completed traces export as Chrome trace_event JSON
+// (chrome://tracing, Perfetto) — which makes the engine's fan-out
+// parallelism visible as overlapping lanes — or as a human-readable tree.
+//
+// Metrics. A Registry holds counters, gauges and fixed-bucket latency
+// histograms, all safe for concurrent use via atomics, and renders them in
+// Prometheus text exposition format for scraping (advisord's /metrics).
+//
+// Everything here is dependency-free on purpose: the simulator is the
+// product, and pinning OpenTelemetry or client_golang for a span struct and
+// a text format would dwarf the code it supports (see DESIGN §10).
+package telemetry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+)
+
+type ctxKey int
+
+const (
+	ctxSpanKey ctxKey = iota
+	ctxTracerKey
+	ctxTraceIDKey
+)
+
+// WithTracer returns a context whose spans record into t. Instrumented code
+// below this context opens spans via Start.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	return context.WithValue(ctx, ctxTracerKey, t)
+}
+
+// TracerFrom returns the tracer the context carries, either installed
+// directly (WithTracer) or implied by the current span. Nil when the context
+// is untraced.
+func TracerFrom(ctx context.Context) *Tracer {
+	if s := SpanFrom(ctx); s != nil {
+		return s.tracer
+	}
+	t, _ := ctx.Value(ctxTracerKey).(*Tracer)
+	return t
+}
+
+// SpanFrom returns the context's current span, or nil.
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxSpanKey).(*Span)
+	return s
+}
+
+// WithTraceID returns a context carrying a request-scoped trace ID. Every
+// span started under it is stamped with a trace_id attribute (advisord sets
+// this per HTTP request and echoes the ID in the X-Trace-Id header).
+func WithTraceID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxTraceIDKey, id)
+}
+
+// TraceIDFrom returns the context's trace ID, or "".
+func TraceIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(ctxTraceIDKey).(string)
+	return id
+}
+
+// NewTraceID returns a 16-hex-digit random trace ID.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is unrecoverable enough that a fixed ID —
+		// still unique per process lifetime for logging purposes — beats
+		// aborting a request path.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -1,6 +1,7 @@
 package workloadgen
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -97,7 +98,7 @@ func TestShapesHaveDistinctSignatures(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		p, err := profile.Collect(s, w, comm.SC{})
+		p, err := profile.Collect(context.Background(), s, w, comm.SC{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -176,7 +177,7 @@ func TestStridedScanShowsCPUCacheUsage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := profile.Collect(s, w, comm.SC{})
+	p, err := profile.Collect(context.Background(), s, w, comm.SC{})
 	if err != nil {
 		t.Fatal(err)
 	}
