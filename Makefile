@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fmt vet lint hazardcheck cover fuzz bench trace ci
+.PHONY: all build test race fmt vet lint lint-docs docs-links hazardcheck cover fuzz bench perfgate perf-smoke baseline trace ci
 
 all: build
 
@@ -29,6 +29,17 @@ vet:
 lint:
 	$(GO) run ./cmd/hazardcheck -lint ./...
 
+# Fails on exported identifiers without doc comments in the contract
+# packages (internal/engine, internal/perfmodel, internal/telemetry,
+# internal/perfbench).
+lint-docs:
+	$(GO) run ./cmd/hazardcheck -lint-docs
+
+# Fails on relative markdown links that do not resolve, across
+# README/DESIGN/EXPERIMENTS/ROADMAP and docs/.
+docs-links:
+	$(GO) run ./cmd/hazardcheck -links
+
 # Verify every device × app × model schedule, placement and trace.
 hazardcheck:
 	$(GO) run ./cmd/hazardcheck
@@ -53,10 +64,26 @@ fuzz:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/engine
 
+# One quick-scale perfgate run: writes BENCH_<timestamp>.json and prints the
+# human table (see docs/BENCHMARKS.md for the methodology).
+perfgate:
+	$(GO) run ./cmd/perfgate -run -quick
+
+# The CI perf job: run the quick suite, then compare against the committed
+# baseline in warn-only mode (absolute medians are host-dependent, so a
+# shared-runner comparison informs but never fails the build).
+perf-smoke:
+	$(GO) run ./cmd/perfgate -run -quick -out BENCH_ci.json
+	$(GO) run ./cmd/perfgate -baseline bench/baseline.json -candidate BENCH_ci.json -warn-only
+
+# Refresh the committed quick-scale baseline (run on a quiet machine).
+baseline:
+	$(GO) run ./cmd/perfgate -update-baseline
+
 # Observability smoke: the quick-scale 45-combo sweep (3 devices x 3 apps x
 # 5 models) recorded as a Chrome trace_event file — open trace.json in
 # chrome://tracing or https://ui.perfetto.dev.
 trace:
 	$(GO) run ./cmd/advisor -quick -sweep -trace trace.json
 
-ci: fmt vet lint build race cover fuzz hazardcheck trace
+ci: fmt vet lint lint-docs docs-links build race cover fuzz hazardcheck trace perf-smoke

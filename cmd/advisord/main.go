@@ -38,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"igpucomm/internal/advisord"
 	"igpucomm/internal/apps/catalog"
 	"igpucomm/internal/buildinfo"
 	"igpucomm/internal/engine"
@@ -87,10 +88,10 @@ func main() {
 		}
 	}
 
-	srv := newServer(eng, params, scale, *cacheDir, logger)
+	srv := advisord.New(eng, params, scale, *cacheDir, logger)
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.handler(),
+		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

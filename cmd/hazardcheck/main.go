@@ -9,7 +9,11 @@
 //
 // With -lint it instead runs the repo's Go-source gate (internal/analysis):
 // no raw buffer-address arithmetic outside the memory system, no naked
-// latency+bytes arithmetic, package-prefixed Validate errors.
+// latency+bytes arithmetic, package-prefixed Validate errors. With
+// -lint-docs it checks that every exported identifier in the contract
+// packages (engine, perfmodel, telemetry, perfbench) carries a doc comment;
+// with -links it checks that every relative markdown link in
+// README/DESIGN/EXPERIMENTS/ROADMAP and docs/ resolves.
 //
 // Usage:
 //
@@ -17,6 +21,8 @@
 //	hazardcheck -device jetson-tx2 -app shwfs -model zc
 //	hazardcheck -no-trace                  # schedule + layout proofs only
 //	hazardcheck -lint ./...                # run the Go analysis gate
+//	hazardcheck -lint-docs                 # exported-doc-comment gate
+//	hazardcheck -links                     # markdown relative-link gate
 //
 // Exit status 1 when any hazard or lint finding is reported.
 package main
@@ -53,6 +59,8 @@ func buildWorkload(app string) (comm.Workload, error) {
 
 func main() {
 	lint := flag.String("lint", "", "run the Go analysis gate on this path (e.g. ./...) instead of verifying schedules")
+	lintDocs := flag.Bool("lint-docs", false, "check exported identifiers in the contract packages for doc comments")
+	links := flag.Bool("links", false, "check relative markdown links in the documentation set")
 	device := flag.String("device", "", "restrict to one platform (default: all)")
 	app := flag.String("app", "", "restrict to one application (default: all)")
 	model := flag.String("model", "", "restrict to one communication model (default: all)")
@@ -68,6 +76,9 @@ func main() {
 
 	if *lint != "" {
 		os.Exit(runLint(*lint))
+	}
+	if *lintDocs || *links {
+		os.Exit(runDocGates(*lintDocs, *links))
 	}
 	os.Exit(runVerify(*device, *app, *model, !*noTrace, *verbose))
 }
@@ -108,6 +119,36 @@ func runLint(path string) int {
 		return 1
 	}
 	fmt.Println("hazardcheck: lint clean")
+	return 0
+}
+
+// runDocGates runs the documentation gates from the module root: exported
+// doc comments in the contract packages and/or markdown link resolution.
+func runDocGates(docs, links bool) int {
+	cwd, err := os.Getwd()
+	fatalIf(err)
+	root := moduleRoot(cwd)
+	var findings []analysis.Finding
+	if docs {
+		fs, err := analysis.LintExportedDocs(root, analysis.DocPackages())
+		fatalIf(err)
+		findings = append(findings, fs...)
+	}
+	if links {
+		files, err := analysis.MarkdownFiles(root)
+		fatalIf(err)
+		fs, err := analysis.CheckMarkdownLinks(root, files)
+		fatalIf(err)
+		findings = append(findings, fs...)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if n := len(findings); n > 0 {
+		fmt.Fprintf(os.Stderr, "hazardcheck: %d documentation finding(s)\n", n)
+		return 1
+	}
+	fmt.Println("hazardcheck: documentation gates clean")
 	return 0
 }
 

@@ -1,4 +1,12 @@
-package main
+// Package advisord is the advisory service's HTTP surface, importable so
+// both the cmd/advisord binary and the perfbench harness serve the exact
+// same routes: batch advice (/v1/advise), cached device characterization
+// (/v1/characterize), health, status and Prometheus metrics, all wrapped in
+// the per-request observability middleware (trace IDs, latency histograms,
+// structured request log). All state lives in the execution engine; the
+// server only translates requests, records telemetry, and persists the
+// cache.
+package advisord
 
 import (
 	"encoding/json"
@@ -18,10 +26,10 @@ import (
 	"igpucomm/internal/telemetry"
 )
 
-// server wires the execution engine to the HTTP surface. All state lives in
+// Server wires the execution engine to the HTTP surface. All state lives in
 // the engine; the server only translates requests, records telemetry, and
 // persists the cache.
-type server struct {
+type Server struct {
 	eng     *engine.Engine
 	params  microbench.Params
 	scale   catalog.Scale
@@ -38,13 +46,17 @@ type server struct {
 	lastSaved uint64
 }
 
-func newServer(eng *engine.Engine, params microbench.Params, scale catalog.Scale, cacheDir string, logger *slog.Logger) *server {
+// New builds a server answering with the given engine, micro-benchmark
+// params and workload scale. cacheDir, when non-empty, receives cache
+// snapshots after requests that executed new characterizations; a nil logger
+// falls back to slog.Default.
+func New(eng *engine.Engine, params microbench.Params, scale catalog.Scale, cacheDir string, logger *slog.Logger) *Server {
 	if logger == nil {
 		logger = slog.Default()
 	}
 	start := time.Now()
 	info := buildinfo.Get()
-	return &server{
+	return &Server{
 		eng:      eng,
 		params:   params,
 		scale:    scale,
@@ -56,9 +68,9 @@ func newServer(eng *engine.Engine, params microbench.Params, scale catalog.Scale
 	}
 }
 
-// handler builds the service's route table, every endpoint wrapped in the
+// Handler builds the service's route table, every endpoint wrapped in the
 // observability middleware.
-func (s *server) handler() http.Handler {
+func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/statusz", s.handleStatusz)
@@ -93,7 +105,7 @@ func (r *statusRecorder) WriteHeader(code int) {
 // from X-Trace-Id or generated) echoed in the response header and stamped on
 // every span the request opens, in-flight and latency metrics per endpoint,
 // and a structured request log line.
-func (s *server) observe(next http.Handler) http.Handler {
+func (s *Server) observe(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		endpoint := r.URL.Path
 		if !knownEndpoints[endpoint] {
@@ -127,7 +139,7 @@ func (s *server) observe(next http.Handler) http.Handler {
 	})
 }
 
-func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
 }
@@ -141,7 +153,7 @@ type statuszResponse struct {
 	Engine        engine.Stats   `json:"engine"`
 }
 
-func (s *server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	var names []string
 	for _, cfg := range devices.All() {
 		names = append(names, cfg.Name)
@@ -180,7 +192,7 @@ type adviseResponse struct {
 	Results []adviseResult `json:"results"`
 }
 
-func (s *server) handleAdvise(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST a JSON body to /v1/advise")
 		return
@@ -223,7 +235,7 @@ func (s *server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, adviseResponse{Results: results})
 }
 
-func (s *server) toEngineRequest(ar adviseRequest) (engine.Request, error) {
+func (s *Server) toEngineRequest(ar adviseRequest) (engine.Request, error) {
 	cfg, err := devices.ByName(ar.Device)
 	if err != nil {
 		return engine.Request{}, err
@@ -242,7 +254,7 @@ func (s *server) toEngineRequest(ar adviseRequest) (engine.Request, error) {
 // handleCharacterize serves the (cached) device characterization in the
 // framework persist format, so the response body is directly usable as
 // cmd/advisor's -char file.
-func (s *server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 	device := r.URL.Query().Get("device")
 	if device == "" {
 		writeError(w, http.StatusBadRequest, "missing ?device= parameter")
@@ -267,7 +279,7 @@ func (s *server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 
 // maybePersist snapshots the cache to disk when new characterizations were
 // executed since the last snapshot.
-func (s *server) maybePersist() {
+func (s *Server) maybePersist() {
 	if s.cacheDir == "" {
 		return
 	}

@@ -1,4 +1,4 @@
-package main
+package advisord
 
 import (
 	"bytes"
@@ -17,11 +17,11 @@ import (
 	"igpucomm/internal/microbench"
 )
 
-func testServer(t *testing.T) (*server, *httptest.Server) {
+func testServer(t *testing.T) (*Server, *httptest.Server) {
 	t.Helper()
 	eng := engine.New(engine.Options{Workers: 2})
-	srv := newServer(eng, microbench.TestParams(), catalog.Quick, "", testLogger())
-	ts := httptest.NewServer(srv.handler())
+	srv := New(eng, microbench.TestParams(), catalog.Quick, "", testLogger())
+	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	return srv, ts
 }
@@ -223,8 +223,8 @@ func TestCharacterizeEndpointRoundTrips(t *testing.T) {
 func TestCachePersistenceAcrossServers(t *testing.T) {
 	dir := t.TempDir()
 	eng := engine.New(engine.Options{Workers: 2})
-	srv := newServer(eng, microbench.TestParams(), catalog.Quick, dir, testLogger())
-	ts := httptest.NewServer(srv.handler())
+	srv := New(eng, microbench.TestParams(), catalog.Quick, dir, testLogger())
+	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
 	resp, err := http.Get(ts.URL + "/v1/characterize?device=" + devices.TX2Name)
@@ -244,8 +244,8 @@ func TestCachePersistenceAcrossServers(t *testing.T) {
 	if n != 1 {
 		t.Fatalf("warm start loaded %d entries, want 1", n)
 	}
-	srv2 := newServer(eng2, microbench.TestParams(), catalog.Quick, "", testLogger())
-	ts2 := httptest.NewServer(srv2.handler())
+	srv2 := New(eng2, microbench.TestParams(), catalog.Quick, "", testLogger())
+	ts2 := httptest.NewServer(srv2.Handler())
 	defer ts2.Close()
 	resp2, err := http.Get(ts2.URL + "/v1/characterize?device=" + devices.TX2Name)
 	if err != nil {

@@ -18,6 +18,15 @@
 //     must carry the package's name as its prefix ("mmu: ...", "cache ...")
 //     so a failure surfaced three layers up still names its origin.
 //
+// Two documentation rules ride alongside (docs.go), run by `hazardcheck
+// -lint-docs` and `hazardcheck -links`:
+//
+//   - exporteddoc: exported identifiers in the contract packages
+//     (DocPackages) must carry doc comments.
+//
+//   - mdlink: relative links in the markdown documentation set
+//     (MarkdownFiles) must resolve.
+//
 // The analyzer is syntactic by design — no type checking — so the rules are
 // conservative heuristics tuned to this repository. It runs as
 // `go run ./cmd/hazardcheck -lint ./...` and in CI.
@@ -114,16 +123,7 @@ func Lint(root string, cfg Config) ([]Finding, error) {
 		dir := filepath.ToSlash(rel)
 		out = append(out, lintFile(fset, f, dir, cfg)...)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i].Pos, out[j].Pos
-		if a.Filename != b.Filename {
-			return a.Filename < b.Filename
-		}
-		if a.Line != b.Line {
-			return a.Line < b.Line
-		}
-		return a.Column < b.Column
-	})
+	sortFindings(out)
 	return out, nil
 }
 

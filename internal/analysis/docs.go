@@ -1,0 +1,212 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"net/url"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// DocPackages is the default set of directories LintExportedDocs enforces:
+// the packages whose exported surface other layers program against, so an
+// undocumented identifier there is an API without a contract.
+func DocPackages() []string {
+	return []string{
+		"internal/engine",
+		"internal/perfmodel",
+		"internal/telemetry",
+		"internal/perfbench",
+	}
+}
+
+// LintExportedDocs checks that every exported top-level identifier (func,
+// method, type, const, var) in the given directories (relative to root,
+// non-recursive) carries a doc comment. A doc comment on a grouped const/var
+// declaration covers every name in the group. Findings use the "exporteddoc"
+// rule.
+func LintExportedDocs(root string, dirs []string) ([]Finding, error) {
+	fset := token.NewFileSet()
+	var out []Finding
+	for _, dir := range dirs {
+		full := filepath.Join(root, filepath.FromSlash(dir))
+		entries, err := os.ReadDir(full)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(full, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: %w", err)
+			}
+			out = append(out, lintFileDocs(fset, f)...)
+		}
+	}
+	sortFindings(out)
+	return out, nil
+}
+
+// lintFileDocs applies the exporteddoc rule to one parsed file.
+func lintFileDocs(fset *token.FileSet, f *ast.File) []Finding {
+	var out []Finding
+	flag := func(pos token.Pos, what, name string) {
+		out = append(out, Finding{
+			Pos:  fset.Position(pos),
+			Rule: "exporteddoc",
+			Msg:  fmt.Sprintf("exported %s %s has no doc comment", what, name),
+		})
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			what := "function"
+			if d.Recv != nil {
+				what = "method"
+			}
+			flag(d.Pos(), what, d.Name.Name)
+		case *ast.GenDecl:
+			switch d.Tok {
+			case token.TYPE:
+				for _, spec := range d.Specs {
+					ts := spec.(*ast.TypeSpec)
+					if ts.Name.IsExported() && d.Doc == nil && ts.Doc == nil {
+						flag(ts.Pos(), "type", ts.Name.Name)
+					}
+				}
+			case token.CONST, token.VAR:
+				what := "const"
+				if d.Tok == token.VAR {
+					what = "var"
+				}
+				for _, spec := range d.Specs {
+					vs := spec.(*ast.ValueSpec)
+					// A doc comment on the group covers its members.
+					if d.Doc != nil || vs.Doc != nil || vs.Comment != nil {
+						continue
+					}
+					for _, n := range vs.Names {
+						if n.IsExported() {
+							flag(n.Pos(), what, n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// mdLinkRE matches inline markdown links and images: [text](target) /
+// ![alt](target). Targets with spaces or nested parentheses are out of scope
+// — this repo's docs do not use them.
+var mdLinkRE = regexp.MustCompile(`!?\[[^\]]*\]\(([^()\s]+)\)`)
+
+// CheckMarkdownLinks verifies that every relative link target in the given
+// markdown files (paths relative to root) resolves to an existing file or
+// directory. Absolute URLs (with a scheme), mailto links and pure #fragment
+// anchors are skipped; a #fragment suffix on a relative target is stripped
+// before the existence check. Findings use the "mdlink" rule.
+func CheckMarkdownLinks(root string, files []string) ([]Finding, error) {
+	var out []Finding
+	for _, rel := range files {
+		full := filepath.Join(root, filepath.FromSlash(rel))
+		data, err := os.ReadFile(full)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		lines := strings.Split(string(data), "\n")
+		for i, line := range lines {
+			for _, m := range mdLinkRE.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if skipLinkTarget(target) {
+					continue
+				}
+				path := target
+				if j := strings.IndexAny(path, "#?"); j >= 0 {
+					path = path[:j]
+				}
+				if path == "" {
+					continue
+				}
+				resolved := filepath.Join(filepath.Dir(full), filepath.FromSlash(path))
+				if _, err := os.Stat(resolved); err != nil {
+					out = append(out, Finding{
+						Pos:  token.Position{Filename: full, Line: i + 1, Column: strings.Index(line, m[0]) + 1},
+						Rule: "mdlink",
+						Msg:  fmt.Sprintf("relative link %q does not resolve", target),
+					})
+				}
+			}
+		}
+	}
+	sortFindings(out)
+	return out, nil
+}
+
+// skipLinkTarget reports whether a link target is out of scope for the
+// relative-link check (absolute URL, mailto, or in-page anchor).
+func skipLinkTarget(target string) bool {
+	if strings.HasPrefix(target, "#") {
+		return true
+	}
+	u, err := url.Parse(target)
+	return err == nil && u.Scheme != ""
+}
+
+// MarkdownFiles lists the documentation set the docs-links CI step checks:
+// the top-level README/DESIGN/EXPERIMENTS/ROADMAP plus everything under
+// docs/. Paths come back relative to root, sorted.
+func MarkdownFiles(root string) ([]string, error) {
+	var files []string
+	for _, name := range []string{"README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md"} {
+		if _, err := os.Stat(filepath.Join(root, name)); err == nil {
+			files = append(files, name)
+		}
+	}
+	docs := filepath.Join(root, "docs")
+	err := filepath.WalkDir(docs, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".md") {
+			rel, err := filepath.Rel(root, path)
+			if err != nil {
+				return err
+			}
+			files = append(files, filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// sortFindings orders findings by position, the same order Lint uses.
+func sortFindings(out []Finding) {
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+}

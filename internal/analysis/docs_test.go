@@ -1,0 +1,233 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeTree writes files (path -> content) under a fresh temp root and
+// returns the root.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, content := range files {
+		full := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestExportedDocFlagsUndocumented(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/engine/x.go": `package engine
+
+// Documented has a doc comment.
+func Documented() {}
+
+func Exposed() {}
+
+type Thing struct{}
+
+const Limit = 3
+
+var Knob = 1
+`,
+	})
+	got, err := LintExportedDocs(root, []string{"internal/engine"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("want 4 exporteddoc findings (Exposed, Thing, Limit, Knob), got %d: %v", len(got), got)
+	}
+	for _, f := range got {
+		if f.Rule != "exporteddoc" {
+			t.Errorf("finding rule = %q, want exporteddoc", f.Rule)
+		}
+	}
+}
+
+func TestExportedDocAcceptsDocumentedAndUnexported(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/engine/x.go": `package engine
+
+// Do does.
+func Do() {}
+
+// Obj is a thing.
+type Obj struct{}
+
+// Methods need comments too.
+func (Obj) Act() {}
+
+// Sizes of things.
+const (
+	Small = 1
+	Large = 2
+)
+
+func internalHelper() {}
+
+type hidden struct{}
+`,
+	})
+	got, err := LintExportedDocs(root, []string{"internal/engine"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("documented/unexported code flagged: %v", got)
+	}
+}
+
+func TestExportedDocFlagsUndocumentedMethod(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/engine/x.go": `package engine
+
+// Obj is a thing.
+type Obj struct{}
+
+func (Obj) Act() {}
+`,
+	})
+	got, err := LintExportedDocs(root, []string{"internal/engine"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Rule != "exporteddoc" {
+		t.Fatalf("want 1 method finding, got %v", got)
+	}
+}
+
+func TestExportedDocSkipsTestFiles(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/engine/x_test.go": `package engine
+
+func TestHelperExported(t int) {}
+`,
+		"internal/engine/x.go": `package engine
+`,
+	})
+	got, err := LintExportedDocs(root, []string{"internal/engine"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("test file flagged: %v", got)
+	}
+}
+
+// TestDocPackagesStayClean holds the real repository to the exporteddoc
+// rule: the contract packages must stay fully documented. This is the test
+// behind `make lint-docs`.
+func TestDocPackagesStayClean(t *testing.T) {
+	root := repoRoot(t)
+	got, err := LintExportedDocs(root, DocPackages())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range got {
+		t.Errorf("%s", f)
+	}
+}
+
+// repoRoot walks up from the test's working directory to the go.mod.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			t.Fatalf("no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+func TestMarkdownLinksResolve(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"README.md": `# Title
+
+[good](docs/GOOD.md) and [broken](docs/MISSING.md) and
+[anchored](docs/GOOD.md#section) and [web](https://example.com/x) and
+[anchor-only](#local) and ![img](docs/missing.png)
+`,
+		"docs/GOOD.md": "# Good\n[up](../README.md)\n",
+	})
+	files, err := MarkdownFiles(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := CheckMarkdownLinks(root, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("want 2 mdlink findings (MISSING.md, missing.png), got %d: %v", len(got), got)
+	}
+	for _, f := range got {
+		if f.Rule != "mdlink" {
+			t.Errorf("finding rule = %q, want mdlink", f.Rule)
+		}
+	}
+}
+
+func TestMarkdownFilesListsDocsTree(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"README.md":       "x",
+		"DESIGN.md":       "x",
+		"docs/A.md":       "x",
+		"docs/sub/B.md":   "x",
+		"docs/notes.txt":  "x",
+		"SNIPPETS.md":     "x", // exemplar code, intentionally out of scope
+		"internal/REA.md": "x", // outside the documentation set
+	})
+	files, err := MarkdownFiles(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"README.md": true, "DESIGN.md": true,
+		"docs/A.md": true, "docs/sub/B.md": true,
+	}
+	if len(files) != len(want) {
+		t.Fatalf("files = %v, want exactly %v", files, want)
+	}
+	for _, f := range files {
+		if !want[f] {
+			t.Errorf("unexpected file %s", f)
+		}
+	}
+}
+
+// TestRepositoryLinksResolve is the docs-links CI step in test form: every
+// relative link in the real documentation set must resolve.
+func TestRepositoryLinksResolve(t *testing.T) {
+	root := repoRoot(t)
+	files, err := MarkdownFiles(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no markdown files found in repository")
+	}
+	got, err := CheckMarkdownLinks(root, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range got {
+		t.Errorf("%s", f)
+	}
+}

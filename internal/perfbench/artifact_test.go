@@ -1,0 +1,138 @@
+package perfbench
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func validArtifact() Artifact {
+	return Artifact{
+		Schema:     SchemaVersion,
+		CreatedAt:  "2026-08-05T12:00:00Z",
+		Host:       CurrentHost(),
+		Quick:      true,
+		Iterations: 3,
+		Scenarios: []ScenarioResult{
+			{Name: "a", Component: "engine", Unit: "ns", Iterations: 3,
+				MedianNS: 200, MADNS: 10, MinNS: 100, P95NS: 300,
+				SamplesNS: []float64{100, 200, 300}},
+			{Name: "b", Component: "comm", Unit: "ns", Iterations: 3,
+				MedianNS: 2e6, MADNS: 1e4, MinNS: 1.9e6, P95NS: 2.2e6},
+		},
+	}
+}
+
+// TestArtifactRoundTrip is the schema round-trip proof: write -> read
+// reproduces every field, including raw samples.
+func TestArtifactRoundTrip(t *testing.T) {
+	a := validArtifact()
+	var buf bytes.Buffer
+	if err := a.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadArtifact(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != a.Schema || got.CreatedAt != a.CreatedAt ||
+		got.Quick != a.Quick || got.Iterations != a.Iterations {
+		t.Errorf("header mismatch: %+v vs %+v", got, a)
+	}
+	if len(got.Scenarios) != len(a.Scenarios) {
+		t.Fatalf("scenario count %d, want %d", len(got.Scenarios), len(a.Scenarios))
+	}
+	for i := range a.Scenarios {
+		w, g := a.Scenarios[i], got.Scenarios[i]
+		if w.Name != g.Name || w.MedianNS != g.MedianNS || w.MADNS != g.MADNS ||
+			w.MinNS != g.MinNS || w.P95NS != g.P95NS || w.Iterations != g.Iterations {
+			t.Errorf("scenario %d mismatch: %+v vs %+v", i, g, w)
+		}
+		if len(w.SamplesNS) != len(g.SamplesNS) {
+			t.Errorf("scenario %d samples %d, want %d", i, len(g.SamplesNS), len(w.SamplesNS))
+		}
+	}
+}
+
+func TestArtifactFileRoundTrip(t *testing.T) {
+	a := validArtifact()
+	path := filepath.Join(t.TempDir(), "sub", "BENCH_test.json")
+	if err := a.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadArtifactFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != SchemaVersion {
+		t.Errorf("schema = %q", got.Schema)
+	}
+}
+
+func TestArtifactValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Artifact)
+		want   string
+	}{
+		{"wrong schema", func(a *Artifact) { a.Schema = "igpucomm.perfbench/v0" }, "schema"},
+		{"bad timestamp", func(a *Artifact) { a.CreatedAt = "yesterday" }, "created_at"},
+		{"no scenarios", func(a *Artifact) { a.Scenarios = nil }, "no scenarios"},
+		{"zero iterations", func(a *Artifact) { a.Iterations = 0 }, "iterations"},
+		{"empty name", func(a *Artifact) { a.Scenarios[0].Name = "" }, "empty name"},
+		{"duplicate name", func(a *Artifact) { a.Scenarios[1].Name = "a" }, "twice"},
+		{"wrong unit", func(a *Artifact) { a.Scenarios[0].Unit = "ms" }, "unit"},
+		{"negative stat", func(a *Artifact) { a.Scenarios[0].MADNS = -1 }, "finite"},
+		{"unordered stats", func(a *Artifact) { a.Scenarios[0].MinNS = 1e9 }, "ordered"},
+		{"sample count mismatch", func(a *Artifact) { a.Scenarios[0].SamplesNS = []float64{1} }, "samples"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			a := validArtifact()
+			c.mutate(&a)
+			err := a.Validate()
+			if err == nil {
+				t.Fatal("invalid artifact accepted")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestWriteRefusesInvalidArtifact(t *testing.T) {
+	a := validArtifact()
+	a.Schema = "bogus"
+	var buf bytes.Buffer
+	if err := a.Write(&buf); err == nil {
+		t.Fatal("invalid artifact written")
+	}
+	if buf.Len() != 0 {
+		t.Errorf("partial artifact written: %q", buf.String())
+	}
+}
+
+func TestReadArtifactRejectsUnknownFields(t *testing.T) {
+	if _, err := ReadArtifact(strings.NewReader(`{"schema":"igpucomm.perfbench/v1","surprise":1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestArtifactName(t *testing.T) {
+	at := time.Date(2026, 8, 5, 12, 30, 45, 0, time.UTC)
+	if got := ArtifactName(at); got != "BENCH_20260805T123045Z.json" {
+		t.Errorf("ArtifactName = %q", got)
+	}
+}
+
+func TestFormatTableListsEveryScenario(t *testing.T) {
+	out := FormatTable(validArtifact())
+	for _, want := range []string{"a", "b", "median", "mad", "p95"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package perfbench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Thresholds is the noise gate for baseline/candidate comparisons. A
+// scenario only counts as regressed (or improved) when its median delta
+// clears BOTH guards:
+//
+//   - the relative guard, |delta| > RelPct% of the baseline median, and
+//   - the absolute floor, |delta| > AbsFloor.
+//
+// The floor is what keeps micro-scenarios honest: a 50µs scenario can move
+// 40% between runs on scheduler jitter alone, but that 20µs swing never
+// clears a 200µs floor. Conversely a multi-second scenario that slips 5%
+// fails the relative guard, never mind how many milliseconds that is.
+type Thresholds struct {
+	// RelPct is the relative guard in percent (10 means 10%).
+	RelPct float64
+	// AbsFloor is the absolute guard.
+	AbsFloor time.Duration
+}
+
+// DefaultThresholds is the gate CI uses: 10% relative and a 200µs floor.
+func DefaultThresholds() Thresholds {
+	return Thresholds{RelPct: 10, AbsFloor: 200 * time.Microsecond}
+}
+
+// Validate rejects nonsensical thresholds.
+func (t Thresholds) Validate() error {
+	if t.RelPct < 0 {
+		return fmt.Errorf("perfbench: relative threshold %v%%, want >= 0", t.RelPct)
+	}
+	if t.AbsFloor < 0 {
+		return fmt.Errorf("perfbench: absolute floor %v, want >= 0", t.AbsFloor)
+	}
+	return nil
+}
+
+// Delta statuses.
+const (
+	StatusRegressed   = "regressed"    // slower beyond both guards
+	StatusImproved    = "improved"     // faster beyond both guards
+	StatusWithinNoise = "within-noise" // inside the noise gate
+	StatusAdded       = "added"        // in candidate only
+	StatusRemoved     = "removed"      // in baseline only
+)
+
+// Delta is one scenario's baseline-to-candidate movement.
+type Delta struct {
+	Name     string  `json:"name"`
+	Status   string  `json:"status"`
+	BaseNS   float64 `json:"baseline_median_ns"`
+	CandNS   float64 `json:"candidate_median_ns"`
+	DeltaNS  float64 `json:"delta_ns"`
+	DeltaPct float64 `json:"delta_pct"`
+}
+
+// Comparison is the full noise-gated diff of two artifacts, in baseline
+// scenario order with candidate-only scenarios appended.
+type Comparison struct {
+	Thresholds Thresholds `json:"thresholds"`
+	Deltas     []Delta    `json:"deltas"`
+	// Regressions counts deltas with StatusRegressed; the perfgate exit
+	// code is 1 iff this is non-zero (and -warn-only is off).
+	Regressions int `json:"regressions"`
+}
+
+// Compare diffs candidate against baseline under the thresholds. Scenario
+// sets need not match: scenarios present on only one side are reported as
+// added/removed and never count as regressions (a removed scenario is a
+// review question, not a perf fact).
+func Compare(baseline, candidate Artifact, th Thresholds) (Comparison, error) {
+	if err := th.Validate(); err != nil {
+		return Comparison{}, err
+	}
+	if baseline.Quick != candidate.Quick {
+		return Comparison{}, fmt.Errorf("perfbench: scale mismatch: baseline quick=%v, candidate quick=%v",
+			baseline.Quick, candidate.Quick)
+	}
+	c := Comparison{Thresholds: th}
+	for _, b := range baseline.Scenarios {
+		cand, ok := candidate.Scenario(b.Name)
+		if !ok {
+			c.Deltas = append(c.Deltas, Delta{Name: b.Name, Status: StatusRemoved, BaseNS: b.MedianNS})
+			continue
+		}
+		d := Delta{
+			Name:    b.Name,
+			BaseNS:  b.MedianNS,
+			CandNS:  cand.MedianNS,
+			DeltaNS: cand.MedianNS - b.MedianNS,
+		}
+		if b.MedianNS > 0 {
+			d.DeltaPct = d.DeltaNS / b.MedianNS * 100
+		}
+		d.Status = classify(d, th)
+		if d.Status == StatusRegressed {
+			c.Regressions++
+		}
+		c.Deltas = append(c.Deltas, d)
+	}
+	for _, s := range candidate.Scenarios {
+		if _, ok := baseline.Scenario(s.Name); !ok {
+			c.Deltas = append(c.Deltas, Delta{Name: s.Name, Status: StatusAdded, CandNS: s.MedianNS})
+		}
+	}
+	return c, nil
+}
+
+// classify applies the two-guard noise gate to one delta.
+func classify(d Delta, th Thresholds) string {
+	abs := d.DeltaNS
+	if abs < 0 {
+		abs = -abs
+	}
+	pct := d.DeltaPct
+	if pct < 0 {
+		pct = -pct
+	}
+	if abs <= float64(th.AbsFloor.Nanoseconds()) || pct <= th.RelPct {
+		return StatusWithinNoise
+	}
+	if d.DeltaNS > 0 {
+		return StatusRegressed
+	}
+	return StatusImproved
+}
+
+// FormatComparison renders the human-readable comparison table.
+func FormatComparison(c Comparison) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "perfgate: thresholds rel>%.1f%% AND abs>%s\n", c.Thresholds.RelPct, c.Thresholds.AbsFloor)
+	fmt.Fprintf(&b, "%-22s %-13s %12s %12s %12s %8s\n",
+		"scenario", "status", "baseline", "candidate", "delta", "delta%")
+	for _, d := range c.Deltas {
+		switch d.Status {
+		case StatusAdded:
+			fmt.Fprintf(&b, "%-22s %-13s %12s %12s %12s %8s\n",
+				d.Name, d.Status, "-", fmtNS(d.CandNS), "-", "-")
+		case StatusRemoved:
+			fmt.Fprintf(&b, "%-22s %-13s %12s %12s %12s %8s\n",
+				d.Name, d.Status, fmtNS(d.BaseNS), "-", "-", "-")
+		default:
+			fmt.Fprintf(&b, "%-22s %-13s %12s %12s %12s %+7.1f%%\n",
+				d.Name, d.Status, fmtNS(d.BaseNS), fmtNS(d.CandNS),
+				signedNS(d.DeltaNS), d.DeltaPct)
+		}
+	}
+	if c.Regressions > 0 {
+		fmt.Fprintf(&b, "REGRESSED: %d scenario(s) slower beyond the noise gate\n", c.Regressions)
+	} else {
+		fmt.Fprintf(&b, "ok: no regressions beyond the noise gate\n")
+	}
+	return b.String()
+}
+
+// signedNS renders a delta with an explicit sign.
+func signedNS(ns float64) string {
+	if ns < 0 {
+		return "-" + fmtNS(-ns)
+	}
+	return "+" + fmtNS(ns)
+}

@@ -1,0 +1,196 @@
+package perfbench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func readFixture(t *testing.T, name string) Artifact {
+	t.Helper()
+	a, err := ReadArtifactFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatalf("fixture %s: %v", name, err)
+	}
+	return a
+}
+
+func statuses(c Comparison) map[string]string {
+	m := make(map[string]string, len(c.Deltas))
+	for _, d := range c.Deltas {
+		m[d.Name] = d.Status
+	}
+	return m
+}
+
+// The three golden comparisons mirror the CI contract: a >=20% slowdown on a
+// macro scenario fails the gate, a run inside the noise envelope passes, and
+// improvements are labeled without affecting the exit code.
+
+func TestCompareRegressionFixture(t *testing.T) {
+	base := readFixture(t, "baseline.json")
+	cand := readFixture(t, "candidate_regressed.json")
+	c, err := Compare(base, cand, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Regressions != 1 {
+		t.Fatalf("regressions = %d, want 1\n%s", c.Regressions, FormatComparison(c))
+	}
+	got := statuses(c)
+	if got["sweep/engine"] != StatusRegressed {
+		t.Errorf("sweep/engine status = %s, want regressed (+25%%, +25ms)", got["sweep/engine"])
+	}
+	if got["memo/warm"] != StatusWithinNoise || got["comm/checked"] != StatusWithinNoise {
+		t.Errorf("unchanged scenarios flagged: %v", got)
+	}
+}
+
+func TestCompareWithinNoiseFixture(t *testing.T) {
+	base := readFixture(t, "baseline.json")
+	cand := readFixture(t, "candidate_noise.json")
+	c, err := Compare(base, cand, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Regressions != 0 {
+		t.Fatalf("regressions = %d, want 0\n%s", c.Regressions, FormatComparison(c))
+	}
+	for _, d := range c.Deltas {
+		if d.Status != StatusWithinNoise {
+			t.Errorf("%s status = %s, want within-noise", d.Name, d.Status)
+		}
+	}
+}
+
+func TestCompareImprovementFixture(t *testing.T) {
+	base := readFixture(t, "baseline.json")
+	cand := readFixture(t, "candidate_improved.json")
+	c, err := Compare(base, cand, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Regressions != 0 {
+		t.Fatalf("regressions = %d, want 0\n%s", c.Regressions, FormatComparison(c))
+	}
+	got := statuses(c)
+	if got["sweep/engine"] != StatusImproved {
+		t.Errorf("sweep/engine status = %s, want improved (-30%%)", got["sweep/engine"])
+	}
+	if got["comm/checked"] != StatusImproved {
+		t.Errorf("comm/checked status = %s, want improved (-20%%, -600µs)", got["comm/checked"])
+	}
+	if got["memo/warm"] != StatusWithinNoise {
+		t.Errorf("memo/warm status = %s, want within-noise (-2%%)", got["memo/warm"])
+	}
+}
+
+// artifactWith builds a minimal valid artifact holding one scenario with the
+// given median.
+func artifactWith(name string, median float64) Artifact {
+	return Artifact{
+		Schema:     SchemaVersion,
+		CreatedAt:  "2026-08-01T00:00:00Z",
+		Quick:      true,
+		Iterations: 3,
+		Scenarios: []ScenarioResult{{
+			Name: name, Component: "test", Unit: "ns", Iterations: 3,
+			MedianNS: median, MADNS: 0, MinNS: median, P95NS: median,
+		}},
+	}
+}
+
+// TestAbsoluteFloorSuppressesMicroNoise is the table proof that the
+// two-guard gate works: large relative swings on microsecond scenarios stay
+// quiet unless they also clear the absolute floor, and large absolute swings
+// stay quiet unless they also clear the relative guard.
+func TestAbsoluteFloorSuppressesMicroNoise(t *testing.T) {
+	cases := []struct {
+		name       string
+		baseNS     float64
+		candNS     float64
+		th         Thresholds
+		wantStatus string
+	}{
+		// +60% but only +30µs: under the 200µs floor, suppressed.
+		{"micro swing under floor", 50_000, 80_000,
+			Thresholds{RelPct: 10, AbsFloor: 200 * time.Microsecond}, StatusWithinNoise},
+		// Same swing with no floor: the relative guard alone flags it.
+		{"micro swing no floor", 50_000, 80_000,
+			Thresholds{RelPct: 10, AbsFloor: 0}, StatusRegressed},
+		// -60% micro improvement is equally suppressed by the floor.
+		{"micro improvement under floor", 80_000, 50_000,
+			Thresholds{RelPct: 10, AbsFloor: 200 * time.Microsecond}, StatusWithinNoise},
+		// +5ms on a 100ms scenario is only +5%: the relative guard
+		// suppresses it no matter how many milliseconds it is.
+		{"macro swing under relative guard", 100_000_000, 105_000_000,
+			Thresholds{RelPct: 10, AbsFloor: 200 * time.Microsecond}, StatusWithinNoise},
+		// +25% and +25ms clears both guards.
+		{"macro regression", 100_000_000, 125_000_000,
+			Thresholds{RelPct: 10, AbsFloor: 200 * time.Microsecond}, StatusRegressed},
+		// Exactly at the relative threshold is still noise (strict >).
+		{"exactly at relative threshold", 100_000_000, 110_000_000,
+			Thresholds{RelPct: 10, AbsFloor: 0}, StatusWithinNoise},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cmp, err := Compare(artifactWith("s", c.baseNS), artifactWith("s", c.candNS), c.th)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := cmp.Deltas[0].Status; got != c.wantStatus {
+				t.Errorf("status = %s, want %s (base %v, cand %v, th %+v)",
+					got, c.wantStatus, c.baseNS, c.candNS, c.th)
+			}
+		})
+	}
+}
+
+func TestCompareAddedAndRemoved(t *testing.T) {
+	base := artifactWith("old", 1_000_000)
+	cand := artifactWith("new", 1_000_000)
+	c, err := Compare(base, cand, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := statuses(c)
+	if got["old"] != StatusRemoved || got["new"] != StatusAdded {
+		t.Errorf("statuses = %v, want old removed / new added", got)
+	}
+	if c.Regressions != 0 {
+		t.Errorf("added/removed counted as regressions: %d", c.Regressions)
+	}
+}
+
+func TestCompareScaleMismatchRejected(t *testing.T) {
+	base := artifactWith("s", 1_000_000)
+	cand := artifactWith("s", 1_000_000)
+	cand.Quick = false
+	if _, err := Compare(base, cand, DefaultThresholds()); err == nil {
+		t.Fatal("quick baseline vs full candidate accepted")
+	}
+}
+
+func TestCompareRejectsBadThresholds(t *testing.T) {
+	a := artifactWith("s", 1)
+	if _, err := Compare(a, a, Thresholds{RelPct: -1}); err == nil {
+		t.Error("negative relative threshold accepted")
+	}
+	if _, err := Compare(a, a, Thresholds{AbsFloor: -time.Second}); err == nil {
+		t.Error("negative absolute floor accepted")
+	}
+}
+
+func TestFormatComparisonMentionsRegression(t *testing.T) {
+	base := readFixture(t, "baseline.json")
+	cand := readFixture(t, "candidate_regressed.json")
+	c, err := Compare(base, cand, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatComparison(c)
+	if !strings.Contains(out, "REGRESSED: 1") {
+		t.Errorf("comparison table missing regression summary:\n%s", out)
+	}
+}

@@ -1,0 +1,65 @@
+package perfbench
+
+import "sort"
+
+// Summary is the robust per-scenario statistics bundle. All values are
+// nanoseconds. Median and MAD (median absolute deviation) locate and scale
+// the distribution without being dragged by outliers; Min is the "best
+// achievable" floor; P95 captures the tail a latency SLO would feel.
+type Summary struct {
+	Median float64
+	MAD    float64
+	Min    float64
+	P95    float64
+}
+
+// Summarize computes the robust statistics over one scenario's samples.
+// It panics on an empty slice (the runner never produces one).
+func Summarize(samples []float64) Summary {
+	if len(samples) == 0 {
+		panic("perfbench: summarize of no samples")
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	med := medianSorted(sorted)
+	dev := make([]float64, len(sorted))
+	for i, v := range sorted {
+		d := v - med
+		if d < 0 {
+			d = -d
+		}
+		dev[i] = d
+	}
+	sort.Float64s(dev)
+	return Summary{
+		Median: med,
+		MAD:    medianSorted(dev),
+		Min:    sorted[0],
+		P95:    percentileSorted(sorted, 95),
+	}
+}
+
+// medianSorted returns the median of an ascending slice (mean of the two
+// middle elements for even lengths).
+func medianSorted(s []float64) float64 {
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// percentileSorted returns the nearest-rank p-th percentile of an ascending
+// slice: the smallest element with at least p% of the samples at or below
+// it, so it is always an observed value.
+func percentileSorted(s []float64, p float64) float64 {
+	n := len(s)
+	rank := int(float64(n)*p/100 + 0.9999999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return s[rank-1]
+}

@@ -1,0 +1,93 @@
+package perfbench
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummarizeOddCount(t *testing.T) {
+	s := Summarize([]float64{5, 1, 9, 3, 7})
+	if s.Median != 5 {
+		t.Errorf("median = %v, want 5", s.Median)
+	}
+	if s.Min != 1 {
+		t.Errorf("min = %v, want 1", s.Min)
+	}
+	// deviations from 5: {0, 4, 4, 2, 2} -> sorted {0,2,2,4,4} -> median 2
+	if s.MAD != 2 {
+		t.Errorf("mad = %v, want 2", s.MAD)
+	}
+	if s.P95 != 9 {
+		t.Errorf("p95 = %v, want 9", s.P95)
+	}
+}
+
+func TestSummarizeEvenCount(t *testing.T) {
+	s := Summarize([]float64{4, 2, 8, 6})
+	if s.Median != 5 {
+		t.Errorf("median = %v, want 5 (mean of middles)", s.Median)
+	}
+}
+
+func TestSummarizeSingleSample(t *testing.T) {
+	s := Summarize([]float64{42})
+	if s.Median != 42 || s.Min != 42 || s.P95 != 42 || s.MAD != 0 {
+		t.Errorf("single-sample summary = %+v, want all 42 / mad 0", s)
+	}
+}
+
+func TestSummarizeOutlierRobustness(t *testing.T) {
+	// One 100x outlier must not drag the median or the MAD, only the p95.
+	clean := Summarize([]float64{10, 11, 9, 10, 10, 11, 9, 10, 10, 10})
+	dirty := Summarize([]float64{10, 11, 9, 10, 10, 11, 9, 10, 10, 1000})
+	if clean.Median != dirty.Median {
+		t.Errorf("median moved on outlier: %v -> %v", clean.Median, dirty.Median)
+	}
+	if dirty.MAD > 1 {
+		t.Errorf("mad inflated by outlier: %v", dirty.MAD)
+	}
+	if dirty.P95 != 1000 {
+		t.Errorf("p95 = %v, want 1000 (tail must see the outlier)", dirty.P95)
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{50, 5}, {95, 10}, {100, 10}, {10, 1}, {0, 1},
+	}
+	for _, c := range cases {
+		if got := percentileSorted(sorted, c.p); got != c.want {
+			t.Errorf("p%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("input mutated: %v", in)
+	}
+}
+
+func TestSummarizeEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Summarize(nil) did not panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestSummaryFiniteOnLargeValues(t *testing.T) {
+	s := Summarize([]float64{1e15, 2e15, 3e15})
+	for _, v := range []float64{s.Median, s.MAD, s.Min, s.P95} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("non-finite statistic: %+v", s)
+		}
+	}
+}

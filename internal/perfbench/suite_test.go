@@ -1,0 +1,71 @@
+package perfbench
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// TestQuickSuiteEmitsValidArtifact is the end-to-end acceptance check behind
+// `perfgate -run -quick`: the real declared suite, at quick scale, must
+// produce an artifact that survives the schema round trip. One iteration and
+// no warmup keeps this a smoke test, not a benchmark.
+func TestQuickSuiteEmitsValidArtifact(t *testing.T) {
+	suite, err := DefaultSuite(SuiteOptions{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Run(context.Background(), suite, RunOptions{Iterations: 1, Warmup: 0, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := a.Write(&buf); err != nil {
+		t.Fatalf("artifact failed schema validation: %v", err)
+	}
+	if _, err := ReadArtifact(&buf); err != nil {
+		t.Fatalf("artifact failed round trip: %v", err)
+	}
+
+	want := []string{
+		"sweep/serial", "sweep/engine",
+		"memo/cold", "memo/warm",
+		"microbench/mb1", "microbench/mb2", "microbench/mb3",
+		"comm/run", "comm/checked",
+		"advisord/advise",
+	}
+	if len(a.Scenarios) != len(want) {
+		t.Fatalf("suite has %d scenarios, want %d", len(a.Scenarios), len(want))
+	}
+	for _, name := range want {
+		s, ok := a.Scenario(name)
+		if !ok {
+			t.Errorf("suite missing scenario %q", name)
+			continue
+		}
+		if s.MedianNS <= 0 {
+			t.Errorf("%s median = %v, want > 0", name, s.MedianNS)
+		}
+	}
+}
+
+// TestSuiteScenariosDeclareComponents keeps the component labels — the axis
+// BENCHMARKS.md groups the trajectory by — from silently going stale.
+func TestSuiteScenariosDeclareComponents(t *testing.T) {
+	suite, err := DefaultSuite(SuiteOptions{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := map[string]bool{
+		"framework": true, "engine": true, "microbench": true,
+		"comm": true, "advisord": true,
+	}
+	for _, s := range suite {
+		if s.Doc == "" {
+			t.Errorf("%s has no doc line", s.Name)
+		}
+		if !known[s.Component] {
+			t.Errorf("%s has unknown component %q", s.Name, s.Component)
+		}
+	}
+}
