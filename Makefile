@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fmt vet lint lint-docs docs-links hazardcheck cover fuzz bench perfgate perf-smoke baseline trace ci
+.PHONY: all build test race fmt vet lint lint-docs docs-links hazardcheck cover fuzz bench perfgate perf-smoke baseline trace chaos ci
 
 all: build
 
@@ -86,4 +86,10 @@ baseline:
 trace:
 	$(GO) run ./cmd/advisor -quick -sweep -trace trace.json
 
-ci: fmt vet lint lint-docs docs-links build race cover fuzz hazardcheck trace perf-smoke
+# Chaos suite: the 45-combo sweep through the retrying client against an
+# advisord with fault injection active, under the race detector. Schedules
+# carry fixed seeds (internal/chaos), so runs are reproducible.
+chaos:
+	$(GO) test -race ./internal/chaos/
+
+ci: fmt vet lint lint-docs docs-links build race cover fuzz hazardcheck trace chaos perf-smoke

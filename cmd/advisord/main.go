@@ -13,16 +13,30 @@
 //	GET  /statusz
 //	GET  /metrics          Prometheus text exposition
 //
+// The /v1 endpoints run behind a resilience layer: a per-request deadline
+// (-request-timeout), a bounded admission queue that sheds overload with
+// 429 + Retry-After (-max-concurrent/-max-queue), and a circuit breaker
+// around device characterization (-breaker-threshold/-breaker-cooldown).
+// When the engine cannot answer, /v1/advise falls back to a threshold-only
+// heuristic and marks the response "degraded": true.
+//
 // Every response carries an X-Trace-Id header (generated, or echoed from the
 // request) that also appears in the structured request log. With -debug-addr
 // set, net/http/pprof is served on a separate listener. SIGINT/SIGTERM drain
 // in-flight requests for up to -drain-timeout before the process exits.
+// Invalid flag combinations are rejected at startup with a usage error
+// (exit 2) before any listener binds.
+//
+// For chaos testing, -faults (or the FAULTS environment variable) activates
+// the deterministic fault-injection layer; see internal/faults for the spec
+// grammar.
 //
 // Usage:
 //
 //	advisord -addr :8025
 //	advisord -addr :8025 -quick -workers 8 -ttl 1h -cache-dir /var/cache/advisord
 //	advisord -addr :8025 -debug-addr 127.0.0.1:8026 -drain-timeout 30s
+//	advisord -addr :8025 -faults "engine.characterize:error:p=0.2" -faults-seed 7
 package main
 
 import (
@@ -42,22 +56,22 @@ import (
 	"igpucomm/internal/apps/catalog"
 	"igpucomm/internal/buildinfo"
 	"igpucomm/internal/engine"
+	"igpucomm/internal/faults"
 	"igpucomm/internal/microbench"
 )
 
 func main() {
-	addr := flag.String("addr", ":8025", "listen address")
-	workers := flag.Int("workers", 0, "simulation parallelism (0 = GOMAXPROCS)")
-	cacheEntries := flag.Int("cache-entries", 64, "characterization cache capacity")
-	ttl := flag.Duration("ttl", 0, "characterization TTL (0 = never expires)")
-	quick := flag.Bool("quick", false, "reduced micro-benchmark and workload scale")
-	cacheDir := flag.String("cache-dir", "", "warm-start directory: load cached characterizations at boot, persist new ones")
-	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (empty: disabled)")
-	drain := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
-	version := flag.Bool("version", false, "print build information and exit")
-	flag.Parse()
+	cfg, err := parseConfig(os.Args[1:])
+	if err != nil {
+		// flag.Parse already printed its own message for parse failures;
+		// validation failures still need theirs.
+		if errors.Is(err, flag.ErrHelp) || errors.Is(err, errFlagParse) {
+			os.Exit(2)
+		}
+		usageError(err)
+	}
 
-	if *version {
+	if cfg.version {
 		fmt.Println(buildinfo.Get())
 		return
 	}
@@ -65,45 +79,65 @@ func main() {
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	slog.SetDefault(logger)
 
+	if plan, err := cfg.faultPlan(); err != nil {
+		usageError(err)
+	} else if plan != nil {
+		if err := faults.Activate(plan); err != nil {
+			usageError(err)
+		}
+		logger.Warn("fault injection active", "spec", cfg.faultSpec, "seed", cfg.faultSeed)
+	}
+
 	params := microbench.DefaultParams()
 	scale := catalog.Full
-	if *quick {
+	if cfg.quick {
 		params = microbench.TestParams()
 		scale = catalog.Quick
 	}
 
 	eng := engine.New(engine.Options{
-		Workers:      *workers,
-		CacheEntries: *cacheEntries,
-		TTL:          *ttl,
+		Workers:      cfg.workers,
+		CacheEntries: cfg.cacheEntries,
+		TTL:          cfg.ttl,
 	})
-	if *cacheDir != "" {
-		if _, err := os.Stat(*cacheDir); err == nil {
-			n, err := eng.LoadCache(*cacheDir)
+	if cfg.cacheDir != "" {
+		if _, err := os.Stat(cfg.cacheDir); err == nil {
+			n, err := eng.LoadCache(cfg.cacheDir)
 			if err != nil {
-				logger.Error("warm start failed", "dir", *cacheDir, "err", err)
+				logger.Error("warm start failed", "dir", cfg.cacheDir, "err", err)
 				os.Exit(1)
 			}
-			logger.Info("warm start", "characterizations", n, "dir", *cacheDir)
+			logger.Info("warm start", "characterizations", n,
+				"quarantined", eng.Stats().CacheCorruptEntries, "dir", cfg.cacheDir)
 		}
 	}
 
-	srv := advisord.New(eng, params, scale, *cacheDir, logger)
+	srv := advisord.New(eng, advisord.Options{
+		Params:           params,
+		Scale:            scale,
+		CacheDir:         cfg.cacheDir,
+		Logger:           logger,
+		RequestTimeout:   cfg.requestTimeout,
+		MaxConcurrent:    cfg.maxConcurrent,
+		MaxQueue:         cfg.maxQueue,
+		BreakerThreshold: cfg.breakerThreshold,
+		BreakerCooldown:  cfg.breakerCooldown,
+	})
 	httpSrv := &http.Server{
-		Addr:              *addr,
+		Addr:              cfg.addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
 	var debugSrv *http.Server
-	if *debugAddr != "" {
+	if cfg.debugAddr != "" {
 		debugSrv = &http.Server{
-			Addr:              *debugAddr,
+			Addr:              cfg.debugAddr,
 			Handler:           debugMux(),
 			ReadHeaderTimeout: 10 * time.Second,
 		}
 		go func() {
-			logger.Info("pprof listening", "addr", *debugAddr)
+			logger.Info("pprof listening", "addr", cfg.debugAddr)
 			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				logger.Error("debug server", "err", err)
 			}
@@ -118,8 +152,8 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() {
-		logger.Info("listening", "addr", *addr,
-			"workers", eng.Workers(), "quick", *quick, "build", buildinfo.Get().String())
+		logger.Info("listening", "addr", cfg.addr,
+			"workers", eng.Workers(), "quick", cfg.quick, "build", buildinfo.Get().String())
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
@@ -129,8 +163,8 @@ func main() {
 		os.Exit(1)
 	case <-ctx.Done():
 		stop()
-		logger.Info("shutting down, draining in-flight requests", "timeout", *drain)
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		logger.Info("shutting down, draining in-flight requests", "timeout", cfg.drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 			logger.Error("drain incomplete", "err", err)

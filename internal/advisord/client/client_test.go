@@ -1,0 +1,209 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"igpucomm/internal/advisord"
+)
+
+// recordingSleep captures requested backoff delays without waiting.
+type recordingSleep struct {
+	delays []time.Duration
+}
+
+func (s *recordingSleep) sleep(ctx context.Context, d time.Duration) error {
+	s.delays = append(s.delays, d)
+	return ctx.Err()
+}
+
+func adviseBody() advisord.AdviseBody {
+	return advisord.AdviseBody{Requests: []advisord.AdviseRequest{
+		{Device: "jetson-tx2", App: "shwfs", Current: "sc"},
+	}}
+}
+
+func okResponse(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprint(w, `{"results":[{"zone":"zc-safe"}]}`)
+}
+
+// Full jitter must stay within [0, min(MaxDelay, Base<<attempt)] and not
+// collapse to a constant.
+func TestBackoffJitterBounds(t *testing.T) {
+	c := New(Options{BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second, Seed: 42})
+	seen := map[time.Duration]bool{}
+	for attempt := 0; attempt < 8; attempt++ {
+		ceil := 50 * time.Millisecond << uint(attempt)
+		if ceil > 2*time.Second {
+			ceil = 2 * time.Second
+		}
+		for i := 0; i < 200; i++ {
+			d := c.backoff(attempt)
+			if d < 0 || d > ceil {
+				t.Fatalf("attempt %d: backoff %v outside [0, %v]", attempt, d, ceil)
+			}
+			seen[d] = true
+		}
+	}
+	if len(seen) < 100 {
+		t.Errorf("only %d distinct delays across 1600 draws; jitter looks degenerate", len(seen))
+	}
+	// Same seed, same sequence: the plan is reproducible.
+	a := New(Options{Seed: 7})
+	b := New(Options{Seed: 7})
+	for i := 0; i < 20; i++ {
+		if x, y := a.backoff(i%4), b.backoff(i%4); x != y {
+			t.Fatalf("draw %d: same seed diverged (%v vs %v)", i, x, y)
+		}
+	}
+}
+
+func TestRetriesTransientFailuresThenSucceeds(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, `{"error":"transient"}`, http.StatusInternalServerError)
+			return
+		}
+		okResponse(w)
+	}))
+	defer ts.Close()
+
+	rec := &recordingSleep{}
+	c := New(Options{BaseURL: ts.URL, Sleep: rec.sleep, Seed: 3})
+	out, err := c.Advise(context.Background(), adviseBody())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 1 || out.Results[0].Zone != "zc-safe" {
+		t.Errorf("response = %+v", out)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d calls, want 3", got)
+	}
+	if len(rec.delays) != 2 {
+		t.Errorf("slept %d times, want 2", len(rec.delays))
+	}
+}
+
+func TestDoesNotRetryCallerErrors(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"no requests"}`, http.StatusBadRequest)
+	}))
+	defer ts.Close()
+
+	c := New(Options{BaseURL: ts.URL, Sleep: (&recordingSleep{}).sleep})
+	_, err := c.Advise(context.Background(), adviseBody())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("err = %v, want 400 APIError", err)
+	}
+	if apiErr.Message != "no requests" {
+		t.Errorf("message = %q", apiErr.Message)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d calls, want 1 (400 is not retryable)", got)
+	}
+}
+
+// A 429's Retry-After must raise the floor of the next sleep even when the
+// jittered delay would have been shorter.
+func TestHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "3")
+			http.Error(w, `{"error":"at capacity"}`, http.StatusTooManyRequests)
+			return
+		}
+		okResponse(w)
+	}))
+	defer ts.Close()
+
+	rec := &recordingSleep{}
+	c := New(Options{BaseURL: ts.URL, Sleep: rec.sleep, Budget: time.Minute,
+		BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond, Seed: 5})
+	if _, err := c.Advise(context.Background(), adviseBody()); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.delays) != 1 || rec.delays[0] < 3*time.Second {
+		t.Errorf("slept %v, want >= 3s from Retry-After", rec.delays)
+	}
+}
+
+// When the summed sleeps would exceed the budget, the client gives up with a
+// typed error wrapping the last failure instead of burning another attempt.
+func TestBudgetExhaustion(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "10")
+		http.Error(w, `{"error":"still down"}`, http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	rec := &recordingSleep{}
+	c := New(Options{BaseURL: ts.URL, Sleep: rec.sleep, Budget: 15 * time.Second, MaxAttempts: 10})
+	_, err := c.Advise(context.Background(), adviseBody())
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	// 10s floor per sleep, 15s budget: first retry fits (10s), second would
+	// hit 20s > 15s -- so exactly two attempts reach the server.
+	if got := calls.Load(); got != 2 {
+		t.Errorf("server saw %d calls, want 2 under the budget", got)
+	}
+	if !errors.As(err, new(*APIError)) {
+		t.Errorf("budget error does not wrap the last APIError: %v", err)
+	}
+}
+
+func TestContextCancellationMidBackoff(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"transient"}`, http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	// Real sleep with a long delay; cancel fires while the client waits.
+	c := New(Options{BaseURL: ts.URL, BaseDelay: 10 * time.Second,
+		MaxDelay: 10 * time.Second, Budget: time.Hour, Seed: 9})
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	t0 := time.Now()
+	_, err := c.Advise(ctx, adviseBody())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(t0); elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v; backoff did not honor the context", elapsed)
+	}
+}
+
+func TestRetriesNetworkErrors(t *testing.T) {
+	// A server that is immediately closed: every dial fails.
+	ts := httptest.NewServer(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {}))
+	url := ts.URL
+	ts.Close()
+
+	rec := &recordingSleep{}
+	c := New(Options{BaseURL: url, Sleep: rec.sleep, MaxAttempts: 3})
+	_, err := c.Advise(context.Background(), adviseBody())
+	if err == nil {
+		t.Fatal("dial to a dead server succeeded")
+	}
+	if len(rec.delays) != 2 {
+		t.Errorf("slept %d times, want 2 (network errors are retryable)", len(rec.delays))
+	}
+}

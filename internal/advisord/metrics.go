@@ -6,6 +6,7 @@ import (
 
 	"igpucomm/internal/buildinfo"
 	"igpucomm/internal/engine"
+	"igpucomm/internal/faults"
 	"igpucomm/internal/telemetry"
 )
 
@@ -19,9 +20,13 @@ type serverMetrics struct {
 	responses *telemetry.CounterVec   // by status code
 	latency   *telemetry.HistogramVec // by endpoint, seconds
 	inFlight  *telemetry.Gauge
+
+	shed     *telemetry.Counter // admission-queue overflow (429s)
+	degraded *telemetry.Counter // heuristic answers served
+	panics   *telemetry.Counter // handler panics recovered
 }
 
-func newServerMetrics(eng *engine.Engine, start time.Time, info buildinfo.Info) *serverMetrics {
+func newServerMetrics(eng *engine.Engine, start time.Time, info buildinfo.Info, br *Breaker) *serverMetrics {
 	reg := telemetry.NewRegistry()
 	m := &serverMetrics{
 		reg: reg,
@@ -33,7 +38,30 @@ func newServerMetrics(eng *engine.Engine, start time.Time, info buildinfo.Info) 
 			"HTTP request latency, by endpoint.", "endpoint", nil),
 		inFlight: reg.Gauge("igpucomm_http_requests_in_flight",
 			"HTTP requests currently being served."),
+		shed: reg.Counter("igpucomm_http_requests_shed_total",
+			"Requests shed by the admission queue (answered 429)."),
+		degraded: reg.Counter("igpucomm_advise_degraded_total",
+			"Advisory answers served by the degraded-mode heuristic."),
+		panics: reg.Counter("igpucomm_http_panics_recovered_total",
+			"Handler panics recovered into 500 responses."),
 	}
+
+	reg.GaugeFunc("igpucomm_breaker_state",
+		"Characterization circuit breaker state (0 closed, 1 half-open, 2 open).",
+		br.stateValue)
+	reg.CounterVecFunc("igpucomm_faults_injected_total",
+		"Faults injected by the fault-injection layer, by point.", "point",
+		func() map[string]float64 {
+			counts := faults.Injected()
+			out := make(map[string]float64, len(counts))
+			for point, n := range counts {
+				out[point] = float64(n)
+			}
+			return out
+		})
+	reg.CounterFunc("igpucomm_engine_cache_corrupt_entries_total",
+		"Persisted cache entries quarantined at warm start.",
+		func() float64 { return float64(eng.Stats().CacheCorruptEntries) })
 
 	reg.InfoGauge("igpucomm_build_info",
 		"Build identity of the running advisord binary.", info.Labels())

@@ -39,7 +39,7 @@ func TestMetricsEndpoint(t *testing.T) {
 
 	// Generate traffic the scrape should reflect: one advise batch (engine
 	// counters), one health check, one prior scrape (endpoint label).
-	postAdvise(t, ts, adviseBody{Requests: []adviseRequest{
+	postAdvise(t, ts, AdviseBody{Requests: []AdviseRequest{
 		{Device: devices.TX2Name, App: "shwfs", Current: "sc"},
 	}})
 	if _, err := http.Get(ts.URL + "/healthz"); err != nil {
@@ -143,7 +143,7 @@ func TestConcurrentScrapesDuringAdvise(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			postAdvise(t, ts, adviseBody{Requests: []adviseRequest{
+			postAdvise(t, ts, AdviseBody{Requests: []AdviseRequest{
 				{Device: devices.TX2Name, App: "shwfs", Current: "sc"},
 				{Device: devices.XavierName, App: "orbslam", Current: "zc"},
 			}})

@@ -1,0 +1,384 @@
+package advisord
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"igpucomm/internal/apps/catalog"
+	"igpucomm/internal/devices"
+	"igpucomm/internal/engine"
+	"igpucomm/internal/faults"
+	"igpucomm/internal/microbench"
+)
+
+// breakerClock is a manually advanced clock for breaker tests.
+type breakerClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *breakerClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *breakerClock) advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func TestBreakerTripsAndRecovers(t *testing.T) {
+	clock := &breakerClock{t: time.Unix(1000, 0)}
+	b := newBreaker(2, 10*time.Second, clock.now)
+
+	boom := errors.New("boom")
+	for i := 0; i < 2; i++ {
+		done, ok := b.Allow()
+		if !ok {
+			t.Fatalf("attempt %d denied while closed", i)
+		}
+		done(boom)
+	}
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after %d failures = %s, want open", 2, got)
+	}
+	if _, ok := b.Allow(); ok {
+		t.Fatal("open breaker allowed an attempt before cooldown")
+	}
+
+	// Cooldown lapses: exactly one probe gets through.
+	clock.advance(11 * time.Second)
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state after cooldown = %s, want half-open", got)
+	}
+	done, ok := b.Allow()
+	if !ok {
+		t.Fatal("half-open breaker denied the probe")
+	}
+	if _, ok := b.Allow(); ok {
+		t.Fatal("second concurrent probe allowed in half-open")
+	}
+	done(nil)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after successful probe = %s, want closed", got)
+	}
+
+	// A failed probe re-opens immediately, without needing threshold
+	// consecutive failures again.
+	for i := 0; i < 2; i++ {
+		if done, ok := b.Allow(); ok {
+			done(boom)
+		}
+	}
+	clock.advance(11 * time.Second)
+	done, ok = b.Allow()
+	if !ok {
+		t.Fatal("half-open breaker denied the probe")
+	}
+	done(boom)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after failed probe = %s, want open", got)
+	}
+}
+
+func TestBreakerIgnoresContextErrors(t *testing.T) {
+	b := newBreaker(1, 10*time.Second, nil)
+	for i := 0; i < 5; i++ {
+		done, ok := b.Allow()
+		if !ok {
+			t.Fatalf("attempt %d denied", i)
+		}
+		done(context.Canceled)
+		done2, ok := b.Allow()
+		if !ok {
+			t.Fatalf("attempt %db denied", i)
+		}
+		done2(context.DeadlineExceeded)
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state = %s after only context errors, want closed", got)
+	}
+}
+
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	b := newBreaker(3, 10*time.Second, nil)
+	boom := errors.New("boom")
+	for i := 0; i < 10; i++ {
+		done, _ := b.Allow()
+		done(boom)
+		done, _ = b.Allow()
+		done(nil) // interleaved successes: never 3 consecutive failures
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state = %s, want closed (failures never consecutive)", got)
+	}
+}
+
+func TestAdmissionShedsBeyondQueue(t *testing.T) {
+	a := newAdmission(1, 1)
+	release, ok := a.acquire(context.Background())
+	if !ok {
+		t.Fatal("first acquire denied")
+	}
+
+	// Second caller occupies the one queue slot.
+	queued := make(chan struct{})
+	go func() {
+		rel, ok := a.acquire(context.Background())
+		close(queued)
+		if ok {
+			rel()
+		}
+	}()
+	// Wait until the goroutine is actually queued (queued counter = 1).
+	for i := 0; a.queued.Load() == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Third caller: queue full, must shed immediately.
+	if _, ok := a.acquire(context.Background()); ok {
+		t.Fatal("acquire beyond the queue bound was admitted")
+	}
+
+	release()
+	<-queued
+
+	// A queued caller whose context ends is released without a slot.
+	release2, ok := a.acquire(context.Background())
+	if !ok {
+		t.Fatal("re-acquire denied")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, ok := a.acquire(ctx); ok {
+		t.Fatal("cancelled context acquired a slot")
+	}
+	release2()
+}
+
+// resilientServer builds a test server with explicit resilience options.
+func resilientServer(t *testing.T, opt Options) (*Server, *httptest.Server) {
+	t.Helper()
+	opt.Params = microbench.TestParams()
+	opt.Scale = catalog.Quick
+	opt.Logger = testLogger()
+	eng := engine.New(engine.Options{Workers: 2})
+	srv := New(eng, opt)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// activatePlan installs a fault plan for the duration of the test.
+func activatePlan(t *testing.T, seed int64, rules ...faults.Rule) {
+	t.Helper()
+	if err := faults.Activate(faults.NewPlan(seed, rules...)); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		faults.Deactivate()
+		faults.ResetInjected()
+	})
+}
+
+// With characterization failing every time, advise must still answer 200
+// with degraded heuristic advice, and the telemetry must show it.
+func TestAdviseDegradesWhenCharacterizationFails(t *testing.T) {
+	activatePlan(t, 1, faults.Rule{Point: "engine.characterize", Mode: faults.ModeError, Every: 1})
+	_, ts := resilientServer(t, Options{BreakerThreshold: 100})
+
+	out := postAdvise(t, ts, AdviseBody{Requests: []AdviseRequest{
+		{Device: devices.TX2Name, App: "shwfs", Current: "sc"},
+	}})
+	res := out.Results[0]
+	if !res.Degraded {
+		t.Fatalf("result not degraded: %+v", res)
+	}
+	if !strings.Contains(res.DegradedReason, "characterization failed") {
+		t.Errorf("degraded reason = %q", res.DegradedReason)
+	}
+	if res.Recommendation == nil || res.Recommendation.Suggested == "" {
+		t.Fatalf("degraded result carries no recommendation: %+v", res)
+	}
+	if !strings.HasPrefix(res.Recommendation.Rationale, "degraded heuristic") {
+		t.Errorf("rationale = %q", res.Recommendation.Rationale)
+	}
+
+	got := scrapeMetrics(t, ts)
+	for _, want := range []string{
+		"igpucomm_advise_degraded_total 1",
+		`igpucomm_faults_injected_total{point="engine.characterize"}`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+}
+
+// Consecutive characterization failures trip the breaker; once open, advise
+// answers degraded without touching the engine and characterize sheds 503.
+func TestBreakerOpensUnderRepeatedFailure(t *testing.T) {
+	activatePlan(t, 2, faults.Rule{Point: "engine.characterize", Mode: faults.ModeError, Every: 1})
+	clock := &breakerClock{t: time.Unix(1000, 0)}
+	srv, ts := resilientServer(t, Options{
+		BreakerThreshold: 2, BreakerCooldown: time.Minute, Clock: clock.now,
+	})
+
+	for i := 0; i < 2; i++ {
+		postAdvise(t, ts, AdviseBody{Requests: []AdviseRequest{
+			{Device: devices.TX2Name, App: "shwfs", Current: "sc"},
+		}})
+	}
+	if got := srv.breaker.State(); got != BreakerOpen {
+		t.Fatalf("breaker = %s after consecutive failures, want open", got)
+	}
+
+	out := postAdvise(t, ts, AdviseBody{Requests: []AdviseRequest{
+		{Device: devices.TX2Name, App: "lanedet", Current: "sc"},
+	}})
+	if !out.Results[0].Degraded || out.Results[0].DegradedReason != "circuit breaker open" {
+		t.Errorf("open-breaker result = %+v, want degraded (breaker open)", out.Results[0])
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/characterize?device=" + devices.TX2Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("characterize under open breaker = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+
+	if !strings.Contains(scrapeMetrics(t, ts), "igpucomm_breaker_state 2") {
+		t.Error("breaker_state gauge not 2 (open)")
+	}
+
+	var st statuszResponse
+	getJSON(t, ts.URL+"/statusz", &st)
+	if st.Resilience.Breaker != BreakerOpen {
+		t.Errorf("statusz breaker = %q, want open", st.Resilience.Breaker)
+	}
+	if st.Resilience.DegradedResponses == 0 {
+		t.Error("statusz shows no degraded responses")
+	}
+}
+
+// An injected panic in characterization is contained: the request degrades,
+// the process survives, and the health check still answers.
+func TestAdvisePanicFaultIsContained(t *testing.T) {
+	activatePlan(t, 3, faults.Rule{Point: "engine.characterize", Mode: faults.ModePanic, Every: 1})
+	_, ts := resilientServer(t, Options{BreakerThreshold: 100})
+
+	out := postAdvise(t, ts, AdviseBody{Requests: []AdviseRequest{
+		{Device: devices.XavierName, App: "orbslam", Current: "zc"},
+	}})
+	res := out.Results[0]
+	if !res.Degraded || res.Recommendation == nil {
+		t.Fatalf("panic fault did not degrade cleanly: %+v", res)
+	}
+	if !strings.Contains(res.DegradedReason, "panic") {
+		t.Errorf("degraded reason = %q, want a panic mention", res.DegradedReason)
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz after panic = %d", resp.StatusCode)
+	}
+}
+
+// Overload beyond the admission queue is shed as 429 + Retry-After while
+// admitted requests complete normally.
+func TestOverloadShedsWith429(t *testing.T) {
+	activatePlan(t, 4, faults.Rule{
+		Point: "engine.characterize", Mode: faults.ModeLatency, Every: 1, Delay: 200 * time.Millisecond,
+	})
+	_, ts := resilientServer(t, Options{MaxConcurrent: 1, MaxQueue: 1, BreakerThreshold: 100})
+
+	body, err := json.Marshal(AdviseBody{Requests: []AdviseRequest{
+		{Device: devices.NanoName, App: "shwfs", Current: "sc"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 6
+	codes := make(chan int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/advise", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode == http.StatusTooManyRequests && resp.Header.Get("Retry-After") == "" {
+				t.Error("429 without Retry-After")
+			}
+			codes <- resp.StatusCode
+		}()
+	}
+	wg.Wait()
+	close(codes)
+
+	var ok200, shed int
+	for code := range codes {
+		switch code {
+		case http.StatusOK:
+			ok200++
+		case http.StatusTooManyRequests:
+			shed++
+		default:
+			t.Errorf("unexpected status %d", code)
+		}
+	}
+	if ok200 == 0 {
+		t.Error("no request was admitted")
+	}
+	if shed == 0 {
+		t.Error("no request was shed despite capacity 1 + queue 1 and 6 callers")
+	}
+	if shed > 0 && !strings.Contains(scrapeMetrics(t, ts), "igpucomm_http_requests_shed_total") {
+		t.Error("shed counter missing from scrape")
+	}
+}
+
+// The per-request deadline turns a wedged engine into degraded answers
+// instead of unbounded latency.
+func TestRequestDeadlineDegrades(t *testing.T) {
+	activatePlan(t, 5, faults.Rule{
+		Point: "engine.characterize", Mode: faults.ModeLatency, Every: 1, Delay: 2 * time.Second,
+	})
+	_, ts := resilientServer(t, Options{RequestTimeout: 100 * time.Millisecond, BreakerThreshold: 100})
+
+	t0 := time.Now()
+	out := postAdvise(t, ts, AdviseBody{Requests: []AdviseRequest{
+		{Device: devices.TX2Name, App: "shwfs", Current: "sc"},
+	}})
+	// The latency fault sleeps 2s regardless of context, so the request
+	// takes that long; what matters is that the answer is degraded, not an
+	// opaque 500, and that the deadline was the trigger.
+	res := out.Results[0]
+	if !res.Degraded || res.Recommendation == nil {
+		t.Fatalf("deadline did not degrade cleanly in %v: %+v", time.Since(t0), res)
+	}
+}

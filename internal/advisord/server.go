@@ -6,13 +6,22 @@
 // structured request log). All state lives in the execution engine; the
 // server only translates requests, records telemetry, and persists the
 // cache.
+//
+// The /v1 endpoints sit behind a resilience layer: per-request deadlines, a
+// bounded admission queue that sheds overload with 429 + Retry-After, a
+// circuit breaker around device characterization, and a degraded mode that
+// answers from a threshold-only heuristic (framework.HeuristicAdvise) when
+// the engine cannot — so the service keeps answering, with reduced fidelity,
+// through engine failures instead of timing out or crashing.
 package advisord
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"log/slog"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"time"
@@ -21,63 +30,115 @@ import (
 	"igpucomm/internal/buildinfo"
 	"igpucomm/internal/devices"
 	"igpucomm/internal/engine"
+	"igpucomm/internal/faults"
 	"igpucomm/internal/framework"
 	"igpucomm/internal/microbench"
 	"igpucomm/internal/telemetry"
 )
+
+// Options configures a Server. The zero value of every resilience knob means
+// "use the default", so existing callers only set what they care about.
+type Options struct {
+	// Params are the micro-benchmark parameters used for characterization.
+	Params microbench.Params
+	// Scale selects the workload catalog scale (catalog.Full or Quick).
+	Scale catalog.Scale
+	// CacheDir, when non-empty, receives cache snapshots after requests
+	// that executed new characterizations.
+	CacheDir string
+	// Logger receives the structured request log (nil: slog.Default).
+	Logger *slog.Logger
+
+	// RequestTimeout is the per-request deadline applied to /v1 handlers
+	// (0: 30s). Work the engine has not finished when it lapses is
+	// abandoned and the request answers in degraded mode.
+	RequestTimeout time.Duration
+	// MaxConcurrent bounds how many /v1 requests execute at once (0: 64).
+	MaxConcurrent int
+	// MaxQueue bounds how many /v1 requests may wait for an execution
+	// slot; anything beyond is shed with 429 (0: 2*MaxConcurrent).
+	MaxQueue int
+	// BreakerThreshold is how many consecutive characterization failures
+	// trip the circuit breaker open (0: 5).
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before letting a
+	// probe through (0: 10s).
+	BreakerCooldown time.Duration
+	// Clock overrides time.Now for breaker timing (tests).
+	Clock func() time.Time
+}
+
+func (o *Options) applyDefaults() {
+	if o.Logger == nil {
+		o.Logger = slog.Default()
+	}
+	if o.RequestTimeout == 0 {
+		o.RequestTimeout = 30 * time.Second
+	}
+	if o.MaxConcurrent <= 0 {
+		o.MaxConcurrent = 64
+	}
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = 2 * o.MaxConcurrent
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 5
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 10 * time.Second
+	}
+}
 
 // Server wires the execution engine to the HTTP surface. All state lives in
 // the engine; the server only translates requests, records telemetry, and
 // persists the cache.
 type Server struct {
 	eng     *engine.Engine
-	params  microbench.Params
-	scale   catalog.Scale
+	opt     Options
 	start   time.Time
 	log     *slog.Logger
 	metrics *serverMetrics
 	info    buildinfo.Info
 
-	// cacheDir, when set, receives a SaveCache snapshot whenever new
-	// characterizations were executed; persistMu serializes the writers
-	// and lastSaved tracks the execution count already on disk.
-	cacheDir  string
+	breaker *Breaker
+	admit   *admission
+
+	// persistMu serializes SaveCache writers and lastSaved tracks the
+	// execution count already on disk.
 	persistMu sync.Mutex
 	lastSaved uint64
 }
 
-// New builds a server answering with the given engine, micro-benchmark
-// params and workload scale. cacheDir, when non-empty, receives cache
-// snapshots after requests that executed new characterizations; a nil logger
-// falls back to slog.Default.
-func New(eng *engine.Engine, params microbench.Params, scale catalog.Scale, cacheDir string, logger *slog.Logger) *Server {
-	if logger == nil {
-		logger = slog.Default()
-	}
+// New builds a server answering with the given engine under the given
+// options.
+func New(eng *engine.Engine, opt Options) *Server {
+	opt.applyDefaults()
 	start := time.Now()
 	info := buildinfo.Get()
+	br := newBreaker(opt.BreakerThreshold, opt.BreakerCooldown, opt.Clock)
 	return &Server{
-		eng:      eng,
-		params:   params,
-		scale:    scale,
-		start:    start,
-		log:      logger,
-		metrics:  newServerMetrics(eng, start, info),
-		info:     info,
-		cacheDir: cacheDir,
+		eng:     eng,
+		opt:     opt,
+		start:   start,
+		log:     opt.Logger,
+		metrics: newServerMetrics(eng, start, info, br),
+		info:    info,
+		breaker: br,
+		admit:   newAdmission(opt.MaxConcurrent, opt.MaxQueue),
 	}
 }
 
-// Handler builds the service's route table, every endpoint wrapped in the
-// observability middleware.
+// Handler builds the service's route table: every endpoint wrapped in the
+// observability middleware, the /v1 endpoints additionally behind admission
+// control and a per-request deadline.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/statusz", s.handleStatusz)
 	mux.Handle("/metrics", s.metrics.reg.Handler())
-	mux.HandleFunc("/v1/advise", s.handleAdvise)
-	mux.HandleFunc("/v1/characterize", s.handleCharacterize)
-	return s.observe(mux)
+	mux.Handle("/v1/advise", s.admitted(http.HandlerFunc(s.handleAdvise)))
+	mux.Handle("/v1/characterize", s.admitted(http.HandlerFunc(s.handleCharacterize)))
+	return s.observe(s.recoverPanics(mux))
 }
 
 // endpoints the middleware labels metrics with; anything else is "other" so
@@ -139,18 +200,66 @@ func (s *Server) observe(next http.Handler) http.Handler {
 	})
 }
 
+// recoverPanics converts a handler panic into a 500 instead of an aborted
+// connection, counts it, and keeps the process alive — the last line of the
+// no-escaped-panics invariant the chaos suite asserts.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.metrics.panics.Inc()
+				s.log.Error("handler panic recovered",
+					"path", r.URL.Path, "panic", fmt.Sprint(rec),
+					"stack", string(debug.Stack()))
+				writeError(w, http.StatusInternalServerError,
+					fmt.Sprintf("internal error: %v", rec))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// admitted is the /v1 admission middleware: bounded concurrency with a
+// bounded wait queue, shedding overload as 429 + Retry-After, plus the
+// per-request deadline.
+func (s *Server) admitted(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		release, ok := s.admit.acquire(r.Context())
+		if !ok {
+			s.metrics.shed.Inc()
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "server at capacity, retry later")
+			return
+		}
+		defer release()
+		ctx, cancel := context.WithTimeout(r.Context(), s.opt.RequestTimeout)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
 }
 
+// resilienceStatus is the /statusz view of the resilience layer.
+type resilienceStatus struct {
+	Breaker           string `json:"breaker"`
+	RequestsShed      uint64 `json:"requests_shed"`
+	DegradedResponses uint64 `json:"degraded_responses"`
+	PanicsRecovered   uint64 `json:"panics_recovered"`
+	FaultsInjected    uint64 `json:"faults_injected"`
+}
+
 // statuszResponse is the /statusz payload.
 type statuszResponse struct {
-	UptimeSeconds float64        `json:"uptime_seconds"`
-	Build         buildinfo.Info `json:"build"`
-	Devices       []string       `json:"devices"`
-	Apps          []string       `json:"apps"`
-	Engine        engine.Stats   `json:"engine"`
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Build         buildinfo.Info   `json:"build"`
+	Devices       []string         `json:"devices"`
+	Apps          []string         `json:"apps"`
+	Engine        engine.Stats     `json:"engine"`
+	Resilience    resilienceStatus `json:"resilience"`
 }
 
 func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
@@ -164,32 +273,47 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		Devices:       names,
 		Apps:          catalog.Names(),
 		Engine:        s.eng.Stats(),
+		Resilience: resilienceStatus{
+			Breaker:           s.breaker.State(),
+			RequestsShed:      s.metrics.shed.Value(),
+			DegradedResponses: s.metrics.degraded.Value(),
+			PanicsRecovered:   s.metrics.panics.Value(),
+			FaultsInjected:    faults.InjectedTotal(),
+		},
 	})
 }
 
-// adviseRequest is one advisory question over the wire.
-type adviseRequest struct {
+// AdviseRequest is one advisory question over the wire.
+type AdviseRequest struct {
+	// Device names a catalog platform (e.g. "jetson-tx2").
 	Device string `json:"device"`
-	App    string `json:"app"`
+	// App names a catalog workload (e.g. "shwfs").
+	App string `json:"app"`
 	// Current is the model the application currently implements
 	// (default "sc").
 	Current string `json:"current"`
 }
 
-type adviseBody struct {
-	Requests []adviseRequest `json:"requests"`
+// AdviseBody is the /v1/advise request body: a batch of questions.
+type AdviseBody struct {
+	Requests []AdviseRequest `json:"requests"`
 }
 
-// adviseResult mirrors engine.Result for the wire: either a recommendation
-// or a per-request error, never both.
-type adviseResult struct {
+// AdviseResult mirrors engine.Result for the wire: either a recommendation
+// or a per-request error, never both. Degraded marks advice produced by the
+// threshold-only heuristic because the engine could not answer.
+type AdviseResult struct {
 	Recommendation *framework.Recommendation `json:"recommendation,omitempty"`
 	Zone           string                    `json:"zone,omitempty"`
+	Degraded       bool                      `json:"degraded,omitempty"`
+	DegradedReason string                    `json:"degraded_reason,omitempty"`
 	Error          string                    `json:"error,omitempty"`
+	ErrorKind      string                    `json:"error_kind,omitempty"`
 }
 
-type adviseResponse struct {
-	Results []adviseResult `json:"results"`
+// AdviseResponse is the /v1/advise response body, results in request order.
+type AdviseResponse struct {
+	Results []AdviseResult `json:"results"`
 }
 
 func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
@@ -197,7 +321,7 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST a JSON body to /v1/advise")
 		return
 	}
-	var body adviseBody
+	var body AdviseBody
 	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("decode request: %v", err))
 		return
@@ -210,37 +334,101 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 	// Translate wire requests to engine requests; translation failures
 	// (unknown device or app) become per-request errors so the rest of
 	// the batch still runs.
-	results := make([]adviseResult, len(body.Requests))
-	reqs := make([]engine.Request, 0, len(body.Requests))
-	slots := make([]int, 0, len(body.Requests))
+	s.eng.NoteBatch()
+	results := make([]AdviseResult, len(body.Requests))
+	var wg sync.WaitGroup
 	for i, ar := range body.Requests {
 		req, err := s.toEngineRequest(ar)
 		if err != nil {
-			results[i] = adviseResult{Error: err.Error()}
+			results[i] = AdviseResult{Error: err.Error(), ErrorKind: "invalid_request"}
 			continue
 		}
-		reqs = append(reqs, req)
-		slots = append(slots, i)
+		wg.Add(1)
+		go func(i int, req engine.Request) {
+			defer wg.Done()
+			results[i] = s.adviseOne(r.Context(), req)
+		}(i, req)
 	}
-	for j, res := range s.eng.AdviseBatch(r.Context(), reqs) {
-		i := slots[j]
-		if res.Err != nil {
-			results[i] = adviseResult{Error: res.Err.Error()}
-			continue
-		}
-		rec := res.Rec
-		results[i] = adviseResult{Recommendation: &rec, Zone: rec.Zone.String()}
-	}
+	wg.Wait()
 	s.maybePersist()
-	writeJSON(w, http.StatusOK, adviseResponse{Results: results})
+	writeJSON(w, http.StatusOK, AdviseResponse{Results: results})
 }
 
-func (s *Server) toEngineRequest(ar adviseRequest) (engine.Request, error) {
+// adviseOne answers one advisory request through the resilience layer:
+// breaker-guarded characterization, then profile-and-decide; any failure on
+// that path falls back to degraded heuristic advice so the caller always
+// gets an answer or a typed error.
+func (s *Server) adviseOne(ctx context.Context, req engine.Request) AdviseResult {
+	done, ok := s.breaker.Allow()
+	if !ok {
+		return s.degraded(ctx, req, "circuit breaker open")
+	}
+	var char framework.Characterization
+	err := guard(func() error {
+		var err error
+		char, err = s.eng.Characterize(ctx, req.Config, req.Params)
+		return err
+	})
+	done(err)
+	if err != nil {
+		return s.degraded(ctx, req, fmt.Sprintf("characterization failed: %v", err))
+	}
+	var rec framework.Recommendation
+	err = guard(func() error {
+		var err error
+		rec, err = s.eng.AdviseWith(ctx, char, req)
+		return err
+	})
+	if err != nil {
+		return s.degraded(ctx, req, fmt.Sprintf("advice failed: %v", err))
+	}
+	return AdviseResult{Recommendation: &rec, Zone: rec.Zone.String()}
+}
+
+// degraded answers from the threshold-only heuristic, marking the result so
+// callers know it carries no measured speedup, and annotating the request's
+// trace with the reason.
+func (s *Server) degraded(ctx context.Context, req engine.Request, reason string) AdviseResult {
+	rec, err := framework.HeuristicAdvise(req.Config, req.Workload, req.Current)
+	if err != nil {
+		// Even the fallback needs a valid current model; this is a caller
+		// mistake, not an engine failure.
+		return AdviseResult{Error: err.Error(), ErrorKind: "invalid_request"}
+	}
+	s.metrics.degraded.Inc()
+	_, span := telemetry.Start(ctx, "advisord.degraded",
+		telemetry.String("device", req.Config.Name),
+		telemetry.String("workload", req.Workload.Name))
+	span.SetAttr("degraded", reason)
+	span.End()
+	s.log.Warn("degraded advice", "device", req.Config.Name,
+		"workload", req.Workload.Name, "reason", reason)
+	return AdviseResult{
+		Recommendation: &rec,
+		Zone:           rec.Zone.String(),
+		Degraded:       true,
+		DegradedReason: reason,
+	}
+}
+
+// guard runs f, converting a panic into an *engine.PanicError — the fault
+// injector's panic mode (and any real bug) must degrade the one request, not
+// kill the process.
+func guard(f func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &engine.PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return f()
+}
+
+func (s *Server) toEngineRequest(ar AdviseRequest) (engine.Request, error) {
 	cfg, err := devices.ByName(ar.Device)
 	if err != nil {
 		return engine.Request{}, err
 	}
-	wl, err := catalog.ByName(ar.App, s.scale)
+	wl, err := catalog.ByName(ar.App, s.opt.Scale)
 	if err != nil {
 		return engine.Request{}, err
 	}
@@ -248,12 +436,14 @@ func (s *Server) toEngineRequest(ar adviseRequest) (engine.Request, error) {
 	if current == "" {
 		current = "sc"
 	}
-	return engine.Request{Config: cfg, Params: s.params, Workload: wl, Current: current}, nil
+	return engine.Request{Config: cfg, Params: s.opt.Params, Workload: wl, Current: current}, nil
 }
 
 // handleCharacterize serves the (cached) device characterization in the
 // framework persist format, so the response body is directly usable as
-// cmd/advisor's -char file.
+// cmd/advisor's -char file. Unlike /v1/advise it has no degraded fallback —
+// a characterization either exists or it does not — so an open breaker
+// answers 503 with a Retry-After hint.
 func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 	device := r.URL.Query().Get("device")
 	if device == "" {
@@ -265,7 +455,19 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, err.Error())
 		return
 	}
-	char, err := s.eng.Characterize(r.Context(), cfg, s.params)
+	done, ok := s.breaker.Allow()
+	if !ok {
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.breaker.RetryAfter().Seconds())))
+		writeError(w, http.StatusServiceUnavailable, "characterization circuit breaker open")
+		return
+	}
+	var char framework.Characterization
+	err = guard(func() error {
+		var err error
+		char, err = s.eng.Characterize(r.Context(), cfg, s.opt.Params)
+		return err
+	})
+	done(err)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
@@ -280,7 +482,7 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 // maybePersist snapshots the cache to disk when new characterizations were
 // executed since the last snapshot.
 func (s *Server) maybePersist() {
-	if s.cacheDir == "" {
+	if s.opt.CacheDir == "" {
 		return
 	}
 	s.persistMu.Lock()
@@ -289,7 +491,7 @@ func (s *Server) maybePersist() {
 	if execs == s.lastSaved {
 		return
 	}
-	if _, err := s.eng.SaveCache(s.cacheDir); err != nil {
+	if _, err := s.eng.SaveCache(s.opt.CacheDir); err != nil {
 		s.log.Error("persist cache", "err", err)
 		return
 	}

@@ -20,7 +20,7 @@ import (
 func testServer(t *testing.T) (*Server, *httptest.Server) {
 	t.Helper()
 	eng := engine.New(engine.Options{Workers: 2})
-	srv := New(eng, microbench.TestParams(), catalog.Quick, "", testLogger())
+	srv := New(eng, Options{Params: microbench.TestParams(), Scale: catalog.Quick, Logger: testLogger()})
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	return srv, ts
@@ -41,7 +41,7 @@ func getJSON(t *testing.T, url string, v interface{}) *http.Response {
 	return resp
 }
 
-func postAdvise(t *testing.T, ts *httptest.Server, body adviseBody) adviseResponse {
+func postAdvise(t *testing.T, ts *httptest.Server, body AdviseBody) AdviseResponse {
 	t.Helper()
 	buf, err := json.Marshal(body)
 	if err != nil {
@@ -55,7 +55,7 @@ func postAdvise(t *testing.T, ts *httptest.Server, body adviseBody) adviseRespon
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("POST /v1/advise: status %d", resp.StatusCode)
 	}
-	var out adviseResponse
+	var out AdviseResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		t.Fatalf("decode advise response: %v", err)
 	}
@@ -103,7 +103,7 @@ func TestStatuszListsCatalog(t *testing.T) {
 // advisor's.
 func TestAdviseBatchSharesCharacterization(t *testing.T) {
 	srv, ts := testServer(t)
-	out := postAdvise(t, ts, adviseBody{Requests: []adviseRequest{
+	out := postAdvise(t, ts, AdviseBody{Requests: []AdviseRequest{
 		{Device: devices.TX2Name, App: "shwfs", Current: "sc"},
 		{Device: devices.TX2Name, App: "lanedet", Current: "sc"},
 		{Device: devices.TX2Name, App: "orbslam", Current: "zc"},
@@ -136,7 +136,7 @@ func TestAdviseBatchSharesCharacterization(t *testing.T) {
 // batch still gets its recommendation.
 func TestAdvisePerRequestErrors(t *testing.T) {
 	_, ts := testServer(t)
-	out := postAdvise(t, ts, adviseBody{Requests: []adviseRequest{
+	out := postAdvise(t, ts, AdviseBody{Requests: []AdviseRequest{
 		{Device: "no-such-board", App: "shwfs"},
 		{Device: devices.TX2Name, App: "no-such-app"},
 		{Device: devices.TX2Name, App: "shwfs"},
@@ -223,7 +223,7 @@ func TestCharacterizeEndpointRoundTrips(t *testing.T) {
 func TestCachePersistenceAcrossServers(t *testing.T) {
 	dir := t.TempDir()
 	eng := engine.New(engine.Options{Workers: 2})
-	srv := New(eng, microbench.TestParams(), catalog.Quick, dir, testLogger())
+	srv := New(eng, Options{Params: microbench.TestParams(), Scale: catalog.Quick, CacheDir: dir, Logger: testLogger()})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -244,7 +244,7 @@ func TestCachePersistenceAcrossServers(t *testing.T) {
 	if n != 1 {
 		t.Fatalf("warm start loaded %d entries, want 1", n)
 	}
-	srv2 := New(eng2, microbench.TestParams(), catalog.Quick, "", testLogger())
+	srv2 := New(eng2, Options{Params: microbench.TestParams(), Scale: catalog.Quick, Logger: testLogger()})
 	ts2 := httptest.NewServer(srv2.Handler())
 	defer ts2.Close()
 	resp2, err := http.Get(ts2.URL + "/v1/characterize?device=" + devices.TX2Name)

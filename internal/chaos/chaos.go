@@ -1,0 +1,86 @@
+// Package chaos holds the fault schedules and sweep definition for the
+// chaos test suite: the full device x app x current-model advisory sweep
+// driven through the retrying client against an advisord instance with the
+// fault-injection layer active. The suite asserts the service's resilience
+// invariants — no panic escapes, every response is valid advice (possibly
+// degraded) or a typed error, and the cache never serves corrupt entries —
+// under several deterministic, seeded fault schedules. CI's chaos job runs
+// it under the race detector.
+package chaos
+
+import (
+	"time"
+
+	"igpucomm/internal/advisord"
+	"igpucomm/internal/apps/catalog"
+	"igpucomm/internal/comm"
+	"igpucomm/internal/devices"
+	"igpucomm/internal/faults"
+)
+
+// Schedule is one named, seeded fault schedule a chaos run activates.
+type Schedule struct {
+	// Name identifies the schedule in test output.
+	Name string
+	// Seed makes the schedule's probabilistic rules reproducible.
+	Seed int64
+	// Rules are the fault rules to activate.
+	Rules []faults.Rule
+}
+
+// Schedules returns the fixed schedules the chaos suite sweeps under.
+// Each mixes fault modes across layers: engine errors, injected panics,
+// latency spikes, and persistence corruption.
+func Schedules() []Schedule {
+	return []Schedule{
+		{
+			Name: "flaky-engine",
+			Seed: 101,
+			Rules: []faults.Rule{
+				{Point: "engine.characterize", Mode: faults.ModeError, Prob: 0.3},
+				{Point: "engine.explore", Mode: faults.ModeError, Prob: 0.2},
+				{Point: "profile.collect", Mode: faults.ModeError, Prob: 0.2},
+			},
+		},
+		{
+			Name: "slow-and-panicky",
+			Seed: 202,
+			Rules: []faults.Rule{
+				{Point: "engine.characterize", Mode: faults.ModePanic, Prob: 0.15},
+				{Point: "profile.collect", Mode: faults.ModePanic, Prob: 0.1},
+				{Point: "soc.clone", Mode: faults.ModeLatency, Prob: 0.05, Delay: 2 * time.Millisecond},
+				{Point: "engine.characterize", Mode: faults.ModeLatency, Prob: 0.2, Delay: 5 * time.Millisecond},
+			},
+		},
+		{
+			Name: "corrupt-persistence",
+			Seed: 303,
+			Rules: []faults.Rule{
+				{Point: "engine.cache.load", Mode: faults.ModeCorrupt, Prob: 0.5},
+				{Point: "engine.cache.store", Mode: faults.ModeError, Prob: 0.3},
+				{Point: "framework.persist.save", Mode: faults.ModeError, Prob: 0.2},
+				{Point: "engine.characterize", Mode: faults.ModeError, Prob: 0.2},
+			},
+		},
+	}
+}
+
+// Combos returns the full advisory sweep: every catalog device and app
+// crossed with every communication model name as the declared current model
+// (3 devices x 3 apps x 5 models = 45). The sc-async and hybrid entries are
+// deliberate invalid-current probes — the framework only accepts sc/um/zc as
+// a current model — so the sweep exercises the typed-error path alongside
+// the advice paths.
+func Combos() []advisord.AdviseRequest {
+	var out []advisord.AdviseRequest
+	for _, cfg := range devices.All() {
+		for _, app := range catalog.Names() {
+			for _, m := range comm.AllModels() {
+				out = append(out, advisord.AdviseRequest{
+					Device: cfg.Name, App: app, Current: m.Name(),
+				})
+			}
+		}
+	}
+	return out
+}

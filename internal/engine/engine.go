@@ -22,10 +22,26 @@ import (
 	"time"
 
 	"igpucomm/internal/comm"
+	"igpucomm/internal/faults"
 	"igpucomm/internal/framework"
 	"igpucomm/internal/microbench"
 	"igpucomm/internal/soc"
 	"igpucomm/internal/telemetry"
+)
+
+// Fault points the engine exposes to the injection layer (inert unless a
+// plan is activated; see internal/faults).
+var (
+	faultCharacterize = faults.Register("engine.characterize",
+		"cold characterization run (before the micro-benchmark fan-out)",
+		faults.CanError|faults.CanLatency|faults.CanPanic)
+	faultExplore = faults.Register("engine.explore",
+		"model exploration fan-out", faults.CanError|faults.CanLatency|faults.CanPanic)
+	faultCacheStore = faults.Register("engine.cache.store",
+		"cache persistence write (per entry)", faults.CanError|faults.CanLatency|faults.CanPanic)
+	faultCacheLoad = faults.Register("engine.cache.load",
+		"cache warm-start read (per-entry bytes)",
+		faults.CanError|faults.CanLatency|faults.CanCorrupt|faults.CanTruncate|faults.CanPanic)
 )
 
 // Options configures an Engine.
@@ -52,8 +68,9 @@ type Engine struct {
 	chars   *memo[framework.Characterization]
 	mb1s    *memo[microbench.MB1Result]
 
-	requests atomic.Uint64
-	batches  atomic.Uint64
+	requests     atomic.Uint64
+	batches      atomic.Uint64
+	cacheCorrupt atomic.Uint64
 }
 
 // New builds an engine.
@@ -83,16 +100,20 @@ type Stats struct {
 	Batches           uint64    `json:"batches"`
 	Characterizations MemoStats `json:"characterizations"`
 	MB1               MemoStats `json:"mb1"`
+	// CacheCorruptEntries counts persisted cache entries quarantined at
+	// warm start (checksum mismatch or undecodable payload).
+	CacheCorruptEntries uint64 `json:"cache_corrupt_entries"`
 }
 
 // Stats snapshots the engine's counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Workers:           e.workers,
-		Requests:          e.requests.Load(),
-		Batches:           e.batches.Load(),
-		Characterizations: e.chars.snapshot(),
-		MB1:               e.mb1s.snapshot(),
+		Workers:             e.workers,
+		Requests:            e.requests.Load(),
+		Batches:             e.batches.Load(),
+		Characterizations:   e.chars.snapshot(),
+		MB1:                 e.mb1s.snapshot(),
+		CacheCorruptEntries: e.cacheCorrupt.Load(),
 	}
 }
 
@@ -116,13 +137,16 @@ func (e *Engine) Characterize(ctx context.Context, cfg soc.Config, p microbench.
 // characterize is the cold path: the parallel equivalent of
 // framework.Characterize.
 func (e *Engine) characterize(ctx context.Context, cfg soc.Config, p microbench.Params) (framework.Characterization, error) {
+	if err := faults.Fire(faultCharacterize); err != nil {
+		return framework.Characterization{}, fmt.Errorf("engine: %w", err)
+	}
 	// Stage 1: the MB1 rows and MB3 have no mutual dependencies — run the
 	// three model rows and the third micro-benchmark concurrently, each on
 	// its own clone.
 	models := comm.Models()
 	rows := make([]microbench.MB1Row, len(models))
 	var mb3 microbench.MB3Result
-	err := fanOut(e.sem, len(models)+1, func(i int) error {
+	err := fanOut(ctx, e.sem, len(models)+1, func(i int) error {
 		if i == len(models) {
 			r, err := microbench.RunMB3(ctx, soc.New(cfg), p)
 			mb3 = r
@@ -143,7 +167,7 @@ func (e *Engine) characterize(ctx context.Context, cfg soc.Config, p microbench.
 	nf := len(p.MB2Fractions)
 	gpuPts := make([]microbench.MB2GPUPoint, nf)
 	cpuPts := make([]microbench.MB2CPUPoint, nf)
-	err = fanOut(e.sem, 2*nf, func(i int) error {
+	err = fanOut(ctx, e.sem, 2*nf, func(i int) error {
 		if i < nf {
 			pt, err := microbench.RunMB2GPUPoint(ctx, soc.New(cfg), p, p.MB2Fractions[i], peak)
 			gpuPts[i] = pt
@@ -177,7 +201,7 @@ func (e *Engine) MB1(ctx context.Context, cfg soc.Config, p microbench.Params) (
 	return e.mb1s.do(ctx, key, func() (microbench.MB1Result, error) {
 		models := comm.Models()
 		rows := make([]microbench.MB1Row, len(models))
-		err := fanOut(e.sem, len(models), func(i int) error {
+		err := fanOut(ctx, e.sem, len(models), func(i int) error {
 			row, err := microbench.RunMB1Model(ctx, soc.New(cfg), p, models[i])
 			rows[i] = row
 			return err
@@ -202,8 +226,11 @@ func (e *Engine) Explore(ctx context.Context, cfg soc.Config, w comm.Workload, m
 	ctx, span := telemetry.Start(ctx, "engine.explore",
 		telemetry.String("device", cfg.Name), telemetry.String("workload", w.Name))
 	defer span.End()
+	if err := faults.Fire(faultExplore); err != nil {
+		return framework.Exploration{}, fmt.Errorf("engine: %w", err)
+	}
 	cands := make([]framework.Candidate, len(models))
-	err := fanOut(e.sem, len(models), func(i int) error {
+	err := fanOut(ctx, e.sem, len(models), func(i int) error {
 		_, mspan := telemetry.Start(ctx, "engine.explore.model",
 			telemetry.String("model", models[i].Name()))
 		defer mspan.End()
@@ -249,14 +276,39 @@ func (e *Engine) Advise(ctx context.Context, req Request) (framework.Recommendat
 	if err != nil {
 		return framework.Recommendation{}, err
 	}
+	return e.adviseWith(ctx, char, req)
+}
+
+// AdviseWith answers a request against a characterization the caller already
+// holds: profiling and the Fig-2 decision flow on a private clone, under the
+// engine's worker bound. advisord's resilience layer uses it to separate
+// characterization failures (which feed the circuit breaker) from profiling
+// failures (which fall back to degraded-mode advice).
+func (e *Engine) AdviseWith(ctx context.Context, char framework.Characterization, req Request) (framework.Recommendation, error) {
+	e.requests.Add(1)
+	ctx, span := telemetry.Start(ctx, "engine.advise",
+		telemetry.String("device", req.Config.Name),
+		telemetry.String("workload", req.Workload.Name),
+		telemetry.String("current", req.Current))
+	defer span.End()
+	return e.adviseWith(ctx, char, req)
+}
+
+// adviseWith is the shared profile-and-decide tail of Advise/AdviseWith.
+func (e *Engine) adviseWith(ctx context.Context, char framework.Characterization, req Request) (framework.Recommendation, error) {
 	var rec framework.Recommendation
-	err = fanOut(e.sem, 1, func(int) error {
+	err := fanOut(ctx, e.sem, 1, func(int) error {
 		var err error
 		rec, err = framework.AdviseWorkload(ctx, char, soc.New(req.Config), req.Workload, req.Current)
 		return err
 	})
 	return rec, err
 }
+
+// NoteBatch counts one advisory batch answered outside AdviseBatch —
+// advisord's resilience layer drives requests individually through
+// Characterize/AdviseWith but each /v1/advise body is still one batch.
+func (e *Engine) NoteBatch() { e.batches.Add(1) }
 
 // AdviseBatch answers a batch of requests concurrently. Requests sharing a
 // (config, params) key share one characterization — under a cold cache a
@@ -273,6 +325,11 @@ func (e *Engine) AdviseBatch(ctx context.Context, reqs []Request) []Result {
 	for i := range reqs {
 		go func(i int) {
 			defer wg.Done()
+			defer func() {
+				if err := recovered(recover()); err != nil {
+					out[i].Err = err
+				}
+			}()
 			out[i].Rec, out[i].Err = e.Advise(ctx, reqs[i])
 		}(i)
 	}

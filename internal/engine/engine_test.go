@@ -231,20 +231,29 @@ func TestEnginePersistRoundTrip(t *testing.T) {
 	}
 }
 
-func TestLoadCacheRejectsGarbage(t *testing.T) {
+// A malformed entry no longer fails the warm start: it is quarantined
+// (skipped + counted) and the healthy entries still load.
+func TestLoadCacheQuarantinesGarbage(t *testing.T) {
 	dir := t.TempDir()
 	if err := os.WriteFile(filepath.Join(dir, "deadbeef.json"), []byte("{not json"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	e := New(Options{})
-	if _, err := e.LoadCache(dir); err == nil {
-		t.Error("LoadCache accepted a malformed cache file")
+	n, err := e.LoadCache(dir)
+	if err != nil {
+		t.Fatalf("LoadCache failed on a corrupt entry instead of quarantining: %v", err)
+	}
+	if n != 0 {
+		t.Errorf("loaded %d entries, want 0", n)
+	}
+	if got := e.Stats().CacheCorruptEntries; got != 1 {
+		t.Errorf("CacheCorruptEntries = %d, want 1", got)
 	}
 }
 
 func TestFanOutReportsLowestIndexError(t *testing.T) {
 	s := make(sem, 2)
-	err := fanOut(s, 5, func(i int) error {
+	err := fanOut(context.Background(), s, 5, func(i int) error {
 		if i == 1 || i == 3 {
 			return fmt.Errorf("task %d failed", i)
 		}
@@ -253,7 +262,42 @@ func TestFanOutReportsLowestIndexError(t *testing.T) {
 	if err == nil || err.Error() != "task 1 failed" {
 		t.Errorf("err = %v, want the lowest-index failure", err)
 	}
-	if err := fanOut(s, 3, func(int) error { return nil }); err != nil {
+	if err := fanOut(context.Background(), s, 3, func(int) error { return nil }); err != nil {
 		t.Errorf("all-success fanOut returned %v", err)
+	}
+}
+
+// A panicking task degrades into a *PanicError instead of killing the
+// process — the guarantee injected panic faults rely on.
+func TestFanOutRecoversPanics(t *testing.T) {
+	s := make(sem, 2)
+	err := fanOut(context.Background(), s, 3, func(i int) error {
+		if i == 1 {
+			panic("boom")
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Value != "boom" || len(pe.Stack) == 0 {
+		t.Errorf("PanicError = %+v, want value boom with a stack", pe)
+	}
+}
+
+// A context cancelled before a task gets its slot skips the task and
+// reports the cancellation.
+func TestFanOutHonorsCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := make(sem, 1)
+	ran := false
+	err := fanOut(ctx, s, 2, func(int) error { ran = true; return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Error("task ran under a cancelled context")
 	}
 }

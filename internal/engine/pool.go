@@ -1,6 +1,11 @@
 package engine
 
-import "sync"
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
 
 // sem is the engine's global simulation-concurrency bound. Coordination
 // goroutines (batch requests waiting on a singleflight, assembly barriers)
@@ -13,10 +18,34 @@ type sem chan struct{}
 func (s sem) acquire() { s <- struct{}{} }
 func (s sem) release() { <-s }
 
+// PanicError is a panic recovered at an engine goroutine boundary, converted
+// into an ordinary error so a panicking simulation task (or an injected
+// panic fault) degrades into a failed request instead of killing the
+// process. The original panic value and stack are preserved for logs.
+type PanicError struct {
+	// Value is what the task panicked with.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+// Error summarizes the recovered panic.
+func (e *PanicError) Error() string { return fmt.Sprintf("engine: recovered panic: %v", e.Value) }
+
+// recovered converts a recover() result into a *PanicError (nil for nil).
+func recovered(r any) error {
+	if r == nil {
+		return nil
+	}
+	return &PanicError{Value: r, Stack: debug.Stack()}
+}
+
 // fanOut runs task(0..n-1) concurrently, each under a semaphore slot, and
 // waits for all of them. It returns the lowest-index error so the reported
-// failure is deterministic regardless of scheduling.
-func fanOut(s sem, n int, task func(i int) error) error {
+// failure is deterministic regardless of scheduling. A task that panics is
+// recovered into a *PanicError; a context already cancelled when a task's
+// slot frees up skips the task and reports the context's error.
+func fanOut(ctx context.Context, s sem, n int, task func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -26,8 +55,17 @@ func fanOut(s sem, n int, task func(i int) error) error {
 	for i := 0; i < n; i++ {
 		go func(i int) {
 			defer wg.Done()
+			defer func() {
+				if err := recovered(recover()); err != nil {
+					errs[i] = err
+				}
+			}()
 			s.acquire()
 			defer s.release()
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
 			errs[i] = task(i)
 		}(i)
 	}

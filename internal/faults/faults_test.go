@@ -1,0 +1,281 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// activate installs a plan for the test's duration, failing on a
+// capability-validation error.
+func activate(t *testing.T, p *Plan) {
+	t.Helper()
+	if err := Activate(p); err != nil {
+		t.Fatalf("Activate: %v", err)
+	}
+	t.Cleanup(Deactivate)
+	t.Cleanup(ResetInjected)
+}
+
+func TestDisabledIsInert(t *testing.T) {
+	Deactivate()
+	if Enabled() {
+		t.Fatal("Enabled with no plan active")
+	}
+	if err := Fire("nonexistent.point"); err != nil {
+		t.Fatalf("Fire while disabled: %v", err)
+	}
+	data := []byte("hello")
+	out, err := FireData("nonexistent.point", data)
+	if err != nil || !bytes.Equal(out, data) {
+		t.Fatalf("FireData while disabled mangled data: %q, %v", out, err)
+	}
+}
+
+func TestErrorModeReturnsTypedError(t *testing.T) {
+	activate(t, NewPlan(1, Rule{Point: "t.err", Mode: ModeError, Every: 1}))
+	err := Fire("t.err")
+	var fe *Error
+	if !errors.As(err, &fe) {
+		t.Fatalf("Fire = %v, want *faults.Error", err)
+	}
+	if fe.Point != "t.err" || fe.Mode != ModeError {
+		t.Errorf("fault = %+v", fe)
+	}
+	if got := Injected()["t.err"]; got != 1 {
+		t.Errorf("injected[t.err] = %d, want 1", got)
+	}
+	if InjectedTotal() == 0 {
+		t.Error("InjectedTotal = 0 after a fire")
+	}
+}
+
+func TestEverySchedule(t *testing.T) {
+	activate(t, NewPlan(1, Rule{Point: "t.every", Mode: ModeError, Every: 3, After: 1}))
+	var fired []int
+	for i := 1; i <= 10; i++ {
+		if Fire("t.every") != nil {
+			fired = append(fired, i)
+		}
+	}
+	// After skipping hit 1, fires land on eligible hits 3, 6, 9 (i.e. calls
+	// 4, 7, 10).
+	want := []int{4, 7, 10}
+	if len(fired) != len(want) {
+		t.Fatalf("fired on calls %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired on calls %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestCountBudget(t *testing.T) {
+	activate(t, NewPlan(1, Rule{Point: "t.count", Mode: ModeError, Every: 1, Count: 2}))
+	n := 0
+	for i := 0; i < 10; i++ {
+		if Fire("t.count") != nil {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Errorf("fired %d times, want 2 (count budget)", n)
+	}
+}
+
+func TestProbabilisticScheduleIsSeedDeterministic(t *testing.T) {
+	run := func() []bool {
+		p := NewPlan(42, Rule{Point: "t.prob", Mode: ModeError, Prob: 0.5})
+		if err := Activate(p); err != nil {
+			t.Fatal(err)
+		}
+		defer Deactivate()
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = Fire("t.prob") != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	ResetInjected()
+	fires := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedule diverged at call %d for the same seed", i)
+		}
+		if a[i] {
+			fires++
+		}
+	}
+	if fires == 0 || fires == len(a) {
+		t.Errorf("p=0.5 fired %d/%d times — schedule looks degenerate", fires, len(a))
+	}
+}
+
+func TestCorruptAndTruncate(t *testing.T) {
+	activate(t, NewPlan(7,
+		Rule{Point: "t.corrupt", Mode: ModeCorrupt, Every: 1},
+		Rule{Point: "t.trunc", Mode: ModeTruncate, Every: 1},
+	))
+	orig := bytes.Repeat([]byte("abcdefgh"), 16)
+	got, err := FireData("t.corrupt", append([]byte(nil), orig...))
+	if err != nil {
+		t.Fatalf("corrupt returned error: %v", err)
+	}
+	if bytes.Equal(got, orig) {
+		t.Error("corrupt mode left data untouched")
+	}
+	if len(got) != len(orig) {
+		t.Errorf("corrupt changed length %d -> %d", len(orig), len(got))
+	}
+
+	got, err = FireData("t.trunc", append([]byte(nil), orig...))
+	if err != nil {
+		t.Fatalf("truncate returned error: %v", err)
+	}
+	if len(got) >= len(orig) {
+		t.Errorf("truncate kept %d of %d bytes", len(got), len(orig))
+	}
+	if !bytes.Equal(got, orig[:len(got)]) {
+		t.Error("truncate is not a prefix")
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	activate(t, NewPlan(1, Rule{Point: "t.panic", Mode: ModePanic, Every: 1}))
+	defer func() {
+		r := recover()
+		pv, ok := r.(*PanicValue)
+		if !ok {
+			t.Fatalf("recovered %v, want *faults.PanicValue", r)
+		}
+		if pv.Point != "t.panic" {
+			t.Errorf("panic point = %q", pv.Point)
+		}
+	}()
+	_ = Fire("t.panic")
+	t.Fatal("Fire did not panic")
+}
+
+func TestLatencyMode(t *testing.T) {
+	activate(t, NewPlan(1, Rule{Point: "t.lat", Mode: ModeLatency, Every: 1, Delay: 20 * time.Millisecond}))
+	t0 := time.Now()
+	if err := Fire("t.lat"); err != nil {
+		t.Fatalf("latency fire returned error: %v", err)
+	}
+	if d := time.Since(t0); d < 15*time.Millisecond {
+		t.Errorf("latency fire took %v, want >= ~20ms", d)
+	}
+}
+
+func TestActivateRejectsUnsupportedMode(t *testing.T) {
+	Register("t.registered", "test point", CanError)
+	t.Cleanup(func() {
+		registryMu.Lock()
+		delete(registry, "t.registered")
+		registryMu.Unlock()
+	})
+	err := Activate(NewPlan(1, Rule{Point: "t.registered", Mode: ModeCorrupt, Every: 1}))
+	if err == nil {
+		Deactivate()
+		t.Fatal("Activate accepted a corrupt rule on an error-only point")
+	}
+}
+
+func TestConcurrentFireIsRaceFree(t *testing.T) {
+	activate(t, NewPlan(3,
+		Rule{Point: "t.race", Mode: ModeError, Prob: 0.5},
+		Rule{Point: "t.race.data", Mode: ModeCorrupt, Prob: 0.5},
+	))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := []byte("0123456789abcdef")
+			for i := 0; i < 200; i++ {
+				_ = Fire("t.race")
+				_, _ = FireData("t.race.data", buf)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestParsePlan(t *testing.T) {
+	p, err := ParsePlan("a.b:error:p=0.25;c.d:latency:delay=5ms,count=3; e.f:truncate:every=2,after=1", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := p.Rules()
+	if len(rules) != 3 {
+		t.Fatalf("parsed %d rules, want 3", len(rules))
+	}
+	byPoint := map[string]Rule{}
+	for _, r := range rules {
+		byPoint[r.Point] = r
+	}
+	if r := byPoint["a.b"]; r.Mode != ModeError || r.Prob != 0.25 {
+		t.Errorf("a.b = %+v", r)
+	}
+	if r := byPoint["c.d"]; r.Mode != ModeLatency || r.Delay != 5*time.Millisecond || r.Count != 3 {
+		t.Errorf("c.d = %+v", r)
+	}
+	if r := byPoint["e.f"]; r.Mode != ModeTruncate || r.Every != 2 || r.After != 1 {
+		t.Errorf("e.f = %+v", r)
+	}
+}
+
+func TestParsePlanRejectsGarbage(t *testing.T) {
+	for _, spec := range []string{
+		"",
+		";;",
+		"justapoint",
+		"p:badmode",
+		"p:error:p=2",
+		"p:error:p=nope",
+		"p:error:every=-1",
+		"p:latency:delay=xyz",
+		"p:error:unknown=1",
+		"p:error:noequals",
+	} {
+		if _, err := ParsePlan(spec, 1); err == nil {
+			t.Errorf("ParsePlan(%q) accepted garbage", spec)
+		}
+	}
+}
+
+func TestParseEnv(t *testing.T) {
+	t.Setenv(EnvVar, "x.y:error:every=1")
+	t.Setenv(EnvSeedVar, "17")
+	p, err := ParseEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p == nil || p.Seed() != 17 {
+		t.Fatalf("ParseEnv plan = %+v", p)
+	}
+	t.Setenv(EnvVar, "")
+	p, err = ParseEnv()
+	if err != nil || p != nil {
+		t.Fatalf("empty FAULTS: plan=%v err=%v, want nil,nil", p, err)
+	}
+	t.Setenv(EnvVar, "x.y:error")
+	t.Setenv(EnvSeedVar, "not-a-number")
+	if _, err := ParseEnv(); err == nil {
+		t.Error("bad FAULTS_SEED accepted")
+	}
+}
+
+// BenchmarkFireDisabled documents the disabled-path cost the perfgate
+// acceptance criterion rests on: one atomic load, no allocation.
+func BenchmarkFireDisabled(b *testing.B) {
+	Deactivate()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Fire("bench.point")
+	}
+}

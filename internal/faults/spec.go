@@ -1,0 +1,149 @@
+package faults
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The -faults / FAULTS spec grammar, one rule per semicolon-separated
+// clause:
+//
+//	point:mode[:key=value[,key=value...]]
+//
+// modes: error | latency | corrupt | truncate | panic
+// keys:  p=<0..1>  per-hit probability (default 1 when no schedule given)
+//	every=<n>  deterministic: fire on every n-th hit
+//	after=<n>  skip the first n hits
+//	count=<n>  cap total fires
+//	delay=<duration>  latency-mode sleep (default 10ms)
+//
+// Example: "engine.characterize:error:p=0.3;engine.cache.load:corrupt:every=2"
+
+// EnvVar is the environment variable ParseEnv reads the fault spec from.
+const EnvVar = "FAULTS"
+
+// EnvSeedVar is the environment variable carrying the plan seed.
+const EnvSeedVar = "FAULTS_SEED"
+
+// ParsePlan parses a spec string into a plan with the given seed.
+func ParsePlan(spec string, seed int64) (*Plan, error) {
+	var rules []Rule
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		r, err := parseRule(clause)
+		if err != nil {
+			return nil, err
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("faults: empty spec")
+	}
+	return NewPlan(seed, rules...), nil
+}
+
+func parseRule(clause string) (Rule, error) {
+	parts := strings.SplitN(clause, ":", 3)
+	if len(parts) < 2 || parts[0] == "" {
+		return Rule{}, fmt.Errorf("faults: rule %q: want point:mode[:params]", clause)
+	}
+	r := Rule{Point: parts[0], Prob: 1, Delay: 10 * time.Millisecond}
+	switch parts[1] {
+	case "error":
+		r.Mode = ModeError
+	case "latency":
+		r.Mode = ModeLatency
+	case "corrupt":
+		r.Mode = ModeCorrupt
+	case "truncate":
+		r.Mode = ModeTruncate
+	case "panic":
+		r.Mode = ModePanic
+	default:
+		return Rule{}, fmt.Errorf("faults: rule %q: unknown mode %q", clause, parts[1])
+	}
+	if len(parts) == 3 {
+		for _, kv := range strings.Split(parts[2], ",") {
+			kv = strings.TrimSpace(kv)
+			if kv == "" {
+				continue
+			}
+			key, val, ok := strings.Cut(kv, "=")
+			if !ok {
+				return Rule{}, fmt.Errorf("faults: rule %q: parameter %q is not key=value", clause, kv)
+			}
+			if err := setParam(&r, key, val); err != nil {
+				return Rule{}, fmt.Errorf("faults: rule %q: %w", clause, err)
+			}
+		}
+	}
+	if r.Prob < 0 || r.Prob > 1 {
+		return Rule{}, fmt.Errorf("faults: rule %q: p=%v out of [0,1]", clause, r.Prob)
+	}
+	if r.Every < 0 || r.After < 0 || r.Count < 0 {
+		return Rule{}, fmt.Errorf("faults: rule %q: negative schedule parameter", clause)
+	}
+	return r, nil
+}
+
+func setParam(r *Rule, key, val string) error {
+	switch key {
+	case "p":
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fmt.Errorf("p=%q: %w", val, err)
+		}
+		r.Prob = f
+	case "every":
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return fmt.Errorf("every=%q: %w", val, err)
+		}
+		r.Every = n
+	case "after":
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return fmt.Errorf("after=%q: %w", val, err)
+		}
+		r.After = n
+	case "count":
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return fmt.Errorf("count=%q: %w", val, err)
+		}
+		r.Count = n
+	case "delay":
+		d, err := time.ParseDuration(val)
+		if err != nil {
+			return fmt.Errorf("delay=%q: %w", val, err)
+		}
+		r.Delay = d
+	default:
+		return fmt.Errorf("unknown parameter %q", key)
+	}
+	return nil
+}
+
+// ParseEnv builds a plan from the FAULTS / FAULTS_SEED environment, or
+// (nil, nil) when FAULTS is unset or empty.
+func ParseEnv() (*Plan, error) {
+	spec := os.Getenv(EnvVar)
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var seed int64 = 1
+	if s := os.Getenv(EnvSeedVar); s != "" {
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("faults: %s=%q: %w", EnvSeedVar, s, err)
+		}
+		seed = n
+	}
+	return ParsePlan(spec, seed)
+}

@@ -1,0 +1,132 @@
+package framework
+
+import (
+	"strings"
+	"testing"
+
+	"igpucomm/internal/apps/catalog"
+	"igpucomm/internal/comm"
+	"igpucomm/internal/devices"
+	"igpucomm/internal/soc"
+)
+
+func heuristicWorkload(in, out, scratch int64, overlappable bool) comm.Workload {
+	w := comm.Workload{Name: "synthetic", Overlappable: overlappable}
+	if in > 0 {
+		w.In = []comm.BufferSpec{{Name: "in", Size: in}}
+	}
+	if out > 0 {
+		w.Out = []comm.BufferSpec{{Name: "out", Size: out}}
+	}
+	if scratch > 0 {
+		w.Scratch = []comm.BufferSpec{{Name: "scratch", Size: scratch}}
+	}
+	return w
+}
+
+func mustDevice(t *testing.T, name string) soc.Config {
+	t.Helper()
+	cfg, err := devices.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func TestHeuristicScratchDominatedKeepsCopyingModel(t *testing.T) {
+	cfg := mustDevice(t, devices.TX2Name)
+	w := heuristicWorkload(1<<20, 1<<20, 8<<20, true)
+
+	rec, err := HeuristicAdvise(cfg, w, "zc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Zone != ZoneCacheDependent || rec.Suggested != "sc" {
+		t.Errorf("zc current: zone=%v suggested=%q, want cache-dependent -> sc", rec.Zone, rec.Suggested)
+	}
+	rec, err = HeuristicAdvise(cfg, w, "um")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Suggested != "um" {
+		t.Errorf("um current: suggested=%q, want um kept", rec.Suggested)
+	}
+	if !strings.HasPrefix(rec.Rationale, "degraded heuristic") {
+		t.Errorf("rationale %q lacks the degraded prefix", rec.Rationale)
+	}
+	if rec.SpeedupRatio != 1 {
+		t.Errorf("degraded advice estimated a speedup: %v", rec.SpeedupRatio)
+	}
+}
+
+func TestHeuristicNonCoherentSerialKeepsCurrent(t *testing.T) {
+	cfg := mustDevice(t, devices.TX2Name)
+	if cfg.IOCoherent {
+		t.Fatalf("%s unexpectedly coherent", cfg.Name)
+	}
+	w := heuristicWorkload(4<<20, 4<<20, 0, false)
+	for _, current := range []string{"sc", "um", "zc"} {
+		rec, err := HeuristicAdvise(cfg, w, current)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Suggested != current {
+			t.Errorf("current %s: suggested %q, want current kept", current, rec.Suggested)
+		}
+		if rec.Zone != ZoneZCConditional {
+			t.Errorf("current %s: zone %v, want conditional", current, rec.Zone)
+		}
+	}
+}
+
+func TestHeuristicTransferDominatedSuggestsZC(t *testing.T) {
+	// Overlappable on a non-coherent device, or anything on a coherent one.
+	for _, tc := range []struct {
+		device       string
+		overlappable bool
+	}{
+		{devices.TX2Name, true},
+		{devices.XavierName, false},
+	} {
+		cfg := mustDevice(t, tc.device)
+		rec, err := HeuristicAdvise(cfg, heuristicWorkload(8<<20, 2<<20, 1<<20, tc.overlappable), "sc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Suggested != "zc" || rec.Zone != ZoneZCSafe {
+			t.Errorf("%s: suggested=%q zone=%v, want zc / zc-safe", tc.device, rec.Suggested, rec.Zone)
+		}
+		if !rec.EnergyAdvantage {
+			t.Errorf("%s: zc suggestion without energy advantage", tc.device)
+		}
+	}
+}
+
+func TestHeuristicRejectsUnknownCurrent(t *testing.T) {
+	cfg := mustDevice(t, devices.TX2Name)
+	if _, err := HeuristicAdvise(cfg, heuristicWorkload(1, 1, 0, false), "hybrid"); err == nil {
+		t.Error("unknown current model accepted")
+	}
+}
+
+// The heuristic must answer for every real device x app combination — it is
+// the last line of defense, so it can never error on catalog inputs.
+func TestHeuristicCoversCatalog(t *testing.T) {
+	for _, cfg := range devices.All() {
+		for _, app := range catalog.Names() {
+			w, err := catalog.ByName(app, catalog.Quick)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, current := range []string{"sc", "um", "zc"} {
+				rec, err := HeuristicAdvise(cfg, w, current)
+				if err != nil {
+					t.Fatalf("%s/%s current=%s: %v", cfg.Name, app, current, err)
+				}
+				if rec.Suggested == "" || rec.Rationale == "" {
+					t.Errorf("%s/%s current=%s: empty recommendation %+v", cfg.Name, app, current, rec)
+				}
+			}
+		}
+	}
+}

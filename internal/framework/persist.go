@@ -1,9 +1,23 @@
 package framework
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"igpucomm/internal/faults"
+)
+
+// Persist-format fault points: save-side error injection and load-side byte
+// mangling, so corrupt or truncated characterization files are a testable
+// input rather than an assumption.
+var (
+	faultPersistSave = faults.Register("framework.persist.save",
+		"characterization save", faults.CanError|faults.CanLatency)
+	faultPersistLoad = faults.Register("framework.persist.load",
+		"characterization bytes entering the loader",
+		faults.CanError|faults.CanLatency|faults.CanCorrupt|faults.CanTruncate)
 )
 
 // characterizationFile is the on-disk envelope, versioned so stale caches
@@ -23,6 +37,9 @@ func SaveCharacterization(w io.Writer, char Characterization) error {
 	if char.Platform == "" {
 		return fmt.Errorf("framework: refusing to save an empty characterization")
 	}
+	if err := faults.Fire(faultPersistSave); err != nil {
+		return fmt.Errorf("framework: save characterization: %w", err)
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(characterizationFile{
@@ -34,6 +51,17 @@ func SaveCharacterization(w io.Writer, char Characterization) error {
 // LoadCharacterization reads a characterization saved by
 // SaveCharacterization, validating the format version and basic sanity.
 func LoadCharacterization(r io.Reader) (Characterization, error) {
+	if faults.Enabled() {
+		data, err := io.ReadAll(r)
+		if err != nil {
+			return Characterization{}, fmt.Errorf("framework: read characterization: %w", err)
+		}
+		data, err = faults.FireData(faultPersistLoad, data)
+		if err != nil {
+			return Characterization{}, fmt.Errorf("framework: load characterization: %w", err)
+		}
+		r = bytes.NewReader(data)
+	}
 	var f characterizationFile
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()

@@ -2,11 +2,38 @@ package hazard
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"strconv"
 	"strings"
+
+	"igpucomm/internal/faults"
 )
+
+// faultTraceParse mangles trace bytes before parsing — the stand-in for a
+// truncated or bit-rotted profiler trace file. The parsers' validation must
+// reject whatever survives mangling; the fuzz suite holds them to that.
+var faultTraceParse = faults.Register("hazard.trace.parse",
+	"trace CSV bytes entering the parsers",
+	faults.CanError|faults.CanCorrupt|faults.CanTruncate)
+
+// faultTraceReader applies the trace-parse fault point to a reader's bytes.
+// With injection off it returns the reader untouched (no extra copy).
+func faultTraceReader(r io.Reader) (io.Reader, error) {
+	if !faults.Enabled() {
+		return r, nil
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	data, err = faults.FireData(faultTraceParse, data)
+	if err != nil {
+		return nil, err
+	}
+	return bytes.NewReader(data), nil
+}
 
 // TraceAgent identifies the side that issued a trace event.
 type TraceAgent int
@@ -255,6 +282,10 @@ func validateSpan(addr, size int64) error {
 // order. The caller composes these with CPU-side events and barriers before
 // checking.
 func ParseGPUTrace(r io.Reader) ([]Event, error) {
+	r, err := faultTraceReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("hazard: gpu trace: %w", err)
+	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var events []Event
@@ -299,6 +330,10 @@ func ParseGPUTrace(r io.Reader) ([]Event, error) {
 // read|write|flush|barrier — the format test fixtures and external tools
 // use to feed full multi-agent traces in.
 func ParseEvents(r io.Reader) ([]Event, error) {
+	r, err := faultTraceReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("hazard: events: %w", err)
+	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var events []Event

@@ -231,7 +231,7 @@ func advisordScenario(opt SuiteOptions) Scenario {
 		Prepare: func(context.Context) (func(context.Context) error, func(), error) {
 			eng := engine.New(engine.Options{Workers: opt.Workers})
 			logger := slog.New(slog.NewTextHandler(io.Discard, nil))
-			srv := advisord.New(eng, opt.params(), opt.scale(), "", logger)
+			srv := advisord.New(eng, advisord.Options{Params: opt.params(), Scale: opt.scale(), Logger: logger})
 			ts := httptest.NewServer(srv.Handler())
 
 			var reqs []map[string]string

@@ -12,11 +12,17 @@ import (
 	"fmt"
 
 	"igpucomm/internal/comm"
+	"igpucomm/internal/faults"
 	"igpucomm/internal/perfmodel"
 	"igpucomm/internal/soc"
 	"igpucomm/internal/telemetry"
 	"igpucomm/internal/units"
 )
+
+// faultCollect interrupts profile collection — the stand-in for a wedged or
+// crashing profiler run (a truncated nvprof session on real hardware).
+var faultCollect = faults.Register("profile.collect",
+	"workload profiling run", faults.CanError|faults.CanLatency|faults.CanPanic)
 
 // Profile condenses one profiled run.
 type Profile struct {
@@ -70,6 +76,9 @@ func Collect(ctx context.Context, s *soc.SoC, w comm.Workload, m comm.Model) (Pr
 	_, span := telemetry.Start(ctx, "profile.collect",
 		telemetry.String("workload", w.Name), telemetry.String("model", m.Name()))
 	defer span.End()
+	if err := faults.Fire(faultCollect); err != nil {
+		return Profile{}, fmt.Errorf("profile: %s under %s: %w", w.Name, m.Name(), err)
+	}
 	rep, err := m.Run(s, w)
 	if err != nil {
 		return Profile{}, fmt.Errorf("profile: %s under %s: %w", w.Name, m.Name(), err)

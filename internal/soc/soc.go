@@ -22,11 +22,20 @@ import (
 	"igpucomm/internal/coherence"
 	"igpucomm/internal/cpu"
 	"igpucomm/internal/energy"
+	"igpucomm/internal/faults"
 	"igpucomm/internal/gpu"
 	"igpucomm/internal/memdev"
 	"igpucomm/internal/mmu"
 	"igpucomm/internal/units"
 )
+
+// faultClone interrupts platform instantiation (soc.New, which Clone
+// delegates to) — the engine gives every parallel simulation task its own
+// clone, so a latency spike here slows fan-out and a panic here exercises
+// the engine's goroutine-boundary recovery.
+var faultClone = faults.Register("soc.clone",
+	"fresh platform instantiation (engine fan-out clones)",
+	faults.CanLatency|faults.CanPanic)
 
 // Config describes a complete embedded platform.
 type Config struct {
@@ -116,6 +125,7 @@ type SoC struct {
 // New builds a platform instance from its configuration. Panics on invalid
 // configuration — device catalogs are static data and must be right.
 func New(cfg Config) *SoC {
+	_ = faults.Fire(faultClone)
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}

@@ -107,8 +107,9 @@ type family struct {
 	counter *Counter
 	gauge   *Gauge
 	hist    *Histogram
-	fn      func() float64    // scrape-time value (counterFunc/gaugeFunc)
-	info    map[string]string // constant-1 info gauge labels
+	fn      func() float64            // scrape-time value (counterFunc/gaugeFunc)
+	fnVec   func() map[string]float64 // scrape-time labeled values (counterVecFunc)
+	info    map[string]string         // constant-1 info gauge labels
 
 	mu       sync.Mutex
 	counters map[string]*Counter   // vec children by label value
@@ -176,6 +177,13 @@ func (r *Registry) InfoGauge(name, help string, labels map[string]string) {
 // Histogram registers and returns a histogram (nil buckets: DefBuckets).
 func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
 	return r.register(&family{name: name, help: help, kind: kindHistogram, hist: newHistogram(buckets)}).hist
+}
+
+// CounterVecFunc registers a labeled counter family whose children are read
+// at scrape time from fn (label value -> count) — the bridge for per-label
+// counters owned elsewhere, like the fault injector's per-point totals.
+func (r *Registry) CounterVecFunc(name, help, label string, fn func() map[string]float64) {
+	r.register(&family{name: name, help: help, kind: kindCounter, label: label, fnVec: fn})
 }
 
 // CounterVec registers a family of counters keyed by one label.

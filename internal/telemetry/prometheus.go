@@ -37,6 +37,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			fmt.Fprintf(&b, "%s %s\n", f.name, formatFloat(f.gauge.Value()))
 		case f.fn != nil:
 			fmt.Fprintf(&b, "%s %s\n", f.name, formatFloat(f.fn()))
+		case f.fnVec != nil:
+			vals := f.fnVec()
+			for _, lv := range sortedKeys(vals) {
+				fmt.Fprintf(&b, "%s{%s=%q} %s\n", f.name, f.label, lv, formatFloat(vals[lv]))
+			}
 		case f.info != nil:
 			fmt.Fprintf(&b, "%s{%s} 1\n", f.name, formatLabels(f.info))
 		case f.hist != nil:

@@ -106,3 +106,23 @@ func TestFormatFloatSpecials(t *testing.T) {
 		t.Fatalf("formatFloat = %q", got)
 	}
 }
+
+func TestWritePrometheusCounterVecFunc(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVecFunc("faults_total", "Injected faults by point.", "point",
+		func() map[string]float64 {
+			return map[string]float64{"b.point": 2, "a.point": 7}
+		})
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP faults_total Injected faults by point.
+# TYPE faults_total counter
+faults_total{point="a.point"} 7
+faults_total{point="b.point"} 2
+`
+	if buf.String() != want {
+		t.Errorf("counter vec func rendering:\ngot:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
