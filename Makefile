@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fmt vet lint lint-docs docs-links hazardcheck cover fuzz bench perfgate perf-smoke baseline trace chaos ci
+.PHONY: all build test race fmt vet lint lint-sarif lint-baseline lint-docs docs-links hazardcheck cover fuzz bench perfgate perf-smoke baseline trace chaos ci
 
 all: build
 
@@ -25,9 +25,22 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# The repo's own Go-source gate (internal/analysis).
+# The repo's own Go-source gate: go vet plus the igpulint type-aware
+# analyzer suite (internal/analysis), checked against lint/baseline.json.
+# Drift fails in both directions — new findings and stale baseline entries.
 lint:
-	$(GO) run ./cmd/hazardcheck -lint ./...
+	$(GO) vet ./...
+	$(GO) run ./cmd/igpulint ./...
+
+# SARIF export of the current findings (what the CI lint job uploads).
+lint-sarif:
+	$(GO) run ./cmd/igpulint -format sarif ./... > igpulint.sarif
+
+# Refresh lint/baseline.json from the current findings. Every generated
+# entry carries a placeholder "why" the drift check rejects until a human
+# justifies or fixes it.
+lint-baseline:
+	$(GO) run ./cmd/igpulint -update-baseline
 
 # Fails on exported identifiers without doc comments in the contract
 # packages (internal/engine, internal/perfmodel, internal/telemetry,

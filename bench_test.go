@@ -36,7 +36,7 @@ func benchContext(b *testing.B) *experiments.Context {
 	b.Helper()
 	benchOnce.Do(func() {
 		benchCtx = experiments.NewContext(microbench.DefaultParams())
-		if err := benchCtx.Prewarm(devices.NanoName, devices.TX2Name, devices.XavierName); err != nil {
+		if err := benchCtx.Prewarm(context.Background(), devices.NanoName, devices.TX2Name, devices.XavierName); err != nil {
 			panic(err)
 		}
 	})
@@ -47,7 +47,7 @@ func BenchmarkTable1(b *testing.B) {
 	c := benchContext(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := experiments.Table1(c); err != nil {
+		if _, _, err := experiments.Table1(context.Background(), c); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -57,7 +57,7 @@ func BenchmarkFig5(b *testing.B) {
 	c := benchContext(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := experiments.Fig5(c); err != nil {
+		if _, _, err := experiments.Fig5(context.Background(), c); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -67,7 +67,7 @@ func BenchmarkFig3(b *testing.B) {
 	c := benchContext(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := experiments.Fig3(c); err != nil {
+		if _, _, err := experiments.Fig3(context.Background(), c); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -77,7 +77,7 @@ func BenchmarkFig6(b *testing.B) {
 	c := benchContext(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := experiments.Fig6(c); err != nil {
+		if _, _, err := experiments.Fig6(context.Background(), c); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -87,7 +87,7 @@ func BenchmarkFig7(b *testing.B) {
 	c := benchContext(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := experiments.Fig7(c); err != nil {
+		if _, _, err := experiments.Fig7(context.Background(), c); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -97,7 +97,7 @@ func BenchmarkTable2(b *testing.B) {
 	c := benchContext(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := experiments.Table2(c); err != nil {
+		if _, _, err := experiments.Table2(context.Background(), c); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -107,7 +107,7 @@ func BenchmarkTable3(b *testing.B) {
 	c := benchContext(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := experiments.Table3(c); err != nil {
+		if _, _, err := experiments.Table3(context.Background(), c); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -117,7 +117,7 @@ func BenchmarkTable4(b *testing.B) {
 	c := benchContext(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := experiments.Table4(c); err != nil {
+		if _, _, err := experiments.Table4(context.Background(), c); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -127,7 +127,7 @@ func BenchmarkTable5(b *testing.B) {
 	c := benchContext(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := experiments.Table5(c); err != nil {
+		if _, _, err := experiments.Table5(context.Background(), c); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -239,7 +239,7 @@ func BenchmarkExtensionAsync(b *testing.B) {
 	c := benchContext(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := experiments.TableAsync(c); err != nil {
+		if _, _, err := experiments.TableAsync(context.Background(), c); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -250,7 +250,7 @@ func BenchmarkTableEnergy(b *testing.B) {
 	c := benchContext(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := experiments.TableEnergy(c); err != nil {
+		if _, _, err := experiments.TableEnergy(context.Background(), c); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -261,7 +261,7 @@ func BenchmarkTableRealtime(b *testing.B) {
 	c := benchContext(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := experiments.TableRealtime(c); err != nil {
+		if _, _, err := experiments.TableRealtime(context.Background(), c); err != nil {
 			b.Fatal(err)
 		}
 	}

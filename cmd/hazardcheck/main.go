@@ -7,12 +7,14 @@
 // the CPU's accesses and the model's coherence protocol (RAW/WAR/WAW and
 // flush-ordering hazards).
 //
-// With -lint it instead runs the repo's Go-source gate (internal/analysis):
-// no raw buffer-address arithmetic outside the memory system, no naked
-// latency+bytes arithmetic, package-prefixed Validate errors. With
-// -lint-docs it checks that every exported identifier in the contract
-// packages (engine, perfmodel, telemetry, perfbench) carries a doc comment;
-// with -links it checks that every relative markdown link in
+// With -lint it runs the repo's Go-source gate as a thin alias over the
+// shared igpulint analyzer set (internal/analysis): the whole module is
+// type-checked and every registered rule runs — rawaddr, unitsmix,
+// validatewrap, ctxflow, spanend, faultpoint, lockdiscipline, allochot,
+// metricname — without the baseline comparison (cmd/igpulint owns that).
+// With -lint-docs it checks that every exported identifier in the contract
+// packages (DocPackages) carries a doc comment; with -links it checks that
+// every relative markdown link (and #anchor) in
 // README/DESIGN/EXPERIMENTS/ROADMAP and docs/ resolves.
 //
 // Usage:
@@ -83,6 +85,10 @@ func main() {
 	os.Exit(runVerify(*device, *app, *model, !*noTrace, *verbose))
 }
 
+// runLint is a thin alias over the shared igpulint analyzer set: it runs
+// the full type-aware suite (without the baseline comparison — use
+// cmd/igpulint for that) so `hazardcheck -lint` and `igpulint` can never
+// disagree about what a violation is.
 func runLint(path string) int {
 	// "./..." and friends mean "the tree from here"; a plain directory is
 	// linted as given.
@@ -96,16 +102,20 @@ func runLint(path string) int {
 	if _, err := os.Stat(sub); err != nil {
 		fatalIf(fmt.Errorf("lint path: %w", err))
 	}
-	// The allowlist in the analysis config is module-root-relative, so
+	// The scoping lists in the analysis config are module-root-relative, so
 	// always lint from the enclosing module and filter the findings down to
 	// the requested subtree.
 	root := moduleRoot(sub)
-	findings, err := analysis.Lint(root, analysis.DefaultConfig())
+	cfg := analysis.DefaultConfig()
+	findings, err := analysis.RunRepo(root, &cfg, nil)
 	fatalIf(err)
 	if sub != root {
+		rel, err := filepath.Rel(root, sub)
+		fatalIf(err)
+		prefix := filepath.ToSlash(rel)
 		kept := findings[:0]
 		for _, f := range findings {
-			if strings.HasPrefix(f.Pos.Filename, sub+string(filepath.Separator)) {
+			if f.Pos.Filename == prefix || strings.HasPrefix(f.Pos.Filename, prefix+"/") {
 				kept = append(kept, f)
 			}
 		}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"igpucomm/internal/buildinfo"
@@ -37,25 +38,26 @@ func main() {
 	if *quick {
 		params = microbench.TestParams()
 	}
-	ctx := experiments.NewContext(params)
+	ctx := context.Background()
+	ec := experiments.NewContext(params)
 
 	type artifact struct {
 		name string
 		run  func() (fmt.Stringer, error)
 	}
 	artifacts := []artifact{
-		{"table1", func() (fmt.Stringer, error) { t, _, err := experiments.Table1(ctx); return t, err }},
-		{"fig5", func() (fmt.Stringer, error) { t, _, err := experiments.Fig5(ctx); return t, err }},
-		{"fig3", func() (fmt.Stringer, error) { s, _, err := experiments.Fig3(ctx); return s, err }},
-		{"fig6", func() (fmt.Stringer, error) { s, _, err := experiments.Fig6(ctx); return s, err }},
-		{"fig7", func() (fmt.Stringer, error) { t, _, err := experiments.Fig7(ctx); return t, err }},
-		{"table2", func() (fmt.Stringer, error) { t, _, err := experiments.Table2(ctx); return t, err }},
-		{"table3", func() (fmt.Stringer, error) { t, _, err := experiments.Table3(ctx); return t, err }},
-		{"table4", func() (fmt.Stringer, error) { t, _, err := experiments.Table4(ctx); return t, err }},
-		{"table5", func() (fmt.Stringer, error) { t, _, err := experiments.Table5(ctx); return t, err }},
-		{"async", func() (fmt.Stringer, error) { t, _, err := experiments.TableAsync(ctx); return t, err }},
-		{"energy", func() (fmt.Stringer, error) { t, _, err := experiments.TableEnergy(ctx); return t, err }},
-		{"realtime", func() (fmt.Stringer, error) { t, _, err := experiments.TableRealtime(ctx); return t, err }},
+		{"table1", func() (fmt.Stringer, error) { t, _, err := experiments.Table1(ctx, ec); return t, err }},
+		{"fig5", func() (fmt.Stringer, error) { t, _, err := experiments.Fig5(ctx, ec); return t, err }},
+		{"fig3", func() (fmt.Stringer, error) { s, _, err := experiments.Fig3(ctx, ec); return s, err }},
+		{"fig6", func() (fmt.Stringer, error) { s, _, err := experiments.Fig6(ctx, ec); return s, err }},
+		{"fig7", func() (fmt.Stringer, error) { t, _, err := experiments.Fig7(ctx, ec); return t, err }},
+		{"table2", func() (fmt.Stringer, error) { t, _, err := experiments.Table2(ctx, ec); return t, err }},
+		{"table3", func() (fmt.Stringer, error) { t, _, err := experiments.Table3(ctx, ec); return t, err }},
+		{"table4", func() (fmt.Stringer, error) { t, _, err := experiments.Table4(ctx, ec); return t, err }},
+		{"table5", func() (fmt.Stringer, error) { t, _, err := experiments.Table5(ctx, ec); return t, err }},
+		{"async", func() (fmt.Stringer, error) { t, _, err := experiments.TableAsync(ctx, ec); return t, err }},
+		{"energy", func() (fmt.Stringer, error) { t, _, err := experiments.TableEnergy(ctx, ec); return t, err }},
+		{"realtime", func() (fmt.Stringer, error) { t, _, err := experiments.TableRealtime(ctx, ec); return t, err }},
 	}
 
 	ran := 0

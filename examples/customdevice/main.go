@@ -26,6 +26,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// 1. Geometry: start from Xavier, stretch to the new module's specs.
 	cfg := devices.Xavier()
 	cfg.Name = "orin-class"
@@ -41,15 +43,15 @@ func main() {
 	// runs the first micro-benchmark repeatedly — expect ~20s.
 	fmt.Println("calibrating (runs the first micro-benchmark repeatedly)...")
 	params := microbench.DefaultParams()
-	fitted, err := calibrate.TuneLLCBandwidth(cfg, params, 310*units.GBps, 0.05)
+	fitted, err := calibrate.TuneLLCBandwidth(ctx, cfg, params, 310*units.GBps, 0.05)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fitted, err = calibrate.TunePinnedBandwidth(fitted, params, 40*units.GBps, 0.05)
+	fitted, err = calibrate.TunePinnedBandwidth(ctx, fitted, params, 40*units.GBps, 0.05)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := calibrate.Verify(fitted, params, calibrate.Target{
+	if err := calibrate.Verify(ctx, fitted, params, calibrate.Target{
 		SCThroughput: 310 * units.GBps,
 		ZCThroughput: 40 * units.GBps,
 		Tolerance:    0.06,
@@ -61,7 +63,7 @@ func main() {
 
 	// 3. Characterize and advise, exactly as for a catalog board.
 	s := soc.New(fitted)
-	char, err := framework.Characterize(context.Background(), s, params)
+	char, err := framework.Characterize(ctx, s, params)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,7 +71,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rec, err := framework.AdviseWorkload(context.Background(), char, s, w, "sc")
+	rec, err := framework.AdviseWorkload(ctx, char, s, w, "sc")
 	if err != nil {
 		log.Fatal(err)
 	}

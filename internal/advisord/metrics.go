@@ -115,13 +115,16 @@ func registerCacheMetrics(reg *telemetry.Registry, cache, what string, stats fun
 	}
 	for _, c := range counters {
 		c := c
+		//igpulint:ignore metricname per-cache family: constant prefix ("mb1"/"mb3") + constant table entries, format-checked by TestMetricsRegisterCacheFamilies
 		reg.CounterFunc(prefix+c.name,
 			fmt.Sprintf("%s cache: %s.", what, c.help),
 			func() float64 { return c.get(stats()) })
 	}
+	//igpulint:ignore metricname per-cache family: constant prefix + constant suffix, see TestMetricsRegisterCacheFamilies
 	reg.GaugeFunc(prefix+"entries",
 		fmt.Sprintf("%s cache: live cached values.", what),
 		func() float64 { return float64(stats().Entries) })
+	//igpulint:ignore metricname per-cache family: constant prefix + constant suffix, see TestMetricsRegisterCacheFamilies
 	reg.GaugeFunc(prefix+"in_flight",
 		fmt.Sprintf("%s cache: executions running right now.", what),
 		func() float64 { return float64(stats().InFlight) })

@@ -10,6 +10,8 @@ import (
 	"testing"
 
 	"igpucomm/internal/devices"
+	"igpucomm/internal/engine"
+	"igpucomm/internal/telemetry"
 )
 
 func scrapeMetrics(t *testing.T, ts *httptest.Server) string {
@@ -66,6 +68,48 @@ func TestMetricsEndpoint(t *testing.T) {
 	} {
 		if !strings.Contains(got, want) {
 			t.Fatalf("scrape missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestMetricsRegisterCacheFamilies pins the naming contract the igpulint
+// metricname suppressions in registerCacheMetrics rely on: every name the
+// helper assembles from its constant prefix and table stays inside the
+// igpucomm_engine_<cache>_cache_* family and ends in a sanctioned unit.
+func TestMetricsRegisterCacheFamilies(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	registerCacheMetrics(reg, "char", "characterization",
+		func() engine.MemoStats { return engine.MemoStats{} })
+	registerCacheMetrics(reg, "mb1", "MB1",
+		func() engine.MemoStats { return engine.MemoStats{} })
+
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if !strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		names[strings.Fields(line)[2]] = true
+	}
+	if len(names) != 16 {
+		t.Fatalf("expected 16 metric families (8 per cache), got %d: %v", len(names), names)
+	}
+	shape := regexp.MustCompile(`^igpucomm_engine_(char|mb1)_cache_[a-z0-9]+(_[a-z0-9]+)*$`)
+	for name := range names {
+		if !shape.MatchString(name) {
+			t.Errorf("metric %q escapes the igpucomm_engine_<cache>_cache_* family", name)
+		}
+		ok := false
+		for _, unit := range []string{"_total", "_entries", "_in_flight"} {
+			if strings.HasSuffix(name, unit) {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("metric %q does not end in a sanctioned unit suffix", name)
 		}
 	}
 }

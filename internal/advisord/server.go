@@ -157,6 +157,8 @@ type statusRecorder struct {
 	status int
 }
 
+// WriteHeader records the status code before delegating to the wrapped
+// ResponseWriter.
 func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
 	r.ResponseWriter.WriteHeader(code)

@@ -1,0 +1,311 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// hotMarker is the comment directive that puts a single function under the
+// allochot rule wherever it lives: //igpu:hot on the function's doc.
+const hotMarker = "//igpu:hot"
+
+// allocHotAnalyzer polices the simulate hot path for per-iteration
+// allocations — the CUTHERMO observation at source level: per-site
+// inefficiencies beat aggregate counters. Inside the loops of a hot
+// function (one marked //igpu:hot, or any function in a HotPackages
+// package) it flags the four allocation shapes that dominate this repo's
+// profiles: fmt.Sprint* calls, values boxed into interface arguments,
+// append onto a slice declared without capacity, and closures capturing
+// outer variables (one heap-allocated closure per iteration).
+func allocHotAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "allochot",
+		Doc:  "no fmt.Sprint*, interface boxing, un-preallocated append, or capturing closures in loops of //igpu:hot functions and hot packages",
+		Run: func(pass *Pass) []Finding {
+			hotPkg := inDirs(pass.Pkg.Dir, pass.Config.HotPackages)
+			var out []Finding
+			for _, f := range pass.Pkg.Files {
+				for _, decl := range f.Decls {
+					fn, ok := decl.(*ast.FuncDecl)
+					if !ok || fn.Body == nil {
+						continue
+					}
+					if !hotPkg && !isHotMarked(fn) {
+						continue
+					}
+					out = append(out, checkHotFunc(pass, fn)...)
+				}
+			}
+			return out
+		},
+	}
+}
+
+// isHotMarked reports whether the function's doc comment carries the
+// //igpu:hot marker.
+func isHotMarked(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.HasPrefix(c.Text, hotMarker) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkHotFunc applies the four allocation checks to every loop body in one
+// hot function.
+func checkHotFunc(pass *Pass, fn *ast.FuncDecl) []Finding {
+	// Map locally-declared slice variables to whether their declaration
+	// reserves capacity, for the append check.
+	preallocated := map[types.Object]bool{}
+	declared := map[types.Object]bool{}
+	inspectShallow(fn.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if s.Tok.String() != ":=" {
+				return true
+			}
+			for i, lhs := range s.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || i >= len(s.Rhs) {
+					continue
+				}
+				obj := pass.ObjectOf(id)
+				if obj == nil {
+					continue
+				}
+				declared[obj] = true
+				preallocated[obj] = reservesCapacity(s.Rhs[i])
+			}
+		case *ast.DeclStmt:
+			if gd, ok := s.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for i, name := range vs.Names {
+							obj := pass.ObjectOf(name)
+							if obj == nil {
+								continue
+							}
+							declared[obj] = true
+							if i < len(vs.Values) {
+								preallocated[obj] = reservesCapacity(vs.Values[i])
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	var out []Finding
+	report := func(n ast.Node, msg string) {
+		out = append(out, Finding{Pos: pass.Position(n.Pos()), Rule: "allochot",
+			Msg: fmt.Sprintf("%s in loop of hot function %s", msg, fn.Name.Name)})
+	}
+	inspectShallow(fn.Body, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			body = loop.Body
+		case *ast.RangeStmt:
+			body = loop.Body
+		default:
+			return true
+		}
+		checkLoopBody(pass, body, declared, preallocated, report)
+		// checkLoopBody already descended into nested loops; stop here so
+		// an inner loop's statements are not reported once per ancestor.
+		return false
+	})
+	return out
+}
+
+// reservesCapacity reports whether a slice initializer reserves room:
+// make with an explicit capacity (or non-zero length), or a non-empty
+// composite literal. `var s []T`, `s := []T{}` and 0-length makes do not.
+func reservesCapacity(e ast.Expr) bool {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		if id, ok := v.Fun.(*ast.Ident); ok && id.Name == "make" {
+			if len(v.Args) >= 3 {
+				return true
+			}
+			if len(v.Args) == 2 {
+				// make([]T, n): n zero-valued elements is still room.
+				if lit, isLit := v.Args[1].(*ast.BasicLit); !isLit || lit.Value != "0" {
+					return true
+				}
+			}
+			return false
+		}
+		// A function call result: assume the callee sized it.
+		return true
+	case *ast.CompositeLit:
+		return len(v.Elts) > 0
+	}
+	// Copies, conversions, selectors: not locally decidable; stay quiet.
+	return true
+}
+
+// checkLoopBody flags the allocation shapes inside one loop body. Nested
+// function literals are handled by the closure check, not descended into.
+func checkLoopBody(pass *Pass, body *ast.BlockStmt, declared, preallocated map[types.Object]bool,
+	report func(ast.Node, string)) {
+	inspectShallow(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			if capt := closureCaptures(pass, v); len(capt) > 0 {
+				report(v, fmt.Sprintf("closure capturing %s allocates per iteration",
+					strings.Join(capt, ", ")))
+			}
+			return true // inspectShallow stops the descent
+		case *ast.CallExpr:
+			checkLoopCall(pass, v, report)
+		case *ast.AssignStmt:
+			checkLoopAppend(pass, v, declared, preallocated, report)
+		}
+		return true
+	})
+}
+
+// checkLoopCall flags fmt.Sprint* calls and arguments boxed into interface
+// parameters.
+func checkLoopCall(pass *Pass, call *ast.CallExpr, report func(ast.Node, string)) {
+	obj := calleeObject(pass, call)
+	if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+		switch obj.Name() {
+		case "Sprintf", "Sprint", "Sprintln", "Appendf":
+			report(call, "fmt."+obj.Name()+" allocates")
+		}
+		// Other fmt calls (Errorf and friends) sit on error paths, which
+		// are cold even inside a hot loop — and the Sprint* finding above
+		// already covers the call, so never double-report its ...any
+		// boxing argument by argument.
+		return
+	}
+	sig := calleeSignature(pass, call)
+	if sig == nil {
+		// Explicit conversion to an interface type boxes.
+		if tv, ok := pass.Pkg.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+			if types.IsInterface(tv.Type) && concreteValue(pass, call.Args[0]) {
+				report(call, "conversion to interface boxes its operand")
+			}
+		}
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // passing a slice through, no boxing
+			}
+			slice, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			param = slice.Elem()
+		case i < params.Len():
+			param = params.At(i).Type()
+		default:
+			continue
+		}
+		if types.IsInterface(param) && concreteValue(pass, arg) {
+			report(arg, fmt.Sprintf("argument %s boxes into interface parameter",
+				types.ExprString(arg)))
+		}
+	}
+}
+
+// closureCaptures lists the outer local variables a function literal
+// captures (package-level objects and its own locals/params excluded),
+// sorted and deduplicated.
+func closureCaptures(pass *Pass, lit *ast.FuncLit) []string {
+	if pass.Pkg.Info == nil {
+		return nil
+	}
+	inLit := func(obj types.Object) bool {
+		return obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End()
+	}
+	seen := map[string]bool{}
+	var out []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, isVar := pass.Pkg.Info.Uses[id].(*types.Var)
+		if !isVar || obj.IsField() || inLit(obj) {
+			return true
+		}
+		// Package-level vars are not captured per iteration.
+		if obj.Parent() != nil && obj.Pkg() != nil &&
+			obj.Parent() == obj.Pkg().Scope() {
+			return true
+		}
+		if !seen[obj.Name()] {
+			seen[obj.Name()] = true
+			out = append(out, obj.Name())
+		}
+		return true
+	})
+	sort.Strings(out)
+	return out
+}
+
+// concreteValue reports whether an expression has a concrete (non-interface,
+// non-nil, non-function-literal) type — the shapes that heap-box when
+// converted to an interface.
+func concreteValue(pass *Pass, e ast.Expr) bool {
+	if _, isLit := ast.Unparen(e).(*ast.FuncLit); isLit {
+		return false
+	}
+	t := pass.TypeOf(e)
+	if t == nil || types.IsInterface(t) {
+		return false
+	}
+	if basic, ok := t.Underlying().(*types.Basic); ok && basic.Kind() == types.UntypedNil {
+		return false
+	}
+	// Pointers box without copying the pointee; still an allocation of the
+	// interface header on escape, but the dominant cost is value boxing —
+	// keep pointers quiet to hold the signal-to-noise ratio.
+	if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		return false
+	}
+	return true
+}
+
+// checkLoopAppend flags x = append(x, ...) where x was declared in this
+// function without reserved capacity.
+func checkLoopAppend(pass *Pass, assign *ast.AssignStmt, declared, preallocated map[types.Object]bool,
+	report func(ast.Node, string)) {
+	for i, rhs := range assign.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || i >= len(assign.Lhs) {
+			continue
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "append" || len(call.Args) == 0 {
+			continue
+		}
+		dst, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := pass.ObjectOf(dst)
+		if obj == nil || !declared[obj] || preallocated[obj] {
+			continue
+		}
+		report(assign, fmt.Sprintf("append to %s grows without preallocation; "+
+			"size it with make(..., 0, n) before the loop", dst.Name))
+	}
+}

@@ -1,22 +1,53 @@
-// Package analysis is the repo's own Go-source gate: a small, stdlib-only
-// (go/parser + go/ast) analyzer for the invariants the communication
-// framework relies on but the compiler cannot see. Three rules:
+// Package analysis is the repo's own Go-source gate: a stdlib-only
+// (go/parser + go/types) static-analysis framework for the invariants the
+// communication framework relies on but the compiler cannot see. The
+// module is loaded and type-checked as a whole (LoadModule), then every
+// registered Analyzer runs over each package (RunAnalyzers); type-check
+// failures surface as "typecheck" pseudo-findings rather than aborting the
+// run. Nine rules (see DESIGN.md §13 for the full catalog):
 //
-//   - rawaddr: arithmetic directly on a buffer's .Addr field is raw buffer
-//     indexing; only the memory system itself (internal/mmu, internal/comm,
-//     internal/tiling and the other core substrate packages) may do it.
-//     Application, command and example code must go through Layout
+//   - rawaddr: no arithmetic directly on a buffer's .Addr field outside
+//     the memory-system packages — everything else indexes through Layout
 //     accessors so placements stay opaque and verifiable.
 //
-//   - unitsmix: adding or subtracting a latency-like quantity and a
-//     byte-count-like quantity in one expression is a units error no matter
-//     what the Go types say (both are often int64/float64 underneath).
-//     Conversions must go through an explicit rate (divide by bandwidth),
-//     never naked + or -.
+//   - unitsmix: no naked + or - across unit domains (latency, bytes,
+//     cycles, frequency, bandwidth). Operands are classified first by
+//     their declared types in internal/units, falling back to the name
+//     heuristic for untyped code; conversion must go through an explicit
+//     rate (division), which the rule leaves alone.
 //
 //   - validatewrap: every error built inside an exported Validate method
-//     must carry the package's name as its prefix ("mmu: ...", "cache ...")
-//     so a failure surfaced three layers up still names its origin.
+//     must carry the package's name as its prefix ("mmu: ...") so a
+//     failure surfaced three layers up still names its origin.
+//
+//   - ctxflow: exported functions in the engine/framework stack
+//     (CtxPackages) accept context.Context first; no manufactured
+//     context.Background()/TODO() roots under CtxBackgroundBanned.
+//
+//   - spanend: every telemetry.Start span is ended on all paths, and the
+//     returned context is not discarded.
+//
+//   - faultpoint: faults.Register/Fire names are compile-time constants
+//     declared in faults.Catalog, registered exactly once, and every
+//     registration is fired somewhere.
+//
+//   - lockdiscipline: no lock-bearing values copied through parameters,
+//     receivers or range variables; no blocking operations under a held
+//     mutex in LockPackages; no mixed atomic/plain access to one field.
+//
+//   - allochot: no per-iteration allocations (fmt formatting, append
+//     without preallocation, interface boxing, closure capture) in loops
+//     inside HotPackages or under an //igpu:hot marker.
+//
+//   - metricname: Prometheus metric names are compile-time constants in
+//     the MetricPrefix namespace, lower_snake_case, ending in a
+//     recognized unit, and registered exactly once.
+//
+// Findings can be suppressed inline with
+// `//igpulint:ignore <rule> <justification>` (the justification is
+// mandatory; unused or bare directives are themselves findings) or
+// accepted into a committed baseline (baseline.go) that cmd/igpulint
+// ratchets in both directions — new findings and stale entries both fail.
 //
 // Two documentation rules ride alongside (docs.go), run by `hazardcheck
 // -lint-docs` and `hazardcheck -links`:
@@ -24,12 +55,15 @@
 //   - exporteddoc: exported identifiers in the contract packages
 //     (DocPackages) must carry doc comments.
 //
-//   - mdlink: relative links in the markdown documentation set
-//     (MarkdownFiles) must resolve.
+//   - mdlink: relative links (including #anchors) in the markdown
+//     documentation set (MarkdownFiles) must resolve.
 //
-// The analyzer is syntactic by design — no type checking — so the rules are
-// conservative heuristics tuned to this repository. It runs as
-// `go run ./cmd/hazardcheck -lint ./...` and in CI.
+// The gate runs as `go run ./cmd/igpulint ./...` (make lint) and in CI;
+// `hazardcheck -lint ./...` is a thin alias over the same analyzer set
+// without the baseline comparison. The analyzers are themselves tested
+// against a golden fixture corpus under testdata/corpus (corpus_test.go).
+// Lint below is the legacy syntactic entry point, kept for callers that
+// need a parse-only pass without type information.
 package analysis
 
 import (
@@ -47,7 +81,7 @@ import (
 // Finding is one rule violation at a source position.
 type Finding struct {
 	Pos  token.Position
-	Rule string // "rawaddr", "unitsmix" or "validatewrap"
+	Rule string // an analyzer name (AnalyzerNames), "typecheck", "exporteddoc", "mdlink" or "igpulint"
 	Msg  string
 }
 
@@ -55,16 +89,46 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Msg)
 }
 
-// Config tunes the gate.
+// Config tunes the gate. The zero value disables every scoped rule; use
+// DefaultConfig for the repository's committed policy.
 type Config struct {
 	// RawAddrAllowed lists slash-separated directory prefixes (relative to
 	// the lint root) whose packages may do raw .Addr arithmetic.
 	RawAddrAllowed []string
+
+	// CtxPackages lists the directories whose exported functions must
+	// accept and thread context.Context (the ctxflow rule).
+	CtxPackages []string
+
+	// CtxBackgroundBanned lists the directory prefixes where
+	// context.Background()/context.TODO() are forbidden — library code
+	// must thread the caller's context, never manufacture a root.
+	CtxBackgroundBanned []string
+
+	// LockPackages lists the directory prefixes where lockdiscipline
+	// additionally forbids blocking operations (channel send/receive,
+	// WaitGroup.Wait, time.Sleep) while a mutex is held.
+	LockPackages []string
+
+	// HotPackages lists the directory prefixes whose every function is
+	// treated as hot by allochot; elsewhere only functions carrying an
+	// //igpu:hot marker are checked.
+	HotPackages []string
+
+	// MetricPrefix is the required Prometheus metric-name prefix.
+	MetricPrefix string
+
+	// MetricUnits lists the unit suffixes a metric name may end with
+	// (matched as "_<unit>"; "total" covers counters).
+	MetricUnits []string
 }
 
-// DefaultConfig allows raw addressing in the memory system and the
-// substrate simulators — the packages that ARE the address space — and
-// nowhere else (apps, cmds, examples, the facade).
+// DefaultConfig is the repository's committed lint policy: raw addressing
+// only in the memory system and substrate simulators (the packages that ARE
+// the address space); context threading in the engine/framework/microbench/
+// profile/comm stack; no manufactured root contexts anywhere under
+// internal/; lock-scope discipline in the concurrent service packages; the
+// igpucomm_ Prometheus namespace.
 func DefaultConfig() Config {
 	return Config{
 		RawAddrAllowed: []string{
@@ -79,6 +143,30 @@ func DefaultConfig() Config {
 			"internal/mmu",
 			"internal/soc",
 			"internal/tiling",
+		},
+		CtxPackages: []string{
+			"internal/engine",
+			"internal/framework",
+			"internal/microbench",
+			"internal/profile",
+			"internal/comm",
+		},
+		CtxBackgroundBanned: []string{"internal"},
+		LockPackages: []string{
+			"internal/engine",
+			"internal/faults",
+			"internal/telemetry",
+			"internal/advisord",
+		},
+		HotPackages: []string{
+			"internal/cache",
+			"internal/gpu",
+			"internal/coherence",
+		},
+		MetricPrefix: "igpucomm_",
+		MetricUnits: []string{
+			"total", "seconds", "bytes", "ratio", "info", "state",
+			"utilization", "in_flight", "in_use", "workers", "entries",
 		},
 	}
 }
@@ -152,6 +240,51 @@ func lintFile(fset *token.FileSet, f *ast.File, dir string, cfg Config) []Findin
 		return true
 	})
 	return out
+}
+
+// rawAddrAnalyzer adapts the syntactic rawaddr rule to the analyzer
+// framework: raw .Addr arithmetic is allowed only in the memory system.
+func rawAddrAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "rawaddr",
+		Doc:  "no raw buffer-address arithmetic outside the memory system; index through Layout accessors",
+		Run: func(pass *Pass) []Finding {
+			if inDirs(pass.Pkg.Dir, pass.Config.RawAddrAllowed) {
+				return nil
+			}
+			var out []Finding
+			for _, f := range pass.Pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					if b, ok := n.(*ast.BinaryExpr); ok {
+						out = append(out, checkRawAddr(pass.Fset, b)...)
+					}
+					return true
+				})
+			}
+			return out
+		},
+	}
+}
+
+// validateWrapAnalyzer adapts the syntactic validatewrap rule: every error
+// built inside an exported Validate method must carry the package prefix.
+func validateWrapAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "validatewrap",
+		Doc:  "errors built inside Validate methods must be prefixed with the package name",
+		Run: func(pass *Pass) []Finding {
+			var out []Finding
+			for _, f := range pass.Pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					if fn, ok := n.(*ast.FuncDecl); ok && fn.Name.Name == "Validate" && fn.Recv != nil {
+						out = append(out, checkValidateWrap(pass.Fset, fn, f.Name.Name)...)
+					}
+					return true
+				})
+			}
+			return out
+		},
+	}
 }
 
 // --- rule: rawaddr ---

@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// BaselineEntry identifies one accepted finding. Line numbers are
+// deliberately absent: a baseline keyed on (file, rule, message) survives
+// unrelated edits to the same file.
+type BaselineEntry struct {
+	// File is the module-relative path of the finding.
+	File string `json:"file"`
+	// Rule is the analyzer that produced it.
+	Rule string `json:"rule"`
+	// Msg is the finding's message.
+	Msg string `json:"msg"`
+	// Why records the justification for carrying the entry. Required:
+	// an unexplained baseline entry is itself a drift error.
+	Why string `json:"why"`
+}
+
+// Baseline is the committed set of accepted findings plus its header
+// comment.
+type Baseline struct {
+	// Comment explains what the file is to someone reading the JSON.
+	Comment string `json:"comment"`
+	// Findings are the accepted entries, sorted by (file, rule, msg).
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// baselineKey is the identity a finding is matched under.
+func baselineKey(file, rule, msg string) string { return file + "\x00" + rule + "\x00" + msg }
+
+// LoadBaseline reads a baseline file. A missing file is an empty baseline,
+// not an error, so a fresh checkout lints strictly.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("analysis: baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// WriteBaseline writes findings as a fresh baseline. Every generated entry
+// carries a placeholder justification that the drift check rejects until a
+// human replaces it — regenerating the baseline is never silently clean.
+func WriteBaseline(path string, findings []Finding) error {
+	b := Baseline{
+		Comment: "Accepted igpulint findings. Each entry needs a real 'why'; " +
+			"fixed findings must be removed (the drift check fails on stale entries).",
+	}
+	for _, f := range findings {
+		b.Findings = append(b.Findings, BaselineEntry{
+			File: f.Pos.Filename, Rule: f.Rule, Msg: f.Msg,
+			Why: "TODO: justify or fix",
+		})
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		return baselineKey(a.File, a.Rule, a.Msg) < baselineKey(c.File, c.Rule, c.Msg)
+	})
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Drift is the result of comparing current findings against a baseline.
+type Drift struct {
+	// New are findings absent from the baseline: regressions, fail.
+	New []Finding
+	// Stale are baseline entries no finding matches anymore: the
+	// violation was fixed, so the entry must be deleted, fail.
+	Stale []BaselineEntry
+	// Unjustified are baseline entries without a real why. Fail.
+	Unjustified []BaselineEntry
+	// Accepted counts findings matched (and absorbed) by the baseline.
+	Accepted int
+}
+
+// Clean reports whether the comparison found no drift in either direction.
+func (d *Drift) Clean() bool {
+	return len(d.New) == 0 && len(d.Stale) == 0 && len(d.Unjustified) == 0
+}
+
+// CompareBaseline matches findings against the baseline. Drift in either
+// direction fails: new findings are regressions, stale entries are fixed
+// violations that must be removed so the ratchet only tightens.
+func CompareBaseline(b *Baseline, findings []Finding) *Drift {
+	matched := make([]bool, len(b.Findings))
+	index := map[string][]int{}
+	for i, e := range b.Findings {
+		index[baselineKey(e.File, e.Rule, e.Msg)] = append(index[baselineKey(e.File, e.Rule, e.Msg)], i)
+	}
+	d := &Drift{}
+	for _, f := range findings {
+		key := baselineKey(f.Pos.Filename, f.Rule, f.Msg)
+		hit := -1
+		for _, i := range index[key] {
+			if !matched[i] {
+				hit = i
+				break
+			}
+		}
+		if hit < 0 {
+			d.New = append(d.New, f)
+			continue
+		}
+		matched[hit] = true
+		d.Accepted++
+	}
+	for i, e := range b.Findings {
+		if !matched[i] {
+			d.Stale = append(d.Stale, e)
+		} else if e.Why == "" || e.Why == "TODO: justify or fix" {
+			d.Unjustified = append(d.Unjustified, e)
+		}
+	}
+	return d
+}

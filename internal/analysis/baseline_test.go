@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"go/token"
+	"path/filepath"
+	"testing"
+)
+
+// TestBaselineRoundTrip drives a baseline through its whole lifecycle:
+// generate, load, compare (unjustified placeholders must fail), justify,
+// and then drift in both directions.
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	findings := []Finding{
+		{Pos: token.Position{Filename: "internal/a/a.go", Line: 10, Column: 2},
+			Rule: "ctxflow", Msg: "context.Background() in library code"},
+		{Pos: token.Position{Filename: "internal/b/b.go", Line: 3, Column: 1},
+			Rule: "allochot", Msg: "fmt.Sprintf allocates in loop of hot function f"},
+	}
+
+	if err := WriteBaseline(path, findings); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Findings) != 2 {
+		t.Fatalf("round-tripped baseline has %d entries, want 2", len(b.Findings))
+	}
+
+	// A regenerated baseline matches its own findings but must not be
+	// clean: every generated why is a placeholder a human has to replace.
+	d := CompareBaseline(b, findings)
+	if len(d.New) != 0 || len(d.Stale) != 0 || d.Accepted != 2 {
+		t.Fatalf("self-comparison drifted: %+v", d)
+	}
+	if len(d.Unjustified) != 2 || d.Clean() {
+		t.Fatalf("placeholder justifications must fail the drift check: %+v", d)
+	}
+
+	// Justified entries are clean, and matching ignores line numbers — the
+	// baseline must survive unrelated edits moving the finding.
+	for i := range b.Findings {
+		b.Findings[i].Why = "accepted for this test"
+	}
+	moved := append([]Finding(nil), findings...)
+	moved[0].Pos.Line = 99
+	if d := CompareBaseline(b, moved); !d.Clean() || d.Accepted != 2 {
+		t.Fatalf("justified baseline should absorb line-moved findings: %+v", d)
+	}
+
+	// One finding fixed, one introduced: drift in both directions.
+	changed := []Finding{
+		findings[0],
+		{Pos: token.Position{Filename: "internal/c/c.go", Line: 7, Column: 4},
+			Rule: "spanend", Msg: "span s is never ended"},
+	}
+	d = CompareBaseline(b, changed)
+	if len(d.New) != 1 || len(d.Stale) != 1 || d.Clean() {
+		t.Fatalf("want 1 new + 1 stale, got %+v", d)
+	}
+
+	// A missing baseline file loads empty, so a fresh checkout lints
+	// strictly: everything is new.
+	empty, err := LoadBaseline(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := CompareBaseline(empty, findings); len(d.New) != 2 || d.Clean() {
+		t.Fatalf("empty baseline should report every finding as new: %+v", d)
+	}
+}

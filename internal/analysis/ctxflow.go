@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// ctxFlowAnalyzer enforces context propagation through the simulator's
+// service stack. Two invariants:
+//
+//  1. Library code (CtxBackgroundBanned, by default everything under
+//     internal/) never manufactures a root context with
+//     context.Background() or context.TODO() — deadlines, cancellation and
+//     trace spans only flow if the caller's context is threaded through.
+//
+//  2. In the contract packages (CtxPackages: engine, framework, microbench,
+//     profile, comm) an exported function that calls into context-taking
+//     machinery must itself accept a context.Context, and must accept it as
+//     the first parameter.
+//
+// The compiler cannot see either: a dropped context type-checks fine and
+// silently detaches a whole subtree from tracing, deadlines and faults.
+func ctxFlowAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "ctxflow",
+		Doc:  "exported funcs in the contract packages accept and thread context.Context; no context.Background()/TODO() in library code",
+		Run: func(pass *Pass) []Finding {
+			var out []Finding
+			banned := inDirs(pass.Pkg.Dir, pass.Config.CtxBackgroundBanned)
+			scoped := inDirs(pass.Pkg.Dir, pass.Config.CtxPackages)
+			if !banned && !scoped {
+				return nil
+			}
+			for _, f := range pass.Pkg.Files {
+				if banned {
+					ast.Inspect(f, func(n ast.Node) bool {
+						call, ok := n.(*ast.CallExpr)
+						if !ok {
+							return true
+						}
+						for _, name := range []string{"Background", "TODO"} {
+							if isPkgFunc(pass, call, "context", name) {
+								out = append(out, Finding{
+									Pos:  pass.Position(call.Pos()),
+									Rule: "ctxflow",
+									Msg: fmt.Sprintf("context.%s() in library code; "+
+										"thread the caller's context instead", name),
+								})
+							}
+						}
+						return true
+					})
+				}
+				if scoped {
+					for _, decl := range f.Decls {
+						fn, ok := decl.(*ast.FuncDecl)
+						if !ok || !fn.Name.IsExported() || fn.Body == nil {
+							continue
+						}
+						out = append(out, checkCtxThreading(pass, fn)...)
+					}
+				}
+			}
+			return out
+		},
+	}
+}
+
+// checkCtxThreading applies invariant 2 to one exported function: a context
+// parameter must come first, and a function that calls context-taking
+// callees must have one.
+func checkCtxThreading(pass *Pass, fn *ast.FuncDecl) []Finding {
+	ctxIndex := -1
+	nparams := 0
+	for _, field := range fn.Type.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if t := pass.TypeOf(field.Type); t != nil && isContextType(t) && ctxIndex < 0 {
+			ctxIndex = nparams
+		}
+		nparams += n
+	}
+	if ctxIndex > 0 {
+		return []Finding{{
+			Pos:  pass.Position(fn.Pos()),
+			Rule: "ctxflow",
+			Msg: fmt.Sprintf("exported %s takes context.Context at position %d; "+
+				"context must be the first parameter", fn.Name.Name, ctxIndex),
+		}}
+	}
+	if ctxIndex == 0 {
+		return nil
+	}
+	// No context parameter: flag the first call into context-taking
+	// machinery — this function breaks the propagation chain.
+	var out []Finding
+	inspectShallow(fn.Body, func(n ast.Node) bool {
+		if len(out) > 0 {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sig := calleeSignature(pass, call)
+		if !firstParamIsContext(sig) {
+			return true
+		}
+		callee := "a context-taking function"
+		if obj := calleeObject(pass, call); obj != nil {
+			callee = obj.Name()
+		}
+		out = append(out, Finding{
+			Pos:  pass.Position(call.Pos()),
+			Rule: "ctxflow",
+			Msg: fmt.Sprintf("exported %s calls %s but takes no context.Context; "+
+				"accept and thread one", fn.Name.Name, callee),
+		})
+		return false
+	})
+	return out
+}

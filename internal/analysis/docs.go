@@ -12,6 +12,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"unicode"
 )
 
 // DocPackages is the default set of directories LintExportedDocs enforces:
@@ -19,10 +20,14 @@ import (
 // undocumented identifier there is an API without a contract.
 func DocPackages() []string {
 	return []string{
+		"internal/advisord",
+		"internal/advisord/client",
+		"internal/chaos",
 		"internal/engine",
+		"internal/faults",
+		"internal/perfbench",
 		"internal/perfmodel",
 		"internal/telemetry",
-		"internal/perfbench",
 	}
 }
 
@@ -116,10 +121,25 @@ var mdLinkRE = regexp.MustCompile(`!?\[[^\]]*\]\(([^()\s]+)\)`)
 
 // CheckMarkdownLinks verifies that every relative link target in the given
 // markdown files (paths relative to root) resolves to an existing file or
-// directory. Absolute URLs (with a scheme), mailto links and pure #fragment
-// anchors are skipped; a #fragment suffix on a relative target is stripped
-// before the existence check. Findings use the "mdlink" rule.
+// directory, and that every #fragment — in-page or on a relative .md target —
+// names an actual heading's GitHub-style anchor in the linked file. Absolute
+// URLs (with a scheme) and mailto links are skipped. Findings use the
+// "mdlink" rule.
 func CheckMarkdownLinks(root string, files []string) ([]Finding, error) {
+	anchors := map[string]map[string]bool{} // file path -> heading slugs
+	anchorsOf := func(path string) (map[string]bool, error) {
+		if a, ok := anchors[path]; ok {
+			return a, nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		a := headingAnchors(string(data))
+		anchors[path] = a
+		return a, nil
+	}
+
 	var out []Finding
 	for _, rel := range files {
 		full := filepath.Join(root, filepath.FromSlash(rel))
@@ -128,26 +148,55 @@ func CheckMarkdownLinks(root string, files []string) ([]Finding, error) {
 			return nil, fmt.Errorf("analysis: %w", err)
 		}
 		lines := strings.Split(string(data), "\n")
+		inFence := false
 		for i, line := range lines {
+			if strings.HasPrefix(strings.TrimSpace(line), "```") {
+				inFence = !inFence
+				continue
+			}
+			if inFence {
+				continue
+			}
 			for _, m := range mdLinkRE.FindAllStringSubmatch(line, -1) {
 				target := m[1]
 				if skipLinkTarget(target) {
 					continue
 				}
-				path := target
-				if j := strings.IndexAny(path, "#?"); j >= 0 {
-					path = path[:j]
-				}
-				if path == "" {
-					continue
-				}
-				resolved := filepath.Join(filepath.Dir(full), filepath.FromSlash(path))
-				if _, err := os.Stat(resolved); err != nil {
+				flag := func(format string, args ...any) {
 					out = append(out, Finding{
 						Pos:  token.Position{Filename: full, Line: i + 1, Column: strings.Index(line, m[0]) + 1},
 						Rule: "mdlink",
-						Msg:  fmt.Sprintf("relative link %q does not resolve", target),
+						Msg:  fmt.Sprintf(format, args...),
 					})
+				}
+				path, fragment := target, ""
+				if j := strings.Index(path, "#"); j >= 0 {
+					path, fragment = path[:j], path[j+1:]
+				}
+				if j := strings.Index(path, "?"); j >= 0 {
+					path = path[:j]
+				}
+				resolved := full // in-page anchor
+				if path != "" {
+					resolved = filepath.Join(filepath.Dir(full), filepath.FromSlash(path))
+					if _, err := os.Stat(resolved); err != nil {
+						flag("relative link %q does not resolve", target)
+						continue
+					}
+				}
+				if fragment == "" {
+					continue
+				}
+				if !strings.HasSuffix(resolved, ".md") {
+					flag("link %q carries a #fragment, but %s is not a markdown file", target, path)
+					continue
+				}
+				heads, err := anchorsOf(resolved)
+				if err != nil {
+					return nil, fmt.Errorf("analysis: %w", err)
+				}
+				if !heads[strings.ToLower(fragment)] {
+					flag("anchor %q does not match any heading in %s", "#"+fragment, filepath.Base(resolved))
 				}
 			}
 		}
@@ -156,11 +205,61 @@ func CheckMarkdownLinks(root string, files []string) ([]Finding, error) {
 	return out, nil
 }
 
+// headingAnchors extracts the GitHub-style anchor slug of every ATX heading
+// in a markdown document. Duplicate headings get -1, -2, ... suffixes, and
+// headings inside fenced code blocks are ignored — both as GitHub renders
+// them.
+func headingAnchors(doc string) map[string]bool {
+	out := map[string]bool{}
+	seen := map[string]int{}
+	inFence := false
+	for _, line := range strings.Split(doc, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		text := strings.TrimLeft(trimmed, "#")
+		if text == trimmed || (text != "" && text[0] != ' ' && text[0] != '\t') {
+			continue // not an ATX heading ("#foo" or more than just hashes)
+		}
+		slug := headingSlug(strings.TrimSpace(text))
+		if n := seen[slug]; n > 0 {
+			out[fmt.Sprintf("%s-%d", slug, n)] = true
+		} else {
+			out[slug] = true
+		}
+		seen[slug]++
+	}
+	return out
+}
+
+// headingSlug converts heading text to its GitHub anchor: lowercase, spaces
+// to hyphens, everything except letters, digits, hyphens and underscores
+// dropped (which also strips backticks and other markdown punctuation).
+func headingSlug(text string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(text) {
+		switch {
+		case r == ' ':
+			b.WriteByte('-')
+		case r == '-' || r == '_' ||
+			(r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') ||
+			(r > 127 && (unicode.IsLetter(r) || unicode.IsDigit(r))):
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
 // skipLinkTarget reports whether a link target is out of scope for the
-// relative-link check (absolute URL, mailto, or in-page anchor).
+// relative-link check (absolute URL or mailto; in-page #anchors are checked).
 func skipLinkTarget(target string) bool {
 	if strings.HasPrefix(target, "#") {
-		return true
+		return false
 	}
 	u, err := url.Parse(target)
 	return err == nil && u.Scheme != ""

@@ -160,11 +160,13 @@ func TestMarkdownLinksResolve(t *testing.T) {
 	root := writeTree(t, map[string]string{
 		"README.md": `# Title
 
+## Local
+
 [good](docs/GOOD.md) and [broken](docs/MISSING.md) and
 [anchored](docs/GOOD.md#section) and [web](https://example.com/x) and
 [anchor-only](#local) and ![img](docs/missing.png)
 `,
-		"docs/GOOD.md": "# Good\n[up](../README.md)\n",
+		"docs/GOOD.md": "# Good\n\n## Section\n[up](../README.md)\n",
 	})
 	files, err := MarkdownFiles(root)
 	if err != nil {
@@ -180,6 +182,68 @@ func TestMarkdownLinksResolve(t *testing.T) {
 	for _, f := range got {
 		if f.Rule != "mdlink" {
 			t.Errorf("finding rule = %q, want mdlink", f.Rule)
+		}
+	}
+}
+
+// TestMarkdownAnchorsValidate pins the #fragment side of the mdlink rule:
+// anchors must match a real heading's GitHub-style slug, in-page or across
+// files, with duplicate-heading and code-fence semantics as GitHub renders
+// them.
+func TestMarkdownAnchorsValidate(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"README.md": `# My Guide
+
+## Install & Run
+
+## Install & Run
+
+[ok](#install--run) [dup](#install--run-1) [bad](#nope)
+[cross](docs/API.md#the-api) [crossbad](docs/API.md#absent)
+[notmd](docs/data.txt#frag)
+`,
+		"docs/API.md":   "# The API\n\n```\n# not a heading, just a shell comment\n```\n",
+		"docs/data.txt": "plain\n",
+	})
+	got, err := CheckMarkdownLinks(root, []string{"README.md", "docs/API.md"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msgs []string
+	for _, f := range got {
+		msgs = append(msgs, f.Msg)
+	}
+	want := []string{
+		`anchor "#nope" does not match any heading in README.md`,
+		`anchor "#absent" does not match any heading in API.md`,
+		`link "docs/data.txt#frag" carries a #fragment, but docs/data.txt is not a markdown file`,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("want %d findings, got %d: %v", len(want), len(got), msgs)
+	}
+	for _, w := range want {
+		found := false
+		for _, m := range msgs {
+			if m == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing finding %q in %v", w, msgs)
+		}
+	}
+}
+
+func TestHeadingSlug(t *testing.T) {
+	for in, want := range map[string]string{
+		"Install & Run":          "install--run",
+		"The `engine` package":   "the-engine-package",
+		"A_B c-d":                "a_b-c-d",
+		"§13. Static analysis":   "13-static-analysis",
+		"CPU/GPU sharing (v2.0)": "cpugpu-sharing-v20",
+	} {
+		if got := headingSlug(in); got != want {
+			t.Errorf("headingSlug(%q) = %q, want %q", in, got, want)
 		}
 	}
 }

@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// calleeObject resolves the object a call expression invokes (a *types.Func
+// for ordinary and method calls, a *types.Var for calls through function
+// values), or nil for conversions and builtins.
+func calleeObject(pass *Pass, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return pass.ObjectOf(fun)
+	case *ast.SelectorExpr:
+		return pass.ObjectOf(fun.Sel)
+	}
+	return nil
+}
+
+// isPkgFunc reports whether a call invokes the function named name from the
+// package whose import path is exactly pkgPath or ends with "/"+pkgPath.
+func isPkgFunc(pass *Pass, call *ast.CallExpr, pkgPath, name string) bool {
+	obj := calleeObject(pass, call)
+	if obj == nil || obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	return hasPathSuffix(obj.Pkg().Path(), pkgPath)
+}
+
+// calleeSignature returns the static signature of a call's callee, or nil
+// for conversions and builtins.
+func calleeSignature(pass *Pass, call *ast.CallExpr) *types.Signature {
+	if pass.Pkg.Info == nil {
+		return nil
+	}
+	tv, ok := pass.Pkg.Info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return nil
+	}
+	sig, _ := tv.Type.(*types.Signature)
+	return sig
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// firstParamIsContext reports whether a signature's first parameter is a
+// context.Context.
+func firstParamIsContext(sig *types.Signature) bool {
+	return sig != nil && sig.Params().Len() > 0 &&
+		isContextType(sig.Params().At(0).Type())
+}
+
+// funcScopes collects every function body in a file as its own analysis
+// scope: each FuncDecl and each FuncLit. Spans and locks are reasoned about
+// within one scope at a time.
+type funcScope struct {
+	name string // declared name, or "func literal"
+	body *ast.BlockStmt
+}
+
+func funcScopes(f *ast.File) []funcScope {
+	var out []funcScope
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				out = append(out, funcScope{name: fn.Name.Name, body: fn.Body})
+			}
+		case *ast.FuncLit:
+			out = append(out, funcScope{name: "func literal", body: fn.Body})
+		}
+		return true
+	})
+	return out
+}
+
+// inspectShallow walks n but does not descend into nested function
+// literals, so a scope's analysis stays within that scope. The literal node
+// itself is still visited — callers like the allochot closure check need to
+// see it — only its body is pruned.
+func inspectShallow(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, isLit := m.(*ast.FuncLit); isLit && m != n {
+			fn(m)
+			return false
+		}
+		return fn(m)
+	})
+}

@@ -1,0 +1,239 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package of the module under analysis: its
+// parsed files, the go/types object graph, and its module-relative directory
+// (the key the per-rule scoping configs use).
+type Package struct {
+	// Dir is the package directory relative to the module root, in slash
+	// form ("." for the module root itself).
+	Dir string
+	// Path is the package's import path.
+	Path string
+	// Files are the parsed non-test source files, in filename order.
+	Files []*ast.File
+	// Types is the type-checked package object. It is non-nil even when
+	// type checking reported errors (go/types returns a partial package).
+	Types *types.Package
+	// Info carries the expression-type, object-resolution and selection
+	// tables the type-aware analyzers consume.
+	Info *types.Info
+	// TypeErrors collects any type-checking failures. The analyzers run
+	// on partial information when this is non-empty; the driver surfaces
+	// the errors so a broken tree is never silently "clean".
+	TypeErrors []error
+}
+
+// Module is a fully loaded module: every package parsed and type-checked
+// against one shared FileSet, in deterministic (directory) order.
+type Module struct {
+	// Root is the absolute module root (the directory holding go.mod).
+	Root string
+	// Path is the module path declared in go.mod.
+	Path string
+	// Fset is the FileSet every package was parsed into.
+	Fset *token.FileSet
+	// Packages lists the module's packages sorted by Dir.
+	Packages []*Package
+}
+
+// PackageByPath returns the module package with the given import path, or
+// nil when the path is not part of the module.
+func (m *Module) PackageByPath(path string) *Package {
+	for _, p := range m.Packages {
+		if p.Path == path {
+			return p
+		}
+	}
+	return nil
+}
+
+// LoadModule parses and type-checks every non-test package under root
+// (skipping .git, vendor and testdata) using only the standard library:
+// module-local imports resolve against the loaded set, everything else goes
+// through the source importer against GOROOT. Type-check errors are
+// collected per package, not fatal, so one broken file does not hide every
+// other package's findings.
+func LoadModule(root string) (*Module, error) {
+	modPath, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	m := &Module{Root: root, Path: modPath, Fset: fset}
+	byPath := make(map[string]*Package, len(dirs))
+	for _, dir := range dirs {
+		p, err := parseDir(fset, root, dir, modPath)
+		if err != nil {
+			return nil, err
+		}
+		if p == nil {
+			continue // no buildable files
+		}
+		m.Packages = append(m.Packages, p)
+		byPath[p.Path] = p
+	}
+
+	imp := &moduleImporter{
+		module:   m,
+		byPath:   byPath,
+		checking: make(map[string]bool),
+		fallback: importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	}
+	for _, p := range m.Packages {
+		if _, err := imp.check(p); err != nil {
+			return nil, fmt.Errorf("analysis: type-check %s: %w", p.Path, err)
+		}
+	}
+	return m, nil
+}
+
+// modulePath reads the module declaration from root/go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("analysis: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module declaration in %s/go.mod", root)
+}
+
+// packageDirs walks root for directories containing at least one non-test
+// .go file, skipping .git, vendor and testdata trees. Directories come back
+// module-relative in slash form, sorted.
+func packageDirs(root string) ([]string, error) {
+	seen := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", "vendor", "testdata":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		seen[filepath.ToSlash(rel)] = true
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	dirs := make([]string, 0, len(seen))
+	for d := range seen {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// parseDir parses the non-test files of one package directory. Returns nil
+// when the directory has no buildable Go files.
+func parseDir(fset *token.FileSet, root, dir, modPath string) (*Package, error) {
+	full := filepath.Join(root, filepath.FromSlash(dir))
+	entries, err := os.ReadDir(full)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(full, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	path := modPath
+	if dir != "." {
+		path = modPath + "/" + dir
+	}
+	return &Package{Dir: dir, Path: path, Files: files}, nil
+}
+
+// moduleImporter resolves module-local imports from the loaded package set
+// (type-checking them on demand, in dependency order) and delegates
+// everything else — the standard library — to the source importer.
+type moduleImporter struct {
+	module   *Module
+	byPath   map[string]*Package
+	checking map[string]bool
+	fallback types.ImporterFrom
+}
+
+// Import implements types.Importer.
+func (imp *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := imp.byPath[path]; ok {
+		return imp.check(p)
+	}
+	return imp.fallback.ImportFrom(path, imp.module.Root, 0)
+}
+
+// check type-checks p (once) and returns its types.Package. Import cycles
+// inside the module are a hard error — the compiler would reject them too.
+func (imp *moduleImporter) check(p *Package) (*types.Package, error) {
+	if p.Types != nil {
+		return p.Types, nil
+	}
+	if imp.checking[p.Path] {
+		return nil, fmt.Errorf("import cycle through %s", p.Path)
+	}
+	imp.checking[p.Path] = true
+	defer delete(imp.checking, p.Path)
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
+	}
+	pkg, err := conf.Check(p.Path, imp.module.Fset, p.Files, info)
+	if err != nil && pkg == nil {
+		return nil, err
+	}
+	p.Types = pkg
+	p.Info = info
+	return pkg, nil
+}

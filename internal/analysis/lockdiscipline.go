@@ -1,0 +1,381 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// lockDisciplineAnalyzer enforces three locking invariants the race
+// detector can only catch dynamically (and only on exercised schedules):
+//
+//   - no mutex-bearing value is copied through a parameter, receiver or
+//     range variable (a copied lock guards nothing);
+//
+//   - in the concurrent service packages (LockPackages) no blocking
+//     operation — channel send or receive, WaitGroup.Wait, time.Sleep —
+//     runs while a mutex is held, because a blocked lock-holder turns every
+//     other user of that lock into a convoy (or a deadlock);
+//
+//   - no field is accessed both through sync/atomic and by plain
+//     assignment: mixing the two silently forfeits atomicity.
+func lockDisciplineAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "lockdiscipline",
+		Doc:  "no mutex copies, no blocking ops under a held lock in hot packages, no mixed atomic+plain field access",
+		Run: func(pass *Pass) []Finding {
+			var out []Finding
+			out = append(out, checkLockCopies(pass)...)
+			if inDirs(pass.Pkg.Dir, pass.Config.LockPackages) {
+				out = append(out, checkBlockingUnderLock(pass)...)
+			}
+			out = append(out, checkMixedAtomic(pass)...)
+			return out
+		},
+	}
+}
+
+// --- mutex value copies ---
+
+// containsLock reports whether a type transitively embeds a sync lock (or
+// another by-value-uncopyable sync primitive).
+func containsLock(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch u := t.(type) {
+	case *types.Named:
+		obj := u.Obj()
+		if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Pool", "Map":
+				return true
+			}
+		}
+		return containsLock(u.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLock(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem(), seen)
+	}
+	return false
+}
+
+// checkLockCopies flags by-value parameters, receivers and range variables
+// of lock-bearing types.
+func checkLockCopies(pass *Pass) []Finding {
+	var out []Finding
+	flag := func(pos ast.Node, what, name string) {
+		out = append(out, Finding{
+			Pos:  pass.Position(pos.Pos()),
+			Rule: "lockdiscipline",
+			Msg:  fmt.Sprintf("%s %s copies a lock-bearing value; pass a pointer", what, name),
+		})
+	}
+	checkFieldList(pass, flag, "parameter")
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok || rng.Value == nil {
+				return true
+			}
+			// A := range clause defines the value ident, so its type lives
+			// in Defs, not in the expression-type table.
+			t := pass.TypeOf(rng.Value)
+			if t == nil {
+				if id, isIdent := rng.Value.(*ast.Ident); isIdent {
+					if obj := pass.ObjectOf(id); obj != nil {
+						t = obj.Type()
+					}
+				}
+			}
+			if t != nil && containsLock(t, map[types.Type]bool{}) {
+				flag(rng.Value, "range variable", types.ExprString(rng.Value))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkFieldList applies the lock-copy check to every function's parameters
+// and receiver.
+func checkFieldList(pass *Pass, flag func(ast.Node, string, string), what string) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			lists := []*ast.FieldList{fn.Type.Params}
+			if fn.Recv != nil {
+				lists = append(lists, fn.Recv)
+			}
+			for _, list := range lists {
+				if list == nil {
+					continue
+				}
+				for _, field := range list.List {
+					t := pass.TypeOf(field.Type)
+					if t == nil {
+						continue
+					}
+					if _, isPtr := t.(*types.Pointer); isPtr {
+						continue
+					}
+					if containsLock(t, map[types.Type]bool{}) {
+						name := types.ExprString(field.Type)
+						role := what
+						if list == fn.Recv {
+							role = "receiver"
+						}
+						flag(field, role, name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// --- blocking operations under a held lock ---
+
+// checkBlockingUnderLock scans each statement list for Lock()..Unlock()
+// windows (including defer-Unlock, which holds to function exit) and flags
+// channel sends/receives, WaitGroup.Wait and time.Sleep inside the window.
+func checkBlockingUnderLock(pass *Pass) []Finding {
+	var out []Finding
+	for _, f := range pass.Pkg.Files {
+		for _, scope := range funcScopes(f) {
+			ast.Inspect(scope.body, func(n ast.Node) bool {
+				if _, isLit := n.(*ast.FuncLit); isLit {
+					return false // nested scopes are visited on their own
+				}
+				block, ok := n.(*ast.BlockStmt)
+				if !ok {
+					return true
+				}
+				out = append(out, scanLockWindows(pass, block.List)...)
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// scanLockWindows walks one statement list tracking which lock expressions
+// are held after each statement.
+func scanLockWindows(pass *Pass, stmts []ast.Stmt) []Finding {
+	var out []Finding
+	held := map[string]bool{} // lock receiver expression -> held
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if recv, kind := lockCall(s.X); kind == "lock" {
+				held[recv] = true
+				continue
+			} else if kind == "unlock" {
+				delete(held, recv)
+				continue
+			}
+		case *ast.DeferStmt:
+			// defer mu.Unlock() right after Lock: the lock is held for the
+			// rest of the function — keep it marked held.
+			continue
+		}
+		if len(held) == 0 {
+			continue
+		}
+		for _, b := range blockingOps(pass, stmt) {
+			locks := heldNames(held)
+			out = append(out, Finding{
+				Pos:  pass.Position(b.pos()),
+				Rule: "lockdiscipline",
+				Msg: fmt.Sprintf("%s while holding %s; shrink the critical section",
+					b.what, locks),
+			})
+		}
+	}
+	return out
+}
+
+// lockCall classifies an expression as mu.Lock/RLock ("lock"),
+// mu.Unlock/RUnlock ("unlock") or neither, returning the printed receiver.
+func lockCall(e ast.Expr) (recv, kind string) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		return types.ExprString(sel.X), "lock"
+	case "Unlock", "RUnlock":
+		return types.ExprString(sel.X), "unlock"
+	}
+	return "", ""
+}
+
+// blockingOp is one blocking operation found inside a lock window.
+type blockingOp struct {
+	node ast.Node
+	what string
+}
+
+func (b blockingOp) pos() token.Pos { return b.node.Pos() }
+
+// blockingOps finds channel sends/receives, WaitGroup.Wait calls and
+// time.Sleep calls in a statement, without descending into function
+// literals (those run later, not under the lock).
+func blockingOps(pass *Pass, stmt ast.Stmt) []blockingOp {
+	var out []blockingOp
+	inspectShallow(stmt, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.SendStmt:
+			out = append(out, blockingOp{v, "channel send"})
+		case *ast.UnaryExpr:
+			if v.Op.String() == "<-" {
+				out = append(out, blockingOp{v, "channel receive"})
+			}
+		case *ast.CallExpr:
+			if sel, ok := v.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				if t := pass.TypeOf(sel.X); t != nil && containsWaitGroup(t) {
+					out = append(out, blockingOp{v, "WaitGroup.Wait"})
+				}
+			}
+			if isPkgFunc(pass, v, "time", "Sleep") {
+				out = append(out, blockingOp{v, "time.Sleep"})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// containsWaitGroup reports whether t is (a pointer to) sync.WaitGroup.
+func containsWaitGroup(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}
+
+// heldNames renders the held-lock set for a message.
+func heldNames(held map[string]bool) string {
+	names := make([]string, 0, len(held))
+	for n := range held {
+		names = append(names, n)
+	}
+	if len(names) == 1 {
+		return names[0]
+	}
+	sort.Strings(names)
+	return fmt.Sprintf("%v", names)
+}
+
+// --- mixed atomic + plain access ---
+
+// atomicFuncNames are the sync/atomic package functions whose first
+// argument addresses the word they operate on.
+var atomicFuncNames = map[string]bool{
+	"AddInt32": true, "AddInt64": true, "AddUint32": true, "AddUint64": true,
+	"LoadInt32": true, "LoadInt64": true, "LoadUint32": true, "LoadUint64": true,
+	"StoreInt32": true, "StoreInt64": true, "StoreUint32": true, "StoreUint64": true,
+	"SwapInt32": true, "SwapInt64": true, "SwapUint32": true, "SwapUint64": true,
+	"CompareAndSwapInt32": true, "CompareAndSwapInt64": true,
+	"CompareAndSwapUint32": true, "CompareAndSwapUint64": true,
+	"AddUintptr": true, "LoadUintptr": true, "StoreUintptr": true,
+	"LoadPointer": true, "StorePointer": true,
+}
+
+// checkMixedAtomic flags struct fields that are both operated on through
+// sync/atomic functions and written by plain assignment in the same
+// package.
+func checkMixedAtomic(pass *Pass) []Finding {
+	atomicFields := map[types.Object]bool{}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			obj := calleeObject(pass, call)
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" ||
+				!atomicFuncNames[obj.Name()] {
+				return true
+			}
+			if field := addressedField(pass, call.Args[0]); field != nil {
+				atomicFields[field] = true
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	var out []Finding
+	flagWrite := func(sel ast.Expr) {
+		field := selectedField(pass, sel)
+		if field == nil || !atomicFields[field] {
+			return
+		}
+		out = append(out, Finding{
+			Pos:  pass.Position(sel.Pos()),
+			Rule: "lockdiscipline",
+			Msg: fmt.Sprintf("field %s is accessed via sync/atomic elsewhere; "+
+				"this plain write forfeits atomicity", field.Name()),
+		})
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range s.Lhs {
+					flagWrite(lhs)
+				}
+			case *ast.IncDecStmt:
+				flagWrite(s.X)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// addressedField resolves &x.f to the field object f, or nil.
+func addressedField(pass *Pass, e ast.Expr) types.Object {
+	unary, ok := ast.Unparen(e).(*ast.UnaryExpr)
+	if !ok || unary.Op.String() != "&" {
+		return nil
+	}
+	return selectedField(pass, unary.X)
+}
+
+// selectedField resolves a selector expression to the struct field it
+// names, or nil for non-selectors and non-fields.
+func selectedField(pass *Pass, e ast.Expr) types.Object {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || pass.Pkg.Info == nil {
+		return nil
+	}
+	s, ok := pass.Pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj()
+}

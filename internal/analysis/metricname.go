@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// registryMethods are the telemetry.Registry registration entry points and
+// the index of their name argument.
+var registryMethods = map[string]bool{
+	"Counter": true, "CounterFunc": true, "CounterVec": true, "CounterVecFunc": true,
+	"Gauge": true, "GaugeFunc": true, "InfoGauge": true,
+	"Histogram": true, "HistogramVec": true,
+}
+
+// metricSegmentsRE holds metric names to lower_snake_case segments after
+// the prefix.
+var metricSegmentsRE = regexp.MustCompile(`^[a-z0-9]+(_[a-z0-9]+)+$`)
+
+// metricNameAnalyzer enforces the Prometheus naming contract: every metric
+// registered on a telemetry.Registry is named
+// <prefix><subsystem>_<name>_<unit|total>, is a compile-time constant, and
+// is registered at exactly one site in the tree. The telemetry registry
+// only catches duplicate names at runtime (a panic on the boot path that
+// registers second); dashboards and alerts depend on the naming scheme
+// statically, which no runtime check sees at all.
+func metricNameAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name:      "metricname",
+		Doc:       "Prometheus metric names match <prefix><subsystem>_<name>_<unit|total>, are constants, and are registered exactly once",
+		RunModule: runMetricName,
+	}
+}
+
+func runMetricName(mp *ModulePass) []Finding {
+	var out []Finding
+	sites := map[string][]token.Position{} // metric name -> registration sites
+	for _, pass := range mp.Passes() {
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				obj := calleeObject(pass, call)
+				if obj == nil || obj.Pkg() == nil || !registryMethods[obj.Name()] ||
+					!hasPathSuffix(obj.Pkg().Path(), "internal/telemetry") {
+					return true
+				}
+				name, constant := constString(pass, call.Args[0])
+				if !constant {
+					out = append(out, Finding{
+						Pos:  pass.Position(call.Args[0].Pos()),
+						Rule: "metricname",
+						Msg:  "metric name is not a compile-time constant; dashboards cannot be audited statically",
+					})
+					return true
+				}
+				sites[name] = append(sites[name], pass.Position(call.Args[0].Pos()))
+				out = append(out, checkMetricName(mp.Config, name, pass.Position(call.Args[0].Pos()))...)
+				return true
+			})
+		}
+	}
+	for name, where := range sites {
+		if len(where) < 2 {
+			continue
+		}
+		for _, pos := range where[1:] {
+			out = append(out, Finding{Pos: pos, Rule: "metricname",
+				Msg: fmt.Sprintf("metric %q is registered at %d sites; register exactly once", name, len(where))})
+		}
+	}
+	return out
+}
+
+// checkMetricName validates one constant metric name against the naming
+// scheme.
+func checkMetricName(cfg *Config, name string, pos token.Position) []Finding {
+	bad := func(msg string) []Finding {
+		return []Finding{{Pos: pos, Rule: "metricname",
+			Msg: fmt.Sprintf("metric %q %s", name, msg)}}
+	}
+	rest, ok := strings.CutPrefix(name, cfg.MetricPrefix)
+	if !ok {
+		return bad(fmt.Sprintf("does not start with the %q namespace", cfg.MetricPrefix))
+	}
+	if !metricSegmentsRE.MatchString(rest) {
+		return bad("is not <subsystem>_<name>_<unit|total> in lower_snake_case")
+	}
+	for _, u := range cfg.MetricUnits {
+		if strings.HasSuffix(rest, "_"+u) {
+			return nil
+		}
+	}
+	return bad(fmt.Sprintf("does not end in a recognized unit (one of %s)",
+		strings.Join(cfg.MetricUnits, ", ")))
+}

@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// spanEndAnalyzer enforces the span lifecycle: every span opened with
+// telemetry.Start must be closed by a dominated End in the same function —
+// normally `defer span.End()`. A span that is discarded, never ended, or
+// ended only on some paths leaves an open interval in every trace export
+// and skews the duration of its whole subtree; the compiler sees nothing
+// wrong because End is an ordinary method call.
+func spanEndAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "spanend",
+		Doc:  "every telemetry.Start is paired with a dominated End (normally defer span.End())",
+		Run: func(pass *Pass) []Finding {
+			var out []Finding
+			for _, f := range pass.Pkg.Files {
+				for _, scope := range funcScopes(f) {
+					out = append(out, checkSpanEnds(pass, scope)...)
+				}
+			}
+			return out
+		},
+	}
+}
+
+// spanStart is one telemetry.Start assignment inside a scope.
+type spanStart struct {
+	pos  token.Pos
+	name string
+	obj  types.Object // nil when the span is discarded with _
+}
+
+// checkSpanEnds verifies every span started in one function scope.
+func checkSpanEnds(pass *Pass, scope funcScope) []Finding {
+	var starts []spanStart
+	inspectShallow(scope.body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 || len(assign.Lhs) != 2 {
+			return true
+		}
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok || !isPkgFunc(pass, call, "internal/telemetry", "Start") {
+			return true
+		}
+		ident, ok := assign.Lhs[1].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		s := spanStart{pos: call.Pos(), name: ident.Name}
+		if ident.Name != "_" {
+			s.obj = pass.ObjectOf(ident)
+		}
+		starts = append(starts, s)
+		return true
+	})
+
+	var out []Finding
+	for _, s := range starts {
+		if s.obj == nil {
+			out = append(out, Finding{
+				Pos:  pass.Position(s.pos),
+				Rule: "spanend",
+				Msg:  "span from telemetry.Start is discarded; it can never be ended",
+			})
+			continue
+		}
+		deferred, endPositions := findSpanEnds(pass, scope.body, s.obj)
+		switch {
+		case deferred:
+			// A deferred End dominates every exit.
+		case len(endPositions) == 0:
+			out = append(out, Finding{
+				Pos:  pass.Position(s.pos),
+				Rule: "spanend",
+				Msg:  fmt.Sprintf("span %s is never ended; defer %s.End() after Start", s.name, s.name),
+			})
+		case returnBetween(scope.body, s.pos, maxPos(endPositions)):
+			out = append(out, Finding{
+				Pos:  pass.Position(s.pos),
+				Rule: "spanend",
+				Msg: fmt.Sprintf("span %s.End() does not dominate every return; "+
+					"defer it immediately after Start", s.name),
+			})
+		}
+	}
+	return out
+}
+
+// findSpanEnds locates End() calls on the span object within the scope:
+// whether any is deferred (directly or inside a deferred closure), and the
+// positions of the plain calls. Nested closures are searched too — ending a
+// parent's span from a deferred literal is a legitimate pattern.
+func findSpanEnds(pass *Pass, body *ast.BlockStmt, span types.Object) (deferred bool, plain []token.Pos) {
+	isEndCall := func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "End" {
+			return false
+		}
+		id, ok := sel.X.(*ast.Ident)
+		return ok && pass.ObjectOf(id) == span
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.DeferStmt:
+			if isEndCall(stmt.Call) {
+				deferred = true
+				return false
+			}
+			if lit, ok := stmt.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if isEndCall(m) {
+						deferred = true
+						return false
+					}
+					return true
+				})
+				return false
+			}
+		case *ast.CallExpr:
+			if isEndCall(stmt) {
+				plain = append(plain, stmt.Pos())
+			}
+		}
+		return true
+	})
+	return deferred, plain
+}
+
+// returnBetween reports whether any return statement sits strictly between
+// the two positions — a path that escapes before the span is closed.
+func returnBetween(body *ast.BlockStmt, from, to token.Pos) bool {
+	found := false
+	inspectShallow(body, func(n ast.Node) bool {
+		if ret, ok := n.(*ast.ReturnStmt); ok && ret.Pos() > from && ret.Pos() < to {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// maxPos returns the latest of the given positions.
+func maxPos(ps []token.Pos) token.Pos {
+	m := ps[0]
+	for _, p := range ps[1:] {
+		if p > m {
+			m = p
+		}
+	}
+	return m
+}

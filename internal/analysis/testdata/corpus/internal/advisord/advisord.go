@@ -1,0 +1,48 @@
+// Package advisord exercises the blocking-under-lock side of
+// lockdiscipline: this directory is in the default LockPackages set.
+package advisord
+
+import (
+	"sync"
+	"time"
+)
+
+// Queue is a tiny guarded queue.
+type Queue struct {
+	mu    sync.Mutex
+	items []int
+	ch    chan int
+	wg    sync.WaitGroup
+}
+
+// Push appends under the lock and signals after releasing it; the good
+// shape — the blocking send sits outside the critical section.
+func (q *Queue) Push(v int) {
+	q.mu.Lock()
+	q.items = append(q.items, v)
+	q.mu.Unlock()
+	q.ch <- v
+}
+
+// BlockingSend sends on a channel while the lock is held.
+func (q *Queue) BlockingSend(v int) {
+	q.mu.Lock()
+	q.ch <- v // want lockdiscipline "channel send"
+	q.mu.Unlock()
+}
+
+// SleepUnderDefer holds the lock to function exit and sleeps inside it.
+func (q *Queue) SleepUnderDefer() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	time.Sleep(time.Millisecond) // want lockdiscipline "time.Sleep"
+}
+
+// ReceiveAndWait blocks twice inside one lock window.
+func (q *Queue) ReceiveAndWait() int {
+	q.mu.Lock()
+	v := <-q.ch // want lockdiscipline "channel receive"
+	q.wg.Wait() // want lockdiscipline "WaitGroup.Wait"
+	q.mu.Unlock()
+	return v
+}

@@ -1,0 +1,35 @@
+// Package app is application-level code: raw address arithmetic is banned
+// here and Validate errors must carry the package prefix.
+package app
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Buffer is a placed buffer as application code sees it.
+type Buffer struct {
+	Addr int64
+	Size int64
+}
+
+// NextAddr computes a raw address outside the memory system.
+func NextAddr(b Buffer) int64 {
+	return b.Addr + b.Size // want rawaddr "raw arithmetic"
+}
+
+// Config is a validated configuration.
+type Config struct {
+	Ways int
+}
+
+// Validate checks the configuration; its errors must open with "app".
+func (c *Config) Validate() error {
+	if c.Ways < 0 {
+		return fmt.Errorf("negative ways: %d", c.Ways) // want validatewrap "must be prefixed"
+	}
+	if c.Ways == 0 {
+		return errors.New("app: ways not set")
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+// Package cache sits in the default HotPackages set: every loop in every
+// function here is policed by allochot. It is also in RawAddrAllowed, so
+// the raw address arithmetic at the bottom stays quiet.
+package cache
+
+import "fmt"
+
+// Names formats per iteration; the classic hot-loop allocation.
+func Names(n int) []string {
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, fmt.Sprintf("way-%d", i)) // want allochot "fmt.Sprintf allocates"
+	}
+	return out
+}
+
+// Grow appends without preallocating.
+func Grow(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i) // want allochot "without preallocation"
+	}
+	return out
+}
+
+// Box passes concrete values into an interface parameter per iteration.
+func Box(vs []int) {
+	for _, v := range vs {
+		sink(v) // want allochot "boxes into interface parameter"
+	}
+}
+
+func sink(v any) { _ = v }
+
+// Capture allocates a closure per iteration.
+func Capture(vs []int) int {
+	total := 0
+	for _, v := range vs {
+		add := func() { total += v } // want allochot "closure capturing"
+		add()
+	}
+	return total
+}
+
+// Lookup errors on the cold path; fmt.Errorf inside a hot loop is exempt.
+func Lookup(keys []string, m map[string]int) (int, error) {
+	total := 0
+	for _, k := range keys {
+		v, ok := m[k]
+		if !ok {
+			return 0, fmt.Errorf("cache: no entry %q", k)
+		}
+		total += v
+	}
+	return total, nil
+}
+
+type line struct{ Addr int64 }
+
+// index does raw .Addr arithmetic; allowed here, banned in internal/app.
+func index(l line, off int64) int64 { return l.Addr + off }

@@ -1,0 +1,32 @@
+// Package engine exercises the ctxflow contract: this directory is in the
+// default CtxPackages set, so exported functions must accept and thread
+// context.Context, and (as everywhere under internal/) no root context may
+// be manufactured.
+package engine
+
+import "context"
+
+// Run threads the caller's context; the good shape.
+func Run(ctx context.Context, n int) error {
+	return work(ctx, n)
+}
+
+// Pure does no context work and needs no context.
+func Pure(n int) int { return 2 * n }
+
+// Misplaced buries the context mid-signature.
+func Misplaced(n int, ctx context.Context) error { // want ctxflow "position 1"
+	return work(ctx, n)
+}
+
+// Detached calls context-taking machinery without accepting a context.
+func Detached(n int) error {
+	return work(nil, n) // want ctxflow "takes no context.Context"
+}
+
+func work(ctx context.Context, n int) error { return nil }
+
+func detachedHelper(n int) error {
+	ctx := context.Background() // want ctxflow "context.Background"
+	return work(ctx, n)
+}

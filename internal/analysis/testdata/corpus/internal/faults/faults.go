@@ -1,0 +1,20 @@
+// Package faults is a corpus stub of the fault-injection registry; the
+// faultpoint analyzer cross-checks every Register/Fire site against Catalog.
+package faults
+
+// Catalog is the committed fault-point catalog.
+var Catalog = []string{
+	"corpus/registered",
+	"corpus/varpoint",
+	"corpus/dup",
+	"corpus/orphan", // want faultpoint "orphan"
+}
+
+// Register declares a fault point and returns its handle.
+func Register(name string) string { return name }
+
+// Fire triggers a fault point.
+func Fire(name string) error { return nil }
+
+// FireData triggers a fault point with a payload.
+func FireData(name string, data int) error { return nil }

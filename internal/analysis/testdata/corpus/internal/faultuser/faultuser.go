@@ -1,0 +1,30 @@
+// Package faultuser exercises the faultpoint contract: constant and
+// Register-var names fire cleanly; dynamic names and catalog drift do not.
+package faultuser
+
+import "fixture/internal/faults"
+
+var ptRegistered = faults.Register("corpus/registered")
+
+var ptVar = faults.Register("corpus/varpoint")
+
+// Good fires catalogued points through a constant and a Register var.
+func Good() error {
+	_ = ptRegistered
+	if err := faults.Fire("corpus/registered"); err != nil {
+		return err
+	}
+	return faults.Fire(ptVar)
+}
+
+// Bad trips every faultpoint failure mode.
+func Bad(name string) error {
+	faults.Register("corpus/unlisted") // want faultpoint "not declared in faults.Catalog"
+	faults.Register("corpus/dup")
+	faults.Register("corpus/dup")             // want faultpoint "registered more than once"
+	faults.Register(name)                     // want faultpoint "not a compile-time string constant"
+	if err := faults.Fire(name); err != nil { // want faultpoint "dynamic"
+		return err
+	}
+	return faults.Fire("corpus/unregistered") // want faultpoint "fired but never registered"
+}

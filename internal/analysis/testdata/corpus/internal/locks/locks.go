@@ -1,0 +1,56 @@
+// Package locks exercises the lock-copy and mixed-atomic sides of
+// lockdiscipline, which apply in every package.
+package locks
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Guarded couples a mutex with the counter it guards.
+type Guarded struct {
+	mu sync.Mutex
+	n  int64
+}
+
+// ByValue receives the guard by value: the copied lock guards nothing.
+func ByValue(g Guarded) int64 { // want lockdiscipline "copies a lock-bearing value"
+	return g.n
+}
+
+// ValueReceiver copies the lock through its receiver.
+func (g Guarded) ValueReceiver() int64 { // want lockdiscipline "copies a lock-bearing value"
+	return g.n
+}
+
+// ByPointer is the correct shape.
+func ByPointer(g *Guarded) int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// RangeCopies copies each element's lock through the range value.
+func RangeCopies(gs []Guarded) int64 {
+	var total int64
+	for _, g := range gs { // want lockdiscipline "range variable"
+		total += g.n
+	}
+	return total
+}
+
+// Hits is a counter accessed through sync/atomic.
+type Hits struct {
+	ops  int64
+	cold int64
+}
+
+// Bump increments atomically.
+func (h *Hits) Bump() { atomic.AddInt64(&h.ops, 1) }
+
+// Reset mixes a plain write into the atomically accessed field; the
+// plain-only field stays quiet.
+func (h *Hits) Reset() {
+	h.ops = 0 // want lockdiscipline "forfeits atomicity"
+	h.cold = 0
+}

@@ -1,0 +1,18 @@
+// Package metrics exercises the metricname contract against the telemetry
+// stub registry.
+package metrics
+
+import "fixture/internal/telemetry"
+
+var dynamic = "igpucomm_corpus_dynamic_total"
+
+// RegisterAll registers one metric of every shape the rule distinguishes.
+func RegisterAll(reg *telemetry.Registry) {
+	reg.Counter("igpucomm_corpus_requests_total", "good counter")
+	reg.Gauge("igpucomm_corpus_queue_entries", "good gauge")
+	reg.Counter("wrong_requests_total", "bad prefix")     // want metricname "namespace"
+	reg.Counter("igpucomm_corpus_requests_count", "unit") // want metricname "recognized unit"
+	reg.Counter("igpucomm_CamelCase_total", "shape")      // want metricname "lower_snake_case"
+	reg.Counter(dynamic, "dynamic name")                  // want metricname "not a compile-time constant"
+	reg.Gauge("igpucomm_corpus_queue_entries", "dup")     // want metricname "2 sites"
+}

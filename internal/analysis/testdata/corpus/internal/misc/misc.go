@@ -1,0 +1,26 @@
+// Package misc sits outside HotPackages: only the //igpu:hot marker puts a
+// function here under allochot.
+package misc
+
+import "fmt"
+
+// MarkedHot is explicitly marked hot, so both the Sprint call and the
+// unsized append in its loop are findings.
+//
+//igpu:hot
+func MarkedHot(n int) []string {
+	var out []string
+	for i := 0; i < n; i++ {
+		out = append(out, fmt.Sprint(i)) // want allochot "fmt.Sprint allocates" allochot "without preallocation"
+	}
+	return out
+}
+
+// NotHot is identical but unmarked, so allochot stays quiet.
+func NotHot(n int) []string {
+	var out []string
+	for i := 0; i < n; i++ {
+		out = append(out, fmt.Sprint(i))
+	}
+	return out
+}

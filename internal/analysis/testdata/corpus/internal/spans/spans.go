@@ -1,0 +1,52 @@
+// Package spans exercises the spanend rule against the telemetry stub.
+package spans
+
+import (
+	"context"
+	"errors"
+
+	"fixture/internal/telemetry"
+)
+
+var errClosed = errors.New("spans: closed")
+
+// Traced opens a span and defers its End; the good shape.
+func Traced(ctx context.Context) {
+	ctx, span := telemetry.Start(ctx, "traced")
+	defer span.End()
+	use(ctx)
+}
+
+// DeferredClosure ends the span from a deferred literal; also fine.
+func DeferredClosure(ctx context.Context) {
+	ctx, span := telemetry.Start(ctx, "closure")
+	defer func() {
+		span.End()
+	}()
+	use(ctx)
+}
+
+// Discarded throws the span away.
+func Discarded(ctx context.Context) {
+	ctx, _ = telemetry.Start(ctx, "blind") // want spanend "discarded"
+	use(ctx)
+}
+
+// Leaked keeps the span but never ends it.
+func Leaked(ctx context.Context) {
+	_, span := telemetry.Start(ctx, "leaked") // want spanend "never ended"
+	_ = span
+}
+
+// EarlyReturn ends the span, but a return escapes before End.
+func EarlyReturn(ctx context.Context, fail bool) error {
+	ctx, span := telemetry.Start(ctx, "early") // want spanend "does not dominate"
+	if fail {
+		return errClosed
+	}
+	use(ctx)
+	span.End()
+	return nil
+}
+
+func use(ctx context.Context) {}

@@ -1,0 +1,21 @@
+// Package suppress exercises the //igpulint:ignore machinery: justified
+// directives absorb findings, bare and unused ones are findings themselves.
+package suppress
+
+import "context"
+
+// root builds the one process-level root context this fixture allows; the
+// justified directive on the line above absorbs the ctxflow finding.
+func root() context.Context {
+	//igpulint:ignore ctxflow corpus fixture: the suppressed root is the point
+	return context.Background()
+}
+
+// todo shows a same-line directive covering its own line.
+func todo() context.Context {
+	return context.TODO() //igpulint:ignore ctxflow same-line directives cover their own line
+}
+
+/* want igpulint "no justification" */ //igpulint:ignore ctxflow
+
+/* want igpulint "suppresses nothing" */ //igpulint:ignore spanend nothing here opens a span

@@ -1,0 +1,35 @@
+// Package telemetry is a corpus stub: just enough of the real telemetry
+// surface for the spanend and metricname analyzers to resolve through the
+// type checker (isPkgFunc matches package paths by suffix, so
+// fixture/internal/telemetry stands in for the real package).
+package telemetry
+
+import "context"
+
+// Span is a stub span.
+type Span struct{}
+
+// End closes the span.
+func (s *Span) End() {}
+
+// Start opens a span under ctx.
+func Start(ctx context.Context, name string, attrs ...string) (context.Context, *Span) {
+	_ = name
+	_ = attrs
+	return ctx, &Span{}
+}
+
+// Registry is a stub metric registry.
+type Registry struct{}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter registers a counter metric.
+func (r *Registry) Counter(name, help string) {}
+
+// Gauge registers a gauge metric.
+func (r *Registry) Gauge(name, help string) {}
+
+// GaugeFunc registers a callback gauge metric.
+func (r *Registry) GaugeFunc(name, help string, f func() float64) {}

@@ -1,0 +1,15 @@
+// Package units is a corpus stub of the quantity types the typed unitsmix
+// rule tracks through conversions.
+package units
+
+// Latency is wall time in seconds.
+type Latency float64
+
+// Cycles counts ticks of one clock domain.
+type Cycles float64
+
+// Hertz is a clock frequency.
+type Hertz float64
+
+// BytesPerSecond is a transfer rate.
+type BytesPerSecond float64

@@ -1,0 +1,31 @@
+// Package unituser exercises the typed unitsmix rule: mixing unit classes
+// fires even when the quantities are laundered through float64 conversions.
+package unituser
+
+import (
+	"time"
+
+	"fixture/internal/units"
+)
+
+// Mix adds quantities across unit classes.
+func Mix(lat units.Latency, cyc units.Cycles, bw units.BytesPerSecond, hz units.Hertz, d time.Duration) float64 {
+	a := float64(lat) + float64(cyc) // want unitsmix "adding latency to cycles"
+	b := float64(bw) - float64(hz)   // want unitsmix "adding bandwidth to frequency"
+	c := float64(d) + float64(cyc)   // want unitsmix "adding latency to cycles"
+	return a + b + c
+}
+
+// Quiet shows same-domain arithmetic and explicit rates staying clean.
+func Quiet(lat, lat2 units.Latency, bw units.BytesPerSecond) float64 {
+	sum := lat + lat2
+	secs := float64(sum)
+	rate := 1024.0 / float64(bw)
+	return secs + rate
+}
+
+// NameHeuristic still fires on suggestively named plain floats, as the
+// original syntactic rule did.
+func NameHeuristic(copyTime, dramBytes float64) float64 {
+	return copyTime + dramBytes // want unitsmix "adding latency to bytes"
+}

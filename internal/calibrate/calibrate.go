@@ -42,16 +42,16 @@ func (t Target) Validate() error {
 // runner instead, so re-measuring the same candidate (the Verify step after a
 // fit, or fitting -sc and -zc against one config) costs one simulation, not
 // two.
-type MB1Runner func(cfg soc.Config, p microbench.Params) (microbench.MB1Result, error)
+type MB1Runner func(ctx context.Context, cfg soc.Config, p microbench.Params) (microbench.MB1Result, error)
 
 // SerialMB1 is the default, uncached MB1Runner.
-func SerialMB1(cfg soc.Config, p microbench.Params) (microbench.MB1Result, error) {
-	return microbench.RunMB1(context.Background(), soc.New(cfg), p)
+func SerialMB1(ctx context.Context, cfg soc.Config, p microbench.Params) (microbench.MB1Result, error) {
+	return microbench.RunMB1(ctx, soc.New(cfg), p)
 }
 
 // measureSC runs MB1 and returns the SC-row throughput.
-func measureSC(run MB1Runner, cfg soc.Config, p microbench.Params) (units.BytesPerSecond, error) {
-	res, err := run(cfg, p)
+func measureSC(ctx context.Context, run MB1Runner, cfg soc.Config, p microbench.Params) (units.BytesPerSecond, error) {
+	res, err := run(ctx, cfg, p)
 	if err != nil {
 		return 0, err
 	}
@@ -59,8 +59,8 @@ func measureSC(run MB1Runner, cfg soc.Config, p microbench.Params) (units.BytesP
 }
 
 // measureZC runs MB1 and returns the ZC-row throughput.
-func measureZC(run MB1Runner, cfg soc.Config, p microbench.Params) (units.BytesPerSecond, error) {
-	res, err := run(cfg, p)
+func measureZC(ctx context.Context, run MB1Runner, cfg soc.Config, p microbench.Params) (units.BytesPerSecond, error) {
+	res, err := run(ctx, cfg, p)
 	if err != nil {
 		return 0, err
 	}
@@ -123,19 +123,19 @@ func bisect(lo, hi float64, target units.BytesPerSecond, tol float64,
 
 // TuneLLCBandwidth fits cfg.GPU.LLCBandwidth so the first micro-benchmark's
 // SC throughput matches the target. Returns the fitted config.
-func TuneLLCBandwidth(cfg soc.Config, p microbench.Params, target units.BytesPerSecond, tol float64) (soc.Config, error) {
-	return TuneLLCBandwidthWith(SerialMB1, cfg, p, target, tol)
+func TuneLLCBandwidth(ctx context.Context, cfg soc.Config, p microbench.Params, target units.BytesPerSecond, tol float64) (soc.Config, error) {
+	return TuneLLCBandwidthWith(ctx, SerialMB1, cfg, p, target, tol)
 }
 
 // TuneLLCBandwidthWith is TuneLLCBandwidth with an injected MB1 runner.
-func TuneLLCBandwidthWith(run MB1Runner, cfg soc.Config, p microbench.Params, target units.BytesPerSecond, tol float64) (soc.Config, error) {
+func TuneLLCBandwidthWith(ctx context.Context, run MB1Runner, cfg soc.Config, p microbench.Params, target units.BytesPerSecond, tol float64) (soc.Config, error) {
 	if target <= 0 || tol <= 0 {
 		return soc.Config{}, fmt.Errorf("calibrate: invalid LLC target")
 	}
 	v, err := bisect(float64(target)/8, float64(target)*8, target, tol, func(v float64) (units.BytesPerSecond, error) {
 		c := cfg
 		c.GPU.LLCBandwidth = units.BytesPerSecond(v)
-		return measureSC(run, c, p)
+		return measureSC(ctx, run, c, p)
 	})
 	if err != nil {
 		return soc.Config{}, err
@@ -148,12 +148,12 @@ func TuneLLCBandwidthWith(run MB1Runner, cfg soc.Config, p microbench.Params, ta
 // TunePinnedBandwidth fits the zero-copy path bandwidth (the uncached pinned
 // port on non-coherent platforms, the I/O-coherent port otherwise) so MB1's
 // ZC throughput matches the target.
-func TunePinnedBandwidth(cfg soc.Config, p microbench.Params, target units.BytesPerSecond, tol float64) (soc.Config, error) {
-	return TunePinnedBandwidthWith(SerialMB1, cfg, p, target, tol)
+func TunePinnedBandwidth(ctx context.Context, cfg soc.Config, p microbench.Params, target units.BytesPerSecond, tol float64) (soc.Config, error) {
+	return TunePinnedBandwidthWith(ctx, SerialMB1, cfg, p, target, tol)
 }
 
 // TunePinnedBandwidthWith is TunePinnedBandwidth with an injected MB1 runner.
-func TunePinnedBandwidthWith(run MB1Runner, cfg soc.Config, p microbench.Params, target units.BytesPerSecond, tol float64) (soc.Config, error) {
+func TunePinnedBandwidthWith(ctx context.Context, run MB1Runner, cfg soc.Config, p microbench.Params, target units.BytesPerSecond, tol float64) (soc.Config, error) {
 	if target <= 0 || tol <= 0 {
 		return soc.Config{}, fmt.Errorf("calibrate: invalid pinned target")
 	}
@@ -167,7 +167,7 @@ func TunePinnedBandwidthWith(run MB1Runner, cfg soc.Config, p microbench.Params,
 	v, err := bisect(float64(target)/8, float64(target)*8, target, tol, func(v float64) (units.BytesPerSecond, error) {
 		c := cfg
 		apply(&c, v)
-		return measureZC(run, c, p)
+		return measureZC(ctx, run, c, p)
 	})
 	if err != nil {
 		return soc.Config{}, err
@@ -178,16 +178,16 @@ func TunePinnedBandwidthWith(run MB1Runner, cfg soc.Config, p microbench.Params,
 }
 
 // Verify runs MB1 on the config and checks it against the target.
-func Verify(cfg soc.Config, p microbench.Params, target Target) error {
-	return VerifyWith(SerialMB1, cfg, p, target)
+func Verify(ctx context.Context, cfg soc.Config, p microbench.Params, target Target) error {
+	return VerifyWith(ctx, SerialMB1, cfg, p, target)
 }
 
 // VerifyWith is Verify with an injected MB1 runner.
-func VerifyWith(run MB1Runner, cfg soc.Config, p microbench.Params, target Target) error {
+func VerifyWith(ctx context.Context, run MB1Runner, cfg soc.Config, p microbench.Params, target Target) error {
 	if err := target.Validate(); err != nil {
 		return err
 	}
-	res, err := run(cfg, p)
+	res, err := run(ctx, cfg, p)
 	if err != nil {
 		return err
 	}

@@ -27,8 +27,8 @@ type AppProfile struct {
 }
 
 // profileApp profiles the workload under SC and runs the advisor.
-func (c *Context) profileApp(board string, w comm.Workload, currentModel string) (AppProfile, error) {
-	char, err := c.Char(board)
+func (c *Context) profileApp(ctx context.Context, board string, w comm.Workload, currentModel string) (AppProfile, error) {
+	char, err := c.Char(ctx, board)
 	if err != nil {
 		return AppProfile{}, err
 	}
@@ -36,11 +36,11 @@ func (c *Context) profileApp(board string, w comm.Workload, currentModel string)
 	if err != nil {
 		return AppProfile{}, err
 	}
-	prof, err := profile.Collect(context.Background(), s, w, comm.SC{})
+	prof, err := profile.Collect(ctx, s, w, comm.SC{})
 	if err != nil {
 		return AppProfile{}, err
 	}
-	rec, err := framework.AdviseWorkload(context.Background(), char, s, w, currentModel)
+	rec, err := framework.AdviseWorkload(ctx, char, s, w, currentModel)
 	if err != nil {
 		return AppProfile{}, err
 	}
@@ -63,7 +63,7 @@ func (c *Context) profileApp(board string, w comm.Workload, currentModel string)
 type Table2Data struct{ Rows map[string]AppProfile }
 
 // Table2 regenerates the SH-WFS profiling table on all three boards.
-func Table2(c *Context) (report.Table, Table2Data, error) {
+func Table2(ctx context.Context, c *Context) (report.Table, Table2Data, error) {
 	w, err := shwfsWorkload()
 	if err != nil {
 		return report.Table{}, Table2Data{}, err
@@ -76,7 +76,7 @@ func Table2(c *Context) (report.Table, Table2Data, error) {
 		Note: "paper rows: Nano 19.8/15.6/1.7/2.5/453.5/44.8/-, TX2 19.8/15.6/3.7/2.7/175.2/22.4/-, Xavier 6.1/100/7.0/16.2-57.1/41.2/16.88/69.3",
 	}
 	for _, board := range []string{devices.NanoName, devices.TX2Name, devices.XavierName} {
-		row, err := c.profileApp(board, w, "sc")
+		row, err := c.profileApp(ctx, board, w, "sc")
 		if err != nil {
 			return report.Table{}, Table2Data{}, err
 		}
@@ -110,7 +110,7 @@ type Table3Data struct {
 const Table3IterationRate = 30.0
 
 // Table3 regenerates the SH-WFS per-model measurements.
-func Table3(c *Context) (report.Table, Table3Data, error) {
+func Table3(ctx context.Context, c *Context) (report.Table, Table3Data, error) {
 	w, err := shwfsWorkload()
 	if err != nil {
 		return report.Table{}, Table3Data{}, err
@@ -160,7 +160,7 @@ type Table4Data struct{ Rows map[string]AppProfile }
 
 // Table4 regenerates the ORB-SLAM profiling table (TX2 and Xavier, as in the
 // paper; the Nano cannot hold the app's real-time constraint).
-func Table4(c *Context) (report.Table, Table4Data, error) {
+func Table4(ctx context.Context, c *Context) (report.Table, Table4Data, error) {
 	w, err := orbWorkload()
 	if err != nil {
 		return report.Table{}, Table4Data{}, err
@@ -173,7 +173,7 @@ func Table4(c *Context) (report.Table, Table4Data, error) {
 		Note: "paper rows: TX2 0/15.6/25.3/2.7/93.56/1.57/-, Xavier 0/100/20.1/16.2-57.1/24.22/1.35/5.9",
 	}
 	for _, board := range []string{devices.TX2Name, devices.XavierName} {
-		row, err := c.profileApp(board, w, "sc")
+		row, err := c.profileApp(ctx, board, w, "sc")
 		if err != nil {
 			return report.Table{}, Table4Data{}, err
 		}
@@ -192,7 +192,7 @@ type Table5Data struct {
 }
 
 // Table5 regenerates the ORB-SLAM measured comparison.
-func Table5(c *Context) (report.Table, Table5Data, error) {
+func Table5(ctx context.Context, c *Context) (report.Table, Table5Data, error) {
 	w, err := orbWorkload()
 	if err != nil {
 		return report.Table{}, Table5Data{}, err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"igpucomm/internal/comm"
 	"igpucomm/internal/devices"
 	"igpucomm/internal/report"
@@ -18,7 +19,7 @@ type EnergyData struct {
 }
 
 // TableEnergy regenerates the energy accounting for both case studies.
-func TableEnergy(c *Context) (report.Table, EnergyData, error) {
+func TableEnergy(ctx context.Context, c *Context) (report.Table, EnergyData, error) {
 	data := EnergyData{
 		JoulesPerFrame:       map[string]map[string]map[string]float64{},
 		BestModelSavingJPerS: map[string]map[string]float64{},

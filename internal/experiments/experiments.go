@@ -51,7 +51,7 @@ func (c *Context) SoC(name string) (*soc.SoC, error) {
 
 // Char returns (running the micro-benchmarks on first use) the named
 // platform's characterization.
-func (c *Context) Char(name string) (framework.Characterization, error) {
+func (c *Context) Char(ctx context.Context, name string) (framework.Characterization, error) {
 	if ch, ok := c.chars[name]; ok {
 		return ch, nil
 	}
@@ -59,7 +59,7 @@ func (c *Context) Char(name string) (framework.Characterization, error) {
 	if err != nil {
 		return framework.Characterization{}, err
 	}
-	ch, err := framework.Characterize(context.Background(), s, c.Params)
+	ch, err := framework.Characterize(ctx, s, c.Params)
 	if err != nil {
 		return framework.Characterization{}, err
 	}
@@ -114,7 +114,7 @@ func SHWFSWorkloadForAblation() (comm.Workload, error) { return shwfsWorkload() 
 // SoC instance — the simulators are independent) and caches the results.
 // Characterization dominates the experiments' wall time, so this is the
 // 3-devices-in-the-time-of-1 fast path used by the benchmark harness.
-func (c *Context) Prewarm(names ...string) error {
+func (c *Context) Prewarm(ctx context.Context, names ...string) error {
 	type result struct {
 		name string
 		s    *soc.SoC
@@ -135,7 +135,7 @@ func (c *Context) Prewarm(names ...string) error {
 				results <- result{name: name, err: err}
 				return
 			}
-			char, err := framework.Characterize(context.Background(), s, c.Params)
+			char, err := framework.Characterize(ctx, s, c.Params)
 			results <- result{name: name, s: s, char: char, err: err}
 		}(name)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -23,7 +24,7 @@ func testCtx(t *testing.T) *Context {
 	}
 	ctxOnce.Do(func() {
 		ctx = NewContext(microbench.DefaultParams())
-		if err := ctx.Prewarm(devices.NanoName, devices.TX2Name, devices.XavierName); err != nil {
+		if err := ctx.Prewarm(context.Background(), devices.NanoName, devices.TX2Name, devices.XavierName); err != nil {
 			panic(err)
 		}
 	})
@@ -32,7 +33,7 @@ func testCtx(t *testing.T) *Context {
 
 func TestTable1Shape(t *testing.T) {
 	c := testCtx(t)
-	tab, data, err := Table1(c)
+	tab, data, err := Table1(context.Background(), c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +59,7 @@ func TestTable1Shape(t *testing.T) {
 
 func TestFig5Shape(t *testing.T) {
 	c := testCtx(t)
-	_, data, err := Fig5(c)
+	_, data, err := Fig5(context.Background(), c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,11 +84,11 @@ func TestFig5Shape(t *testing.T) {
 
 func TestFig3And6Shape(t *testing.T) {
 	c := testCtx(t)
-	_, xavier, err := Fig3(c)
+	_, xavier, err := Fig3(context.Background(), c)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, tx2, err := Fig6(c)
+	_, tx2, err := Fig6(context.Background(), c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestFig3And6Shape(t *testing.T) {
 
 func TestFig7Shape(t *testing.T) {
 	c := testCtx(t)
-	_, data, err := Fig7(c)
+	_, data, err := Fig7(context.Background(), c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestFig7Shape(t *testing.T) {
 
 func TestTable2Shape(t *testing.T) {
 	c := testCtx(t)
-	_, data, err := Table2(c)
+	_, data, err := Table2(context.Background(), c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +164,7 @@ func TestTable2Shape(t *testing.T) {
 
 func TestTable3Shape(t *testing.T) {
 	c := testCtx(t)
-	_, data, err := Table3(c)
+	_, data, err := Table3(context.Background(), c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +205,7 @@ func TestTable3Shape(t *testing.T) {
 
 func TestTable4Shape(t *testing.T) {
 	c := testCtx(t)
-	_, data, err := Table4(c)
+	_, data, err := Table4(context.Background(), c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,7 +234,7 @@ func TestTable4Shape(t *testing.T) {
 
 func TestTable5Shape(t *testing.T) {
 	c := testCtx(t)
-	_, data, err := Table5(c)
+	_, data, err := Table5(context.Background(), c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,25 +257,25 @@ func TestTable5Shape(t *testing.T) {
 
 func TestContextCachesCharacterizations(t *testing.T) {
 	c := testCtx(t)
-	a, err := c.Char(devices.TX2Name)
+	a, err := c.Char(context.Background(), devices.TX2Name)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := c.Char(devices.TX2Name)
+	b, err := c.Char(context.Background(), devices.TX2Name)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if a.PeakGPUThroughput != b.PeakGPUThroughput {
 		t.Error("characterization not cached")
 	}
-	if _, err := c.Char("no-such-board"); err == nil {
+	if _, err := c.Char(context.Background(), "no-such-board"); err == nil {
 		t.Error("unknown board accepted")
 	}
 }
 
 func TestTableAsyncShape(t *testing.T) {
 	c := testCtx(t)
-	_, data, err := TableAsync(c)
+	_, data, err := TableAsync(context.Background(), c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,7 +296,7 @@ func TestTableAsyncShape(t *testing.T) {
 
 func TestTableEnergyShape(t *testing.T) {
 	c := testCtx(t)
-	_, data, err := TableEnergy(c)
+	_, data, err := TableEnergy(context.Background(), c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -319,7 +320,7 @@ func TestTableEnergyShape(t *testing.T) {
 
 func TestTableRealtimeShape(t *testing.T) {
 	c := testCtx(t)
-	_, data, err := TableRealtime(c)
+	_, data, err := TableRealtime(context.Background(), c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -360,16 +361,16 @@ func TestTableRealtimeShape(t *testing.T) {
 // even under -short (the shape assertions above need full scale).
 func TestQuickContextSmoke(t *testing.T) {
 	c := NewContext(microbench.TestParams())
-	if _, _, err := Table1(c); err != nil {
+	if _, _, err := Table1(context.Background(), c); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := Fig5(c); err != nil {
+	if _, _, err := Fig5(context.Background(), c); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := Fig7(c); err != nil {
+	if _, _, err := Fig7(context.Background(), c); err != nil {
 		t.Fatal(err)
 	}
-	tab, _, err := Table2(c)
+	tab, _, err := Table2(context.Background(), c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -380,11 +381,11 @@ func TestQuickContextSmoke(t *testing.T) {
 
 func TestPrewarmParallel(t *testing.T) {
 	c := NewContext(microbench.TestParams())
-	if err := c.Prewarm(devices.NanoName, devices.TX2Name, devices.XavierName); err != nil {
+	if err := c.Prewarm(context.Background(), devices.NanoName, devices.TX2Name, devices.XavierName); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{devices.NanoName, devices.TX2Name, devices.XavierName} {
-		char, err := c.Char(name)
+		char, err := c.Char(context.Background(), name)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -393,10 +394,10 @@ func TestPrewarmParallel(t *testing.T) {
 		}
 	}
 	// Idempotent, and unknown names fail.
-	if err := c.Prewarm(devices.TX2Name); err != nil {
+	if err := c.Prewarm(context.Background(), devices.TX2Name); err != nil {
 		t.Error(err)
 	}
-	if err := c.Prewarm("jetson-bogus"); err == nil {
+	if err := c.Prewarm(context.Background(), "jetson-bogus"); err == nil {
 		t.Error("unknown platform prewarmed")
 	}
 }

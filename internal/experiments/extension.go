@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"igpucomm/internal/comm"
 	"igpucomm/internal/devices"
 	"igpucomm/internal/report"
@@ -18,7 +19,7 @@ type AsyncData struct {
 }
 
 // TableAsync runs the extension comparison.
-func TableAsync(c *Context) (report.Table, AsyncData, error) {
+func TableAsync(ctx context.Context, c *Context) (report.Table, AsyncData, error) {
 	data := AsyncData{Totals: map[string]map[string]map[string]float64{}}
 	t := report.Table{
 		Title:   "Extension — sc-async and hybrid vs the paper's models",

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"math"
 	"os"
@@ -35,11 +36,11 @@ const goldenTolerance = 0.05 // 5% relative
 func collectGolden(t *testing.T, c *Context) goldenMetrics {
 	t.Helper()
 	var g goldenMetrics
-	tx2, err := c.Char(devices.TX2Name)
+	tx2, err := c.Char(context.Background(), devices.TX2Name)
 	if err != nil {
 		t.Fatal(err)
 	}
-	xavier, err := c.Char(devices.XavierName)
+	xavier, err := c.Char(context.Background(), devices.XavierName)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,14 +53,14 @@ func collectGolden(t *testing.T, c *Context) goldenMetrics {
 	g.XavierGPUThresholdHi = xavier.Thresholds.GPUCacheHigh
 	g.XavierSCZCMaxSpeedup = xavier.SCZCMaxSpeedup
 
-	_, t3, err := Table3(c)
+	_, t3, err := Table3(context.Background(), c)
 	if err != nil {
 		t.Fatal(err)
 	}
 	x := t3.Runs[devices.XavierName]
 	g.SHWFSXavierZCGainPct = (x["sc"].TotalUS/x["zc"].TotalUS - 1) * 100
 
-	_, t5, err := Table5(c)
+	_, t5, err := Table5(context.Background(), c)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"igpucomm/internal/devices"
@@ -22,7 +23,7 @@ var table1Paper = map[string]map[string]float64{
 }
 
 // Table1 regenerates Table I on TX2 and Xavier.
-func Table1(c *Context) (report.Table, Table1Data, error) {
+func Table1(ctx context.Context, c *Context) (report.Table, Table1Data, error) {
 	data := Table1Data{
 		ZC: map[string]float64{}, SC: map[string]float64{}, UM: map[string]float64{},
 	}
@@ -32,7 +33,7 @@ func Table1(c *Context) (report.Table, Table1Data, error) {
 		Note:    "paper values in parentheses; UM-vs-SC sign varies across the paper's own experiments (±8% band, §III-A)",
 	}
 	for _, board := range []string{devices.TX2Name, devices.XavierName} {
-		char, err := c.Char(board)
+		char, err := c.Char(ctx, board)
 		if err != nil {
 			return report.Table{}, Table1Data{}, err
 		}
@@ -62,7 +63,7 @@ type Fig5Data struct {
 }
 
 // Fig5 regenerates the first benchmark's execution-time bars.
-func Fig5(c *Context) (report.Table, Fig5Data, error) {
+func Fig5(ctx context.Context, c *Context) (report.Table, Fig5Data, error) {
 	data := Fig5Data{CPU: map[string]map[string]float64{}, GPU: map[string]map[string]float64{}}
 	t := report.Table{
 		Title:   "Fig 5 — First micro-benchmark execution times (µs)",
@@ -70,7 +71,7 @@ func Fig5(c *Context) (report.Table, Fig5Data, error) {
 		Note:    "ZC on TX2/Nano uncaches both sides; Xavier's I/O coherence protects the CPU routine",
 	}
 	for _, board := range []string{devices.NanoName, devices.TX2Name, devices.XavierName} {
-		char, err := c.Char(board)
+		char, err := c.Char(ctx, board)
 		if err != nil {
 			return report.Table{}, Fig5Data{}, err
 		}
@@ -104,13 +105,17 @@ var sweepPaper = map[string][2]float64{
 }
 
 // Fig3 regenerates the Xavier sweep; Fig6 the TX2 sweep.
-func Fig3(c *Context) (report.Series, SweepData, error) { return sweep(c, devices.XavierName, "Fig 3") }
+func Fig3(ctx context.Context, c *Context) (report.Series, SweepData, error) {
+	return sweep(ctx, c, devices.XavierName, "Fig 3")
+}
 
 // Fig6 is the TX2 counterpart of Fig3.
-func Fig6(c *Context) (report.Series, SweepData, error) { return sweep(c, devices.TX2Name, "Fig 6") }
+func Fig6(ctx context.Context, c *Context) (report.Series, SweepData, error) {
+	return sweep(ctx, c, devices.TX2Name, "Fig 6")
+}
 
-func sweep(c *Context, board, fig string) (report.Series, SweepData, error) {
-	char, err := c.Char(board)
+func sweep(ctx context.Context, c *Context, board, fig string) (report.Series, SweepData, error) {
+	char, err := c.Char(ctx, board)
 	if err != nil {
 		return report.Series{}, SweepData{}, err
 	}
@@ -148,7 +153,7 @@ type Fig7Data struct {
 }
 
 // Fig7 regenerates the balanced overlapped workload comparison.
-func Fig7(c *Context) (report.Table, Fig7Data, error) {
+func Fig7(ctx context.Context, c *Context) (report.Table, Fig7Data, error) {
 	data := Fig7Data{
 		Totals: map[string]map[string]float64{},
 		SCZC:   map[string]float64{},
@@ -160,7 +165,7 @@ func Fig7(c *Context) (report.Table, Fig7Data, error) {
 		Note:    "paper: ZC up to 152% faster than SC and 164% than UM (its best case is the I/O-coherent board)",
 	}
 	for _, board := range []string{devices.NanoName, devices.TX2Name, devices.XavierName} {
-		char, err := c.Char(board)
+		char, err := c.Char(ctx, board)
 		if err != nil {
 			return report.Table{}, Fig7Data{}, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"igpucomm/internal/comm"
 	"igpucomm/internal/devices"
 	"igpucomm/internal/report"
@@ -23,7 +24,7 @@ const (
 )
 
 // TableRealtime runs the streaming analysis.
-func TableRealtime(c *Context) (report.Table, RealtimeData, error) {
+func TableRealtime(ctx context.Context, c *Context) (report.Table, RealtimeData, error) {
 	data := RealtimeData{Stats: map[string]map[string]map[string]stream.Stats{}}
 	t := report.Table{
 		Title:   "Real-time — sustained loop analysis (SH-WFS @ 1 kHz AO loop, ORB @ 30 Hz camera)",

@@ -43,6 +43,7 @@ const (
 	ModePanic
 )
 
+// String names the mode for logs and error messages.
 func (m Mode) String() string {
 	switch m {
 	case ModeError:
@@ -104,6 +105,7 @@ type Error struct {
 	Mode Mode
 }
 
+// Error formats the injected failure with its point and mode.
 func (e *Error) Error() string {
 	return fmt.Sprintf("faults: injected %s at %s", e.Mode, e.Point)
 }
@@ -115,6 +117,7 @@ type PanicValue struct {
 	Point string
 }
 
+// String identifies the injected panic's origin point.
 func (p *PanicValue) String() string { return "faults: injected panic at " + p.Point }
 
 // Point is one registered fault point: its name, what it interrupts, and the

@@ -28,6 +28,7 @@ package gpu
 
 import (
 	"fmt"
+	"strconv"
 
 	"igpucomm/internal/cache"
 	"igpucomm/internal/isa"
@@ -140,7 +141,7 @@ func New(cfg Config, dram MemPath) *GPU {
 	}
 	for i := 0; i < cfg.SMs; i++ {
 		l1cfg := cfg.L1
-		l1cfg.Name = fmt.Sprintf("%s/sm%d", cfg.L1.Name, i)
+		l1cfg.Name = cfg.L1.Name + "/sm" + strconv.Itoa(i)
 		g.sms = append(g.sms, &sm{l1: cache.New(l1cfg, llc)})
 	}
 	return g

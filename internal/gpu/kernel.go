@@ -255,7 +255,11 @@ func (g *GPU) runBatch(k Kernel, s *sm, b *batch, res *Result) error {
 	}
 
 	lineSize := g.cfg.L1.LineSize
-	var lineBuf []int64
+	// Coalescing scratch, reused across every warp-instruction: a lane can
+	// touch at most two cache lines, and WC merging caps at one line per
+	// lane, so these never regrow after the first warp.
+	lineBuf := make([]int64, 0, 2*ws)
+	wcBuf := make([]int64, 0, ws)
 	for i := 0; i < maxLen; i++ {
 		for bi := range b.warps {
 			ref := g.laneProgs[bi*ws].Instrs()
@@ -288,7 +292,7 @@ func (g *GPU) runBatch(k Kernel, s *sm, b *batch, res *Result) error {
 			// are legal (uniform opcode, arbitrary addresses); Nop lanes
 			// are masked off.
 			lineBuf = lineBuf[:0]
-			var wcBuf []int64
+			wcBuf = wcBuf[:0]
 			var wcBytes int64
 			for l := 0; l < lanes; l++ {
 				la := g.laneProgs[bi*ws+l].Instrs()[i]

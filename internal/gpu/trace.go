@@ -33,6 +33,10 @@ func (g *GPU) TraceTransactions(k Kernel, w io.Writer) error {
 	warpCount := (k.Threads + ws - 1) / ws
 	lineSize := g.cfg.L1.LineSize
 	progs := make([]isa.Program, ws)
+	// Coalescing scratch, reused across warp-instructions exactly as in
+	// Launch (two lines per lane worst case, one WC line per lane).
+	lineBuf := make([]int64, 0, 2*ws)
+	wcBuf := make([]int64, 0, ws)
 
 	emit := func(warp, instr int, kind, path string, addr, size int64) error {
 		_, err := fmt.Fprintf(bw, "%d,%d,%s,%s,%d,%d\n", warp, instr, kind, path, addr, size)
@@ -70,7 +74,7 @@ func (g *GPU) TraceTransactions(k Kernel, w io.Writer) error {
 			if in.Op == isa.StGlobal {
 				kind = "write"
 			}
-			var lineBuf, wcBuf []int64
+			lineBuf, wcBuf = lineBuf[:0], wcBuf[:0]
 			var wcBytes int64
 			for l := 0; l < lanes; l++ {
 				lane := progs[l].Instrs()

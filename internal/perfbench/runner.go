@@ -64,7 +64,7 @@ func Run(ctx context.Context, scenarios []Scenario, opt RunOptions) (Artifact, e
 	}
 
 	reg := telemetry.NewRegistry()
-	durations := reg.HistogramVec("perfbench_iteration_seconds",
+	durations := reg.HistogramVec("igpucomm_perfbench_iteration_seconds",
 		"Timed harness iterations, by scenario.", "scenario", nil)
 
 	ctx, runSpan := telemetry.Start(ctx, "perfbench.run",
