@@ -13,9 +13,14 @@
 //	perfgate -baseline A -candidate B -rel 5 -abs-floor 1ms
 //	perfgate -baseline A -candidate B -warn-only
 //
+// Beyond the baseline comparison, every run or candidate artifact is checked
+// against the declared cross-scenario Relations (perfbench.DefaultRelations):
+// ordering invariants like "sweep/engine beats sweep/serial" and the batch
+// core's absolute 5x-vs-seed cap on sweep/engine-batch.
+//
 // Exit status: 0 on success (or regressions under -warn-only), 1 when the
-// comparison finds a regression beyond the noise gate, 2 on usage or I/O
-// errors.
+// comparison finds a regression beyond the noise gate or a relation is
+// violated, 2 on usage or I/O errors.
 package main
 
 import (
@@ -59,13 +64,13 @@ func main() {
 	case *updateBaseline:
 		// The committed baseline is always quick-scale: it must be cheap
 		// enough for CI and for every contributor to regenerate.
-		os.Exit(runSuite(true, *iterations, *warmup, *workers, defaultBaseline, *verbose))
+		os.Exit(runSuite(true, *iterations, *warmup, *workers, defaultBaseline, *verbose, *warnOnly))
 	case *run:
 		path := *out
 		if path == "" {
 			path = perfbench.ArtifactName(time.Now())
 		}
-		os.Exit(runSuite(*quick, *iterations, *warmup, *workers, path, *verbose))
+		os.Exit(runSuite(*quick, *iterations, *warmup, *workers, path, *verbose, *warnOnly))
 	case *baseline != "" || *candidate != "":
 		if *baseline == "" || *candidate == "" {
 			fatal(fmt.Errorf("comparison needs both -baseline and -candidate"))
@@ -81,7 +86,7 @@ func main() {
 	}
 }
 
-func runSuite(quick bool, iterations, warmup, workers int, path string, verbose bool) int {
+func runSuite(quick bool, iterations, warmup, workers int, path string, verbose, warnOnly bool) int {
 	suite, err := perfbench.DefaultSuite(perfbench.SuiteOptions{Quick: quick, Workers: workers})
 	if err != nil {
 		fatal(err)
@@ -102,7 +107,12 @@ func runSuite(quick bool, iterations, warmup, workers int, path string, verbose 
 		fatal(err)
 	}
 	fmt.Print(perfbench.FormatTable(artifact))
+	results, violations := perfbench.CheckRelations(artifact, perfbench.DefaultRelations())
+	fmt.Print(perfbench.FormatRelations(results, violations))
 	fmt.Printf("wrote %s\n", path)
+	if violations > 0 && !warnOnly {
+		return 1
+	}
 	return 0
 }
 
@@ -120,7 +130,9 @@ func compare(basePath, candPath string, th perfbench.Thresholds, warnOnly bool) 
 		fatal(err)
 	}
 	fmt.Print(perfbench.FormatComparison(cmp))
-	if cmp.Regressions > 0 && !warnOnly {
+	results, violations := perfbench.CheckRelations(cand, perfbench.DefaultRelations())
+	fmt.Print(perfbench.FormatRelations(results, violations))
+	if (cmp.Regressions > 0 || violations > 0) && !warnOnly {
 		return 1
 	}
 	return 0

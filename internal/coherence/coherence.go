@@ -86,6 +86,53 @@ func (p *IOPort) Do(a cache.Access) cache.Result {
 	return r
 }
 
+// DoBatch services an ordered group of accesses through the CPU hierarchy's
+// batch path. Latencies, counters and cache state are byte-identical to
+// calling Do per access in order; the only difference is that the batch path
+// does not rewrite ServedBy with the port's route prefix (the compiled GPU
+// replay, its only caller, never reads ServedBy, and skipping the rewrite is
+// what keeps the path allocation-free).
+func (p *IOPort) DoBatch(accs []cache.Access, out []cache.Result, b *cache.Batch) {
+	if !p.enabled {
+		panic(fmt.Sprintf("ioport %s: used while disabled", p.name))
+	}
+	for i := range accs {
+		a := accs[i]
+		if a.Size <= 0 {
+			continue
+		}
+		switch a.Kind {
+		case cache.Read:
+			p.stats.Reads++
+			p.stats.BytesRead += a.Size
+		case cache.Write:
+			p.stats.Writes++
+			p.stats.BytesWritten += a.Size
+		case cache.Writeback:
+			p.stats.Writebacks++
+			p.stats.BytesWritten += a.Size
+		}
+	}
+	if tc, ok := p.target.(*cache.Cache); ok {
+		tc.DoBatch(accs, out, b)
+	} else {
+		for i := range accs {
+			if accs[i].Size <= 0 {
+				out[i] = cache.Result{}
+				continue
+			}
+			out[i] = p.target.Do(accs[i])
+		}
+	}
+	for i := range accs {
+		if accs[i].Size <= 0 {
+			out[i] = cache.Result{}
+			continue
+		}
+		out[i].Latency += p.extra
+	}
+}
+
 // Stats returns the traffic the port has carried.
 func (p *IOPort) Stats() memdev.Stats { return p.stats }
 

@@ -2,6 +2,7 @@ package comm
 
 import (
 	"igpucomm/internal/energy"
+	"igpucomm/internal/gpu"
 	"igpucomm/internal/mmu"
 	"igpucomm/internal/soc"
 )
@@ -48,9 +49,10 @@ func (Hybrid) Run(s *soc.SoC, w Workload) (Report, error) {
 	cpuLay, gpuLay := planViews(plan, lays)
 
 	var rep Report
+	lch := gpu.NewLauncher(s.GPU, "hybrid/"+w.Name)
 	for i := 0; i <= w.Warmup; i++ {
 		measured := i == w.Warmup
-		r, err := hybridIteration(s, w, cpuLay, gpuLay, hostLay, devLay)
+		r, err := hybridIteration(s, w, cpuLay, gpuLay, hostLay, devLay, lch)
 		if err != nil {
 			return Report{}, err
 		}
@@ -67,7 +69,7 @@ func (Hybrid) Run(s *soc.SoC, w Workload) (Report, error) {
 	return rep, nil
 }
 
-func hybridIteration(s *soc.SoC, w Workload, cpuLay, gpuLay, hostLay, devLay Layout) (Report, error) {
+func hybridIteration(s *soc.SoC, w Workload, cpuLay, gpuLay, hostLay, devLay Layout, lch *gpu.Launcher) (Report, error) {
 	dramBefore := s.DRAM.Stats()
 	copyBefore := s.CopyBytes()
 
@@ -96,7 +98,7 @@ func hybridIteration(s *soc.SoC, w Workload, cpuLay, gpuLay, hostLay, devLay Lay
 			rep.CopyTime += s.Copy(size)
 		}
 
-		res, err := s.GPU.Launch(w.MakeKernel(gpuLay, l))
+		res, err := lch.Launch(l, w.MakeKernel(gpuLay, l))
 		if err != nil {
 			return Report{}, err
 		}

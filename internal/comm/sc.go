@@ -2,6 +2,7 @@ package comm
 
 import (
 	"igpucomm/internal/energy"
+	"igpucomm/internal/gpu"
 	"igpucomm/internal/mmu"
 	"igpucomm/internal/soc"
 	"igpucomm/internal/units"
@@ -44,9 +45,10 @@ func (SC) Run(s *soc.SoC, w Workload) (Report, error) {
 	hostLay, devLay := lays[0], lays[1]
 
 	var rep Report
+	lch := gpu.NewLauncher(s.GPU, "sc/"+w.Name)
 	for i := 0; i <= w.Warmup; i++ {
 		measured := i == w.Warmup
-		r, err := scIteration(s, w, hostLay, devLay)
+		r, err := scIteration(s, w, hostLay, devLay, lch)
 		if err != nil {
 			return Report{}, err
 		}
@@ -63,7 +65,7 @@ func (SC) Run(s *soc.SoC, w Workload) (Report, error) {
 	return rep, nil
 }
 
-func scIteration(s *soc.SoC, w Workload, hostLay, devLay Layout) (Report, error) {
+func scIteration(s *soc.SoC, w Workload, hostLay, devLay Layout, lch *gpu.Launcher) (Report, error) {
 	dramBefore := s.DRAM.Stats()
 	copyBefore := s.CopyBytes()
 
@@ -99,7 +101,7 @@ func scIteration(s *soc.SoC, w Workload, hostLay, devLay Layout) (Report, error)
 			rep.CopyTime += s.Copy(size)
 		}
 
-		res, err := s.GPU.Launch(w.MakeKernel(devLay, l))
+		res, err := lch.Launch(l, w.MakeKernel(devLay, l))
 		if err != nil {
 			return Report{}, err
 		}

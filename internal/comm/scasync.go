@@ -2,6 +2,7 @@ package comm
 
 import (
 	"igpucomm/internal/energy"
+	"igpucomm/internal/gpu"
 	"igpucomm/internal/mmu"
 	"igpucomm/internal/soc"
 	"igpucomm/internal/units"
@@ -46,9 +47,10 @@ func (SCAsync) Run(s *soc.SoC, w Workload) (Report, error) {
 	hostLay, devLay := lays[0], lays[1]
 
 	var rep Report
+	lch := gpu.NewLauncher(s.GPU, "sc-async/"+w.Name)
 	for i := 0; i <= w.Warmup; i++ {
 		measured := i == w.Warmup
-		r, err := scAsyncIteration(s, w, hostLay, devLay)
+		r, err := scAsyncIteration(s, w, hostLay, devLay, lch)
 		if err != nil {
 			return Report{}, err
 		}
@@ -65,7 +67,7 @@ func (SCAsync) Run(s *soc.SoC, w Workload) (Report, error) {
 	return rep, nil
 }
 
-func scAsyncIteration(s *soc.SoC, w Workload, hostLay, devLay Layout) (Report, error) {
+func scAsyncIteration(s *soc.SoC, w Workload, hostLay, devLay Layout, lch *gpu.Launcher) (Report, error) {
 	dramBefore := s.DRAM.Stats()
 	copyBefore := s.CopyBytes()
 
@@ -100,7 +102,7 @@ func scAsyncIteration(s *soc.SoC, w Workload, hostLay, devLay Layout) (Report, e
 			_, size := stripe(hostLay.Buffer(spec.Name), l, launches)
 			copyIn[l] += s.Copy(size)
 		}
-		res, err := s.GPU.Launch(w.MakeKernel(devLay, l))
+		res, err := lch.Launch(l, w.MakeKernel(devLay, l))
 		if err != nil {
 			return Report{}, err
 		}

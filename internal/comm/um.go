@@ -2,6 +2,7 @@ package comm
 
 import (
 	"igpucomm/internal/energy"
+	"igpucomm/internal/gpu"
 	"igpucomm/internal/mmu"
 	"igpucomm/internal/soc"
 	"igpucomm/internal/units"
@@ -50,9 +51,10 @@ func (UM) Run(s *soc.SoC, w Workload) (Report, error) {
 	lay := lays[0]
 
 	var rep Report
+	lch := gpu.NewLauncher(s.GPU, "um/"+w.Name)
 	for i := 0; i <= w.Warmup; i++ {
 		measured := i == w.Warmup
-		r := umIteration(s, w, lay)
+		r := umIteration(s, w, lay, lch)
 		if r.err != nil {
 			return Report{}, r.err
 		}
@@ -74,7 +76,7 @@ type umResult struct {
 	err error
 }
 
-func umIteration(s *soc.SoC, w Workload, lay Layout) umResult {
+func umIteration(s *soc.SoC, w Workload, lay Layout, lch *gpu.Launcher) umResult {
 	dramBefore := s.DRAM.Stats()
 	migBefore := s.Migrator.Stats().BytesMigrated
 	var rep Report
@@ -118,7 +120,7 @@ func umIteration(s *soc.SoC, w Workload, lay Layout) umResult {
 		rep.CopyTime += s.MigrationCost(faults, migBytes)
 		chargeMigrationTraffic(s, migBytes)
 
-		res, err := s.GPU.Launch(w.MakeKernel(lay, l))
+		res, err := lch.Launch(l, w.MakeKernel(lay, l))
 		if err != nil {
 			return umResult{err: err}
 		}

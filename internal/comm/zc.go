@@ -2,6 +2,7 @@ package comm
 
 import (
 	"igpucomm/internal/energy"
+	"igpucomm/internal/gpu"
 	"igpucomm/internal/memdev"
 	"igpucomm/internal/mmu"
 	"igpucomm/internal/soc"
@@ -45,9 +46,10 @@ func (ZC) Run(s *soc.SoC, w Workload) (Report, error) {
 	lay := lays[0]
 
 	var rep Report
+	lch := gpu.NewLauncher(s.GPU, "zc/"+w.Name)
 	for i := 0; i <= w.Warmup; i++ {
 		measured := i == w.Warmup
-		r, err := zcIteration(s, w, lay)
+		r, err := zcIteration(s, w, lay, lch)
 		if err != nil {
 			return Report{}, err
 		}
@@ -64,7 +66,7 @@ func (ZC) Run(s *soc.SoC, w Workload) (Report, error) {
 	return rep, nil
 }
 
-func zcIteration(s *soc.SoC, w Workload, lay Layout) (Report, error) {
+func zcIteration(s *soc.SoC, w Workload, lay Layout, lch *gpu.Launcher) (Report, error) {
 	dramBefore := s.DRAM.Stats()
 	var rep Report
 
@@ -83,7 +85,7 @@ func zcIteration(s *soc.SoC, w Workload, lay Layout) (Report, error) {
 	rep.Launches = launches
 	var gpuBytes int64
 	for l := 0; l < launches; l++ {
-		res, err := s.GPU.Launch(w.MakeKernel(lay, l))
+		res, err := lch.Launch(l, w.MakeKernel(lay, l))
 		if err != nil {
 			return Report{}, err
 		}

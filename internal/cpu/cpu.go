@@ -73,10 +73,15 @@ type CPU struct {
 	uncached cache.Level
 	ranges   []addrRange
 
+	// issueLat[op] is Costs.Cost(op).Lat(Freq), precomputed once so Exec
+	// indexes an array instead of hashing a map per instruction. Indexed by
+	// the full uint8 opcode space, so unknown ops cost 0 like CostModel.Cost.
+	issueLat [256]units.Latency
+
 	elapsed  units.Latency
 	instrs   int64
 	memOps   int64
-	opCounts map[isa.Op]int64
+	opCounts [256]int64 // per-opcode retire counters, indexed by isa.Op
 	tracer   func(isa.Instr)
 }
 
@@ -92,13 +97,16 @@ func New(cfg Config, mem, uncached cache.Level) *CPU {
 	}
 	llc := cache.New(cfg.LLC, mem)
 	l1 := cache.New(cfg.L1, llc)
-	return &CPU{
+	c := &CPU{
 		cfg:      cfg,
 		l1:       l1,
 		llc:      llc,
 		uncached: uncached,
-		opCounts: make(map[isa.Op]int64),
 	}
+	for op := range cfg.Costs.Issue {
+		c.issueLat[op] = cfg.Costs.Cost(op).Lat(cfg.Freq)
+	}
+	return c
 }
 
 // Name returns the configured name.
@@ -151,7 +159,7 @@ func (c *CPU) Exec(in isa.Instr) {
 	}
 	c.instrs++
 	c.opCounts[in.Op]++
-	c.elapsed += c.cfg.Costs.Cost(in.Op).Lat(c.cfg.Freq)
+	c.elapsed += c.issueLat[in.Op]
 	if !in.Op.IsMemory() {
 		return
 	}
@@ -181,17 +189,36 @@ func (c *CPU) Load(addr, size int64) { c.Exec(isa.Instr{Op: isa.LdGlobal, Addr: 
 // Store is the write-side convenience.
 func (c *CPU) Store(addr, size int64) { c.Exec(isa.Instr{Op: isa.StGlobal, Addr: addr, Size: size}) }
 
-// Work executes n copies of a compute op.
+// Work executes n copies of a compute op. With no tracer installed the loop
+// collapses to counter bumps plus n issue-latency additions — the additions
+// stay a loop (not a multiply) so the elapsed clock accumulates bit-for-bit
+// the same float sequence the per-instruction path produces.
 func (c *CPU) Work(op isa.Op, n int) {
+	if c.tracer != nil || op.IsMemory() {
+		for i := 0; i < n; i++ {
+			c.Exec(isa.Instr{Op: op})
+		}
+		return
+	}
+	c.instrs += int64(n)
+	c.opCounts[op] += int64(n)
+	lat := c.issueLat[op]
 	for i := 0; i < n; i++ {
-		c.Exec(isa.Instr{Op: op})
+		c.elapsed += lat
 	}
 }
 
-// Run executes a whole program.
+// Run executes a whole program, walking its run-length encoding: compute
+// stretches go through the bulk Work path, memory ops execute individually.
 func (c *CPU) Run(p *isa.Program) {
-	for _, in := range p.Instrs() {
-		c.Exec(in)
+	for _, r := range p.Runs() {
+		if r.In.Op.IsMemory() || c.tracer != nil {
+			for i := int32(0); i < r.Count; i++ {
+				c.Exec(r.In)
+			}
+			continue
+		}
+		c.Work(r.In.Op, int(r.Count))
 	}
 }
 
@@ -256,5 +283,5 @@ func (c *CPU) ResetStats() {
 	c.llc.ResetStats()
 	c.instrs = 0
 	c.memOps = 0
-	c.opCounts = make(map[isa.Op]int64)
+	c.opCounts = [256]int64{}
 }

@@ -370,3 +370,26 @@ func TestConfigValidateMoreMutations(t *testing.T) {
 		t.Error("negative MLP accepted")
 	}
 }
+
+// TestRunSteadyStateZeroAlloc is the allocation gate on the CPU simulate hot
+// path: once the program and cache state exist, executing a mixed
+// compute+memory program (Exec loop, cache lookups, uncached routing)
+// allocates nothing.
+func TestRunSteadyStateZeroAlloc(t *testing.T) {
+	c, _ := testCPU(t)
+	c.AddUncachedRange(1<<20, 1<<20+4096)
+	var p isa.Program
+	p.Compute(isa.FMA, 32)
+	for i := int64(0); i < 16; i++ {
+		p.Ld(i*64, 64)
+	}
+	p.St(1<<20+128, 64) // pinned path
+	p.Compute(isa.DivF32, 4)
+	c.Run(&p) // warm the caches
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Run(&p)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm CPU.Run allocates %v times per run, want 0", allocs)
+	}
+}

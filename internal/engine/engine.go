@@ -6,11 +6,13 @@
 // turns the paper's one-shot tuning flow (Fig 2) into something that can
 // serve sustained advisory traffic.
 //
-// Correctness contract: every simulation task runs on its own soc.Clone, and
-// results are assembled in the same order the serial paths produce them, so
-// the engine's Characterize and Explore outputs are byte-identical to
-// framework.Characterize and framework.Explore (the golden equivalence test
-// holds the engine to this for every device x app x model combination).
+// Correctness contract: every simulation task holds a private platform —
+// taken from a per-config pool (soc.ResetState restores fresh-equivalent
+// state between runs) or freshly built — and results are assembled in the
+// same order the serial paths produce them, so the engine's Characterize and
+// Explore outputs are byte-identical to framework.Characterize and
+// framework.Explore (the golden equivalence test holds the engine to this
+// for every device x app x model combination).
 package engine
 
 import (
@@ -65,6 +67,7 @@ type Options struct {
 type Engine struct {
 	workers int
 	sem     sem
+	pool    *socPool
 	chars   *memo[framework.Characterization]
 	mb1s    *memo[microbench.MB1Result]
 
@@ -81,6 +84,7 @@ func New(o Options) *Engine {
 	return &Engine{
 		workers: o.Workers,
 		sem:     make(sem, o.Workers),
+		pool:    newSocPool(o.Workers),
 		chars:   newMemo[framework.Characterization](o.CacheEntries, o.TTL, o.Clock),
 		mb1s:    newMemo[microbench.MB1Result](o.CacheEntries, o.TTL, o.Clock),
 	}
@@ -147,13 +151,14 @@ func (e *Engine) characterize(ctx context.Context, cfg soc.Config, p microbench.
 	rows := make([]microbench.MB1Row, len(models))
 	var mb3 microbench.MB3Result
 	err := fanOut(ctx, e.sem, len(models)+1, func(i int) error {
+		s, pk := e.pool.get(cfg)
+		var err error
 		if i == len(models) {
-			r, err := microbench.RunMB3(ctx, soc.New(cfg), p)
-			mb3 = r
-			return err
+			mb3, err = microbench.RunMB3(ctx, s, p)
+		} else {
+			rows[i], err = microbench.RunMB1Model(ctx, s, p, models[i])
 		}
-		row, err := microbench.RunMB1Model(ctx, soc.New(cfg), p, models[i])
-		rows[i] = row
+		e.pool.put(pk, s, err)
 		return err
 	})
 	if err != nil {
@@ -168,13 +173,14 @@ func (e *Engine) characterize(ctx context.Context, cfg soc.Config, p microbench.
 	gpuPts := make([]microbench.MB2GPUPoint, nf)
 	cpuPts := make([]microbench.MB2CPUPoint, nf)
 	err = fanOut(ctx, e.sem, 2*nf, func(i int) error {
+		s, pk := e.pool.get(cfg)
+		var err error
 		if i < nf {
-			pt, err := microbench.RunMB2GPUPoint(ctx, soc.New(cfg), p, p.MB2Fractions[i], peak)
-			gpuPts[i] = pt
-			return err
+			gpuPts[i], err = microbench.RunMB2GPUPoint(ctx, s, p, p.MB2Fractions[i], peak)
+		} else {
+			cpuPts[i-nf], err = microbench.RunMB2CPUPoint(ctx, s, p, p.MB2Fractions[i-nf])
 		}
-		pt, err := microbench.RunMB2CPUPoint(ctx, soc.New(cfg), p, p.MB2Fractions[i-nf])
-		cpuPts[i-nf] = pt
+		e.pool.put(pk, s, err)
 		return err
 	})
 	if err != nil {
@@ -202,7 +208,9 @@ func (e *Engine) MB1(ctx context.Context, cfg soc.Config, p microbench.Params) (
 		models := comm.Models()
 		rows := make([]microbench.MB1Row, len(models))
 		err := fanOut(ctx, e.sem, len(models), func(i int) error {
-			row, err := microbench.RunMB1Model(ctx, soc.New(cfg), p, models[i])
+			s, pk := e.pool.get(cfg)
+			row, err := microbench.RunMB1Model(ctx, s, p, models[i])
+			e.pool.put(pk, s, err)
 			rows[i] = row
 			return err
 		})
@@ -234,7 +242,9 @@ func (e *Engine) Explore(ctx context.Context, cfg soc.Config, w comm.Workload, m
 		_, mspan := telemetry.Start(ctx, "engine.explore.model",
 			telemetry.String("model", models[i].Name()))
 		defer mspan.End()
-		rep, err := models[i].Run(soc.New(cfg), w)
+		s, pk := e.pool.get(cfg)
+		rep, err := models[i].Run(s, w)
+		e.pool.put(pk, s, err)
 		if err != nil {
 			return fmt.Errorf("engine: explore %s: %w", models[i].Name(), err)
 		}
@@ -298,8 +308,10 @@ func (e *Engine) AdviseWith(ctx context.Context, char framework.Characterization
 func (e *Engine) adviseWith(ctx context.Context, char framework.Characterization, req Request) (framework.Recommendation, error) {
 	var rec framework.Recommendation
 	err := fanOut(ctx, e.sem, 1, func(int) error {
+		s, pk := e.pool.get(req.Config)
 		var err error
-		rec, err = framework.AdviseWorkload(ctx, char, soc.New(req.Config), req.Workload, req.Current)
+		rec, err = framework.AdviseWorkload(ctx, char, s, req.Workload, req.Current)
+		e.pool.put(pk, s, err)
 		return err
 	})
 	return rec, err

@@ -2,9 +2,14 @@ package engine
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"runtime/debug"
 	"sync"
+
+	"igpucomm/internal/soc"
 )
 
 // sem is the engine's global simulation-concurrency bound. Coordination
@@ -38,6 +43,87 @@ func recovered(r any) error {
 		return nil
 	}
 	return &PanicError{Value: r, Stack: debug.Stack()}
+}
+
+// socPool recycles simulated platforms across engine tasks. Building a
+// platform allocates every cache level's line arrays and throws away the
+// GPU's compiled-kernel cache, so a fan-out that did soc.New per task paid
+// both on every model run. Reuse is safe because every model Run begins with
+// soc.ResetState, which restores a fresh-platform-equivalent state by
+// contract (the engine's golden equivalence test holds it to that), and
+// stale compiled kernels are revalidated by content before replay.
+//
+// Platforms are keyed by a content hash of their config: a renamed or
+// retuned config can never receive another config's platform. A task that
+// fails drops its platform instead of recycling it — an aborted run can
+// leave buffers allocated, and a fresh build is cheaper than reasoning about
+// partially torn-down state.
+type socPool struct {
+	mu     sync.Mutex
+	perKey int
+	socs   map[string][]*soc.SoC
+	order  []string // keys, oldest first; bounded by maxPoolKeys
+}
+
+// maxPoolKeys bounds how many distinct configs the pool retains platforms
+// for; the oldest config's platforms are dropped past it. Sized for the
+// in-tree device catalog with headroom for retuned variants.
+const maxPoolKeys = 16
+
+func newSocPool(perKey int) *socPool {
+	return &socPool{perKey: perKey, socs: make(map[string][]*soc.SoC)}
+}
+
+// configKey content-hashes a platform config (CacheKey's scheme, without
+// micro-benchmark params). An unencodable config yields "", which get/put
+// treat as "never pool".
+func configKey(cfg soc.Config) string {
+	raw, err := json.Marshal(cfg)
+	if err != nil {
+		return ""
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:])
+}
+
+// get returns an idle pooled platform for cfg, or builds one. The returned
+// key recycles the platform via put.
+func (p *socPool) get(cfg soc.Config) (*soc.SoC, string) {
+	key := configKey(cfg)
+	if key != "" {
+		p.mu.Lock()
+		if idle := p.socs[key]; len(idle) > 0 {
+			s := idle[len(idle)-1]
+			p.socs[key] = idle[:len(idle)-1]
+			p.mu.Unlock()
+			return s, key
+		}
+		p.mu.Unlock()
+	}
+	return soc.New(cfg), key
+}
+
+// put returns a platform to the pool. A failed task passes its error so the
+// platform is dropped rather than recycled.
+func (p *socPool) put(key string, s *soc.SoC, err error) {
+	if key == "" || s == nil || err != nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	idle, known := p.socs[key]
+	if len(idle) >= p.perKey {
+		return
+	}
+	if !known {
+		if len(p.order) >= maxPoolKeys {
+			oldest := p.order[0]
+			p.order = p.order[1:]
+			delete(p.socs, oldest)
+		}
+		p.order = append(p.order, key)
+	}
+	p.socs[key] = append(idle, s)
 }
 
 // fanOut runs task(0..n-1) concurrently, each under a semaphore slot, and

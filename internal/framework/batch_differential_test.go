@@ -1,0 +1,137 @@
+package framework
+
+// Differential acceptance suite for the batch-kernel simulator core: the
+// framework's observable outputs — explorations and characterizations — must
+// be byte-identical whether the GPU runs kernels through the compiled batch
+// path or through the per-access reference executor it replaced. This is the
+// whole-framework companion to the per-kernel fuzz/property suites in
+// internal/gpu and internal/cache: it proves the rewrite changed no number
+// the paper's tables are built from, across every device x app x model combo.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"igpucomm/internal/apps/catalog"
+	"igpucomm/internal/comm"
+	"igpucomm/internal/devices"
+	"igpucomm/internal/microbench"
+	"igpucomm/internal/soc"
+)
+
+// TestBatchVsReferenceExploration covers all 45 device x app x model combos:
+// a reference-mode platform (per-access executor, the seed's code path) and a
+// batch-mode platform must produce byte-identical exploration JSON — every
+// latency, every report field, every ranking tie-break.
+func TestBatchVsReferenceExploration(t *testing.T) {
+	models := comm.AllModels()
+	for _, cfg := range devices.All() {
+		for _, app := range catalog.Names() {
+			cfg, app := cfg, app
+			t.Run(cfg.Name+"/"+app, func(t *testing.T) {
+				w, err := catalog.ByName(app, catalog.Quick)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref := soc.New(cfg)
+				ref.GPU.SetReferenceMode(true)
+				want, err := Explore(ref, w, models)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := Explore(soc.New(cfg), w, models)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantJSON, err := json.Marshal(want)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotJSON, err := json.Marshal(got)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(gotJSON, wantJSON) {
+					t.Errorf("batch exploration diverges from reference:\nreference: %s\nbatch:     %s",
+						wantJSON, gotJSON)
+				}
+			})
+		}
+	}
+}
+
+// TestBatchVsReferenceCharacterization holds the microbenchmark-driven half
+// of the framework to the same standard: MB1–MB3 characterization through the
+// persist serialization (so every field counts) must not move by a byte when
+// the batch kernels replace the reference executor.
+func TestBatchVsReferenceCharacterization(t *testing.T) {
+	p := microbench.TestParams()
+	for _, cfg := range devices.All() {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			ref := soc.New(cfg)
+			ref.GPU.SetReferenceMode(true)
+			want, err := Characterize(context.Background(), ref, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Characterize(context.Background(), soc.New(cfg), p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wantBuf, gotBuf bytes.Buffer
+			if err := SaveCharacterization(&wantBuf, want); err != nil {
+				t.Fatal(err)
+			}
+			if err := SaveCharacterization(&gotBuf, got); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(gotBuf.Bytes(), wantBuf.Bytes()) {
+				t.Errorf("batch characterization of %s diverges from reference:\nreference: %s\nbatch:     %s",
+					cfg.Name, wantBuf.Bytes(), gotBuf.Bytes())
+			}
+		})
+	}
+}
+
+// TestBatchVsReferenceRepeatedRuns reruns one combo three times on the SAME
+// batch-mode platform (soc.ResetState between runs, as the engine's pool
+// does) and requires every rerun to match the reference answer — warm
+// compiled-kernel caches must replay, not drift.
+func TestBatchVsReferenceRepeatedRuns(t *testing.T) {
+	cfg := devices.All()[0]
+	w, err := catalog.ByName(catalog.Names()[0], catalog.Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := comm.AllModels()
+
+	ref := soc.New(cfg)
+	ref.GPU.SetReferenceMode(true)
+	want, err := Explore(ref, w, models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := soc.New(cfg)
+	for i := 0; i < 3; i++ {
+		got, err := Explore(s, w, models)
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		gotJSON, err := json.Marshal(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gotJSON, wantJSON) {
+			t.Errorf("run %d on a reused platform diverges from reference:\nreference: %s\nbatch:     %s",
+				i, wantJSON, gotJSON)
+		}
+	}
+}

@@ -119,7 +119,43 @@ type GPU struct {
 	pinnedBW   units.BytesPerSecond
 	ranges     []addrRange
 
+	// costs is cfg.Costs densified; intCosts says every cost is a whole
+	// number of cycles, which is what lets the compiled path bulk-charge
+	// run-length-encoded compute stretches bit-identically (see
+	// isa.CostTable.Integral). Non-integral models fall back to the
+	// reference executor.
+	costs    isa.CostTable
+	intCosts bool
+
+	// lineShift is log2(cfg.L1.LineSize) — the line size is validated to
+	// be a power of two, so the compile pass maps addresses to lines with
+	// a shift. Addresses are non-negative, making shift and division agree.
+	lineShift uint
+
+	// refMode forces Launch through the per-access reference executor —
+	// the differential test harness runs one GPU in each mode and asserts
+	// byte-identical results.
+	refMode bool
+
+	// pinnedEpoch invalidates compiled kernels when the pinned routing
+	// they were compiled against changes.
+	pinnedEpoch uint64
+
 	laneProgs []isa.Program // reusable per-lane buffers
+	laneIn    [][]isa.Instr // materialized lane views (reference executor)
+
+	compileScratch CompiledKernel // reused by Launch's compile-and-replay
+	comp           compiler       // reusable compile-pass scratch
+	replay         replayScratch  // reusable replay buffers
+
+	// The compiled-kernel cache behind Launcher: entries keyed by
+	// (scope, launch index), validated by program comparison before every
+	// replay, evicted oldest-first past a byte budget.
+	kcache      map[kernelKey]*cachedKernel
+	kcacheOrder []kernelKey
+	kcacheBytes int64
+	vprog       isa.Program // revalidation emission scratch
+	hashCompile bool        // make CompileInto record the program fingerprint
 }
 
 // New builds a GPU whose LLC misses go to dram. The pinned path is wired
@@ -138,6 +174,11 @@ func New(cfg Config, dram MemPath) *GPU {
 		llc:       llc,
 		dramPath:  dram,
 		laneProgs: make([]isa.Program, cfg.WarpSize),
+	}
+	g.costs = cfg.Costs.Table()
+	g.intCosts = g.costs.Integral()
+	for ls := cfg.L1.LineSize; ls > 1; ls >>= 1 {
+		g.lineShift++
 	}
 	for i := 0; i < cfg.SMs; i++ {
 		l1cfg := cfg.L1
@@ -170,7 +211,19 @@ func (g *GPU) L1Stats() cache.Stats {
 func (g *GPU) SetPinnedPath(p MemPath, bw units.BytesPerSecond) {
 	g.pinnedPath = p
 	g.pinnedBW = bw
+	g.pinnedEpoch++
 }
+
+// SetReferenceMode forces every Launch through the per-access reference
+// executor instead of the compiled batch path. The two are byte-identical by
+// contract; the differential suite runs twin platforms in each mode to prove
+// it. Reference mode is a testing facility and is slower.
+func (g *GPU) SetReferenceMode(on bool) { g.refMode = on }
+
+// PinnedEpoch identifies the current pinned-routing generation. A
+// CompiledKernel is only replayable while the epoch it was compiled under is
+// current (pinned classification is baked in at compile time).
+func (g *GPU) PinnedEpoch() uint64 { return g.pinnedEpoch }
 
 // AddPinnedRange marks [lo, hi) as a pinned zero-copy region: GPU accesses
 // in it bypass the caches and use the pinned path. Panics if the range is
@@ -183,10 +236,14 @@ func (g *GPU) AddPinnedRange(lo, hi int64) {
 		panic(fmt.Sprintf("gpu %s: no pinned path wired", g.cfg.Name))
 	}
 	g.ranges = append(g.ranges, addrRange{lo, hi})
+	g.pinnedEpoch++
 }
 
 // ClearPinnedRanges removes all pinned mappings.
-func (g *GPU) ClearPinnedRanges() { g.ranges = g.ranges[:0] }
+func (g *GPU) ClearPinnedRanges() {
+	g.ranges = g.ranges[:0]
+	g.pinnedEpoch++
+}
 
 func (g *GPU) pinned(addr int64) bool {
 	for _, r := range g.ranges {

@@ -13,6 +13,11 @@ import (
 // appends that thread's instructions; all threads that share a warp must emit
 // the same opcode sequence (SIMT convergence — model data-dependent work with
 // predication, i.e. emit the ops anyway, as real GPUs do).
+//
+// Program must be deterministic: calling it twice for the same thread id must
+// emit the same instructions. The batch executor compiles the emitted trace
+// once and replays it, so a non-deterministic emitter would silently
+// desynchronize from what a per-access execution would have done.
 type Kernel struct {
 	Name    string
 	Threads int
@@ -79,7 +84,29 @@ func (r Result) L1HitRate() float64 { return r.L1.HitRate() }
 // resident batches, interleaving instruction-by-instruction within a batch —
 // the warp-scheduler behaviour that makes per-warp working sets contend for
 // the SM's L1.
+//
+// Launch normally compiles the kernel's transaction trace and replays it
+// through the batch cache kernels (the compiled artifact is scratch-reused,
+// so a steady-state Launch allocates nothing). It falls back to the
+// per-access reference executor under SetReferenceMode or a non-integral
+// cost model; both paths produce byte-identical results, except that the
+// compiled path reports emission errors before touching any cache state
+// while the reference path may have executed earlier resident batches first.
 func (g *GPU) Launch(k Kernel) (Result, error) {
+	if g.refMode || !g.intCosts {
+		return g.LaunchReference(k)
+	}
+	if err := g.CompileInto(k, &g.compileScratch); err != nil {
+		return Result{}, err
+	}
+	return g.LaunchCompiled(&g.compileScratch)
+}
+
+// LaunchReference executes the kernel with the original per-access executor:
+// emit every lane, walk every slot, push each coalesced transaction through
+// the interface-dispatched cache path. It is the ground truth the compiled
+// path is differentially tested against.
+func (g *GPU) LaunchReference(k Kernel) (Result, error) {
 	if k.Threads <= 0 {
 		return Result{}, fmt.Errorf("kernel %s: thread count %d must be positive", k.Name, k.Threads)
 	}
@@ -88,13 +115,7 @@ func (g *GPU) Launch(k Kernel) (Result, error) {
 	}
 
 	// Snapshot counters so the result reports launch-only deltas.
-	l1Before := g.L1Stats()
-	llcBefore := g.llc.Stats()
-	dramBefore := g.dramPath.Stats()
-	var pinnedBefore memdev.Stats
-	if g.pinnedPath != nil {
-		pinnedBefore = g.pinnedPath.Stats()
-	}
+	before := g.snapStats()
 	for _, s := range g.sms {
 		s.computeCycles = 0
 		s.memLatency = 0
@@ -105,10 +126,7 @@ func (g *GPU) Launch(k Kernel) (Result, error) {
 	warpCount := (k.Threads + g.cfg.WarpSize - 1) / g.cfg.WarpSize
 	res.Warps = warpCount
 
-	resident := g.cfg.ResidentWarps
-	if resident == 0 {
-		resident = 16
-	}
+	resident := g.resident()
 	g.ensureLaneBuffers(resident)
 
 	// Per-SM warp lists (round-robin assignment).
@@ -125,7 +143,38 @@ func (g *GPU) Launch(k Kernel) (Result, error) {
 		}
 	}
 
-	// Interval model: per-SM time, then global bandwidth bounds.
+	g.finishResult(&res, before, warpCount, resident)
+	return res, nil
+}
+
+// statSnap captures the traffic counters Launch reports deltas against.
+type statSnap struct {
+	l1     cache.Stats
+	llc    cache.Stats
+	dram   memdev.Stats
+	pinned memdev.Stats
+}
+
+func (g *GPU) snapStats() statSnap {
+	s := statSnap{l1: g.L1Stats(), llc: g.llc.Stats(), dram: g.dramPath.Stats()}
+	if g.pinnedPath != nil {
+		s.pinned = g.pinnedPath.Stats()
+	}
+	return s
+}
+
+func (g *GPU) resident() int {
+	if g.cfg.ResidentWarps == 0 {
+		return 16
+	}
+	return g.cfg.ResidentWarps
+}
+
+// finishResult applies the interval (roofline) model and the counter deltas.
+// It is shared by the reference and compiled executors: both leave the
+// per-SM accumulators (computeCycles, memLatency, warps) populated and the
+// caches mutated, and this tail derives time, bound, occupancy and IPC.
+func (g *GPU) finishResult(res *Result, before statSnap, warpCount, resident int) {
 	var worstSM units.Latency
 	var worstIsCompute bool
 	mlp := g.cfg.WarpMLP
@@ -154,11 +203,11 @@ func (g *GPU) Launch(k Kernel) (Result, error) {
 		}
 	}
 
-	res.L1 = deltaCache(g.L1Stats(), l1Before)
-	res.LLC = deltaCache(g.llc.Stats(), llcBefore)
-	res.DRAM = deltaMem(g.dramPath.Stats(), dramBefore)
+	res.L1 = deltaCache(g.L1Stats(), before.l1)
+	res.LLC = deltaCache(g.llc.Stats(), before.llc)
+	res.DRAM = deltaMem(g.dramPath.Stats(), before.dram)
 	if g.pinnedPath != nil {
-		res.Pinned = deltaMem(g.pinnedPath.Stats(), pinnedBefore)
+		res.Pinned = deltaMem(g.pinnedPath.Stats(), before.pinned)
 	}
 
 	time := worstSM
@@ -191,7 +240,6 @@ func (g *GPU) Launch(k Kernel) (Result, error) {
 			res.WarpIPC = warpInstrs / smCycles
 		}
 	}
-	return res, nil
 }
 
 type batch struct {
@@ -203,6 +251,9 @@ func (g *GPU) ensureLaneBuffers(resident int) {
 	need := resident * g.cfg.WarpSize
 	if len(g.laneProgs) < need {
 		g.laneProgs = make([]isa.Program, need)
+	}
+	if len(g.laneIn) < need {
+		g.laneIn = make([][]isa.Instr, need)
 	}
 }
 
@@ -221,18 +272,19 @@ func (g *GPU) runBatch(k Kernel, s *sm, b *batch, res *Result) error {
 			p := &g.laneProgs[bi*ws+l]
 			p.Reset()
 			k.Program(w*ws+l, p)
+			g.laneIn[bi*ws+l] = p.Instrs()
 		}
 		// Convergence and validity check: all lanes must agree on each
 		// slot's opcode, except that a lane may be masked off with a Nop
 		// (predication — see isa.Program.PadTo).
-		ref := g.laneProgs[bi*ws].Instrs()
+		ref := g.laneIn[bi*ws]
 		for i, in := range ref {
 			if err := in.Validate(); err != nil {
 				return fmt.Errorf("kernel %s: warp %d lane 0 instr %d: %w", k.Name, w, i, err)
 			}
 		}
 		for l := 1; l < lanes; l++ {
-			other := g.laneProgs[bi*ws+l].Instrs()
+			other := g.laneIn[bi*ws+l]
 			if len(other) != len(ref) {
 				return fmt.Errorf("kernel %s: warp %d diverges: lane 0 has %d instrs, lane %d has %d",
 					k.Name, w, len(ref), l, len(other))
@@ -249,7 +301,7 @@ func (g *GPU) runBatch(k Kernel, s *sm, b *batch, res *Result) error {
 
 	maxLen := 0
 	for bi := range b.warps {
-		if n := g.laneProgs[bi*ws].Len(); n > maxLen {
+		if n := len(g.laneIn[bi*ws]); n > maxLen {
 			maxLen = n
 		}
 	}
@@ -262,7 +314,7 @@ func (g *GPU) runBatch(k Kernel, s *sm, b *batch, res *Result) error {
 	wcBuf := make([]int64, 0, ws)
 	for i := 0; i < maxLen; i++ {
 		for bi := range b.warps {
-			ref := g.laneProgs[bi*ws].Instrs()
+			ref := g.laneIn[bi*ws]
 			if i >= len(ref) {
 				continue
 			}
@@ -272,7 +324,7 @@ func (g *GPU) runBatch(k Kernel, s *sm, b *batch, res *Result) error {
 			in := ref[i]
 			if in.Op == isa.Nop {
 				for l := 1; l < lanes; l++ {
-					if cand := g.laneProgs[bi*ws+l].Instrs()[i]; cand.Op != isa.Nop {
+					if cand := g.laneIn[bi*ws+l][i]; cand.Op != isa.Nop {
 						in = cand
 						break
 					}
@@ -295,7 +347,7 @@ func (g *GPU) runBatch(k Kernel, s *sm, b *batch, res *Result) error {
 			wcBuf = wcBuf[:0]
 			var wcBytes int64
 			for l := 0; l < lanes; l++ {
-				la := g.laneProgs[bi*ws+l].Instrs()[i]
+				la := g.laneIn[bi*ws+l][i]
 				if la.Op == isa.Nop {
 					continue
 				}

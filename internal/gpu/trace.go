@@ -33,6 +33,7 @@ func (g *GPU) TraceTransactions(k Kernel, w io.Writer) error {
 	warpCount := (k.Threads + ws - 1) / ws
 	lineSize := g.cfg.L1.LineSize
 	progs := make([]isa.Program, ws)
+	laneIn := make([][]isa.Instr, ws) // materialized flat views, per warp
 	// Coalescing scratch, reused across warp-instructions exactly as in
 	// Launch (two lines per lane worst case, one WC line per lane).
 	lineBuf := make([]int64, 0, 2*ws)
@@ -51,8 +52,9 @@ func (g *GPU) TraceTransactions(k Kernel, w io.Writer) error {
 		for l := 0; l < lanes; l++ {
 			progs[l].Reset()
 			k.Program(warp*ws+l, &progs[l])
+			laneIn[l] = progs[l].Instrs()
 		}
-		ref := progs[0].Instrs()
+		ref := laneIn[0]
 		for i, in := range ref {
 			if err := in.Validate(); err != nil {
 				return fmt.Errorf("kernel %s: warp %d instr %d: %w", k.Name, warp, i, err)
@@ -60,7 +62,7 @@ func (g *GPU) TraceTransactions(k Kernel, w io.Writer) error {
 			// Slot opcode: first non-Nop among lanes (masking).
 			if in.Op == isa.Nop {
 				for l := 1; l < lanes; l++ {
-					lane := progs[l].Instrs()
+					lane := laneIn[l]
 					if i < len(lane) && lane[i].Op != isa.Nop {
 						in = lane[i]
 						break
@@ -77,7 +79,7 @@ func (g *GPU) TraceTransactions(k Kernel, w io.Writer) error {
 			lineBuf, wcBuf = lineBuf[:0], wcBuf[:0]
 			var wcBytes int64
 			for l := 0; l < lanes; l++ {
-				lane := progs[l].Instrs()
+				lane := laneIn[l]
 				if i >= len(lane) || (lane[i].Op != in.Op && lane[i].Op != isa.Nop) {
 					return fmt.Errorf("kernel %s: warp %d diverges at instr %d", k.Name, warp, i)
 				}

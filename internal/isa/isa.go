@@ -8,10 +8,16 @@
 // memory ops, an address and size. Timing comes from the agents (internal/cpu,
 // internal/gpu), which combine issue costs from a CostModel with memory
 // latencies from the cache hierarchy.
+//
+// Internally a Program is run-length encoded: the micro-benchmarks emit long
+// homogeneous compute stretches (Compute(FMA, 2048)), and storing those as
+// one Run instead of 2048 Instrs is what lets the batch executors compile a
+// kernel once and replay it without ever materializing the flat stream.
 package isa
 
 import (
 	"fmt"
+	"math"
 
 	"igpucomm/internal/units"
 )
@@ -37,6 +43,10 @@ const (
 	StShared
 	opCount // sentinel
 )
+
+// NumOps is the number of defined opcodes — the length of dense per-op
+// tables such as CostTable.
+const NumOps = int(opCount)
 
 var opNames = [...]string{
 	Nop:      "nop",
@@ -115,6 +125,45 @@ func (m CostModel) Validate() error {
 	return nil
 }
 
+// CostTable is a CostModel densified into an array, so the executors' inner
+// loops index instead of hashing. Ops outside the defined range cost 0, like
+// CostModel.Cost.
+type CostTable [NumOps]units.Cycles
+
+// Table densifies the model. Unknown (out-of-range) ops in the sparse map
+// are dropped; they cost 0 through both representations.
+func (m CostModel) Table() CostTable {
+	var t CostTable
+	for op, c := range m.Issue {
+		if int(op) < NumOps {
+			t[op] = c
+		}
+	}
+	return t
+}
+
+// Cost returns the issue cost of op (0 for out-of-range ops).
+func (t *CostTable) Cost(op Op) units.Cycles {
+	if int(op) >= NumOps {
+		return 0
+	}
+	return t[op]
+}
+
+// Integral reports whether every cost in the table is a whole number of
+// cycles. When true, n repeated additions of a cost equal cost*n exactly
+// (integer-valued float partial sums are exact below 2^53), which is what
+// licenses the batch executors to bulk-charge run-length-encoded compute
+// stretches without perturbing a single bit of the serial result.
+func (t *CostTable) Integral() bool {
+	for _, c := range t {
+		if c != units.Cycles(math.Trunc(float64(c))) {
+			return false
+		}
+	}
+	return true
+}
+
 // DefaultCPUCosts is a Cortex-A-class in-order issue cost table.
 func DefaultCPUCosts() CostModel {
 	return CostModel{Issue: map[Op]units.Cycles{
@@ -150,49 +199,93 @@ func DefaultGPUCosts() CostModel {
 	}}
 }
 
-// Program is a buildable instruction sequence with fluent emitters, used by
-// the micro-benchmarks to express their kernels compactly.
-type Program struct {
-	instrs []Instr
+// Run is a run-length-encoded stretch of identical instructions. Memory
+// instructions never merge (each carries its own address), so a memory Run
+// always has Count 1.
+type Run struct {
+	In    Instr
+	Count int32
 }
 
-// Instrs returns the underlying instruction slice (not a copy; callers must
-// not mutate it while an agent is executing).
-func (p *Program) Instrs() []Instr { return p.instrs }
+// Program is a buildable instruction sequence with fluent emitters, used by
+// the micro-benchmarks to express their kernels compactly. The sequence is
+// stored run-length encoded; emitters merge adjacent identical compute ops,
+// so a Compute(FMA, 2048) stretch is one Run, not 2048 slots.
+type Program struct {
+	runs []Run
+	n    int     // total instruction count across runs
+	flat []Instr // scratch for Instrs() materialization
+}
+
+// Runs returns the run-length-encoded sequence (not a copy; callers must not
+// mutate it while an agent is executing). This is the zero-allocation view
+// the batch executors iterate.
+func (p *Program) Runs() []Run { return p.runs }
+
+// Instrs materializes the flat instruction slice into an internal scratch
+// buffer and returns it. The slice is invalidated by the next emitter,
+// Reset or Instrs call; callers must not mutate or retain it. Hot paths
+// iterate Runs instead.
+func (p *Program) Instrs() []Instr {
+	if cap(p.flat) < p.n {
+		p.flat = make([]Instr, 0, p.n)
+	}
+	p.flat = p.flat[:0]
+	for _, r := range p.runs {
+		for i := int32(0); i < r.Count; i++ {
+			p.flat = append(p.flat, r.In)
+		}
+	}
+	return p.flat
+}
 
 // Reset empties the program, keeping capacity, so warp-granular executors can
 // reuse per-lane buffers.
-func (p *Program) Reset() { p.instrs = p.instrs[:0] }
+func (p *Program) Reset() {
+	p.runs = p.runs[:0]
+	p.n = 0
+}
 
 // Len returns the instruction count.
-func (p *Program) Len() int { return len(p.instrs) }
+func (p *Program) Len() int { return p.n }
 
 // Ld appends a global load.
 func (p *Program) Ld(addr, size int64) *Program {
-	p.instrs = append(p.instrs, Instr{Op: LdGlobal, Addr: addr, Size: size})
+	p.runs = append(p.runs, Run{In: Instr{Op: LdGlobal, Addr: addr, Size: size}, Count: 1})
+	p.n++
 	return p
 }
 
 // St appends a global store.
 func (p *Program) St(addr, size int64) *Program {
-	p.instrs = append(p.instrs, Instr{Op: StGlobal, Addr: addr, Size: size})
+	p.runs = append(p.runs, Run{In: Instr{Op: StGlobal, Addr: addr, Size: size}, Count: 1})
+	p.n++
 	return p
 }
 
-// Compute appends n copies of a compute op.
+// Compute appends n copies of a compute op. Adjacent identical non-memory
+// ops merge into one run, so repeated Compute calls stay O(1) in space.
 func (p *Program) Compute(op Op, n int) *Program {
-	for i := 0; i < n; i++ {
-		p.instrs = append(p.instrs, Instr{Op: op})
+	if n <= 0 {
+		return p
 	}
+	p.n += n
+	if l := len(p.runs) - 1; l >= 0 && !op.IsMemory() && p.runs[l].In == (Instr{Op: op}) {
+		p.runs[l].Count += int32(n)
+		return p
+	}
+	p.runs = append(p.runs, Run{In: Instr{Op: op}, Count: int32(n)})
 	return p
 }
 
 // Validate checks every instruction.
 func (p *Program) Validate() error {
-	for idx, in := range p.instrs {
-		if err := in.Validate(); err != nil {
+	idx := 0
+	for _, r := range p.runs {
+		if err := r.In.Validate(); err != nil {
 			return fmt.Errorf("isa: instr %d: %w", idx, err)
 		}
+		idx += int(r.Count)
 	}
 	return nil
 }
@@ -201,9 +294,9 @@ func (p *Program) Validate() error {
 // line-inflated traffic).
 func (p *Program) MemoryBytes() int64 {
 	var n int64
-	for _, in := range p.instrs {
-		if in.Op.IsMemory() {
-			n += in.Size
+	for _, r := range p.runs {
+		if r.In.Op.IsMemory() {
+			n += r.In.Size * int64(r.Count)
 		}
 	}
 	return n
@@ -212,8 +305,8 @@ func (p *Program) MemoryBytes() int64 {
 // Counts tallies instructions by opcode.
 func (p *Program) Counts() map[Op]int {
 	c := make(map[Op]int)
-	for _, in := range p.instrs {
-		c[in.Op]++
+	for _, r := range p.runs {
+		c[r.In.Op] += int(r.Count)
 	}
 	return c
 }
@@ -223,8 +316,8 @@ func (p *Program) Counts() map[Op]int {
 // different instruction counts (all lanes must converge; real GPUs execute
 // the masked path too).
 func (p *Program) PadTo(n int) *Program {
-	for p.Len() < n {
-		p.instrs = append(p.instrs, Instr{Op: Nop})
+	if pad := n - p.n; pad > 0 {
+		p.Compute(Nop, pad)
 	}
 	return p
 }

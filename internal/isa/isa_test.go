@@ -122,7 +122,8 @@ func TestProgramBuilder(t *testing.T) {
 func TestProgramValidateCatchesBadInstr(t *testing.T) {
 	var p Program
 	p.Ld(0, 4)
-	p.instrs = append(p.instrs, Instr{Op: LdGlobal, Size: 0})
+	p.runs = append(p.runs, Run{In: Instr{Op: LdGlobal, Size: 0}, Count: 1})
+	p.n++
 	if err := p.Validate(); err == nil {
 		t.Error("program with invalid instruction accepted")
 	}

@@ -119,6 +119,30 @@ func DefaultSuite(opt SuiteOptions) ([]Scenario, error) {
 			},
 		},
 		{
+			Name:      "sweep/engine-batch",
+			Component: "engine",
+			Doc:       "steady-state engine sweep: platform pool and compiled-kernel caches primed, iterations replay batch kernels",
+			Prepare: func(ctx context.Context) (func(context.Context) error, func(), error) {
+				eng := engine.New(engine.Options{Workers: opt.Workers})
+				// One priming sweep: fills the platform pool and, through
+				// it, each GPU's compiled-kernel cache, so the measured
+				// iterations are the advisory service's steady state.
+				for _, c := range combos {
+					if _, err := eng.Explore(ctx, c.cfg, c.w, comm.AllModels()); err != nil {
+						return nil, nil, err
+					}
+				}
+				return func(ctx context.Context) error {
+					for _, c := range combos {
+						if _, err := eng.Explore(ctx, c.cfg, c.w, comm.AllModels()); err != nil {
+							return err
+						}
+					}
+					return nil
+				}, nil, nil
+			},
+		},
+		{
 			Name:      "memo/cold",
 			Component: "engine",
 			Doc:       "characterize all devices on a cold memo cache (fresh engine per iteration)",
@@ -178,6 +202,26 @@ func DefaultSuite(opt SuiteOptions) ([]Scenario, error) {
 				peak := mb1.PeakThroughput()
 				return func(ctx context.Context) error {
 					_, err := microbench.RunMB2(ctx, soc.New(tx2), params, peak)
+					return err
+				}, nil, nil
+			},
+		},
+		{
+			Name:      "mb2/compiled-run",
+			Component: "microbench",
+			Doc:       "MB2 density sweep on one persistent platform (compiled-kernel replay steady state)",
+			Prepare: func(ctx context.Context) (func(context.Context) error, func(), error) {
+				s := soc.New(tx2)
+				mb1, err := microbench.RunMB1(ctx, s, params)
+				if err != nil {
+					return nil, nil, err
+				}
+				peak := mb1.PeakThroughput()
+				if _, err := microbench.RunMB2(ctx, s, params, peak); err != nil {
+					return nil, nil, err
+				}
+				return func(ctx context.Context) error {
+					_, err := microbench.RunMB2(ctx, s, params, peak)
 					return err
 				}, nil, nil
 			},

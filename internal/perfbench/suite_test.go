@@ -28,9 +28,10 @@ func TestQuickSuiteEmitsValidArtifact(t *testing.T) {
 	}
 
 	want := []string{
-		"sweep/serial", "sweep/engine",
+		"sweep/serial", "sweep/engine", "sweep/engine-batch",
 		"memo/cold", "memo/warm",
 		"microbench/mb1", "microbench/mb2", "microbench/mb3",
+		"mb2/compiled-run",
 		"comm/run", "comm/checked",
 		"advisord/advise",
 	}

@@ -1,0 +1,78 @@
+package soc_test
+
+// Mutation detection for the Clone aliasing contract (see SoC.Clone): the
+// shared Config must behave as immutable state. We hash the configuration of
+// an original platform and a clone, drive a full communication-model sweep
+// on both, and require every hash to be unchanged and identical — a single
+// written-through cost-table entry or renamed field would show up here.
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"igpucomm/internal/apps/catalog"
+	"igpucomm/internal/comm"
+	"igpucomm/internal/devices"
+	"igpucomm/internal/soc"
+)
+
+func configHash(t *testing.T, cfg soc.Config) [sha256.Size]byte {
+	t.Helper()
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sha256.Sum256(b)
+}
+
+func sweep(t *testing.T, s *soc.SoC) {
+	t.Helper()
+	w, err := catalog.ByName(catalog.Names()[0], catalog.Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range comm.AllModels() {
+		if _, err := m.Run(s, w); err != nil {
+			t.Fatalf("model %s: %v", m.Name(), err)
+		}
+	}
+}
+
+// TestCloneSharesImmutableConfig pins both halves of the contract: the config
+// is genuinely shared (the CPU and GPU cost-model maps alias, so a deep-copy
+// regression would be visible), and a full sweep on either instance mutates
+// neither configuration.
+func TestCloneSharesImmutableConfig(t *testing.T) {
+	for _, cfg := range devices.All() {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			orig := soc.New(cfg)
+			clone := orig.Clone()
+
+			// Sharing: the reference-typed cost tables must alias, not copy.
+			oc, cc := orig.Config(), clone.Config()
+			if reflect.ValueOf(oc.CPU.Costs.Issue).Pointer() != reflect.ValueOf(cc.CPU.Costs.Issue).Pointer() {
+				t.Error("clone deep-copied the CPU cost map; Clone documents shallow sharing")
+			}
+			if reflect.ValueOf(oc.GPU.Costs.Issue).Pointer() != reflect.ValueOf(cc.GPU.Costs.Issue).Pointer() {
+				t.Error("clone deep-copied the GPU cost map; Clone documents shallow sharing")
+			}
+
+			// Immutability: hash before, sweep both, hash after.
+			before := configHash(t, oc)
+			if got := configHash(t, cc); got != before {
+				t.Fatal("clone config hash differs from original before any work")
+			}
+			sweep(t, orig)
+			sweep(t, clone)
+			if got := configHash(t, orig.Config()); got != before {
+				t.Error("sweep mutated the original platform's shared config")
+			}
+			if got := configHash(t, clone.Config()); got != before {
+				t.Error("sweep mutated the clone's shared config")
+			}
+		})
+	}
+}

@@ -30,8 +30,8 @@ import (
 )
 
 // faultClone interrupts platform instantiation (soc.New, which Clone
-// delegates to) — the engine gives every parallel simulation task its own
-// clone, so a latency spike here slows fan-out and a panic here exercises
+// delegates to) — the engine builds a platform whenever its per-config pool
+// is empty, so a latency spike here slows fan-out and a panic here exercises
 // the engine's goroutine-boundary recovery.
 var faultClone = faults.Register("soc.clone",
 	"fresh platform instantiation (engine fan-out clones)",
@@ -174,11 +174,19 @@ func maxLine(cfg Config) int64 {
 // Name returns the platform name.
 func (s *SoC) Name() string { return s.cfg.Name }
 
-// Clone builds a fresh, independent platform instance with the same
-// configuration: pristine caches, empty address space, zeroed statistics.
-// Because a SoC is not safe for concurrent use, parallel runners (the
-// execution engine) give every task its own clone instead of sharing one
-// instance.
+// Clone builds a platform instance with the same configuration: pristine
+// caches, empty address space, zeroed statistics — but NOT a fully
+// independent copy. The Config is shared shallowly, so reference-typed
+// config state (the ISA cost-model maps) aliases between the original and
+// every clone. The contract that makes this safe is immutability: a Config
+// is never written through once a platform is built — simulation reads cost
+// tables, it does not update them — and TestCloneSharesImmutableConfig
+// enforces that by hashing the config across a full model sweep. Mutable
+// simulation state (caches, routing, statistics, the address space) is
+// private per instance, which is what a not-concurrency-safe SoC actually
+// needs from isolation. The execution engine leans on the same contract from
+// the other side: it pools whole platforms per config and restores them with
+// ResetState instead of cloning per task.
 func (s *SoC) Clone() *SoC { return New(s.cfg) }
 
 // Config returns the platform configuration.
