@@ -43,6 +43,7 @@ func main() {
 	workers := flag.Int("workers", 0, "simulation parallelism (0 = GOMAXPROCS)")
 	sweep := flag.Bool("sweep", false, "explore every device x app x model combination instead of advising one")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON file of the run to this path")
+	heatOut := flag.String("heatmap", "", "run heat-enabled and write the per-buffer heat artifact (JSON) to this path")
 	version := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
 
@@ -68,7 +69,7 @@ func main() {
 	}
 
 	if *sweep {
-		err := runSweep(ctx, eng, params, scale, os.Stdout)
+		err := runSweep(ctx, eng, params, scale, os.Stdout, *heatOut, tracer)
 		fatalIf(err)
 		writeTrace(tracer, *traceOut)
 		return
@@ -144,6 +145,15 @@ func main() {
 		regret, ok, err := exp.Validate(rec, 0.10)
 		fatalIf(err)
 		fmt.Printf("recommendation regret: %.2fx (within 10%%: %v)\n", regret, ok)
+	}
+
+	if *heatOut != "" {
+		fmt.Println()
+		exp, err := eng.ExploreHeat(ctx, cfg, w, comm.AllModels())
+		fatalIf(err)
+		art := framework.HeatArtifact{Entries: framework.HeatEntriesFromExploration(exp)}
+		emitHeatCounters(tracer, art.Entries)
+		fatalIf(writeHeatArtifact(*heatOut, art))
 	}
 
 	writeTrace(tracer, *traceOut)

@@ -9,6 +9,7 @@ import (
 	"igpucomm/internal/comm"
 	"igpucomm/internal/devices"
 	"igpucomm/internal/engine"
+	"igpucomm/internal/framework"
 	"igpucomm/internal/microbench"
 	"igpucomm/internal/telemetry"
 )
@@ -17,22 +18,34 @@ import (
 // measurement points with the extended model set) through the engine and
 // prints the measured ranking per combination. Under a tracer, every point
 // shows up as an engine.explore.model span, which makes the sweep the
-// canonical workload for `advisor -trace` / `make trace`.
-func runSweep(ctx context.Context, eng *engine.Engine, params microbench.Params, scale catalog.Scale, out io.Writer) error {
+// canonical workload for `advisor -trace` / `make trace`. With heatPath set
+// the sweep runs heat-enabled and additionally writes the per-buffer heat
+// artifact (plus Chrome counter samples when tracing).
+func runSweep(ctx context.Context, eng *engine.Engine, params microbench.Params, scale catalog.Scale, out io.Writer, heatPath string, tracer *telemetry.Tracer) error {
 	ctx, sweep := telemetry.Start(ctx, "advisor.sweep")
 	defer sweep.End()
 
 	models := comm.AllModels()
 	combos := 0
+	var heat framework.HeatArtifact
 	for _, cfg := range devices.All() {
 		for _, app := range catalog.Names() {
 			w, err := catalog.ByName(app, scale)
 			if err != nil {
 				return err
 			}
-			exp, err := eng.Explore(ctx, cfg, w, models)
+			explore := eng.Explore
+			if heatPath != "" {
+				explore = eng.ExploreHeat
+			}
+			exp, err := explore(ctx, cfg, w, models)
 			if err != nil {
 				return fmt.Errorf("explore %s/%s: %w", cfg.Name, app, err)
+			}
+			if heatPath != "" {
+				entries := framework.HeatEntriesFromExploration(exp)
+				emitHeatCounters(tracer, entries)
+				heat.Entries = append(heat.Entries, entries...)
 			}
 			combos += len(models)
 			fmt.Fprintf(out, "%s / %s\n", cfg.Name, app)
@@ -47,5 +60,8 @@ func runSweep(ctx context.Context, eng *engine.Engine, params microbench.Params,
 	}
 	sweep.SetAttr("points", fmt.Sprintf("%d", combos))
 	fmt.Fprintf(out, "\nswept %d device x app x model points\n", combos)
+	if heatPath != "" {
+		return writeHeatArtifact(heatPath, heat)
+	}
 	return nil
 }

@@ -4,11 +4,14 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"igpucomm/internal/apps/catalog"
 	"igpucomm/internal/engine"
+	"igpucomm/internal/framework"
 	"igpucomm/internal/microbench"
 	"igpucomm/internal/telemetry"
 )
@@ -25,7 +28,7 @@ func TestSweepTraceCoversAllCombinations(t *testing.T) {
 	ctx := telemetry.WithTracer(context.Background(), tracer)
 	eng := engine.New(engine.Options{Workers: 4})
 
-	if err := runSweep(ctx, eng, microbench.TestParams(), catalog.Quick, io.Discard); err != nil {
+	if err := runSweep(ctx, eng, microbench.TestParams(), catalog.Quick, io.Discard, "", tracer); err != nil {
 		t.Fatal(err)
 	}
 
@@ -74,10 +77,41 @@ func TestSweepWithoutTracerStillRuns(t *testing.T) {
 	}
 	eng := engine.New(engine.Options{Workers: 4})
 	var out strings.Builder
-	if err := runSweep(context.Background(), eng, microbench.TestParams(), catalog.Quick, &out); err != nil {
+	if err := runSweep(context.Background(), eng, microbench.TestParams(), catalog.Quick, &out, "", nil); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "swept 45 device x app x model points") {
 		t.Fatalf("unexpected sweep summary:\n%s", out.String())
+	}
+}
+
+// TestSweepHeatArtifact runs the heat-enabled sweep and checks the written
+// artifact: schema-versioned, loadable, one entry per measured combination,
+// every entry carrying buffer rows and hints.
+func TestSweepHeatArtifact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep runs the full quick-scale simulation")
+	}
+	eng := engine.New(engine.Options{Workers: 4})
+	path := filepath.Join(t.TempDir(), "heat.json")
+	if err := runSweep(context.Background(), eng, microbench.TestParams(), catalog.Quick, io.Discard, path, nil); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	art, err := framework.LoadHeatArtifact(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(art.Entries) != 45 {
+		t.Fatalf("artifact has %d entries, want 45 (3 devices x 3 apps x 5 models)", len(art.Entries))
+	}
+	for _, e := range art.Entries {
+		if len(e.Buffers) == 0 || len(e.Hints) == 0 {
+			t.Fatalf("entry %s/%s/%s missing buffers or hints", e.Platform, e.Workload, e.Model)
+		}
 	}
 }

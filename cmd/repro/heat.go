@@ -1,0 +1,49 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"igpucomm/internal/apps/catalog"
+	"igpucomm/internal/comm"
+	"igpucomm/internal/devices"
+	"igpucomm/internal/heatmap"
+	"igpucomm/internal/soc"
+)
+
+// heatText is the heat artifact's fmt.Stringer.
+type heatText string
+
+func (h heatText) String() string { return string(h) }
+
+// runHeat renders the per-buffer heat map of one representative combination
+// (the TX2 running shwfs) under every communication model — the
+// observability companion to the paper tables: which buffers each model
+// keeps hot, as ASCII heat bars.
+func runHeat(quick bool) (fmt.Stringer, error) {
+	scale := catalog.Full
+	if quick {
+		scale = catalog.Quick
+	}
+	cfg, err := devices.ByName(devices.TX2Name)
+	if err != nil {
+		return nil, err
+	}
+	w, err := catalog.ByName("shwfs", scale)
+	if err != nil {
+		return nil, err
+	}
+	s := soc.New(cfg)
+	s.EnableHeat()
+	var b strings.Builder
+	for _, m := range comm.AllModels() {
+		rep, err := m.Run(s, w)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(&b, "%s / %s / %s\n", cfg.Name, w.Name, m.Name())
+		b.WriteString(heatmap.Render(rep.BufferHeat))
+		b.WriteByte('\n')
+	}
+	return heatText(strings.TrimRight(b.String(), "\n")), nil
+}

@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table1..table5, fig3, fig5, fig6, fig7, async, energy, realtime")
+	exp := flag.String("exp", "all", "experiment to run: all, table1..table5, fig3, fig5, fig6, fig7, async, energy, realtime, heatmap")
 	quick := flag.Bool("quick", false, "use the reduced micro-benchmark scale")
 	format := flag.String("format", "text", "output format for tables: text or md")
 	version := flag.Bool("version", false, "print build information and exit")
@@ -58,6 +58,7 @@ func main() {
 		{"async", func() (fmt.Stringer, error) { t, _, err := experiments.TableAsync(ctx, ec); return t, err }},
 		{"energy", func() (fmt.Stringer, error) { t, _, err := experiments.TableEnergy(ctx, ec); return t, err }},
 		{"realtime", func() (fmt.Stringer, error) { t, _, err := experiments.TableRealtime(ctx, ec); return t, err }},
+		{"heatmap", func() (fmt.Stringer, error) { return runHeat(*quick) }},
 	}
 
 	ran := 0

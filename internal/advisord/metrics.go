@@ -10,6 +10,14 @@ import (
 	"igpucomm/internal/telemetry"
 )
 
+// Heat-map metric names, declared as consts so the metricname analyzer
+// audits the family at one declaration site.
+const (
+	metricHeatmapRequestsTotal      = "igpucomm_heatmap_requests_total"
+	metricHeatmapLastBuffersEntries = "igpucomm_heatmap_last_buffers_entries"
+	metricHeatmapLastHotEntries     = "igpucomm_heatmap_last_hot_entries"
+)
+
 // serverMetrics is advisord's /metrics surface: HTTP-side instruments owned
 // by the middleware plus scrape-time collectors over the engine's own atomic
 // counters, so a scrape never takes a lock the hot path contends on.
@@ -24,6 +32,10 @@ type serverMetrics struct {
 	shed     *telemetry.Counter // admission-queue overflow (429s)
 	degraded *telemetry.Counter // heuristic answers served
 	panics   *telemetry.Counter // handler panics recovered
+
+	heatRequests *telemetry.Counter // /v1/heatmap explorations served
+	heatBuffers  *telemetry.Gauge   // buffer rows in the last best-model heat entry
+	heatHot      *telemetry.Gauge   // buffers classified hot in that entry
 }
 
 func newServerMetrics(eng *engine.Engine, start time.Time, info buildinfo.Info, br *Breaker) *serverMetrics {
@@ -44,6 +56,12 @@ func newServerMetrics(eng *engine.Engine, start time.Time, info buildinfo.Info, 
 			"Advisory answers served by the degraded-mode heuristic."),
 		panics: reg.Counter("igpucomm_http_panics_recovered_total",
 			"Handler panics recovered into 500 responses."),
+		heatRequests: reg.Counter(metricHeatmapRequestsTotal,
+			"Heat-map explorations served by /v1/heatmap."),
+		heatBuffers: reg.Gauge(metricHeatmapLastBuffersEntries,
+			"Per-buffer heat rows in the last /v1/heatmap best-model entry."),
+		heatHot: reg.Gauge(metricHeatmapLastHotEntries,
+			"Buffers classified hot in the last /v1/heatmap best-model entry."),
 	}
 
 	reg.GaugeFunc("igpucomm_breaker_state",

@@ -1,7 +1,8 @@
 // Package advisord is the advisory service's HTTP surface, importable so
 // both the cmd/advisord binary and the perfbench harness serve the exact
 // same routes: batch advice (/v1/advise), cached device characterization
-// (/v1/characterize), health, status and Prometheus metrics, all wrapped in
+// (/v1/characterize), per-buffer heat exploration (/v1/heatmap), health,
+// status and Prometheus metrics, all wrapped in
 // the per-request observability middleware (trace IDs, latency histograms,
 // structured request log). All state lives in the execution engine; the
 // server only translates requests, records telemetry, and persists the
@@ -28,6 +29,7 @@ import (
 
 	"igpucomm/internal/apps/catalog"
 	"igpucomm/internal/buildinfo"
+	"igpucomm/internal/comm"
 	"igpucomm/internal/devices"
 	"igpucomm/internal/engine"
 	"igpucomm/internal/faults"
@@ -138,6 +140,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/metrics", s.metrics.reg.Handler())
 	mux.Handle("/v1/advise", s.admitted(http.HandlerFunc(s.handleAdvise)))
 	mux.Handle("/v1/characterize", s.admitted(http.HandlerFunc(s.handleCharacterize)))
+	mux.Handle("/v1/heatmap", s.admitted(http.HandlerFunc(s.handleHeatmap)))
 	return s.observe(s.recoverPanics(mux))
 }
 
@@ -149,6 +152,7 @@ var knownEndpoints = map[string]bool{
 	"/metrics":         true,
 	"/v1/advise":       true,
 	"/v1/characterize": true,
+	"/v1/heatmap":      true,
 }
 
 // statusRecorder captures the status code the handler wrote.
@@ -478,6 +482,69 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := framework.SaveCharacterization(w, char); err != nil {
 		s.log.Error("write characterization", "err", err)
+	}
+}
+
+// handleHeatmap runs a heat-enabled exploration of one device x app point and
+// serves the per-buffer heat artifact in the same schema-versioned format
+// `advisor -heatmap` writes, so the response body is directly loadable with
+// framework.LoadHeatArtifact. Heat runs are never cached (heat is an
+// observability overlay, not part of the engine's memoized results), so like
+// /v1/characterize an open breaker answers 503 with a Retry-After hint.
+func (s *Server) handleHeatmap(w http.ResponseWriter, r *http.Request) {
+	device := r.URL.Query().Get("device")
+	if device == "" {
+		writeError(w, http.StatusBadRequest, "missing ?device= parameter")
+		return
+	}
+	app := r.URL.Query().Get("app")
+	if app == "" {
+		writeError(w, http.StatusBadRequest, "missing ?app= parameter")
+		return
+	}
+	cfg, err := devices.ByName(device)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	wl, err := catalog.ByName(app, s.opt.Scale)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	done, ok := s.breaker.Allow()
+	if !ok {
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.breaker.RetryAfter().Seconds())))
+		writeError(w, http.StatusServiceUnavailable, "exploration circuit breaker open")
+		return
+	}
+	var exp framework.Exploration
+	err = guard(func() error {
+		var err error
+		exp, err = s.eng.ExploreHeat(r.Context(), cfg, wl, comm.AllModels())
+		return err
+	})
+	done(err)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	art := framework.HeatArtifact{Entries: framework.HeatEntriesFromExploration(exp)}
+	s.metrics.heatRequests.Inc()
+	if len(art.Entries) > 0 {
+		best := art.Entries[0]
+		hot := 0
+		for _, h := range best.Hints {
+			if h.Class == framework.BufferHot {
+				hot++
+			}
+		}
+		s.metrics.heatBuffers.Set(float64(len(best.Buffers)))
+		s.metrics.heatHot.Set(float64(hot))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := framework.SaveHeatArtifact(w, art); err != nil {
+		s.log.Error("write heat artifact", "err", err)
 	}
 }
 

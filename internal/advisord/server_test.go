@@ -2,6 +2,7 @@ package advisord
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"log/slog"
@@ -11,6 +12,7 @@ import (
 	"testing"
 
 	"igpucomm/internal/apps/catalog"
+	"igpucomm/internal/comm"
 	"igpucomm/internal/devices"
 	"igpucomm/internal/engine"
 	"igpucomm/internal/framework"
@@ -264,4 +266,86 @@ func TestCachePersistenceAcrossServers(t *testing.T) {
 // testLogger keeps request logging out of test output.
 func testLogger() *slog.Logger {
 	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// TestHeatmapEndpointServesArtifact is the /v1/heatmap golden check: the
+// endpoint's body must be byte-identical to the schema-versioned artifact a
+// direct heat-enabled exploration produces — the same data `advisor -heatmap`
+// writes, served over HTTP.
+func TestHeatmapEndpointServesArtifact(t *testing.T) {
+	srv, ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/v1/heatmap?device=" + devices.TX2Name + "&app=shwfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("heatmap status = %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := framework.LoadHeatArtifact(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("response is not a loadable heat artifact: %v", err)
+	}
+	if len(art.Entries) == 0 {
+		t.Fatal("heat artifact has no entries")
+	}
+	for _, e := range art.Entries {
+		if e.Platform != devices.TX2Name || e.Workload != "shwfs" {
+			t.Errorf("entry for %s/%s, want %s/shwfs", e.Platform, e.Workload, devices.TX2Name)
+		}
+		if len(e.Buffers) == 0 {
+			t.Errorf("model %s: no buffer heat", e.Model)
+		}
+	}
+
+	// Golden: the simulation is deterministic, so an equivalent direct
+	// exploration must serialize to the exact bytes the endpoint served.
+	cfg, err := devices.ByName(devices.TX2Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := catalog.ByName("shwfs", catalog.Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := engine.New(engine.Options{Workers: 2}).ExploreHeat(context.Background(), cfg, w, comm.AllModels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := framework.SaveHeatArtifact(&want,
+		framework.HeatArtifact{Entries: framework.HeatEntriesFromExploration(exp)}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, want.Bytes()) {
+		t.Errorf("endpoint body diverges from direct artifact:\ngot:  %s\nwant: %s", body, want.Bytes())
+	}
+
+	if got := srv.metrics.heatRequests.Value(); got != 1 {
+		t.Errorf("heat requests metric = %d, want 1", got)
+	}
+	if got := srv.metrics.heatBuffers.Value(); got <= 0 {
+		t.Errorf("heat buffers gauge = %v, want > 0", got)
+	}
+}
+
+func TestHeatmapEndpointRejectsBadRequests(t *testing.T) {
+	_, ts := testServer(t)
+	for _, tt := range []struct {
+		url  string
+		want int
+	}{
+		{"/v1/heatmap", http.StatusBadRequest},
+		{"/v1/heatmap?device=" + devices.TX2Name, http.StatusBadRequest},
+		{"/v1/heatmap?device=bogus&app=shwfs", http.StatusNotFound},
+		{"/v1/heatmap?device=" + devices.TX2Name + "&app=bogus", http.StatusNotFound},
+	} {
+		if resp := getJSON(t, ts.URL+tt.url, nil); resp.StatusCode != tt.want {
+			t.Errorf("%s status = %d, want %d", tt.url, resp.StatusCode, tt.want)
+		}
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 	"regexp"
 	"strings"
 )
@@ -50,6 +51,12 @@ func runMetricName(mp *ModulePass) []Finding {
 					!hasPathSuffix(obj.Pkg().Path(), "internal/telemetry") {
 					return true
 				}
+				if !isRegistryMethod(obj) {
+					// Same package, same method names, different contract:
+					// Tracer.Counter records a Chrome trace counter sample,
+					// not a Prometheus registration.
+					return true
+				}
 				name, constant := constString(pass, call.Args[0])
 				if !constant {
 					out = append(out, Finding{
@@ -75,6 +82,27 @@ func runMetricName(mp *ModulePass) []Finding {
 		}
 	}
 	return out
+}
+
+// isRegistryMethod reports whether obj is a method whose receiver is the
+// telemetry Registry (possibly behind a pointer). Other telemetry types —
+// the trace Tracer in particular — reuse the method names without
+// registering anything.
+func isRegistryMethod(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Registry"
 }
 
 // checkMetricName validates one constant metric name against the naming

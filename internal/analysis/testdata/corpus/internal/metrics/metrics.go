@@ -15,4 +15,10 @@ func RegisterAll(reg *telemetry.Registry) {
 	reg.Counter("igpucomm_CamelCase_total", "shape")      // want metricname "lower_snake_case"
 	reg.Counter(dynamic, "dynamic name")                  // want metricname "not a compile-time constant"
 	reg.Gauge("igpucomm_corpus_queue_entries", "dup")     // want metricname "2 sites"
+	reg.Gauge("igpucomm_heatmap_hot_pages", "heat")       // want metricname "recognized unit"
+
+	// Tracer.Counter shares the method name but records trace samples, not
+	// Prometheus metrics: dynamic names are fine here and must not fire.
+	var tr telemetry.Tracer
+	tr.Counter(dynamic, 1.0)
 }

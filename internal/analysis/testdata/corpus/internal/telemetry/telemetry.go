@@ -33,3 +33,11 @@ func (r *Registry) Gauge(name, help string) {}
 
 // GaugeFunc registers a callback gauge metric.
 func (r *Registry) GaugeFunc(name, help string, f func() float64) {}
+
+// Tracer is a stub trace recorder. It reuses the Counter method name with a
+// different contract (Chrome trace counter samples, not Prometheus metrics),
+// so metricname must leave it alone.
+type Tracer struct{}
+
+// Counter records a trace counter sample.
+func (t *Tracer) Counter(name string, values ...float64) {}

@@ -78,6 +78,9 @@ func (c *Cache) DoBatch(accs []Access, out []Result, b *Batch) {
 			}
 			c.stats.Bypasses++
 			c.stats.BypassBytes += accs[i].Size
+			if c.heat != nil && accs[i].Kind != Writeback {
+				c.heat.Record(accs[i].Addr, accs[i].Size, accs[i].Kind == Write, true)
+			}
 			b.lines = append(b.lines, lineRef{acc: int32(i), lowerIdx: int32(len(b.lower))})
 			b.lower = append(b.lower, accs[i])
 		}
@@ -112,6 +115,11 @@ func (c *Cache) DoBatch(accs []Access, out []Result, b *Batch) {
 						break
 					}
 				}
+				// Heat records at the same points, in the same order, as the
+				// serial doLine — the byte-identity contract extends to heat.
+				if c.heat != nil {
+					c.heat.Record(ln<<c.offBits, c.cfg.LineSize, a.Kind != Read, !hit)
+				}
 				if !hit {
 					victim := 0
 					for w := range ways {
@@ -129,6 +137,9 @@ func (c *Cache) DoBatch(accs []Access, out []Result, b *Batch) {
 						if v.dirty {
 							c.stats.Writebacks++
 							wbAddr := (v.tag<<setBits | set) << c.offBits
+							if c.heat != nil {
+								c.heat.RecordWriteback(wbAddr, c.cfg.LineSize)
+							}
 							// Writeback latency is off the critical path —
 							// enqueued for state and traffic, no lineRef.
 							b.lower = append(b.lower, Access{Addr: wbAddr, Size: c.cfg.LineSize, Kind: Writeback})

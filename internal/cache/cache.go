@@ -18,6 +18,7 @@ package cache
 import (
 	"fmt"
 
+	"igpucomm/internal/heatmap"
 	"igpucomm/internal/units"
 )
 
@@ -114,6 +115,11 @@ type Cache struct {
 	useClock uint64
 	enabled  bool
 	stats    Stats
+	// heat, when non-nil, receives one record per line serviced. Only
+	// entry-level caches (CPU L1, per-SM GPU L1s) carry a sink, so a page is
+	// attributed exactly once per demand touch; the nil check is the entire
+	// cost of the disabled path.
+	heat *heatmap.Accumulator
 }
 
 // New builds a cache level on top of lower. It panics if cfg is invalid or
@@ -160,6 +166,12 @@ func (c *Cache) Enabled() bool { return c.enabled }
 // lower level and counted as a bypass.
 func (c *Cache) SetEnabled(on bool) { c.enabled = on }
 
+// SetHeatSink attaches (or, with nil, detaches) the per-page heat
+// accumulator this level reports line traffic to. Heat recording never
+// changes a Result or any cache state, so enabling it cannot perturb the
+// simulation.
+func (c *Cache) SetHeatSink(h *heatmap.Accumulator) { c.heat = h }
+
 // Do services one access, recursing into lower levels on miss. Requests
 // larger than a line are split into per-line requests and the latencies are
 // summed (the agent models decide what issues; the cache just services).
@@ -170,6 +182,11 @@ func (c *Cache) Do(a Access) Result {
 	if !c.enabled {
 		c.stats.Bypasses++
 		c.stats.BypassBytes += a.Size
+		if c.heat != nil && a.Kind != Writeback {
+			// A bypassed demand access is serviced below this level: a miss
+			// by construction.
+			c.heat.Record(a.Addr, a.Size, a.Kind == Write, true)
+		}
 		return c.lower.Do(a)
 	}
 	var total Result
@@ -200,8 +217,14 @@ func (c *Cache) doLine(lineAddr int64, kind Kind) Result {
 				ways[i].dirty = true
 			}
 			c.stats.countHit(kind)
+			if c.heat != nil {
+				c.heat.Record(lineAddr<<c.offBits, c.cfg.LineSize, kind != Read, false)
+			}
 			return Result{Latency: c.cfg.HitLatency, ServedBy: c.cfg.Name}
 		}
+	}
+	if c.heat != nil {
+		c.heat.Record(lineAddr<<c.offBits, c.cfg.LineSize, kind != Read, true)
 	}
 
 	// Miss: pick victim (invalid first, else LRU).
@@ -221,6 +244,9 @@ func (c *Cache) doLine(lineAddr int64, kind Kind) Result {
 		if v.dirty {
 			c.stats.Writebacks++
 			wbAddr := (v.tag<<uintLog2(c.setCount) | set) << c.offBits
+			if c.heat != nil {
+				c.heat.RecordWriteback(wbAddr, c.cfg.LineSize)
+			}
 			c.lower.Do(Access{Addr: wbAddr, Size: c.cfg.LineSize, Kind: Writeback})
 		}
 	}
@@ -255,6 +281,9 @@ func (c *Cache) Flush(perLineCost units.Latency) (writebacks int64, cost units.L
 			writebacks++
 			set := int64(i) / int64(c.ways)
 			wbAddr := (l.tag<<uintLog2(c.setCount) | set) << c.offBits
+			if c.heat != nil {
+				c.heat.RecordWriteback(wbAddr, c.cfg.LineSize)
+			}
 			c.lower.Do(Access{Addr: wbAddr, Size: c.cfg.LineSize, Kind: Writeback})
 		}
 		*l = line{}
@@ -286,6 +315,9 @@ func (c *Cache) FlushRange(lo, hi int64, perLineCost units.Latency) (writebacks 
 		cost += perLineCost
 		if l.dirty {
 			writebacks++
+			if c.heat != nil {
+				c.heat.RecordWriteback(addr, c.cfg.LineSize)
+			}
 			c.lower.Do(Access{Addr: addr, Size: c.cfg.LineSize, Kind: Writeback})
 		}
 		*l = line{}

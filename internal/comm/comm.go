@@ -22,6 +22,7 @@ import (
 	"igpucomm/internal/energy"
 	"igpucomm/internal/gpu"
 	"igpucomm/internal/hazard"
+	"igpucomm/internal/heatmap"
 	"igpucomm/internal/mmu"
 	"igpucomm/internal/soc"
 	"igpucomm/internal/units"
@@ -221,6 +222,11 @@ type Report struct {
 	// non-nil report with zero findings is a machine-checked statement
 	// that the schedule and layout this run used are race-free.
 	Hazards *hazard.Report
+
+	// BufferHeat is the per-buffer heat snapshot of the measured iteration,
+	// hottest first; nil unless the platform ran with heat profiling enabled
+	// (soc.EnableHeat). Heat recording never perturbs the timings above.
+	BufferHeat []heatmap.BufferHeat
 }
 
 // KernelTimePer is the mean time of one kernel launch.
@@ -472,4 +478,24 @@ func (r Report) String() string {
 		r.Platform, r.Workload, r.Model, r.Total.Duration(),
 		r.CPUTime.Duration(), r.KernelTime.Duration(), r.Launches,
 		r.CopyTime.Duration(), r.FlushTime.Duration(), r.LaunchTime.Duration())
+}
+
+// resetHeat zeroes the platform's heat accumulator (if profiling is on) so
+// each warmup iteration starts clean and the measured iteration's snapshot
+// reflects only itself.
+func resetHeat(s *soc.SoC) {
+	if h := s.Heat(); h != nil {
+		h.Reset()
+	}
+}
+
+// captureHeat snapshots the per-buffer heat of the just-finished iteration
+// into the report. A no-op (leaving BufferHeat nil) when heat profiling is
+// off, so default runs stay byte-identical.
+func captureHeat(s *soc.SoC, rep *Report) {
+	h := s.Heat()
+	if h == nil {
+		return
+	}
+	rep.BufferHeat = h.Snapshot(s.Space.Buffers())
 }

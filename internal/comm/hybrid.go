@@ -52,6 +52,7 @@ func (Hybrid) Run(s *soc.SoC, w Workload) (Report, error) {
 	lch := gpu.NewLauncher(s.GPU, "hybrid/"+w.Name)
 	for i := 0; i <= w.Warmup; i++ {
 		measured := i == w.Warmup
+		resetHeat(s)
 		r, err := hybridIteration(s, w, cpuLay, gpuLay, hostLay, devLay, lch)
 		if err != nil {
 			return Report{}, err
@@ -60,6 +61,7 @@ func (Hybrid) Run(s *soc.SoC, w Workload) (Report, error) {
 			rep = r
 		}
 	}
+	captureHeat(s, &rep)
 	rep.Model = Hybrid{}.Name()
 	rep.Platform = s.Name()
 	rep.Workload = w.Name

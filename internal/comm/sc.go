@@ -48,6 +48,7 @@ func (SC) Run(s *soc.SoC, w Workload) (Report, error) {
 	lch := gpu.NewLauncher(s.GPU, "sc/"+w.Name)
 	for i := 0; i <= w.Warmup; i++ {
 		measured := i == w.Warmup
+		resetHeat(s)
 		r, err := scIteration(s, w, hostLay, devLay, lch)
 		if err != nil {
 			return Report{}, err
@@ -56,6 +57,7 @@ func (SC) Run(s *soc.SoC, w Workload) (Report, error) {
 			rep = r
 		}
 	}
+	captureHeat(s, &rep)
 	rep.Model = SC{}.Name()
 	rep.Platform = s.Name()
 	rep.Workload = w.Name

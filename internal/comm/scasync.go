@@ -50,6 +50,7 @@ func (SCAsync) Run(s *soc.SoC, w Workload) (Report, error) {
 	lch := gpu.NewLauncher(s.GPU, "sc-async/"+w.Name)
 	for i := 0; i <= w.Warmup; i++ {
 		measured := i == w.Warmup
+		resetHeat(s)
 		r, err := scAsyncIteration(s, w, hostLay, devLay, lch)
 		if err != nil {
 			return Report{}, err
@@ -58,6 +59,7 @@ func (SCAsync) Run(s *soc.SoC, w Workload) (Report, error) {
 			rep = r
 		}
 	}
+	captureHeat(s, &rep)
 	rep.Model = SCAsync{}.Name()
 	rep.Platform = s.Name()
 	rep.Workload = w.Name

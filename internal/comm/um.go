@@ -54,6 +54,7 @@ func (UM) Run(s *soc.SoC, w Workload) (Report, error) {
 	lch := gpu.NewLauncher(s.GPU, "um/"+w.Name)
 	for i := 0; i <= w.Warmup; i++ {
 		measured := i == w.Warmup
+		resetHeat(s)
 		r := umIteration(s, w, lay, lch)
 		if r.err != nil {
 			return Report{}, r.err
@@ -62,6 +63,7 @@ func (UM) Run(s *soc.SoC, w Workload) (Report, error) {
 			rep = r.Report
 		}
 	}
+	captureHeat(s, &rep)
 	rep.Model = UM{}.Name()
 	rep.Platform = s.Name()
 	rep.Workload = w.Name

@@ -49,6 +49,7 @@ func (ZC) Run(s *soc.SoC, w Workload) (Report, error) {
 	lch := gpu.NewLauncher(s.GPU, "zc/"+w.Name)
 	for i := 0; i <= w.Warmup; i++ {
 		measured := i == w.Warmup
+		resetHeat(s)
 		r, err := zcIteration(s, w, lay, lch)
 		if err != nil {
 			return Report{}, err
@@ -57,6 +58,7 @@ func (ZC) Run(s *soc.SoC, w Workload) (Report, error) {
 			rep = r
 		}
 	}
+	captureHeat(s, &rep)
 	rep.Model = ZC{}.Name()
 	rep.Platform = s.Name()
 	rep.Workload = w.Name

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"igpucomm/internal/cache"
+	"igpucomm/internal/heatmap"
 	"igpucomm/internal/isa"
 	"igpucomm/internal/units"
 )
@@ -83,6 +84,9 @@ type CPU struct {
 	memOps   int64
 	opCounts [256]int64 // per-opcode retire counters, indexed by isa.Op
 	tracer   func(isa.Instr)
+	// heat receives records for uncached-range accesses (the L1 records its
+	// own via its sink); nil when heat profiling is off.
+	heat *heatmap.Accumulator
 }
 
 // New builds a CPU whose LLC misses go to mem (a DRAM port) and whose
@@ -152,6 +156,14 @@ func (c *CPU) route(addr int64) cache.Level {
 // instruction before its memory access is serviced.
 func (c *CPU) SetTracer(f func(isa.Instr)) { c.tracer = f }
 
+// SetHeat attaches (nil detaches) the per-page heat accumulator: the L1
+// records cacheable traffic through its sink, the CPU itself records
+// uncached-range (pinned) traffic, which never reaches a cache.
+func (c *CPU) SetHeat(h *heatmap.Accumulator) {
+	c.heat = h
+	c.l1.SetHeatSink(h)
+}
+
 // Exec executes one instruction, advancing the CPU's elapsed time.
 func (c *CPU) Exec(in isa.Instr) {
 	if c.tracer != nil {
@@ -180,6 +192,10 @@ func (c *CPU) Exec(in isa.Instr) {
 	} else {
 		// Uncached pinned path: strongly ordered, no overlap.
 		c.elapsed += r.Latency
+		if c.heat != nil {
+			// Uncached traffic always goes to memory: a miss by definition.
+			c.heat.Record(in.Addr, in.Size, kind == cache.Write, true)
+		}
 	}
 }
 

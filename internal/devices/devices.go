@@ -35,6 +35,10 @@ const (
 	NanoName   = "jetson-nano"
 	TX2Name    = "jetson-tx2"
 	XavierName = "jetson-agx-xavier"
+	// APUName is the extrapolated x86 APU profile (see APU); it resolves
+	// through ByName but stays out of All() so the paper sweeps keep their
+	// three boards.
+	APUName = "embedded-apu"
 )
 
 // Nano returns the Jetson Nano platform configuration: 4x Cortex-A57 @
@@ -205,6 +209,66 @@ func Xavier() soc.Config {
 	}
 }
 
+// APU returns an extrapolated x86 embedded-APU profile, the class of machine
+// the paper's Jetson results are most often asked to transfer to: a truly
+// unified memory system (UPM — the CPU and GPU share page tables, so unified
+// memory has no migration cost at all: FaultLatency 0, kernel factor 1.0),
+// hardware I/O coherence, and a large LLC shared by both sides. It is not
+// part of All() — the paper's sweeps and goldens are pinned to the three
+// Jetson boards — but resolves through ByName for heat-map studies of how
+// advice shifts when migration is free.
+func APU() soc.Config {
+	return soc.Config{
+		Name:     APUName,
+		MemBytes: 32 * units.GiB,
+		DRAM: memdev.Config{
+			Name:      APUName + "/dram",
+			Latency:   80,
+			Bandwidth: 120 * units.GBps,
+		},
+		CPU: cpu.Config{
+			Name:          APUName + "/cpu",
+			Freq:          3.0 * units.GHz,
+			L1:            cache.Config{Name: "cpuL1", Size: 32 * units.KiB, LineSize: 64, Ways: 8, HitLatency: 1.5},
+			LLC:           cache.Config{Name: "cpuLLC", Size: 8 * units.MiB, LineSize: 64, Ways: 16, HitLatency: 12},
+			Costs:         isa.DefaultCPUCosts(),
+			FlushLineCost: 0.8,
+			MemMLP:        10,
+		},
+		GPU: gpu.Config{
+			Name:           APUName + "/gpu",
+			Freq:           2.2 * units.GHz,
+			SMs:            8,
+			WarpSize:       32,
+			MaxInflight:    128,
+			ResidentWarps:  32,
+			L1:             cache.Config{Name: "gpuL1", Size: 32 * units.KiB, LineSize: 64, Ways: 4, HitLatency: 18},
+			LLC:            cache.Config{Name: "gpuLLC", Size: 4 * units.MiB, LineSize: 64, Ways: 16, HitLatency: 55},
+			LLCBandwidth:   280 * units.GBps,
+			DRAMBandwidth:  110 * units.GBps,
+			Costs:          isa.DefaultGPUCosts(),
+			LaunchOverhead: 2000,
+		},
+		IOCoherent:     true,
+		PinnedLatency:  100,
+		PinnedWriteLat: 12,
+		IOHopLatency:   40,
+		IOBandwidth:    60 * units.GBps,
+		CopyBandwidth:  40 * units.GBps,
+		CopySetup:      5000,
+		PageSize:       64 * units.KiB,
+		FaultLatency:   0, // UPM: shared page tables, no migration faults
+		UMKernelFactor: 1.0,
+		Power: energy.PowerConfig{
+			StaticWatts:    6.0,
+			CPUActiveWatts: 8.0,
+			GPUActiveWatts: 10.0,
+			DRAMPJPerByte:  55,
+			CopyPJPerByte:  30,
+		},
+	}
+}
+
 // All returns every catalogued platform configuration, sorted by name.
 func All() []soc.Config {
 	cfgs := []soc.Config{Nano(), TX2(), Xavier()}
@@ -212,15 +276,16 @@ func All() []soc.Config {
 	return cfgs
 }
 
-// ByName looks a platform up by its catalog name.
+// ByName looks a platform up by its catalog name. It also resolves the
+// extra-catalog APU profile, which All() deliberately omits.
 func ByName(name string) (soc.Config, error) {
-	for _, c := range All() {
+	for _, c := range append(All(), APU()) {
 		if c.Name == name {
 			return c, nil
 		}
 	}
-	return soc.Config{}, fmt.Errorf("devices: unknown platform %q (have %s, %s, %s)",
-		name, NanoName, TX2Name, XavierName)
+	return soc.Config{}, fmt.Errorf("devices: unknown platform %q (have %s, %s, %s, %s)",
+		name, NanoName, TX2Name, XavierName, APUName)
 }
 
 // NewSoC is a convenience that instantiates a platform by name.

@@ -257,6 +257,49 @@ func (e *Engine) Explore(ctx context.Context, cfg soc.Config, w comm.Workload, m
 	return framework.NewExploration(cfg.Name, w.Name, cands), nil
 }
 
+// ExploreHeat is Explore with per-buffer heat profiling enabled for the
+// duration of each model run: every candidate's Report carries a BufferHeat
+// snapshot of its measured iteration. Heat is disabled again before the
+// platform returns to the pool, so pooled platforms stay heat-free for
+// ordinary work (the accumulator itself is cached on the SoC, so repeated
+// heat sweeps do not reallocate). Timings are byte-identical to Explore's —
+// heat recording never perturbs the simulation.
+func (e *Engine) ExploreHeat(ctx context.Context, cfg soc.Config, w comm.Workload, models []comm.Model) (framework.Exploration, error) {
+	if models == nil {
+		models = comm.Models()
+	}
+	if len(models) == 0 {
+		return framework.Exploration{}, fmt.Errorf("engine: no models to explore")
+	}
+	ctx, span := telemetry.Start(ctx, "engine.explore-heat",
+		telemetry.String("device", cfg.Name), telemetry.String("workload", w.Name))
+	defer span.End()
+	if err := faults.Fire(faultExplore); err != nil {
+		return framework.Exploration{}, fmt.Errorf("engine: %w", err)
+	}
+	cands := make([]framework.Candidate, len(models))
+	err := fanOut(ctx, e.sem, len(models), func(i int) error {
+		_, mspan := telemetry.Start(ctx, "engine.explore.model",
+			telemetry.String("model", models[i].Name()),
+			telemetry.String("heat", "on"))
+		defer mspan.End()
+		s, pk := e.pool.get(cfg)
+		s.EnableHeat()
+		rep, err := models[i].Run(s, w)
+		s.DisableHeat()
+		e.pool.put(pk, s, err)
+		if err != nil {
+			return fmt.Errorf("engine: explore %s: %w", models[i].Name(), err)
+		}
+		cands[i] = framework.Candidate{Model: models[i].Name(), Total: rep.Total, Report: rep}
+		return nil
+	})
+	if err != nil {
+		return framework.Exploration{}, err
+	}
+	return framework.NewExploration(cfg.Name, w.Name, cands), nil
+}
+
 // Request is one advisory question: which communication model should this
 // workload use on this platform, given it currently uses Current?
 type Request struct {

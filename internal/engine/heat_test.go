@@ -1,0 +1,137 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"igpucomm/internal/apps/catalog"
+	"igpucomm/internal/comm"
+	"igpucomm/internal/devices"
+	"igpucomm/internal/framework"
+)
+
+// TestGoldenExploreHeatMatchesExplore is the heat-map correctness contract:
+// across every device x app x model combination (the 45-point sweep), a
+// heat-enabled exploration must produce byte-identical measurements to the
+// heat-free one — heat recording observes the simulation, it never perturbs
+// it. The only permitted difference is the BufferHeat attachment itself.
+func TestGoldenExploreHeatMatchesExplore(t *testing.T) {
+	models := comm.AllModels()
+	for _, cfg := range devices.All() {
+		for _, app := range catalog.Names() {
+			cfg, app := cfg, app
+			t.Run(cfg.Name+"/"+app, func(t *testing.T) {
+				w, err := catalog.ByName(app, catalog.Quick)
+				if err != nil {
+					t.Fatal(err)
+				}
+				e := New(Options{Workers: 4})
+				plain, err := e.Explore(context.Background(), cfg, w, models)
+				if err != nil {
+					t.Fatal(err)
+				}
+				heat, err := e.ExploreHeat(context.Background(), cfg, w, models)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range heat.Ranked {
+					if len(heat.Ranked[i].Report.BufferHeat) == 0 {
+						t.Errorf("%s: heat run carries no BufferHeat", heat.Ranked[i].Model)
+					}
+					heat.Ranked[i].Report.BufferHeat = nil
+				}
+				want, err := json.Marshal(plain)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := json.Marshal(heat)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("heat-enabled exploration diverges from plain:\nplain: %s\nheat:  %s", want, got)
+				}
+			})
+		}
+	}
+}
+
+// TestExploreHeatLeavesPoolClean checks the enable/disable bracket: after a
+// heat exploration returns its pooled platforms, a plain Explore on the same
+// engine must run heat-free (no BufferHeat on its reports).
+func TestExploreHeatLeavesPoolClean(t *testing.T) {
+	cfg, err := devices.ByName(devices.TX2Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := catalog.ByName("shwfs", catalog.Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(Options{Workers: 2})
+	if _, err := e.ExploreHeat(context.Background(), cfg, w, comm.AllModels()); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := e.Explore(context.Background(), cfg, w, comm.AllModels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range exp.Ranked {
+		if len(c.Report.BufferHeat) != 0 {
+			t.Errorf("%s: plain exploration after heat run still records heat", c.Model)
+		}
+	}
+}
+
+// TestGoldenAPUHeat pins the heat profile of the extra-catalog APU platform
+// (unified page tables, free migration) as a golden artifact: the per-buffer
+// heat entries of a quick shwfs exploration, hints included. Refresh with
+// GOLDEN_UPDATE=1 after intentional simulator or threshold changes.
+func TestGoldenAPUHeat(t *testing.T) {
+	cfg, err := devices.ByName(devices.APUName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := catalog.ByName("shwfs", catalog.Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(Options{Workers: 2})
+	exp, err := e.ExploreHeat(context.Background(), cfg, w, comm.AllModels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	art := framework.HeatArtifact{Entries: framework.HeatEntriesFromExploration(exp)}
+	var buf bytes.Buffer
+	if err := framework.SaveHeatArtifact(&buf, art); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.Bytes()
+
+	path := filepath.Join("testdata", "apu_heat.json")
+	if os.Getenv("GOLDEN_UPDATE") == "1" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with GOLDEN_UPDATE=1 to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("APU heat artifact diverges from golden %s:\ngot:  %s\nwant: %s", path, got, want)
+	}
+	// The golden must survive its own schema loader.
+	if _, err := framework.LoadHeatArtifact(bytes.NewReader(want)); err != nil {
+		t.Errorf("golden does not load: %v", err)
+	}
+}

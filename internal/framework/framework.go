@@ -138,6 +138,10 @@ type Recommendation struct {
 	EnergyAdvantage bool
 	// Rationale is the human-readable reasoning chain.
 	Rationale string
+	// BufferHints refines the whole-workload verdict per buffer (mixed-model
+	// placement); nil unless the classification run was heat-profiled, so
+	// default advice output is unchanged.
+	BufferHints []BufferHint `json:"BufferHints,omitempty"`
 }
 
 // SpeedupPercent is the paper's percentage convention for the estimate.
@@ -170,6 +174,9 @@ func AdviseWorkload(ctx context.Context, char Characterization, s *soc.SoC, w co
 	}
 	rec, err := Advise(char, classify, current, currentModel)
 	if err == nil {
+		// Heat-profiled classification runs carry per-buffer data; attach
+		// the mixed-model hints. Nil otherwise — default output unchanged.
+		rec.BufferHints = PerBufferHints(classify.PerBuffer)
 		span.SetAttr("suggested", rec.Suggested)
 		span.SetAttr("zone", rec.Zone.String())
 	}

@@ -533,6 +533,14 @@ func (g *GPU) replayGroup(s *sm, ck *CompiledKernel, path uint8, lo, hi int) {
 	}
 	accs := ck.accs[lo:hi]
 	outs := rs.outs[:n]
+	if g.heat != nil && path == pathPinned {
+		// Pinned transactions bypass the caches, so the replay records them
+		// directly — in stream order, the same order the reference executor
+		// records at issue, keeping heat under the byte-identity contract.
+		for j := range accs {
+			g.heat.Record(accs[j].Addr, accs[j].Size, accs[j].Kind == cache.Write, true)
+		}
+	}
 	switch {
 	case path == pathCached:
 		s.l1.DoBatch(accs, outs, &rs.batch)

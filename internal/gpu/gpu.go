@@ -31,6 +31,7 @@ import (
 	"strconv"
 
 	"igpucomm/internal/cache"
+	"igpucomm/internal/heatmap"
 	"igpucomm/internal/isa"
 	"igpucomm/internal/memdev"
 	"igpucomm/internal/units"
@@ -156,6 +157,11 @@ type GPU struct {
 	kcacheBytes int64
 	vprog       isa.Program // revalidation emission scratch
 	hashCompile bool        // make CompileInto record the program fingerprint
+
+	// heat receives records for pinned-path transactions (which bypass the
+	// caches entirely); the per-SM L1s record cacheable traffic through
+	// their own sinks. nil when heat profiling is off.
+	heat *heatmap.Accumulator
 }
 
 // New builds a GPU whose LLC misses go to dram. The pinned path is wired
@@ -212,6 +218,18 @@ func (g *GPU) SetPinnedPath(p MemPath, bw units.BytesPerSecond) {
 	g.pinnedPath = p
 	g.pinnedBW = bw
 	g.pinnedEpoch++
+}
+
+// SetHeat attaches (nil detaches) the per-page heat accumulator. Cacheable
+// traffic is recorded by the per-SM L1 sinks; pinned zero-copy transactions
+// never reach a cache, so the GPU records them itself at issue. Compiled
+// kernels stay valid across heat toggles: recording happens at replay time
+// and never alters a result.
+func (g *GPU) SetHeat(h *heatmap.Accumulator) {
+	g.heat = h
+	for _, s := range g.sms {
+		s.l1.SetHeatSink(h)
+	}
 }
 
 // SetReferenceMode forces every Launch through the per-access reference

@@ -366,6 +366,9 @@ func (g *GPU) runBatch(k Kernel, s *sm, b *batch, res *Result) error {
 					}
 					// Pinned reads: no coalescing, one narrow transaction
 					// per lane — the uncached read path.
+					if g.heat != nil {
+						g.heat.Record(la.Addr, la.Size, false, true)
+					}
 					r := g.pinnedPath.Do(cache.Access{Addr: la.Addr, Size: la.Size, Kind: kind})
 					s.memLatency += r.Latency
 					res.Transactions++
@@ -385,6 +388,9 @@ func (g *GPU) runBatch(k Kernel, s *sm, b *batch, res *Result) error {
 				size := wcBytes / int64(len(wcBuf))
 				if size <= 0 {
 					size = 4
+				}
+				if g.heat != nil {
+					g.heat.Record(wcLine*64, size, true, true)
 				}
 				r := g.pinnedPath.Do(cache.Access{Addr: wcLine * 64, Size: size, Kind: cache.Write})
 				s.memLatency += r.Latency

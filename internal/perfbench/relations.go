@@ -59,6 +59,13 @@ func DefaultRelations() []Relation {
 			Doc:       "steady-state batch-kernel sweep stays >=5x under the seed simulator's serial median (435.3ms quick scale)",
 		},
 		{
+			Name:      "heatmap-overhead-bounded",
+			Scenario:  "sweep/engine-heatmap",
+			Reference: "sweep/engine-batch",
+			MaxRatio:  1.5,
+			Doc:       "heat recording may cost at most 50% over the heat-free batch sweep; the DISABLED path's cost is pinned separately by engine-batch-5x-vs-seed, which sweep/engine-batch runs with the nil-check branch compiled in",
+		},
+		{
 			Name:      "memo-warm-beats-cold",
 			Scenario:  "memo/warm",
 			Reference: "memo/cold",

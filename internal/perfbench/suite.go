@@ -143,6 +143,30 @@ func DefaultSuite(opt SuiteOptions) ([]Scenario, error) {
 			},
 		},
 		{
+			Name:      "sweep/engine-heatmap",
+			Component: "engine",
+			Doc:       "steady-state engine sweep with per-buffer heat recording enabled — the cost of the observability overlay",
+			Prepare: func(ctx context.Context) (func(context.Context) error, func(), error) {
+				eng := engine.New(engine.Options{Workers: opt.Workers})
+				// Prime heat-enabled so the pooled platforms already carry
+				// their accumulators and the measured iterations see the
+				// steady-state record path, not allocation.
+				for _, c := range combos {
+					if _, err := eng.ExploreHeat(ctx, c.cfg, c.w, comm.AllModels()); err != nil {
+						return nil, nil, err
+					}
+				}
+				return func(ctx context.Context) error {
+					for _, c := range combos {
+						if _, err := eng.ExploreHeat(ctx, c.cfg, c.w, comm.AllModels()); err != nil {
+							return err
+						}
+					}
+					return nil
+				}, nil, nil
+			},
+		},
+		{
 			Name:      "memo/cold",
 			Component: "engine",
 			Doc:       "characterize all devices on a cold memo cache (fresh engine per iteration)",

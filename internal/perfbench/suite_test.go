@@ -29,6 +29,7 @@ func TestQuickSuiteEmitsValidArtifact(t *testing.T) {
 
 	want := []string{
 		"sweep/serial", "sweep/engine", "sweep/engine-batch",
+		"sweep/engine-heatmap",
 		"memo/cold", "memo/warm",
 		"microbench/mb1", "microbench/mb2", "microbench/mb3",
 		"mb2/compiled-run",

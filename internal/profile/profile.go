@@ -13,6 +13,7 @@ import (
 
 	"igpucomm/internal/comm"
 	"igpucomm/internal/faults"
+	"igpucomm/internal/heatmap"
 	"igpucomm/internal/perfmodel"
 	"igpucomm/internal/soc"
 	"igpucomm/internal/telemetry"
@@ -55,6 +56,10 @@ type Profile struct {
 	// over kernel runtime). Dividing by the device's measured peak (first
 	// micro-benchmark) yields GPUCacheUsage.
 	GPUDemand units.BytesPerSecond
+
+	// PerBuffer is the run's per-buffer heat breakdown, hottest first; nil
+	// unless the platform ran with heat profiling enabled.
+	PerBuffer []heatmap.BufferHeat
 
 	// Report keeps the full run record for downstream consumers.
 	Report comm.Report
@@ -107,7 +112,20 @@ func FromReport(rep comm.Report) Profile {
 		KernelTimePer:    rep.KernelTimePer(),
 		CopyTimePer:      rep.CopyTimePer(),
 		Total:            rep.Total,
+		PerBuffer:        rep.BufferHeat,
 		Report:           rep,
+	}
+	// Guard the demand math against corrupt reports (fault-injected runs can
+	// surface negative byte counts or out-of-range hit rates): clamp to the
+	// physically meaningful ranges instead of propagating a negative or
+	// >100% demand into the classification.
+	if p.TransactionBytes < 0 {
+		p.TransactionBytes = 0
+	}
+	if p.GPUL1HitRate < 0 {
+		p.GPUL1HitRate = 0
+	} else if p.GPUL1HitRate > 1 {
+		p.GPUL1HitRate = 1
 	}
 	if rep.KernelTime > 0 {
 		demandBytes := float64(p.TransactionBytes) * (1 - p.GPUL1HitRate)

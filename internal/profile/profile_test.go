@@ -5,6 +5,7 @@ import (
 	"math"
 	"testing"
 
+	"igpucomm/internal/cache"
 	"igpucomm/internal/comm"
 	"igpucomm/internal/cpu"
 	"igpucomm/internal/devices"
@@ -140,5 +141,57 @@ func TestGPUDemandReflectsL1Hits(t *testing.T) {
 	}
 	if hot.GPUCacheUsage(97*units.GBps) >= stream.GPUCacheUsage(97*units.GBps) {
 		t.Error("L1-resident kernel should show lower LL demand than streaming kernel")
+	}
+}
+
+// TestFromReportClampsCorruptCounters covers the guard in front of the
+// GPUDemand math: fault-injected runs can hand FromReport reports whose raw
+// counters are physically impossible (negative byte totals, hit counts above
+// access counts). The clamp keeps the derived demand inside [0, peak] instead
+// of propagating nonsense into the classification.
+func TestFromReportClampsCorruptCounters(t *testing.T) {
+	const kt = units.Latency(1000)
+	mk := func(txBytes, reads, readHits int64) comm.Report {
+		return comm.Report{
+			KernelTime: kt,
+			GPU: gpu.Result{
+				L1:               cache.Stats{Reads: reads, ReadHits: readHits},
+				TransactionBytes: txBytes,
+			},
+		}
+	}
+	tests := []struct {
+		name      string
+		rep       comm.Report
+		wantBytes int64
+		wantHit   float64
+	}{
+		{"in-range passes through", mk(1000, 10, 5), 1000, 0.5},
+		{"negative bytes clamp to zero", mk(-4096, 10, 5), 0, 0.5},
+		{"hit rate above one clamps to one", mk(1000, 10, 20), 1000, 1},
+		{"negative hit rate clamps to zero", mk(1000, 10, -5), 1000, 0},
+		{"both corrupt", mk(-1, 10, 20), 0, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := FromReport(tt.rep)
+			if p.TransactionBytes != tt.wantBytes {
+				t.Errorf("TransactionBytes = %d, want %d", p.TransactionBytes, tt.wantBytes)
+			}
+			if p.GPUL1HitRate != tt.wantHit {
+				t.Errorf("GPUL1HitRate = %v, want %v", p.GPUL1HitRate, tt.wantHit)
+			}
+			want := units.BytesPerSecond(float64(tt.wantBytes) * (1 - tt.wantHit) / kt.Seconds())
+			if p.GPUDemand != want {
+				t.Errorf("GPUDemand = %v, want %v", p.GPUDemand, want)
+			}
+			if p.GPUDemand < 0 {
+				t.Errorf("GPUDemand = %v, negative demand escaped the clamp", p.GPUDemand)
+			}
+		})
+	}
+	// Zero kernel time leaves demand untouched regardless of counters.
+	if p := FromReport(comm.Report{GPU: gpu.Result{TransactionBytes: 1 << 30}}); p.GPUDemand != 0 {
+		t.Errorf("GPUDemand with zero kernel time = %v, want 0", p.GPUDemand)
 	}
 }

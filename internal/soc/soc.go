@@ -24,6 +24,7 @@ import (
 	"igpucomm/internal/energy"
 	"igpucomm/internal/faults"
 	"igpucomm/internal/gpu"
+	"igpucomm/internal/heatmap"
 	"igpucomm/internal/memdev"
 	"igpucomm/internal/mmu"
 	"igpucomm/internal/units"
@@ -120,6 +121,13 @@ type SoC struct {
 
 	copyBytes int64 // total bytes moved by the copy engine
 	copyCalls int64
+
+	// heat is the platform's per-page accumulator, allocated lazily on the
+	// first EnableHeat and kept across disable/enable cycles so pooled
+	// platforms never reallocate it. heatOn gates whether the agents carry
+	// sinks right now.
+	heat   *heatmap.Accumulator
+	heatOn bool
 }
 
 // New builds a platform instance from its configuration. Panics on invalid
@@ -308,6 +316,37 @@ func (s *SoC) CopyBytes() int64 { return s.copyBytes }
 // CopyCalls returns the number of copy-engine invocations.
 func (s *SoC) CopyCalls() int64 { return s.copyCalls }
 
+// EnableHeat attaches a per-page heat accumulator to the platform's entry
+// points (CPU L1 + uncached port, per-SM GPU L1s + pinned path) and zeroes
+// it. The accumulator is sized against the platform's memory extent with the
+// platform's migration page as the bucket, allocated once and reused across
+// enable/disable cycles. Heat recording never changes simulation results.
+func (s *SoC) EnableHeat() {
+	if s.heat == nil {
+		s.heat = heatmap.New(s.cfg.MemBytes, s.cfg.PageSize)
+	}
+	s.heat.Reset()
+	s.heatOn = true
+	s.CPU.SetHeat(s.heat)
+	s.GPU.SetHeat(s.heat)
+}
+
+// DisableHeat detaches the heat sinks; the accumulator is retained for the
+// next EnableHeat. The disabled hot path is back to a single nil check.
+func (s *SoC) DisableHeat() {
+	s.heatOn = false
+	s.CPU.SetHeat(nil)
+	s.GPU.SetHeat(nil)
+}
+
+// Heat returns the active accumulator, or nil when heat profiling is off.
+func (s *SoC) Heat() *heatmap.Accumulator {
+	if !s.heatOn {
+		return nil
+	}
+	return s.heat
+}
+
 // ResetState clears caches, routing, migration placements and statistics —
 // a pristine platform for the next experiment.
 func (s *SoC) ResetState() {
@@ -326,6 +365,9 @@ func (s *SoC) ResetState() {
 	s.copyCalls = 0
 	if s.ioPort != nil {
 		s.ioPort.ResetStats()
+	}
+	if s.heatOn && s.heat != nil {
+		s.heat.Reset()
 	}
 	// Rebuild routing for surviving pinned buffers.
 	for _, b := range s.Space.Buffers() {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -35,6 +36,29 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		}
 		for _, a := range s.Attrs() {
 			fmt.Fprintf(&b, ",%s:%s", jsonString(a.Key), jsonString(a.Value))
+		}
+		b.WriteString("}}")
+	}
+	// Counter samples become "C" events after the spans, in (ts, insertion)
+	// order — insertion IDs break timestamp ties under a frozen fake clock,
+	// so the output stays byte-deterministic. Traces that never call Counter
+	// emit exactly the pre-counter byte stream.
+	counters := t.counterSamples()
+	sort.SliceStable(counters, func(i, j int) bool {
+		if counters[i].ts != counters[j].ts {
+			return counters[i].ts < counters[j].ts
+		}
+		return counters[i].id < counters[j].id
+	})
+	for _, c := range counters {
+		b.WriteString(",\n")
+		fmt.Fprintf(&b, `{"name":%s,"cat":"igpucomm","ph":"C","ts":%s,"pid":1,"args":{`,
+			jsonString(c.name), micros(c.ts))
+		for i, v := range c.values {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%s:%s", jsonString(v.Series), strconv.FormatFloat(v.Value, 'g', -1, 64))
 		}
 		b.WriteString("}}")
 	}

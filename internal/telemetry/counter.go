@@ -1,0 +1,60 @@
+package telemetry
+
+import "time"
+
+// CounterValue is one named series sample within a counter event. A counter
+// with several series (e.g. reads + writes) renders as a stacked area chart
+// in the Chrome trace viewer.
+type CounterValue struct {
+	Series string
+	Value  float64
+}
+
+// counterSample is one recorded counter event: a named set of series values
+// at a clock offset. The id is the insertion order, which breaks timestamp
+// ties deterministically under a frozen fake clock (mirroring span IDs).
+type counterSample struct {
+	name   string
+	ts     time.Duration // offset from the tracer epoch
+	id     int64
+	values []CounterValue
+}
+
+// Counter records a counter sample: name identifies the counter track,
+// values are the series plotted on it, in the order given. Safe for
+// concurrent use; a nil tracer no-ops so call sites need no guards.
+func (t *Tracer) Counter(name string, values ...CounterValue) {
+	if t == nil || len(values) == 0 {
+		return
+	}
+	ts := t.clock().Sub(t.epoch)
+	vals := make([]CounterValue, len(values))
+	copy(vals, values)
+	t.mu.Lock()
+	t.counters = append(t.counters, counterSample{
+		name:   name,
+		ts:     ts,
+		id:     int64(len(t.counters)) + 1,
+		values: vals,
+	})
+	t.mu.Unlock()
+}
+
+// CounterLen returns the number of counter samples recorded so far.
+func (t *Tracer) CounterLen() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.counters)
+}
+
+// counterSamples snapshots the recorded counter samples in insertion order.
+func (t *Tracer) counterSamples() []counterSample {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]counterSample, len(t.counters))
+	copy(out, t.counters)
+	return out
+}

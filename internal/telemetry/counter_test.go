@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterNilSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Counter("x", CounterValue{Series: "a", Value: 1}) // must not panic
+	if tr.CounterLen() != 0 {
+		t.Error("nil tracer counted samples")
+	}
+}
+
+func TestCounterIgnoresEmptyValues(t *testing.T) {
+	tr := NewTracer(TracerOptions{TraceID: "t"})
+	tr.Counter("empty")
+	if tr.CounterLen() != 0 {
+		t.Errorf("CounterLen = %d, want 0 for a value-less sample", tr.CounterLen())
+	}
+}
+
+// TestChromeTraceCounterGolden pins the counter events' exact bytes: "C"
+// events follow the spans in (ts, insertion) order, series render in call
+// order, and float values use shortest-round-trip formatting.
+func TestChromeTraceCounterGolden(t *testing.T) {
+	clk := newManualClock()
+	tr := NewTracer(TracerOptions{Clock: clk.Now, TraceID: "deadbeefdeadbeef"})
+	clk.advance(time.Millisecond)
+	tr.Counter("heat tx2/shwfs/sc",
+		CounterValue{Series: "frame", Value: 2.25},
+		CounterValue{Series: "centroids", Value: 36})
+	tr.Counter("heat tx2/shwfs/zc", CounterValue{Series: "frame", Value: 1.5})
+
+	want := `{"traceEvents":[{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"igpucomm"}},
+{"name":"heat tx2/shwfs/sc","cat":"igpucomm","ph":"C","ts":1000,"pid":1,"args":{"frame":2.25,"centroids":36}},
+{"name":"heat tx2/shwfs/zc","cat":"igpucomm","ph":"C","ts":1000,"pid":1,"args":{"frame":1.5}}
+],"displayTimeUnit":"ms","otherData":{"traceId":"deadbeefdeadbeef"}}
+`
+	var b strings.Builder
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != want {
+		t.Fatalf("counter trace mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestChromeTraceCountersAfterSpans checks the combined export stays valid
+// JSON with counters interleaved into a real span tree, and that a trace
+// without counters is unchanged (the golden in chrome_test.go enforces the
+// exact bytes).
+func TestChromeTraceCountersAfterSpans(t *testing.T) {
+	tr := buildFixtureTrace()
+	tr.Counter("heat", CounterValue{Series: "buf", Value: 4})
+	var b strings.Builder
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, b.String())
+	}
+	if len(doc.TraceEvents) != 7 { // metadata + 5 spans + 1 counter
+		t.Fatalf("got %d events, want 7", len(doc.TraceEvents))
+	}
+	last := doc.TraceEvents[len(doc.TraceEvents)-1]
+	if last.Ph != "C" || last.Name != "heat" {
+		t.Fatalf("last event = %+v, want the counter", last)
+	}
+	if v, ok := last.Args["buf"].(float64); !ok || v != 4 {
+		t.Fatalf("counter args = %v, want buf=4", last.Args)
+	}
+}

@@ -33,8 +33,9 @@ type Tracer struct {
 	epoch   time.Time
 	traceID string
 
-	mu    sync.Mutex
-	spans []*Span
+	mu       sync.Mutex
+	spans    []*Span
+	counters []counterSample
 }
 
 // NewTracer builds a tracer.
