@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fmt vet lint lint-sarif lint-baseline lint-docs docs-links hazardcheck cover fuzz bench perfgate perf-smoke baseline trace chaos ci
+.PHONY: all build test race fmt vet lint lint-sarif lint-baseline lint-docs docs-links hazardcheck cover fuzz bench perfgate perf-smoke baseline trace chaos fleet ci
 
 all: build
 
@@ -105,4 +105,12 @@ trace:
 chaos:
 	$(GO) test -race ./internal/chaos/
 
-ci: fmt vet lint lint-docs docs-links build race cover fuzz hazardcheck trace chaos perf-smoke
+# Fleet storm harness: a 3-shard advisord fleet under closed-loop load while
+# a cold shard joins (warm handoff) and another is killed mid-run, plus the
+# same load shape under the chaos suite's flaky-engine schedule — all under
+# the race detector. FLEET_SUMMARY receives the latency artifact CI uploads.
+FLEET_SUMMARY ?= fleet-summary.json
+fleet:
+	FLEET_SUMMARY=$(FLEET_SUMMARY) $(GO) test -race -run 'TestFleetStorm' -v ./internal/fleet/
+
+ci: fmt vet lint lint-docs docs-links build race cover fuzz hazardcheck trace chaos fleet perf-smoke

@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"igpucomm/internal/faults"
+	"igpucomm/internal/fleet"
 )
 
 // config is advisord's parsed and validated flag set.
@@ -31,6 +33,11 @@ type config struct {
 
 	faultSpec string
 	faultSeed int64
+
+	shardID     string
+	peers       string
+	fleetVNodes int
+	adminAddr   string
 }
 
 // errFlagParse marks errors flag.Parse already reported on stderr, so main
@@ -59,6 +66,10 @@ func parseConfig(args []string) (*config, error) {
 	fs.DurationVar(&c.breakerCooldown, "breaker-cooldown", 10*time.Second, "how long the breaker stays open before a probe")
 	fs.StringVar(&c.faultSpec, "faults", "", "fault-injection spec (point:mode[:k=v,...];...); also read from FAULTS when empty")
 	fs.Int64Var(&c.faultSeed, "faults-seed", 1, "fault-injection plan seed")
+	fs.StringVar(&c.shardID, "shard-id", "", "this replica's fleet shard ID (empty: fleet mode off)")
+	fs.StringVar(&c.peers, "peers", "", "comma-separated id=url fleet membership, this shard included")
+	fs.IntVar(&c.fleetVNodes, "fleet-vnodes", 0, fmt.Sprintf("virtual nodes per shard on the hash ring (0 = %d)", fleet.DefaultVNodes))
+	fs.StringVar(&c.adminAddr, "admin-addr", "", "serve the fleet admin API on this address (empty: disabled)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil, err
@@ -110,7 +121,91 @@ func (c *config) validate() error {
 			return fmt.Errorf("-faults: %w", err)
 		}
 	}
+	if err := c.validateFleet(); err != nil {
+		return err
+	}
 	return nil
+}
+
+// validateFleet rejects half-configured fleet flags: fleet mode is all or
+// nothing, keyed off -shard-id, and a membership list that does not name this
+// shard would build a ring the replica is not on.
+func (c *config) validateFleet() error {
+	if c.shardID == "" {
+		if c.peers != "" {
+			return errors.New("-peers requires -shard-id")
+		}
+		if c.adminAddr != "" {
+			return errors.New("-admin-addr requires -shard-id")
+		}
+		if c.fleetVNodes != 0 {
+			return errors.New("-fleet-vnodes requires -shard-id")
+		}
+		return nil
+	}
+	if c.fleetVNodes < 0 {
+		return fmt.Errorf("-fleet-vnodes must be >= 0, got %d", c.fleetVNodes)
+	}
+	if c.adminAddr != "" && (c.adminAddr == c.addr || c.adminAddr == c.debugAddr) {
+		return fmt.Errorf("-admin-addr %q duplicates another listener; the admin API needs its own", c.adminAddr)
+	}
+	shards, err := parsePeers(c.peers)
+	if err != nil {
+		return err
+	}
+	for _, sh := range shards {
+		if sh.ID == c.shardID {
+			return nil
+		}
+	}
+	return fmt.Errorf("-peers does not include -shard-id %q; list every member, this shard included", c.shardID)
+}
+
+// parsePeers reads a -peers membership list ("a=http://h1:8025,b=http://h2:8025")
+// into shards. Duplicate IDs are rejected here for a better message than the
+// ring's own validation would give.
+func parsePeers(spec string) ([]fleet.Shard, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, errors.New("-peers must list the fleet membership as id=url pairs")
+	}
+	seen := make(map[string]bool)
+	var shards []fleet.Shard
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(part, "=")
+		id, url = strings.TrimSpace(id), strings.TrimSpace(url)
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("-peers entry %q is not id=url", part)
+		}
+		if !strings.HasPrefix(url, "http://") && !strings.HasPrefix(url, "https://") {
+			return nil, fmt.Errorf("-peers entry %q: url must start with http:// or https://", part)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("-peers lists shard %q twice", id)
+		}
+		seen[id] = true
+		shards = append(shards, fleet.Shard{ID: id, URL: url})
+	}
+	if len(shards) == 0 {
+		return nil, errors.New("-peers must list the fleet membership as id=url pairs")
+	}
+	return shards, nil
+}
+
+// fleetState builds this replica's fleet state from the validated flags; nil
+// when fleet mode is off.
+func (c *config) fleetState() (*fleet.State, error) {
+	if c.shardID == "" {
+		return nil, nil
+	}
+	shards, err := parsePeers(c.peers)
+	if err != nil {
+		return nil, err
+	}
+	return fleet.NewState(c.shardID, shards, c.fleetVNodes)
 }
 
 // checkCacheDir verifies that an existing -cache-dir is a writable directory

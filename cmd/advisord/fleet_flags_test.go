@@ -1,0 +1,74 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseConfigFleetOff(t *testing.T) {
+	c, err := parseConfig(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.shardID != "" || c.peers != "" || c.adminAddr != "" || c.fleetVNodes != 0 {
+		t.Errorf("fleet defaults = %+v", c)
+	}
+	st, err := c.fleetState()
+	if err != nil || st != nil {
+		t.Fatalf("fleetState without -shard-id = %v, %v, want nil, nil", st, err)
+	}
+}
+
+func TestParseConfigFleetValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"peers without shard-id", []string{"-peers", "a=http://h:1"}, "-shard-id"},
+		{"admin-addr without shard-id", []string{"-admin-addr", ":8125"}, "-shard-id"},
+		{"vnodes without shard-id", []string{"-fleet-vnodes", "16"}, "-shard-id"},
+		{"negative vnodes", []string{"-shard-id", "a", "-peers", "a=http://h:1", "-fleet-vnodes", "-1"}, "-fleet-vnodes"},
+		{"admin duplicates addr", []string{"-shard-id", "a", "-peers", "a=http://h:1", "-addr", ":9", "-admin-addr", ":9"}, "-admin-addr"},
+		{"empty peers", []string{"-shard-id", "a"}, "-peers"},
+		{"peer entry not id=url", []string{"-shard-id", "a", "-peers", "nonsense"}, "id=url"},
+		{"peer url without scheme", []string{"-shard-id", "a", "-peers", "a=h1:8025"}, "http"},
+		{"duplicate peer", []string{"-shard-id", "a", "-peers", "a=http://h:1,a=http://h:2"}, "twice"},
+		{"self missing from peers", []string{"-shard-id", "z", "-peers", "a=http://h:1,b=http://h:2"}, "does not include"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseConfig(tc.args)
+			if err == nil {
+				t.Fatalf("args %v accepted", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %s", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestFleetStateFromFlags(t *testing.T) {
+	c, err := parseConfig([]string{
+		"-shard-id", "b",
+		"-peers", " a = http://h1:8025 , b = http://h2:8025 ,",
+		"-fleet-vnodes", "16",
+		"-admin-addr", ":8125",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.fleetState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Self() != "b" {
+		t.Errorf("Self = %q", st.Self())
+	}
+	if got := st.Ring().Shards(); len(got) != 2 {
+		t.Errorf("membership = %v", got)
+	}
+	if st.Ring().VNodes() != 16 {
+		t.Errorf("vnodes = %d", st.Ring().VNodes())
+	}
+}

@@ -31,12 +31,22 @@
 // the deterministic fault-injection layer; see internal/faults for the spec
 // grammar.
 //
+// With -shard-id and -peers, the replica joins a sharded fleet: advisory
+// questions route to the shard owning their characterization key on a
+// consistent-hash ring, /v1/fleet/topology and /v1/cache/export join the main
+// surface, and at boot the shard pulls its owned cache entries from its peers
+// (warm handoff, best-effort). -admin-addr serves the operator API advisorctl
+// speaks — status, ring shares, drain, rebalance — on its own listener. See
+// docs/FLEET.md for the runbook.
+//
 // Usage:
 //
 //	advisord -addr :8025
 //	advisord -addr :8025 -quick -workers 8 -ttl 1h -cache-dir /var/cache/advisord
 //	advisord -addr :8025 -debug-addr 127.0.0.1:8026 -drain-timeout 30s
 //	advisord -addr :8025 -faults "engine.characterize:error:p=0.2" -faults-seed 7
+//	advisord -addr :8025 -admin-addr :8125 -shard-id a \
+//	    -peers "a=http://h1:8025,b=http://h2:8025,c=http://h3:8025"
 package main
 
 import (
@@ -57,6 +67,7 @@ import (
 	"igpucomm/internal/buildinfo"
 	"igpucomm/internal/engine"
 	"igpucomm/internal/faults"
+	"igpucomm/internal/fleet"
 	"igpucomm/internal/microbench"
 )
 
@@ -112,6 +123,16 @@ func main() {
 		}
 	}
 
+	fleetState, err := cfg.fleetState()
+	if err != nil {
+		usageError(err)
+	}
+	if fleetState != nil {
+		logger.Info("fleet mode", "shard", fleetState.Self(),
+			"members", len(fleetState.Ring().Shards()), "vnodes", fleetState.Ring().VNodes())
+		warmHandoff(fleetState, eng, logger)
+	}
+
 	srv := advisord.New(eng, advisord.Options{
 		Params:           params,
 		Scale:            scale,
@@ -122,11 +143,27 @@ func main() {
 		MaxQueue:         cfg.maxQueue,
 		BreakerThreshold: cfg.breakerThreshold,
 		BreakerCooldown:  cfg.breakerCooldown,
+		Fleet:            fleetState,
 	})
 	httpSrv := &http.Server{
 		Addr:              cfg.addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	var adminSrv *http.Server
+	if cfg.adminAddr != "" {
+		adminSrv = &http.Server{
+			Addr:              cfg.adminAddr,
+			Handler:           srv.AdminHandler(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			logger.Info("fleet admin API listening", "addr", cfg.adminAddr)
+			if err := adminSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("admin server", "err", err)
+			}
+		}()
 	}
 
 	var debugSrv *http.Server
@@ -173,7 +210,31 @@ func main() {
 		if debugSrv != nil {
 			_ = debugSrv.Shutdown(shutdownCtx)
 		}
+		if adminSrv != nil {
+			_ = adminSrv.Shutdown(shutdownCtx)
+		}
 		logger.Info("shutdown complete")
+	}
+}
+
+// warmHandoff pulls this shard's owned cache entries from its peers at boot —
+// the joining half of the fleet's warm-handoff protocol. Best-effort: peers
+// that are down or not yet serving just mean a colder start.
+func warmHandoff(st *fleet.State, eng *engine.Engine, logger *slog.Logger) {
+	if len(st.Peers()) == 0 {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	rep, err := fleet.Pull(ctx, st, nil, eng.CachePut)
+	if err != nil {
+		logger.Warn("warm handoff failed", "err", err)
+		return
+	}
+	logger.Info("warm handoff", "pulled", rep.Pulled, "peers", rep.Peers,
+		"peer_errors", len(rep.PeerErrors))
+	for _, pe := range rep.PeerErrors {
+		logger.Warn("warm handoff peer error", "err", pe)
 	}
 }
 

@@ -15,9 +15,12 @@ import (
 	"math/rand"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"igpucomm/internal/advisord"
+	"igpucomm/internal/fleet"
+	"igpucomm/internal/microbench"
 )
 
 // Options configures a Client. Zero values mean defaults.
@@ -41,6 +44,21 @@ type Options struct {
 	// Sleep overrides the backoff wait (tests). It must return early with
 	// ctx.Err() when the context ends mid-sleep.
 	Sleep func(ctx context.Context, d time.Duration) error
+
+	// Fleet, when non-nil, routes each advisory question to the shard
+	// owning its characterization key, layered UNDER the retry policy:
+	// every retry re-picks a shard from the key's preference order, so a
+	// 429/5xx or network failure reroutes to the next replica. BaseURL is
+	// ignored when Fleet is set.
+	Fleet *fleet.Router
+	// Params mirrors the server's characterization parameters so the
+	// client computes the same sha256 cache keys the fleet shards route on
+	// (zero value: microbench.DefaultParams). A mismatch is safe but turns
+	// every request into a reroute on arrival.
+	Params microbench.Params
+	// RefreshMinInterval rate-limits the topology refresh triggered by
+	// retryable failures (0: 2s).
+	RefreshMinInterval time.Duration
 }
 
 // ErrBudgetExhausted marks a call abandoned because its retry budget ran
@@ -69,6 +87,10 @@ type Client struct {
 	sleep func(ctx context.Context, d time.Duration) error
 
 	rngCh chan *rand.Rand // capacity-1 channel as a lock on the jitter stream
+
+	// refreshMu guards lastRefresh, the topology-refresh rate limiter.
+	refreshMu   sync.Mutex
+	lastRefresh time.Time
 }
 
 // New builds a client for the server at opt.BaseURL.
@@ -90,6 +112,12 @@ func New(opt Options) *Client {
 	}
 	if opt.Seed == 0 {
 		opt.Seed = 1
+	}
+	if opt.RefreshMinInterval <= 0 {
+		opt.RefreshMinInterval = 2 * time.Second
+	}
+	if opt.Fleet != nil && len(opt.Params.MB2Fractions) == 0 {
+		opt.Params = microbench.DefaultParams()
 	}
 	sleep := opt.Sleep
 	if sleep == nil {
@@ -127,41 +155,54 @@ func (c *Client) backoff(attempt int) time.Duration {
 
 // Advise posts a batch of advisory questions, retrying transient failures
 // (network errors, 429, 5xx) under the client's backoff policy. 429
-// responses' Retry-After headers raise the next sleep's floor.
+// responses' Retry-After headers raise the next sleep's floor. With
+// Options.Fleet set, each question routes to the shard owning its
+// characterization key (see fleet.go) — the same retries and budgets apply,
+// per shard group.
 func (c *Client) Advise(ctx context.Context, body advisord.AdviseBody) (advisord.AdviseResponse, error) {
+	if c.opt.Fleet != nil {
+		return c.adviseFleet(ctx, body)
+	}
 	payload, err := json.Marshal(body)
 	if err != nil {
 		return advisord.AdviseResponse{}, fmt.Errorf("client: encode request: %w", err)
 	}
 	var out advisord.AdviseResponse
-	err = c.retry(ctx, func(ctx context.Context) (retryable bool, retryAfter time.Duration, _ error) {
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-			c.opt.BaseURL+"/v1/advise", bytes.NewReader(payload))
-		if err != nil {
-			return false, 0, fmt.Errorf("client: build request: %w", err)
-		}
-		req.Header.Set("Content-Type", "application/json")
-		resp, err := c.http.Do(req)
-		if err != nil {
-			return true, 0, fmt.Errorf("client: post advise: %w", err)
-		}
-		defer resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			apiErr := &APIError{Status: resp.StatusCode, Message: readErrorBody(resp.Body)}
-			if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500 {
-				return true, parseRetryAfter(resp.Header.Get("Retry-After")), apiErr
-			}
-			return false, 0, apiErr
-		}
-		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-			return true, 0, fmt.Errorf("client: decode response: %w", err)
-		}
-		return false, 0, nil
+	err = c.retry(ctx, func(ctx context.Context) (bool, time.Duration, error) {
+		return c.postAdviseOnce(ctx, c.opt.BaseURL, payload, &out)
 	})
 	if err != nil {
 		return advisord.AdviseResponse{}, err
 	}
 	return out, nil
+}
+
+// postAdviseOnce is one POST /v1/advise attempt against one base URL,
+// reporting retryability and any server-imposed delay floor exactly as the
+// retry loop expects.
+func (c *Client) postAdviseOnce(ctx context.Context, baseURL string, payload []byte, out *advisord.AdviseResponse) (retryable bool, retryAfter time.Duration, _ error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		baseURL+"/v1/advise", bytes.NewReader(payload))
+	if err != nil {
+		return false, 0, fmt.Errorf("client: build request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return true, 0, fmt.Errorf("client: post advise: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		apiErr := &APIError{Status: resp.StatusCode, Message: readErrorBody(resp.Body)}
+		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500 {
+			return true, parseRetryAfter(resp.Header.Get("Retry-After")), apiErr
+		}
+		return false, 0, apiErr
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return true, 0, fmt.Errorf("client: decode response: %w", err)
+	}
+	return false, 0, nil
 }
 
 // retry runs attempt under the backoff policy. attempt reports whether its

@@ -7,6 +7,7 @@ import (
 	"igpucomm/internal/buildinfo"
 	"igpucomm/internal/engine"
 	"igpucomm/internal/faults"
+	"igpucomm/internal/fleet"
 	"igpucomm/internal/telemetry"
 )
 
@@ -38,7 +39,7 @@ type serverMetrics struct {
 	heatHot      *telemetry.Gauge   // buffers classified hot in that entry
 }
 
-func newServerMetrics(eng *engine.Engine, start time.Time, info buildinfo.Info, br *Breaker) *serverMetrics {
+func newServerMetrics(eng *engine.Engine, start time.Time, info buildinfo.Info, br *Breaker, fl *fleet.State) *serverMetrics {
 	reg := telemetry.NewRegistry()
 	m := &serverMetrics{
 		reg: reg,
@@ -112,6 +113,32 @@ func newServerMetrics(eng *engine.Engine, start time.Time, info buildinfo.Info, 
 		func() engine.MemoStats { return eng.Stats().Characterizations })
 	registerCacheMetrics(reg, "mb1", "MB1",
 		func() engine.MemoStats { return eng.Stats().MB1 })
+
+	if fl != nil {
+		reg.GaugeFunc(metricFleetRingSize,
+			"Member shards in this replica's consistent-hash ring.",
+			func() float64 { return float64(fl.Stats().Shards) })
+		reg.CounterFunc(metricFleetReroutesTotal,
+			"Advisory requests served for keys owned by another shard (client fallback traffic received).",
+			func() float64 { return float64(fl.Stats().ReroutesReceived) })
+		reg.CounterVecFunc(metricFleetHandoffEntriesTotal,
+			"Warm-handoff cache entries moved, by direction (exported to peers / imported from peers).", "direction",
+			func() map[string]float64 {
+				st := fl.Stats()
+				return map[string]float64{
+					"exported": float64(st.HandoffExported),
+					"imported": float64(st.HandoffImported),
+				}
+			})
+		reg.GaugeFunc(metricFleetDrainingState,
+			"Whether this shard is draining (1) or serving (0).",
+			func() float64 {
+				if fl.Draining() {
+					return 1
+				}
+				return 0
+			})
+	}
 	return m
 }
 

@@ -33,6 +33,7 @@ import (
 	"igpucomm/internal/devices"
 	"igpucomm/internal/engine"
 	"igpucomm/internal/faults"
+	"igpucomm/internal/fleet"
 	"igpucomm/internal/framework"
 	"igpucomm/internal/microbench"
 	"igpucomm/internal/telemetry"
@@ -68,6 +69,13 @@ type Options struct {
 	BreakerCooldown time.Duration
 	// Clock overrides time.Now for breaker timing (tests).
 	Clock func() time.Time
+
+	// Fleet, when non-nil, makes this server one shard of a sharded
+	// advisord fleet: the topology and cache-export routes appear, the
+	// drain gate sheds /v1 traffic while draining, fleet metrics register,
+	// and AdminHandler serves the advisorctl surface. Install the same
+	// State's KeyRole on the engine for per-role cache accounting.
+	Fleet *fleet.State
 }
 
 func (o *Options) applyDefaults() {
@@ -104,6 +112,7 @@ type Server struct {
 
 	breaker *Breaker
 	admit   *admission
+	fleet   *fleet.State // nil outside a fleet
 
 	// persistMu serializes SaveCache writers and lastSaved tracks the
 	// execution count already on disk.
@@ -123,10 +132,11 @@ func New(eng *engine.Engine, opt Options) *Server {
 		opt:     opt,
 		start:   start,
 		log:     opt.Logger,
-		metrics: newServerMetrics(eng, start, info, br),
+		metrics: newServerMetrics(eng, start, info, br, opt.Fleet),
 		info:    info,
 		breaker: br,
 		admit:   newAdmission(opt.MaxConcurrent, opt.MaxQueue),
+		fleet:   opt.Fleet,
 	}
 }
 
@@ -141,18 +151,27 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/v1/advise", s.admitted(http.HandlerFunc(s.handleAdvise)))
 	mux.Handle("/v1/characterize", s.admitted(http.HandlerFunc(s.handleCharacterize)))
 	mux.Handle("/v1/heatmap", s.admitted(http.HandlerFunc(s.handleHeatmap)))
+	if s.fleet != nil {
+		// Deliberately outside admitted(): topology must answer while the
+		// shard drains (clients need it to route away), and export must
+		// answer while the shard drains (peers pull the cache off it).
+		mux.HandleFunc("/v1/fleet/topology", s.handleFleetTopology)
+		mux.HandleFunc("/v1/cache/export", s.handleCacheExport)
+	}
 	return s.observe(s.recoverPanics(mux))
 }
 
 // endpoints the middleware labels metrics with; anything else is "other" so
 // an URL scan cannot explode the label space.
 var knownEndpoints = map[string]bool{
-	"/healthz":         true,
-	"/statusz":         true,
-	"/metrics":         true,
-	"/v1/advise":       true,
-	"/v1/characterize": true,
-	"/v1/heatmap":      true,
+	"/healthz":           true,
+	"/statusz":           true,
+	"/metrics":           true,
+	"/v1/advise":         true,
+	"/v1/characterize":   true,
+	"/v1/heatmap":        true,
+	"/v1/fleet/topology": true,
+	"/v1/cache/export":   true,
 }
 
 // statusRecorder captures the status code the handler wrote.
@@ -230,6 +249,14 @@ func (s *Server) recoverPanics(next http.Handler) http.Handler {
 // per-request deadline.
 func (s *Server) admitted(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.fleet != nil && s.fleet.Draining() {
+			// Draining shard: shed advisory traffic with a retryable 503 so
+			// fleet clients reroute to a healthy shard. The fleet topology
+			// and cache-export routes stay up (they are not admitted()).
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "shard draining, retry another replica")
+			return
+		}
 		release, ok := s.admit.acquire(r.Context())
 		if !ok {
 			s.metrics.shed.Inc()
@@ -266,6 +293,10 @@ type statuszResponse struct {
 	Apps          []string         `json:"apps"`
 	Engine        engine.Stats     `json:"engine"`
 	Resilience    resilienceStatus `json:"resilience"`
+	// Fleet is the shard's fleet counter snapshot, absent outside a fleet
+	// so the pre-fleet JSON shape is unchanged. Per-role cache counters
+	// live under engine.characterizations_by_role.
+	Fleet *fleet.Stats `json:"fleet,omitempty"`
 }
 
 func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
@@ -273,7 +304,7 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	for _, cfg := range devices.All() {
 		names = append(names, cfg.Name)
 	}
-	writeJSON(w, http.StatusOK, statuszResponse{
+	resp := statuszResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Build:         s.info,
 		Devices:       names,
@@ -286,7 +317,12 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 			PanicsRecovered:   s.metrics.panics.Value(),
 			FaultsInjected:    faults.InjectedTotal(),
 		},
-	})
+	}
+	if s.fleet != nil {
+		st := s.fleet.Stats()
+		resp.Fleet = &st
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // AdviseRequest is one advisory question over the wire.
@@ -348,6 +384,11 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			results[i] = AdviseResult{Error: err.Error(), ErrorKind: "invalid_request"}
 			continue
+		}
+		if s.fleet != nil {
+			if key, kerr := engine.CacheKey(req.Config, req.Params); kerr == nil {
+				s.fleet.NoteServed(key)
+			}
 		}
 		wg.Add(1)
 		go func(i int, req engine.Request) {

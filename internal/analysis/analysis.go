@@ -155,6 +155,7 @@ func DefaultConfig() Config {
 		LockPackages: []string{
 			"internal/engine",
 			"internal/faults",
+			"internal/fleet",
 			"internal/telemetry",
 			"internal/advisord",
 		},
@@ -167,6 +168,7 @@ func DefaultConfig() Config {
 		MetricUnits: []string{
 			"total", "seconds", "bytes", "ratio", "info", "state",
 			"utilization", "in_flight", "in_use", "workers", "entries",
+			"size",
 		},
 	}
 }

@@ -25,6 +25,7 @@ func DocPackages() []string {
 		"internal/chaos",
 		"internal/engine",
 		"internal/faults",
+		"internal/fleet",
 		"internal/perfbench",
 		"internal/perfmodel",
 		"internal/telemetry",

@@ -302,6 +302,58 @@ func (c *Cache) FlushRange(lo, hi int64, perLineCost units.Latency) (writebacks 
 		return 0, 0
 	}
 	setBits := uintLog2(c.setCount)
+	firstLine := lo >> c.offBits
+	lastLine := (hi - 1) >> c.offBits
+	if n := lastLine - firstLine + 1; n < c.setCount {
+		// The range covers fewer lines than the cache has sets, so each set
+		// holds at most one in-range line: probe only the touched sets
+		// instead of scanning every line. Sets are visited in ascending
+		// index order, ways ascending within a set — the same order as the
+		// dense scan below, so writeback traffic into the lower level is
+		// identical and simulation results do not depend on which path ran.
+		s0 := firstLine & (c.setCount - 1)
+		flushSet := func(set int64) {
+			// The one line address in [firstLine, lastLine] congruent to
+			// set modulo setCount.
+			la := firstLine + ((set - s0) & (c.setCount - 1))
+			if la > lastLine {
+				return
+			}
+			tag := la >> setBits
+			addr := la << c.offBits
+			base := set * int64(c.ways)
+			for w := int64(0); w < int64(c.ways); w++ {
+				l := &c.sets[base+w]
+				if !l.valid || l.tag != tag {
+					continue
+				}
+				cost += perLineCost
+				if l.dirty {
+					writebacks++
+					if c.heat != nil {
+						c.heat.RecordWriteback(addr, c.cfg.LineSize)
+					}
+					c.lower.Do(Access{Addr: addr, Size: c.cfg.LineSize, Kind: Writeback})
+				}
+				*l = line{}
+			}
+		}
+		if s0+n <= c.setCount {
+			for set := s0; set < s0+n; set++ {
+				flushSet(set)
+			}
+		} else {
+			for set := int64(0); set < s0+n-c.setCount; set++ {
+				flushSet(set)
+			}
+			for set := s0; set < c.setCount; set++ {
+				flushSet(set)
+			}
+		}
+		c.stats.Flushes++
+		c.stats.FlushWritebacks += writebacks
+		return writebacks, cost
+	}
 	for i := range c.sets {
 		l := &c.sets[i]
 		if !l.valid {

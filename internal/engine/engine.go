@@ -60,6 +60,12 @@ type Options struct {
 	TTL time.Duration
 	// Clock overrides time.Now for TTL bookkeeping (tests).
 	Clock func() time.Time
+	// KeyRole classifies a characterization cache key for per-role
+	// accounting (nil: no role tracking). Fleet deployments install the
+	// shard's fleet.State.KeyRole here so /statusz reports cache entries
+	// and hit rates split into owned vs remote keys. The classifier is
+	// called outside the cache lock and must be safe for concurrent use.
+	KeyRole func(key string) string
 }
 
 // Engine executes characterizations, explorations and advisory requests with
@@ -81,11 +87,15 @@ func New(o Options) *Engine {
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
+	chars := newMemo[framework.Characterization](o.CacheEntries, o.TTL, o.Clock)
+	// Only the characterization cache is sharded across a fleet; MB1
+	// memoization stays process-local.
+	chars.role = o.KeyRole
 	return &Engine{
 		workers: o.Workers,
 		sem:     make(sem, o.Workers),
 		pool:    newSocPool(o.Workers),
-		chars:   newMemo[framework.Characterization](o.CacheEntries, o.TTL, o.Clock),
+		chars:   chars,
 		mb1s:    newMemo[microbench.MB1Result](o.CacheEntries, o.TTL, o.Clock),
 	}
 }
@@ -107,18 +117,41 @@ type Stats struct {
 	// CacheCorruptEntries counts persisted cache entries quarantined at
 	// warm start (checksum mismatch or undecodable payload).
 	CacheCorruptEntries uint64 `json:"cache_corrupt_entries"`
+	// CharacterizationsByRole splits the characterization cache's counters
+	// by shard role (Options.KeyRole). Absent — keeping the pre-fleet JSON
+	// shape — when no classifier is installed.
+	CharacterizationsByRole map[string]MemoRoleStats `json:"characterizations_by_role,omitempty"`
 }
 
 // Stats snapshots the engine's counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Workers:             e.workers,
-		Requests:            e.requests.Load(),
-		Batches:             e.batches.Load(),
-		Characterizations:   e.chars.snapshot(),
-		MB1:                 e.mb1s.snapshot(),
-		CacheCorruptEntries: e.cacheCorrupt.Load(),
+		Workers:                 e.workers,
+		Requests:                e.requests.Load(),
+		Batches:                 e.batches.Load(),
+		Characterizations:       e.chars.snapshot(),
+		MB1:                     e.mb1s.snapshot(),
+		CacheCorruptEntries:     e.cacheCorrupt.Load(),
+		CharacterizationsByRole: e.chars.snapshotRoles(),
 	}
+}
+
+// CacheExport returns every live characterization cache entry keyed by cache
+// key — the source of a fleet warm-handoff stream. The map is a copy; the
+// values are the cached characterizations themselves, which callers must
+// treat as read-only.
+func (e *Engine) CacheExport() map[string]framework.Characterization {
+	return e.chars.dump()
+}
+
+// CachePut inserts a characterization under its cache key, as a warm-handoff
+// pull (or any other out-of-band warm start) does. The entry joins the LRU
+// under the same capacity and TTL rules as a computed one.
+func (e *Engine) CachePut(key string, char framework.Characterization) {
+	if key == "" {
+		return
+	}
+	e.chars.put(key, char)
 }
 
 // Characterize returns the device characterization for (cfg, p), from the

@@ -1,0 +1,84 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"igpucomm/internal/devices"
+	"igpucomm/internal/microbench"
+)
+
+// Per-role cache accounting and the export/put warm-handoff surface: a fleet
+// replica classifies keys owned vs remote and hands entries to peers without
+// touching disk.
+func TestCacheRolesAndExportPut(t *testing.T) {
+	cfg, err := devices.ByName(devices.TX2Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := microbench.TestParams()
+	key, err := CacheKey(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roleOf := func(k string) string {
+		if k == key {
+			return "owned"
+		}
+		return "remote"
+	}
+	e := New(Options{Workers: 2, KeyRole: roleOf})
+	ctx := context.Background()
+
+	// Cold run: one miss, then a warm hit, both under the owned role.
+	if _, err := e.Characterize(ctx, cfg, p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Characterize(ctx, cfg, p); err != nil {
+		t.Fatal(err)
+	}
+	roles := e.Stats().CharacterizationsByRole
+	if roles == nil {
+		t.Fatal("no per-role stats despite a KeyRole classifier")
+	}
+	owned := roles["owned"]
+	if owned.Hits != 1 || owned.Misses != 1 || owned.Entries != 1 {
+		t.Fatalf("owned role = %+v, want 1 hit / 1 miss / 1 entry", owned)
+	}
+	if owned.HitRate != 0.5 {
+		t.Fatalf("owned hit rate = %v, want 0.5", owned.HitRate)
+	}
+	if remote, ok := roles["remote"]; ok && (remote.Hits+remote.Misses+uint64(remote.Entries)) != 0 {
+		t.Fatalf("remote role = %+v, want untouched", remote)
+	}
+
+	// Export the cache and warm a second engine with it: the handoff target
+	// must answer from cache without a single execution.
+	exported := e.CacheExport()
+	if len(exported) != 1 {
+		t.Fatalf("exported %d entries, want 1", len(exported))
+	}
+	char, ok := exported[key]
+	if !ok || char.Platform != cfg.Name {
+		t.Fatalf("exported entry for %s missing or wrong: %+v", key, char)
+	}
+
+	e2 := New(Options{Workers: 2})
+	e2.CachePut("", char) // no-op, must not panic or insert
+	e2.CachePut(key, char)
+	if _, err := e2.Characterize(ctx, cfg, p); err != nil {
+		t.Fatal(err)
+	}
+	st2 := e2.Stats()
+	if st2.Characterizations.Executions != 0 || st2.Characterizations.Hits != 1 {
+		t.Fatalf("warm-started engine stats = %+v, want pure cache hit", st2.Characterizations)
+	}
+	if st2.Characterizations.Entries != 1 {
+		t.Fatalf("warm-started engine holds %d entries, want 1", st2.Characterizations.Entries)
+	}
+	// No classifier: the per-role section must be absent, keeping the
+	// pre-fleet JSON shape.
+	if st2.CharacterizationsByRole != nil {
+		t.Fatalf("per-role stats present without classifier: %+v", st2.CharacterizationsByRole)
+	}
+}

@@ -7,6 +7,7 @@ package faults
 // schedules and the -faults flag grammar should only ever name points from
 // this list.
 var Catalog = []string{
+	"advisord.fleet.export",
 	"engine.cache.load",
 	"engine.cache.store",
 	"engine.characterize",

@@ -1,0 +1,130 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LoadOptions configures a closed-loop load run.
+type LoadOptions struct {
+	// Workers is the number of concurrent closed-loop callers (0: 4).
+	Workers int
+	// Duration is how long the storm runs (0: 2s).
+	Duration time.Duration
+	// Do issues one call and returns how many advisory operations it
+	// answered (a batched advise call counts each question) plus an error.
+	// Ops from failed calls still count toward the achieved rate when
+	// positive; latency is recorded for every call, failed or not, because
+	// a slow failure hurts a caller exactly like a slow success. Required.
+	Do func(ctx context.Context) (ops int, err error)
+	// OnError receives each call error (nil: errors are only counted).
+	OnError func(error)
+}
+
+// LoadSummary is the result of one load run — the latency artifact `make
+// fleet` uploads.
+type LoadSummary struct {
+	// Workers is the closed-loop worker count.
+	Workers int `json:"workers"`
+	// DurationSeconds is the wall-clock run length.
+	DurationSeconds float64 `json:"duration_seconds"`
+	// Calls is the number of Do invocations completed.
+	Calls int `json:"calls"`
+	// Ops is the number of advisory operations answered.
+	Ops int `json:"ops"`
+	// Errors is the number of Do invocations that returned an error.
+	Errors int `json:"errors"`
+	// AchievedRPS is Ops per second of wall clock.
+	AchievedRPS float64 `json:"achieved_rps"`
+	// P50Micros, P99Micros and MaxMicros are call-latency percentiles in
+	// microseconds.
+	P50Micros int64 `json:"p50_micros"`
+	P99Micros int64 `json:"p99_micros"`
+	MaxMicros int64 `json:"max_micros"`
+}
+
+// RunLoad drives Do from Workers closed-loop goroutines for Duration and
+// returns the latency/throughput summary. Closed-loop means each worker
+// issues its next call as soon as the previous one returns, so achieved RPS
+// is a measurement, not a target.
+func RunLoad(ctx context.Context, opt LoadOptions) (LoadSummary, error) {
+	if opt.Do == nil {
+		return LoadSummary{}, fmt.Errorf("fleet: load run needs a Do func")
+	}
+	if opt.Workers <= 0 {
+		opt.Workers = 4
+	}
+	if opt.Duration <= 0 {
+		opt.Duration = 2 * time.Second
+	}
+	runCtx, cancel := context.WithTimeout(ctx, opt.Duration)
+	defer cancel()
+
+	type shard struct {
+		lat  []time.Duration
+		ops  int
+		errs int
+	}
+	perWorker := make([]shard, opt.Workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < opt.Workers; w++ {
+		wg.Add(1)
+		go func(sh *shard) {
+			defer wg.Done()
+			for runCtx.Err() == nil {
+				callStart := time.Now()
+				ops, err := opt.Do(runCtx)
+				elapsed := time.Since(callStart)
+				if runCtx.Err() != nil && err != nil {
+					// The deadline cut this call short; neither its latency
+					// nor its error says anything about the fleet.
+					return
+				}
+				sh.lat = append(sh.lat, elapsed)
+				if ops > 0 {
+					sh.ops += ops
+				}
+				if err != nil {
+					sh.errs++
+					if opt.OnError != nil {
+						opt.OnError(err)
+					}
+				}
+			}
+		}(&perWorker[w])
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var all []time.Duration
+	sum := LoadSummary{Workers: opt.Workers, DurationSeconds: wall.Seconds()}
+	for i := range perWorker {
+		all = append(all, perWorker[i].lat...)
+		sum.Ops += perWorker[i].ops
+		sum.Errors += perWorker[i].errs
+	}
+	sum.Calls = len(all)
+	if wall > 0 {
+		sum.AchievedRPS = float64(sum.Ops) / wall.Seconds()
+	}
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		sum.P50Micros = percentile(all, 0.50).Microseconds()
+		sum.P99Micros = percentile(all, 0.99).Microseconds()
+		sum.MaxMicros = all[len(all)-1].Microseconds()
+	}
+	return sum, nil
+}
+
+// percentile reads the p-quantile from a sorted latency slice.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}

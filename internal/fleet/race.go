@@ -1,0 +1,12 @@
+package fleet
+
+// raceEnabled is flipped by an init in the race-tagged file. A var + init
+// rather than tagged const pairs so tag-blind tooling (the igpulint loader
+// type-checks every file in one pass) never sees a redeclaration.
+var raceEnabled = false
+
+// RaceEnabled reports whether this binary was built with the race detector.
+// The detector makes every memory access several times slower, so load
+// targets that hold for a plain build are unreachable under -race on the
+// same hardware; the fleet harness scales its RPS floor by this.
+func RaceEnabled() bool { return raceEnabled }

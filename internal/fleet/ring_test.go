@@ -1,0 +1,169 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// testKey fabricates a content-hash-shaped cache key, matching what the
+// engine actually routes.
+func testKey(i int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("key-%d", i)))
+	return hex.EncodeToString(sum[:])
+}
+
+func TestNewRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty membership should fail")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Fatal("empty shard ID should fail")
+	}
+	if _, err := NewRing([]string{"a", "b", "a"}, 0); err == nil {
+		t.Fatal("duplicate shard ID should fail")
+	}
+}
+
+func TestRingVNodeClamping(t *testing.T) {
+	r, err := NewRing([]string{"a"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.VNodes() != DefaultVNodes {
+		t.Fatalf("vnodes = %d, want default %d", r.VNodes(), DefaultVNodes)
+	}
+	r, err = NewRing([]string{"a"}, MaxVNodes*10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.VNodes() != MaxVNodes {
+		t.Fatalf("vnodes = %d, want clamp %d", r.VNodes(), MaxVNodes)
+	}
+}
+
+// Ring determinism across restarts (satellite): the ring hashes only stable
+// inputs, so two rings built in different "processes" — here, separate
+// constructions, including from a permuted membership list — must agree on
+// every owner and the full preference order.
+func TestRingDeterministicAcrossRebuilds(t *testing.T) {
+	a, err := NewRing([]string{"shard-a", "shard-b", "shard-c"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"shard-c", "shard-a", "shard-b"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		key := testKey(i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("owner diverged for %s: %s vs %s", key, a.Owner(key), b.Owner(key))
+		}
+		if !reflect.DeepEqual(a.Preference(key, 0), b.Preference(key, 0)) {
+			t.Fatalf("preference diverged for %s", key)
+		}
+	}
+}
+
+// Single-shard ring (satellite edge case): every key routes to the only
+// shard, and it owns the whole key space.
+func TestRingSingleShard(t *testing.T) {
+	r, err := NewRing([]string{"solo"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if got := r.Owner(testKey(i)); got != "solo" {
+			t.Fatalf("owner = %q, want solo", got)
+		}
+	}
+	if got := r.Preference(testKey(0), 0); len(got) != 1 || got[0] != "solo" {
+		t.Fatalf("preference = %v, want [solo]", got)
+	}
+	shares := r.Shares()
+	if math.Abs(shares["solo"]-1.0) > 1e-9 {
+		t.Fatalf("solo share = %v, want 1.0", shares["solo"])
+	}
+}
+
+func TestRingPreferenceDistinctAndOwnerFirst(t *testing.T) {
+	r, err := NewRing([]string{"a", "b", "c", "d"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		key := testKey(i)
+		pref := r.Preference(key, 0)
+		if len(pref) != 4 {
+			t.Fatalf("preference %v has %d entries, want 4", pref, len(pref))
+		}
+		if pref[0] != r.Owner(key) {
+			t.Fatalf("preference %v does not start with owner %s", pref, r.Owner(key))
+		}
+		seen := map[string]bool{}
+		for _, id := range pref {
+			if seen[id] {
+				t.Fatalf("preference %v repeats %s", pref, id)
+			}
+			seen[id] = true
+		}
+		if got := r.Preference(key, 2); len(got) != 2 || got[0] != pref[0] || got[1] != pref[1] {
+			t.Fatalf("truncated preference %v disagrees with prefix of %v", got, pref)
+		}
+	}
+}
+
+// Shares must sum to 1 and, with enough virtual nodes, stay roughly balanced
+// — the property `advisorctl ring` reports to operators.
+func TestRingSharesBalanced(t *testing.T) {
+	r, err := NewRing([]string{"a", "b", "c"}, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares := r.Shares()
+	total := 0.0
+	for id, s := range shares {
+		total += s
+		if s < 0.15 || s > 0.55 {
+			t.Fatalf("share for %s = %.3f, outside sane balance band", id, s)
+		}
+	}
+	if math.Abs(total-1.0) > 1e-9 {
+		t.Fatalf("shares sum to %v, want 1.0", total)
+	}
+}
+
+// A joining shard should take over part of the key space without reshuffling
+// keys between the surviving shards — the property that bounds warm-handoff
+// volume.
+func TestRingJoinOnlyMovesKeysToNewShard(t *testing.T) {
+	before, err := NewRing([]string{"a", "b", "c"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := NewRing([]string{"a", "b", "c", "d"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for i := 0; i < 2000; i++ {
+		key := testKey(i)
+		o1, o2 := before.Owner(key), after.Owner(key)
+		if o1 != o2 {
+			moved++
+			if o2 != "d" {
+				t.Fatalf("key %s moved %s -> %s, not to the joining shard", key, o1, o2)
+			}
+		}
+	}
+	if moved == 0 {
+		t.Fatal("joining shard took no keys")
+	}
+	if moved > 1200 {
+		t.Fatalf("join moved %d/2000 keys — far more than its fair share", moved)
+	}
+}

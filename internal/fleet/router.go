@@ -1,0 +1,258 @@
+package fleet
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RouterOptions configures a Router. Zero values mean defaults.
+type RouterOptions struct {
+	// Shards is the initial membership (required, at least one).
+	Shards []Shard
+	// VNodes is the per-shard virtual-node count (0: DefaultVNodes). It
+	// must match the fleet's, or client ownership diverges from server
+	// ownership and every request counts as a reroute.
+	VNodes int
+	// FailureThreshold is how many consecutive failures mark a shard
+	// unhealthy (0: 3).
+	FailureThreshold int
+	// Cooldown is how long an unhealthy shard stays out of preference
+	// order before it is probed again (0: 2s).
+	Cooldown time.Duration
+	// Clock overrides time.Now for health timing (tests).
+	Clock func() time.Time
+}
+
+// replicaHealth tracks one shard's consecutive failures and the instant it
+// becomes eligible again after being marked down.
+type replicaHealth struct {
+	failures  int
+	downUntil time.Time // zero: healthy
+}
+
+// Router is the client side of the fleet: it holds a topology (swappable via
+// Update when a refresh fetches a newer one), computes each key's shard
+// preference order on the shared ring, and tracks per-replica health so
+// unhealthy shards drop out of preference until their cooldown lapses. When
+// every shard is unhealthy it still returns the full ring order — the
+// any-replica fallback — so a storm of failures degrades answers instead of
+// erasing them. Safe for concurrent use.
+type Router struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu      sync.Mutex
+	version int64
+	vnodes  int
+	ring    *Ring
+	byID    map[string]Shard
+	health  map[string]*replicaHealth
+
+	reroutes  atomic.Uint64
+	fallbacks atomic.Uint64
+	refreshes atomic.Uint64
+}
+
+// NewRouter builds a router over the initial membership.
+func NewRouter(opt RouterOptions) (*Router, error) {
+	if opt.FailureThreshold <= 0 {
+		opt.FailureThreshold = 3
+	}
+	if opt.Cooldown <= 0 {
+		opt.Cooldown = 2 * time.Second
+	}
+	if opt.Clock == nil {
+		opt.Clock = time.Now
+	}
+	rt := &Router{
+		threshold: opt.FailureThreshold,
+		cooldown:  opt.Cooldown,
+		now:       opt.Clock,
+		health:    make(map[string]*replicaHealth),
+	}
+	if err := rt.install(Topology{Version: 1, VNodes: opt.VNodes, Shards: opt.Shards}); err != nil {
+		return nil, err
+	}
+	return rt, nil
+}
+
+// install swaps in a topology, keeping health records for surviving shards.
+func (rt *Router) install(topo Topology) error {
+	ids := make([]string, len(topo.Shards))
+	byID := make(map[string]Shard, len(topo.Shards))
+	for i, sh := range topo.Shards {
+		ids[i] = sh.ID
+		byID[sh.ID] = sh
+	}
+	ring, err := NewRing(ids, topo.VNodes)
+	if err != nil {
+		return err
+	}
+	rt.mu.Lock()
+	rt.version = topo.Version
+	rt.vnodes = ring.VNodes()
+	rt.ring = ring
+	rt.byID = byID
+	for id := range rt.health {
+		if _, ok := byID[id]; !ok {
+			delete(rt.health, id)
+		}
+	}
+	rt.mu.Unlock()
+	return nil
+}
+
+// Update installs topo when its version exceeds the router's, returning
+// whether it was accepted. A topology refresh counts whether or not the
+// fetched version was newer.
+func (rt *Router) Update(topo Topology) (bool, error) {
+	rt.refreshes.Add(1)
+	rt.mu.Lock()
+	stale := topo.Version <= rt.version
+	rt.mu.Unlock()
+	if stale {
+		return false, nil
+	}
+	if err := rt.install(topo); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Version returns the topology version the router holds.
+func (rt *Router) Version() int64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.version
+}
+
+// Shards returns the membership the router holds, in ring (sorted-ID)
+// order — the candidate list a topology refresh walks.
+func (rt *Router) Shards() []Shard {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]Shard, 0, len(rt.byID))
+	for _, id := range rt.ring.Shards() {
+		out = append(out, rt.byID[id])
+	}
+	return out
+}
+
+// healthyLocked reports whether id may be routed to. An unhealthy shard
+// becomes eligible again (half-open) once its cooldown lapses; its next
+// failure marks it straight down again.
+func (rt *Router) healthyLocked(id string) bool {
+	h := rt.health[id]
+	if h == nil || h.downUntil.IsZero() {
+		return true
+	}
+	return !rt.now().Before(h.downUntil)
+}
+
+// Route returns key's shard preference order: the ring's owner-first
+// preference filtered to healthy, non-draining shards, with unhealthy and
+// draining shards appended in ring order as the any-replica fallback. The
+// result is never empty; when the healthy prefix is empty the fallback
+// counter increments — every request is then a shot in the dark, and the
+// answers that come back may be degraded.
+func (rt *Router) Route(key string) []Shard {
+	rt.mu.Lock()
+	pref := rt.ring.Preference(key, 0)
+	out := make([]Shard, 0, len(pref))
+	var demoted []Shard
+	for _, id := range pref {
+		sh := rt.byID[id]
+		if rt.healthyLocked(id) && sh.State != StateDraining {
+			out = append(out, sh)
+		} else {
+			demoted = append(demoted, sh)
+		}
+	}
+	rt.mu.Unlock()
+	if len(out) == 0 {
+		rt.fallbacks.Add(1)
+	}
+	return append(out, demoted...)
+}
+
+// Owner returns key's owning shard ID under the router's current ring,
+// ignoring health — the ground truth reroutes are measured against.
+func (rt *Router) Owner(key string) string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.ring.Owner(key)
+}
+
+// ReportSuccess records a successful call to shard id, resetting its
+// failure streak and bringing it back into preference order.
+func (rt *Router) ReportSuccess(id string) {
+	rt.mu.Lock()
+	if h := rt.health[id]; h != nil {
+		h.failures = 0
+		h.downUntil = time.Time{}
+	}
+	rt.mu.Unlock()
+}
+
+// ReportFailure records a failed call to shard id. Reaching the failure
+// threshold — or failing a half-open probe — marks the shard down for the
+// cooldown.
+func (rt *Router) ReportFailure(id string) {
+	rt.mu.Lock()
+	h := rt.health[id]
+	if h == nil {
+		if _, ok := rt.byID[id]; !ok {
+			rt.mu.Unlock()
+			return
+		}
+		h = &replicaHealth{}
+		rt.health[id] = h
+	}
+	h.failures++
+	probeFailed := !h.downUntil.IsZero() && !rt.now().Before(h.downUntil)
+	if h.failures >= rt.threshold || probeFailed {
+		h.downUntil = rt.now().Add(rt.cooldown)
+		h.failures = 0
+	}
+	rt.mu.Unlock()
+}
+
+// NoteReroute counts one request sent to a shard other than the one a
+// previous attempt targeted — the client-side reroute counter the fleet
+// harness reports.
+func (rt *Router) NoteReroute() { rt.reroutes.Add(1) }
+
+// RouterStats is a Router counter snapshot.
+type RouterStats struct {
+	// Version is the topology version held.
+	Version int64 `json:"version"`
+	// Shards is the membership size.
+	Shards int `json:"shards"`
+	// Healthy is how many members are currently in preference order.
+	Healthy int `json:"healthy"`
+	// Reroutes counts attempts that switched shards mid-call.
+	Reroutes uint64 `json:"reroutes"`
+	// Fallbacks counts routes computed with zero healthy shards
+	// (any-replica fallback).
+	Fallbacks uint64 `json:"fallbacks"`
+	// TopologyRefreshes counts Update calls (accepted or stale).
+	TopologyRefreshes uint64 `json:"topology_refreshes"`
+}
+
+// Stats snapshots the router's counters.
+func (rt *Router) Stats() RouterStats {
+	rt.mu.Lock()
+	st := RouterStats{Version: rt.version, Shards: len(rt.byID)}
+	for id := range rt.byID {
+		if rt.healthyLocked(id) {
+			st.Healthy++
+		}
+	}
+	rt.mu.Unlock()
+	st.Reroutes = rt.reroutes.Load()
+	st.Fallbacks = rt.fallbacks.Load()
+	st.TopologyRefreshes = rt.refreshes.Load()
+	return st
+}

@@ -1,0 +1,179 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+func testShards(ids ...string) []Shard {
+	out := make([]Shard, len(ids))
+	for i, id := range ids {
+		out[i] = Shard{ID: id, URL: "http://" + id + ".test"}
+	}
+	return out
+}
+
+func TestRouterRouteOwnerFirstAndHealthDemotion(t *testing.T) {
+	now := time.Unix(1000, 0)
+	rt, err := NewRouter(RouterOptions{
+		Shards:           testShards("a", "b", "c"),
+		FailureThreshold: 2,
+		Cooldown:         5 * time.Second,
+		Clock:            func() time.Time { return now },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(7)
+	pref := rt.Route(key)
+	if len(pref) != 3 {
+		t.Fatalf("route returned %d shards, want 3", len(pref))
+	}
+	if pref[0].ID != rt.Owner(key) {
+		t.Fatalf("route %v does not start at owner %s", pref, rt.Owner(key))
+	}
+
+	// Fail the owner to threshold: it must drop to the back of the order.
+	owner := pref[0].ID
+	rt.ReportFailure(owner)
+	rt.ReportFailure(owner)
+	demoted := rt.Route(key)
+	if demoted[0].ID == owner {
+		t.Fatalf("unhealthy owner %s still leads the route", owner)
+	}
+	if demoted[len(demoted)-1].ID != owner {
+		t.Fatalf("unhealthy owner %s missing from fallback tail of %v", owner, demoted)
+	}
+
+	// After the cooldown the owner is probed again (half-open) and leads.
+	now = now.Add(6 * time.Second)
+	if got := rt.Route(key); got[0].ID != owner {
+		t.Fatalf("half-open owner %s not restored to route head: %v", owner, got)
+	}
+	// A failed probe marks it straight down again, one strike only.
+	rt.ReportFailure(owner)
+	if got := rt.Route(key); got[0].ID == owner {
+		t.Fatal("owner led the route right after failing its half-open probe")
+	}
+	// A success clears everything.
+	now = now.Add(6 * time.Second)
+	rt.ReportSuccess(owner)
+	if got := rt.Route(key); got[0].ID != owner {
+		t.Fatalf("owner %s not restored after success: %v", owner, got)
+	}
+}
+
+// All-shards-unhealthy (satellite edge case): the route must still return
+// every shard — the any-replica fallback — and count the fallback.
+func TestRouterAllUnhealthyFallsBackToAnyReplica(t *testing.T) {
+	now := time.Unix(1000, 0)
+	rt, err := NewRouter(RouterOptions{
+		Shards:           testShards("a", "b", "c"),
+		FailureThreshold: 1,
+		Cooldown:         time.Hour,
+		Clock:            func() time.Time { return now },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"a", "b", "c"} {
+		rt.ReportFailure(id)
+	}
+	pref := rt.Route(testKey(1))
+	if len(pref) != 3 {
+		t.Fatalf("fallback route has %d shards, want all 3", len(pref))
+	}
+	st := rt.Stats()
+	if st.Fallbacks != 1 {
+		t.Fatalf("fallbacks = %d, want 1", st.Fallbacks)
+	}
+	if st.Healthy != 0 {
+		t.Fatalf("healthy = %d, want 0", st.Healthy)
+	}
+}
+
+func TestRouterDrainingShardDemoted(t *testing.T) {
+	shards := testShards("a", "b")
+	shards[0].State = StateDraining
+	rt, err := NewRouter(RouterOptions{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		pref := rt.Route(testKey(i))
+		if pref[0].ID == "a" {
+			t.Fatalf("draining shard a leads route for key %d", i)
+		}
+		if len(pref) != 2 {
+			t.Fatalf("draining shard dropped from route entirely: %v", pref)
+		}
+	}
+}
+
+func TestRouterUpdateVersionGate(t *testing.T) {
+	rt, err := NewRouter(RouterOptions{Shards: testShards("a", "b")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stale and equal versions are rejected but still count as refreshes.
+	for _, v := range []int64{0, 1} {
+		ok, err := rt.Update(Topology{Version: v, Shards: testShards("a", "b", "c")})
+		if err != nil || ok {
+			t.Fatalf("version %d accepted (%v, %v), want stale rejection", v, ok, err)
+		}
+	}
+	if rt.Version() != 1 {
+		t.Fatalf("version = %d, want 1", rt.Version())
+	}
+	ok, err := rt.Update(Topology{Version: 5, Shards: testShards("a", "b", "c")})
+	if err != nil || !ok {
+		t.Fatalf("newer topology rejected: %v, %v", ok, err)
+	}
+	if rt.Version() != 5 || len(rt.Shards()) != 3 {
+		t.Fatalf("topology not installed: version=%d shards=%v", rt.Version(), rt.Shards())
+	}
+	if got := rt.Stats().TopologyRefreshes; got != 3 {
+		t.Fatalf("topology_refreshes = %d, want 3", got)
+	}
+}
+
+func TestRouterUpdateKeepsSurvivorHealth(t *testing.T) {
+	now := time.Unix(1000, 0)
+	rt, err := NewRouter(RouterOptions{
+		Shards:           testShards("a", "b"),
+		FailureThreshold: 1,
+		Cooldown:         time.Hour,
+		Clock:            func() time.Time { return now },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.ReportFailure("a")
+	if _, err := rt.Update(Topology{Version: 2, Shards: testShards("a", "b", "c")}); err != nil {
+		t.Fatal(err)
+	}
+	if st := rt.Stats(); st.Healthy != 2 {
+		t.Fatalf("healthy after update = %d, want 2 (a stays down)", st.Healthy)
+	}
+	// A shard removed by the update must not keep a health record.
+	if _, err := rt.Update(Topology{Version: 3, Shards: testShards("b", "c")}); err != nil {
+		t.Fatal(err)
+	}
+	rt.mu.Lock()
+	_, leaked := rt.health["a"]
+	rt.mu.Unlock()
+	if leaked {
+		t.Fatal("health record for removed shard a leaked")
+	}
+}
+
+func TestRouterFailureForUnknownShardIgnored(t *testing.T) {
+	rt, err := NewRouter(RouterOptions{Shards: testShards("a")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.ReportFailure("ghost")
+	if st := rt.Stats(); st.Healthy != 1 || st.Shards != 1 {
+		t.Fatalf("unknown-shard failure mutated stats: %+v", st)
+	}
+}

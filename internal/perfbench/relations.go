@@ -72,6 +72,13 @@ func DefaultRelations() []Relation {
 			MaxRatio:  1.0,
 			Doc:       "a primed memo cache must answer characterizations faster than cold simulation",
 		},
+		{
+			Name:      "routed-advise-2x",
+			Scenario:  "fleet/routed-advise",
+			Reference: "advisord/advise",
+			MaxRatio:  2.0,
+			Doc:       "routing a warm advise batch across a 3-shard fleet (key hashing, per-owner grouping, up to 3 loopback hops) may cost at most 2x the single-process advise path",
+		},
 	}
 }
 

@@ -11,10 +11,12 @@ import (
 	"net/http/httptest"
 
 	"igpucomm/internal/advisord"
+	"igpucomm/internal/advisord/client"
 	"igpucomm/internal/apps/catalog"
 	"igpucomm/internal/comm"
 	"igpucomm/internal/devices"
 	"igpucomm/internal/engine"
+	"igpucomm/internal/fleet"
 	"igpucomm/internal/framework"
 	"igpucomm/internal/microbench"
 	"igpucomm/internal/soc"
@@ -284,6 +286,7 @@ func DefaultSuite(opt SuiteOptions) ([]Scenario, error) {
 			},
 		},
 		advisordScenario(opt),
+		fleetScenario(opt),
 	}
 	return scenarios, nil
 }
@@ -345,6 +348,84 @@ func advisordScenario(opt SuiteOptions) Scenario {
 				return nil
 			}
 			return run, ts.Close, nil
+		},
+	}
+}
+
+// fleetScenario measures the same warm 3-device advise batch routed through
+// a 3-shard httptest fleet by the shard-aware client: per-question key
+// hashing, split-by-owner grouping, and up to three loopback round trips
+// instead of advisord/advise's one. The routed-advise-2x relation bounds
+// that routing tax.
+func fleetScenario(opt SuiteOptions) Scenario {
+	return Scenario{
+		Name:      "fleet/routed-advise",
+		Component: "fleet",
+		Doc:       "warm 3-device advise batch routed across a 3-shard httptest fleet",
+		Prepare: func(ctx context.Context) (func(context.Context) error, func(), error) {
+			logger := slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelError}))
+			ids := []string{"bench-a", "bench-b", "bench-c"}
+			var servers []*httptest.Server
+			var states []*fleet.State
+			closeAll := func() {
+				for _, ts := range servers {
+					ts.Close()
+				}
+			}
+			for _, id := range ids {
+				st, err := fleet.NewState(id, []fleet.Shard{{ID: id, URL: "http://placeholder.invalid"}}, 0)
+				if err != nil {
+					closeAll()
+					return nil, nil, err
+				}
+				eng := engine.New(engine.Options{Workers: opt.Workers, KeyRole: st.KeyRole})
+				srv := advisord.New(eng, advisord.Options{
+					Params: opt.params(), Scale: opt.scale(), Logger: logger, Fleet: st,
+				})
+				servers = append(servers, httptest.NewServer(srv.Handler()))
+				states = append(states, st)
+			}
+			members := make([]fleet.Shard, len(ids))
+			for i, id := range ids {
+				members[i] = fleet.Shard{ID: id, URL: servers[i].URL}
+			}
+			for _, st := range states {
+				if err := st.SetShards(members); err != nil {
+					closeAll()
+					return nil, nil, err
+				}
+			}
+			rt, err := fleet.NewRouter(fleet.RouterOptions{Shards: members})
+			if err != nil {
+				closeAll()
+				return nil, nil, err
+			}
+			cl := client.New(client.Options{Fleet: rt, Params: opt.params()})
+
+			var body advisord.AdviseBody
+			for _, cfg := range devices.All() {
+				body.Requests = append(body.Requests,
+					advisord.AdviseRequest{Device: cfg.Name, App: "shwfs", Current: "sc"})
+			}
+			run := func(ctx context.Context) error {
+				resp, err := cl.Advise(ctx, body)
+				if err != nil {
+					return err
+				}
+				for _, r := range resp.Results {
+					if r.Error != "" {
+						return fmt.Errorf("advise result error: %s", r.Error)
+					}
+				}
+				return nil
+			}
+			// One warm pass so every shard characterizes its owned devices
+			// before the clock starts, mirroring advisord/advise's warmup.
+			if err := run(ctx); err != nil {
+				closeAll()
+				return nil, nil, err
+			}
+			return run, closeAll, nil
 		},
 	}
 }

@@ -35,6 +35,7 @@ func TestQuickSuiteEmitsValidArtifact(t *testing.T) {
 		"mb2/compiled-run",
 		"comm/run", "comm/checked",
 		"advisord/advise",
+		"fleet/routed-advise",
 	}
 	if len(a.Scenarios) != len(want) {
 		t.Fatalf("suite has %d scenarios, want %d", len(a.Scenarios), len(want))
@@ -60,7 +61,7 @@ func TestSuiteScenariosDeclareComponents(t *testing.T) {
 	}
 	known := map[string]bool{
 		"framework": true, "engine": true, "microbench": true,
-		"comm": true, "advisord": true,
+		"comm": true, "advisord": true, "fleet": true,
 	}
 	for _, s := range suite {
 		if s.Doc == "" {
