@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fmt vet lint lint-sarif lint-baseline lint-docs docs-links hazardcheck cover fuzz bench perfgate perf-smoke baseline trace chaos fleet ci
+.PHONY: all build test race fmt vet lint lint-sarif lint-baseline lint-docs docs-links hazardcheck cover fuzz bench perfgate perf-smoke baseline trace chaos fleet dst ci
 
 all: build
 
@@ -67,10 +67,13 @@ cover:
 	awk -v t="$$total" -v min="$(COVER_MIN)" 'BEGIN { exit (t+0 >= min+0) ? 0 : 1 }' || \
 		{ echo "coverage below $(COVER_MIN)%"; exit 1; }
 
-# Short fuzz pass over the hazard-trace CSV parsers.
+# Short fuzz pass over the externally-facing parsers: the hazard-trace CSV
+# reader and the NDJSON warm-handoff export reader (a malicious or buggy
+# peer must quarantine, never panic its puller).
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test ./internal/hazard -run '^$$' -fuzz FuzzParseTrace -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/fleet -run '^$$' -fuzz FuzzReadExport -fuzztime $(FUZZTIME)
 
 # One full iteration of every engine benchmark (the sweep pair is the
 # headline: serial vs memoized-parallel advisory sweep).
@@ -108,9 +111,22 @@ chaos:
 # Fleet storm harness: a 3-shard advisord fleet under closed-loop load while
 # a cold shard joins (warm handoff) and another is killed mid-run, plus the
 # same load shape under the chaos suite's flaky-engine schedule — all under
-# the race detector. FLEET_SUMMARY receives the latency artifact CI uploads.
+# the race detector. Runs the short smoke profile by default (correctness
+# under churn lives in `make dst` now); FLEET_STORM=full restores the long
+# window. FLEET_SUMMARY receives the latency artifact CI uploads.
 FLEET_SUMMARY ?= fleet-summary.json
 fleet:
 	FLEET_SUMMARY=$(FLEET_SUMMARY) $(GO) test -race -run 'TestFleetStorm' -v ./internal/fleet/
 
-ci: fmt vet lint lint-docs docs-links build race cover fuzz hazardcheck trace chaos fleet perf-smoke
+# Deterministic simulation suite: DST_SEEDS seeded fleet scenarios (crash,
+# restart, partition, link faults, drain, warm handoff) in virtual time,
+# invariant-checked after every step, under the race detector. A failing
+# seed is shrunk and its repro artifact written to DST_ARTIFACT; replay it
+# with the `go test ./internal/dst -run TestDSTSeedSweep -dst.seed=N`
+# command the artifact carries.
+DST_SEEDS ?= 200
+DST_ARTIFACT ?= dst-repro.json
+dst:
+	DST_ARTIFACT=$(DST_ARTIFACT) $(GO) test -race -count=1 ./internal/dst -dst.seeds=$(DST_SEEDS)
+
+ci: fmt vet lint lint-docs docs-links build race cover fuzz hazardcheck trace chaos fleet dst perf-smoke

@@ -21,6 +21,7 @@ import (
 	"igpucomm/internal/advisord"
 	"igpucomm/internal/fleet"
 	"igpucomm/internal/microbench"
+	"igpucomm/internal/simnet"
 )
 
 // Options configures a Client. Zero values mean defaults.
@@ -41,8 +42,13 @@ type Options struct {
 	Budget time.Duration
 	// Seed makes the jitter deterministic (0: 1).
 	Seed int64
-	// Sleep overrides the backoff wait (tests). It must return early with
-	// ctx.Err() when the context ends mid-sleep.
+	// Clock is the time source for backoff sleeps and the topology-refresh
+	// rate limiter (nil: simnet.Real()). The DST harness injects a virtual
+	// clock here, so a full retry storm replays without wall-clock waits.
+	Clock simnet.Clock
+	// Sleep overrides the backoff wait (tests); it takes precedence over
+	// Clock for sleeping. It must return early with ctx.Err() when the
+	// context ends mid-sleep.
 	Sleep func(ctx context.Context, d time.Duration) error
 
 	// Fleet, when non-nil, routes each advisory question to the shard
@@ -84,6 +90,7 @@ func (e *APIError) Error() string {
 type Client struct {
 	opt   Options
 	http  *http.Client
+	clock simnet.Clock
 	sleep func(ctx context.Context, d time.Duration) error
 
 	rngCh chan *rand.Rand // capacity-1 channel as a lock on the jitter stream
@@ -119,25 +126,16 @@ func New(opt Options) *Client {
 	if opt.Fleet != nil && len(opt.Params.MB2Fractions) == 0 {
 		opt.Params = microbench.DefaultParams()
 	}
+	if opt.Clock == nil {
+		opt.Clock = simnet.Real()
+	}
 	sleep := opt.Sleep
 	if sleep == nil {
-		sleep = defaultSleep
+		sleep = opt.Clock.Sleep
 	}
-	c := &Client{opt: opt, http: opt.HTTPClient, sleep: sleep, rngCh: make(chan *rand.Rand, 1)}
+	c := &Client{opt: opt, http: opt.HTTPClient, clock: opt.Clock, sleep: sleep, rngCh: make(chan *rand.Rand, 1)}
 	c.rngCh <- rand.New(rand.NewSource(opt.Seed))
 	return c
-}
-
-// defaultSleep waits d or until the context ends, whichever comes first.
-func defaultSleep(ctx context.Context, d time.Duration) error {
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-t.C:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
 }
 
 // backoff returns the full-jitter delay for a retry: uniform in
@@ -154,8 +152,9 @@ func (c *Client) backoff(attempt int) time.Duration {
 }
 
 // Advise posts a batch of advisory questions, retrying transient failures
-// (network errors, 429, 5xx) under the client's backoff policy. 429
-// responses' Retry-After headers raise the next sleep's floor. With
+// (network errors, 429, 5xx) under the client's backoff policy. Retry-After
+// headers raise the next sleep's floor whether they arrive on a 429 (at
+// capacity) or a 503 (shard draining, breaker open). With
 // Options.Fleet set, each question routes to the shard owning its
 // characterization key (see fleet.go) — the same retries and budgets apply,
 // per shard group.

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"igpucomm/internal/advisord"
+	"igpucomm/internal/simnet"
 )
 
 // recordingSleep captures requested backoff delays without waiting.
@@ -205,5 +206,57 @@ func TestRetriesNetworkErrors(t *testing.T) {
 	}
 	if len(rec.delays) != 2 {
 		t.Errorf("slept %d times, want 2 (network errors are retryable)", len(rec.delays))
+	}
+}
+
+// A draining shard sheds with 503 + Retry-After; the client must honor that
+// hint exactly as it honors a 429's — same retry, same raised sleep floor —
+// so a drain smears load over the hint window instead of hammering the
+// shard the moment it starts handing off. Runs entirely in virtual time.
+func TestHonorsRetryAfterOnDrain503(t *testing.T) {
+	for _, tt := range []struct {
+		name   string
+		status int
+		msg    string
+	}{
+		{"drain-503", http.StatusServiceUnavailable, "shard draining, retry another replica"},
+		{"capacity-429", http.StatusTooManyRequests, "at capacity"},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			sim := simnet.NewSim().AutoAdvance(true)
+			nw := simnet.NewNetwork(sim, 1)
+			var calls atomic.Int32
+			nw.Register("advisord.sim", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if calls.Add(1) == 1 {
+					w.Header().Set("Retry-After", "3")
+					http.Error(w, fmt.Sprintf(`{"error":%q}`, tt.msg), tt.status)
+					return
+				}
+				okResponse(w)
+			}))
+			c := New(Options{
+				BaseURL:    "http://advisord.sim",
+				HTTPClient: nw.Client("test-client"),
+				Clock:      sim,
+				BaseDelay:  time.Millisecond,
+				MaxDelay:   2 * time.Millisecond,
+				Budget:     time.Minute,
+				Seed:       5,
+			})
+			virtualStart := sim.Now()
+			wallStart := time.Now()
+			if _, err := c.Advise(context.Background(), adviseBody()); err != nil {
+				t.Fatal(err)
+			}
+			if got := calls.Load(); got != 2 {
+				t.Fatalf("server saw %d calls, want 2", got)
+			}
+			if elapsed := sim.Since(virtualStart); elapsed < 3*time.Second {
+				t.Errorf("virtual elapsed %v, want >= 3s from Retry-After", elapsed)
+			}
+			if wall := time.Since(wallStart); wall > time.Second {
+				t.Errorf("took %v of wall clock; the wait must be virtual", wall)
+			}
+		})
 	}
 }

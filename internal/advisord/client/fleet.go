@@ -197,7 +197,7 @@ func (c *Client) fetchTopology(ctx context.Context, baseURL string) (fleet.Topol
 // triggered it.
 func (c *Client) maybeRefreshTopology(ctx context.Context) {
 	c.refreshMu.Lock()
-	now := time.Now()
+	now := c.clock.Now()
 	due := c.lastRefresh.IsZero() || now.Sub(c.lastRefresh) >= c.opt.RefreshMinInterval
 	if due {
 		c.lastRefresh = now

@@ -8,6 +8,7 @@ import (
 	"igpucomm/internal/engine"
 	"igpucomm/internal/faults"
 	"igpucomm/internal/fleet"
+	"igpucomm/internal/simnet"
 	"igpucomm/internal/telemetry"
 )
 
@@ -39,7 +40,7 @@ type serverMetrics struct {
 	heatHot      *telemetry.Gauge   // buffers classified hot in that entry
 }
 
-func newServerMetrics(eng *engine.Engine, start time.Time, info buildinfo.Info, br *Breaker, fl *fleet.State) *serverMetrics {
+func newServerMetrics(eng *engine.Engine, clock simnet.Clock, start time.Time, info buildinfo.Info, br *Breaker, fl *fleet.State) *serverMetrics {
 	reg := telemetry.NewRegistry()
 	m := &serverMetrics{
 		reg: reg,
@@ -86,7 +87,7 @@ func newServerMetrics(eng *engine.Engine, start time.Time, info buildinfo.Info, 
 		"Build identity of the running advisord binary.", info.Labels())
 	reg.GaugeFunc("igpucomm_uptime_seconds",
 		"Seconds since the server started.",
-		func() float64 { return time.Since(start).Seconds() })
+		func() float64 { return clock.Since(start).Seconds() })
 
 	reg.CounterFunc("igpucomm_engine_requests_total",
 		"Advisory requests answered by the engine.",

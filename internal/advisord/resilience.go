@@ -36,10 +36,9 @@ type Breaker struct {
 	probing  bool
 }
 
+// newBreaker builds a breaker; now must be non-nil (the server passes its
+// Clock's Now, defaulting to the wall clock).
 func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *Breaker {
-	if now == nil {
-		now = time.Now
-	}
 	return &Breaker{threshold: threshold, cooldown: cooldown, now: now, state: BreakerClosed}
 }
 

@@ -17,6 +17,7 @@ import (
 	"igpucomm/internal/engine"
 	"igpucomm/internal/faults"
 	"igpucomm/internal/microbench"
+	"igpucomm/internal/simnet"
 )
 
 // breakerClock is a manually advanced clock for breaker tests.
@@ -92,7 +93,7 @@ func TestBreakerTripsAndRecovers(t *testing.T) {
 }
 
 func TestBreakerIgnoresContextErrors(t *testing.T) {
-	b := newBreaker(1, 10*time.Second, nil)
+	b := newBreaker(1, 10*time.Second, time.Now)
 	for i := 0; i < 5; i++ {
 		done, ok := b.Allow()
 		if !ok {
@@ -111,7 +112,7 @@ func TestBreakerIgnoresContextErrors(t *testing.T) {
 }
 
 func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
-	b := newBreaker(3, 10*time.Second, nil)
+	b := newBreaker(3, 10*time.Second, time.Now)
 	boom := errors.New("boom")
 	for i := 0; i < 10; i++ {
 		done, _ := b.Allow()
@@ -229,9 +230,9 @@ func TestAdviseDegradesWhenCharacterizationFails(t *testing.T) {
 // answers degraded without touching the engine and characterize sheds 503.
 func TestBreakerOpensUnderRepeatedFailure(t *testing.T) {
 	activatePlan(t, 2, faults.Rule{Point: "engine.characterize", Mode: faults.ModeError, Every: 1})
-	clock := &breakerClock{t: time.Unix(1000, 0)}
 	srv, ts := resilientServer(t, Options{
-		BreakerThreshold: 2, BreakerCooldown: time.Minute, Clock: clock.now,
+		BreakerThreshold: 2, BreakerCooldown: time.Minute,
+		Clock: simnet.NewSimAt(time.Unix(1000, 0)),
 	})
 
 	for i := 0; i < 2; i++ {

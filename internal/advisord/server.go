@@ -36,6 +36,7 @@ import (
 	"igpucomm/internal/fleet"
 	"igpucomm/internal/framework"
 	"igpucomm/internal/microbench"
+	"igpucomm/internal/simnet"
 	"igpucomm/internal/telemetry"
 )
 
@@ -67,8 +68,10 @@ type Options struct {
 	// BreakerCooldown is how long the breaker stays open before letting a
 	// probe through (0: 10s).
 	BreakerCooldown time.Duration
-	// Clock overrides time.Now for breaker timing (tests).
-	Clock func() time.Time
+	// Clock is the time source for everything the server times — breaker
+	// cooldown, request deadlines, latency observation, uptime (nil:
+	// simnet.Real()). The DST harness injects a virtual clock here.
+	Clock simnet.Clock
 
 	// Fleet, when non-nil, makes this server one shard of a sharded
 	// advisord fleet: the topology and cache-export routes appear, the
@@ -97,6 +100,9 @@ func (o *Options) applyDefaults() {
 	if o.BreakerCooldown <= 0 {
 		o.BreakerCooldown = 10 * time.Second
 	}
+	if o.Clock == nil {
+		o.Clock = simnet.Real()
+	}
 }
 
 // Server wires the execution engine to the HTTP surface. All state lives in
@@ -118,25 +124,37 @@ type Server struct {
 	// execution count already on disk.
 	persistMu sync.Mutex
 	lastSaved uint64
+
+	// adviceMu guards adviceMemo, the per-server memo of successful
+	// non-degraded recommendations. The key (characterization cache key +
+	// workload name + current model) is a complete identity here — one
+	// server runs one Params and one Scale, so a workload name denotes
+	// exactly one workload — which makes re-profiling a repeated question
+	// pure waste. Degraded answers are never memoized: they depend on
+	// transient failure state, not on the question.
+	adviceMu   sync.Mutex
+	adviceMemo map[string]framework.Recommendation
 }
 
 // New builds a server answering with the given engine under the given
 // options.
 func New(eng *engine.Engine, opt Options) *Server {
 	opt.applyDefaults()
-	start := time.Now()
+	start := opt.Clock.Now()
 	info := buildinfo.Get()
-	br := newBreaker(opt.BreakerThreshold, opt.BreakerCooldown, opt.Clock)
+	br := newBreaker(opt.BreakerThreshold, opt.BreakerCooldown, opt.Clock.Now)
 	return &Server{
 		eng:     eng,
 		opt:     opt,
 		start:   start,
 		log:     opt.Logger,
-		metrics: newServerMetrics(eng, start, info, br, opt.Fleet),
+		metrics: newServerMetrics(eng, opt.Clock, start, info, br, opt.Fleet),
 		info:    info,
 		breaker: br,
 		admit:   newAdmission(opt.MaxConcurrent, opt.MaxQueue),
 		fleet:   opt.Fleet,
+
+		adviceMemo: make(map[string]framework.Recommendation),
 	}
 }
 
@@ -209,9 +227,9 @@ func (s *Server) observe(next http.Handler) http.Handler {
 		defer s.metrics.inFlight.Dec()
 
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		t0 := time.Now()
+		t0 := s.opt.Clock.Now()
 		next.ServeHTTP(rec, r.WithContext(ctx))
-		elapsed := time.Since(t0)
+		elapsed := s.opt.Clock.Since(t0)
 
 		s.metrics.latency.With(endpoint).Observe(elapsed.Seconds())
 		s.metrics.responses.With(strconv.Itoa(rec.status)).Inc()
@@ -265,7 +283,7 @@ func (s *Server) admitted(next http.Handler) http.Handler {
 			return
 		}
 		defer release()
-		ctx, cancel := context.WithTimeout(r.Context(), s.opt.RequestTimeout)
+		ctx, cancel := s.opt.Clock.WithTimeout(r.Context(), s.opt.RequestTimeout)
 		defer cancel()
 		next.ServeHTTP(w, r.WithContext(ctx))
 	})
@@ -305,7 +323,7 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		names = append(names, cfg.Name)
 	}
 	resp := statuszResponse{
-		UptimeSeconds: time.Since(s.start).Seconds(),
+		UptimeSeconds: s.opt.Clock.Since(s.start).Seconds(),
 		Build:         s.info,
 		Devices:       names,
 		Apps:          catalog.Names(),
@@ -420,6 +438,16 @@ func (s *Server) adviseOne(ctx context.Context, req engine.Request) AdviseResult
 	if err != nil {
 		return s.degraded(ctx, req, fmt.Sprintf("characterization failed: %v", err))
 	}
+	memoKey := ""
+	if key, kerr := engine.CacheKey(req.Config, req.Params); kerr == nil {
+		memoKey = key + "|" + req.Workload.Name + "|" + req.Current
+		s.adviceMu.Lock()
+		rec, ok := s.adviceMemo[memoKey]
+		s.adviceMu.Unlock()
+		if ok {
+			return AdviseResult{Recommendation: &rec, Zone: rec.Zone.String()}
+		}
+	}
 	var rec framework.Recommendation
 	err = guard(func() error {
 		var err error
@@ -429,8 +457,22 @@ func (s *Server) adviseOne(ctx context.Context, req engine.Request) AdviseResult
 	if err != nil {
 		return s.degraded(ctx, req, fmt.Sprintf("advice failed: %v", err))
 	}
+	if memoKey != "" {
+		s.adviceMu.Lock()
+		if len(s.adviceMemo) >= adviceMemoCap {
+			// The population is bounded by devices x apps x models in any
+			// real deployment; hitting the cap means pathological inputs,
+			// and a reset is cheaper than an eviction policy.
+			s.adviceMemo = make(map[string]framework.Recommendation)
+		}
+		s.adviceMemo[memoKey] = rec
+		s.adviceMu.Unlock()
+	}
 	return AdviseResult{Recommendation: &rec, Zone: rec.Zone.String()}
 }
+
+// adviceMemoCap bounds the advice memo; see adviseOne.
+const adviceMemoCap = 4096
 
 // degraded answers from the threshold-only heuristic, marking the result so
 // callers know it carries no measured speedup, and annotating the request's

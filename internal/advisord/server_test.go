@@ -349,3 +349,40 @@ func TestHeatmapEndpointRejectsBadRequests(t *testing.T) {
 		}
 	}
 }
+
+// Repeating a question must be answered from the advice memo: the engine
+// sees new requests (its own stats count them) but no new simulation work,
+// and the answer is byte-identical.
+func TestAdviseMemoServesRepeatedQuestions(t *testing.T) {
+	srv, ts := testServer(t)
+	req := AdviseBody{Requests: []AdviseRequest{
+		{Device: devices.TX2Name, App: "shwfs", Current: "sc"},
+	}}
+	first := postAdvise(t, ts, req)
+	if first.Results[0].Error != "" {
+		t.Fatalf("first advise failed: %s", first.Results[0].Error)
+	}
+	srv.adviceMu.Lock()
+	memoSize := len(srv.adviceMemo)
+	srv.adviceMu.Unlock()
+	if memoSize != 1 {
+		t.Fatalf("advice memo holds %d entries after one advise, want 1", memoSize)
+	}
+	second := postAdvise(t, ts, req)
+	a, _ := json.Marshal(first.Results[0])
+	b, _ := json.Marshal(second.Results[0])
+	if !bytes.Equal(a, b) {
+		t.Fatalf("memoized answer differs:\n first %s\nsecond %s", a, b)
+	}
+	// A different current model is a different question and must get its
+	// own memo entry, not the cached answer for "sc".
+	postAdvise(t, ts, AdviseBody{Requests: []AdviseRequest{
+		{Device: devices.TX2Name, App: "shwfs", Current: "zc"},
+	}})
+	srv.adviceMu.Lock()
+	memoSize = len(srv.adviceMemo)
+	srv.adviceMu.Unlock()
+	if memoSize != 2 {
+		t.Fatalf("advice memo holds %d entries, want 2 (distinct current model is a distinct question)", memoSize)
+	}
+}

@@ -4,7 +4,7 @@
 // module is loaded and type-checked as a whole (LoadModule), then every
 // registered Analyzer runs over each package (RunAnalyzers); type-check
 // failures surface as "typecheck" pseudo-findings rather than aborting the
-// run. Nine rules (see DESIGN.md §13 for the full catalog):
+// run. Ten rules (see DESIGN.md §13 for the full catalog):
 //
 //   - rawaddr: no arithmetic directly on a buffer's .Addr field outside
 //     the memory-system packages — everything else indexes through Layout
@@ -42,6 +42,11 @@
 //   - metricname: Prometheus metric names are compile-time constants in
 //     the MetricPrefix namespace, lower_snake_case, ending in a
 //     recognized unit, and registered exactly once.
+//
+//   - timesource: no direct wall-clock reads (time.Now, time.Sleep,
+//     time.After, timers, tickers) in the packages that run under the
+//     deterministic simulation harness (TimePackages); time flows only
+//     through the threaded Clock.
 //
 // Findings can be suppressed inline with
 // `//igpulint:ignore <rule> <justification>` (the justification is
@@ -115,6 +120,12 @@ type Config struct {
 	// //igpu:hot marker are checked.
 	HotPackages []string
 
+	// TimePackages lists the directory prefixes that run under the
+	// deterministic simulation harness and therefore must never read the
+	// wall clock directly (the timesource rule): time flows only through
+	// the threaded Clock.
+	TimePackages []string
+
 	// MetricPrefix is the required Prometheus metric-name prefix.
 	MetricPrefix string
 
@@ -163,6 +174,11 @@ func DefaultConfig() Config {
 			"internal/cache",
 			"internal/gpu",
 			"internal/coherence",
+		},
+		TimePackages: []string{
+			"internal/engine",
+			"internal/advisord",
+			"internal/fleet",
 		},
 		MetricPrefix: "igpucomm_",
 		MetricUnits: []string{

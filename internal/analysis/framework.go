@@ -99,6 +99,7 @@ func Analyzers() []*Analyzer {
 		lockDisciplineAnalyzer(),
 		allocHotAnalyzer(),
 		metricNameAnalyzer(),
+		timeSourceAnalyzer(),
 	}
 }
 

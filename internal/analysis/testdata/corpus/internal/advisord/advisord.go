@@ -35,7 +35,7 @@ func (q *Queue) BlockingSend(v int) {
 func (q *Queue) SleepUnderDefer() {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	time.Sleep(time.Millisecond) // want lockdiscipline "time.Sleep"
+	time.Sleep(time.Millisecond) // want lockdiscipline "time.Sleep" timesource "time.Sleep"
 }
 
 // ReceiveAndWait blocks twice inside one lock window.

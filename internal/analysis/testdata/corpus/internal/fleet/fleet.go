@@ -1,0 +1,65 @@
+// Package fleet exercises the timesource rule: this directory is in the
+// default TimePackages set, so every direct wall-clock read is a finding,
+// while Clock threading, duration constants and time-typed values stay
+// quiet.
+package fleet
+
+import (
+	"context"
+	"time"
+)
+
+// Clock is the threaded time source; the good shape reads time only
+// through it.
+type Clock interface {
+	Now() time.Time
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+// Router retries through its clock.
+type Router struct {
+	clock    Clock
+	deadline time.Time
+	backoff  time.Duration // a duration-typed field is fine: units, not reads
+}
+
+// Wait is the good shape: the pause and the deadline both come from the
+// threaded clock, so a virtual-time run controls them.
+func (r *Router) Wait(ctx context.Context) error {
+	if r.clock.Now().After(r.deadline) {
+		return context.DeadlineExceeded
+	}
+	return r.clock.Sleep(ctx, r.backoff)
+}
+
+// Stamp reads the wall clock directly.
+func (r *Router) Stamp() time.Time {
+	return time.Now() // want timesource "time.Now"
+}
+
+// Pause stalls a virtual-time run on real seconds.
+func (r *Router) Pause() {
+	time.Sleep(r.backoff) // want timesource "time.Sleep"
+}
+
+// Expire waits on a real timer dressed up as a channel.
+func (r *Router) Expire(ctx context.Context) error {
+	select {
+	case <-time.After(r.backoff): // want timesource "time.After"
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Age hides the clock read inside time.Since.
+func (r *Router) Age() time.Duration {
+	return time.Since(r.deadline) // want timesource "time.Since"
+}
+
+// Arm builds a real timer and ticker.
+func (r *Router) Arm() (*time.Timer, *time.Ticker) {
+	t := time.NewTimer(r.backoff)  // want timesource "time.NewTimer"
+	k := time.NewTicker(r.backoff) // want timesource "time.NewTicker"
+	return t, k
+}

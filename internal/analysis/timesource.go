@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// wallClockFuncs are the package-level time functions that read or wait on
+// the wall clock. Every one of them defeats the deterministic simulation
+// harness: a virtual-time run that calls time.Sleep stalls on real seconds,
+// and a time.Now comparison observes a clock the seeded scheduler does not
+// control. time.Since and time.Until are included because they call
+// time.Now internally; time.NewTicker/Tick/AfterFunc because they are the
+// same wait dressed up as a stream or a callback.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Tick":      true,
+	"AfterFunc": true,
+	"Since":     true,
+	"Until":     true,
+}
+
+// timeSourceAnalyzer forbids direct wall-clock access in the packages that
+// run under deterministic simulation (TimePackages). Those packages thread
+// a Clock (simnet.Clock in production: the real clock; in DST: the seeded
+// virtual clock), and one stray time.Now() is enough to make a "same seed,
+// same run" replay lie — the run completes, but its timeouts, backoff and
+// TTL decisions came from a clock the seed does not control. The compiler
+// cannot see this; only the import graph can.
+//
+// Pure constants (time.Millisecond) and types (time.Duration, time.Time)
+// remain free: the rule bans reading the clock, not speaking its units.
+func timeSourceAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "timesource",
+		Doc:  "no direct time.Now/Sleep/After/NewTimer/... in simulation-scoped packages; thread the Clock",
+		Run: func(pass *Pass) []Finding {
+			if !inDirs(pass.Pkg.Dir, pass.Config.TimePackages) {
+				return nil
+			}
+			var out []Finding
+			for _, f := range pass.Pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					obj := calleeObject(pass, call)
+					fn, ok := obj.(*types.Func)
+					// Only package-level functions read the wall clock;
+					// methods like t.After(u) or timer.Reset(d) operate on a
+					// value something else already stamped.
+					if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+						return true
+					}
+					sig, _ := fn.Type().(*types.Signature)
+					if sig == nil || sig.Recv() != nil {
+						return true
+					}
+					for name := range wallClockFuncs {
+						if fn.Name() == name {
+							out = append(out, Finding{
+								Pos:  pass.Position(call.Pos()),
+								Rule: "timesource",
+								Msg: fmt.Sprintf("time.%s reads the wall clock in a "+
+									"simulation-scoped package; thread the Clock instead", name),
+							})
+						}
+					}
+					return true
+				})
+			}
+			return out
+		},
+	}
+}

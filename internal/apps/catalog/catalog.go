@@ -26,22 +26,37 @@ const (
 	// buffers, launch schedule and access patterns at a fraction of the
 	// footprint — for tests, benchmarks and -quick CLI runs.
 	Quick
+	// Micro is the smallest configuration that still exercises every
+	// structural element (all buffers, at least one launch per kernel,
+	// both reduce and per-pixel phases). Its absolute numbers are
+	// meaningless; it exists for harnesses that need thousands of advisory
+	// calls per second — the deterministic simulation tests sweep hundreds
+	// of seeded fleet scenarios and pay the workload simulation on every
+	// step.
+	Micro
 )
 
 var builders = map[string]func(Scale) (comm.Workload, error){
 	"shwfs": func(sc Scale) (comm.Workload, error) {
 		p := shwfs.DefaultWorkloadParams()
-		if sc == Quick {
+		switch sc {
+		case Quick:
 			p.Config = shwfs.Config{SubapsX: 8, SubapsY: 8, SubapPx: 8, Threshold: 10}
 			p.Launches = 2
 			p.PerPixelOps = 50
 			p.ReduceSteps = 4
+		case Micro:
+			p.Config = shwfs.Config{SubapsX: 2, SubapsY: 2, SubapPx: 4, Threshold: 10}
+			p.Launches = 1
+			p.PerPixelOps = 4
+			p.ReduceSteps = 1
 		}
 		return shwfs.Workload(p)
 	},
 	"orbslam": func(sc Scale) (comm.Workload, error) {
 		p := orbslam.DefaultWorkloadParams()
-		if sc == Quick {
+		switch sc {
+		case Quick:
 			p.FrameW, p.FrameH = 160, 120
 			p.Frontend.Levels = 3
 			p.Frontend.MaxPerLevel = 32
@@ -49,16 +64,30 @@ var builders = map[string]func(Scale) (comm.Workload, error){
 			p.DescLoads = 8
 			p.DescOps = 20
 			p.MatchComparisons = 5000
+		case Micro:
+			p.FrameW, p.FrameH = 32, 24
+			p.Frontend.Levels = 2
+			p.Frontend.MaxPerLevel = 8
+			p.PerPixelOps = 2
+			p.DescLoads = 2
+			p.DescOps = 4
+			p.MatchComparisons = 100
 		}
 		return orbslam.Workload(p)
 	},
 	"lanedet": func(sc Scale) (comm.Workload, error) {
 		p := lanedet.DefaultWorkloadParams()
-		if sc == Quick {
+		switch sc {
+		case Quick:
 			p.FrameW, p.FrameH = 96, 64
 			p.SobelOps = 6
 			p.VoteOps = 2
 			p.TrackOps = 2
+		case Micro:
+			p.FrameW, p.FrameH = 16, 12
+			p.SobelOps = 1
+			p.VoteOps = 1
+			p.TrackOps = 1
 		}
 		return lanedet.Workload(p)
 	},

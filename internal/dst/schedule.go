@@ -1,0 +1,159 @@
+// Package dst is the deterministic simulation test (DST) harness over the
+// advisord fleet: it boots N in-process shards plus a routing client on a
+// virtual clock (internal/simnet), runs the storm workload entirely in
+// virtual time under a seeded schedule of failures — link drops, delays,
+// duplicates, one-way response losses, partitions, shard crash/restart,
+// drain, warm handoff, injected engine faults — and checks global
+// invariants after every step. A failing seed is shrunk automatically to a
+// minimal schedule and emitted as a repro artifact with a replay command,
+// so a CI failure is reproducible from its log line alone.
+package dst
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Event kinds a schedule can contain.
+const (
+	// EvCrash kills a shard: its handler unregisters from the network and
+	// its cache (and acked-handoff bookkeeping) is forgotten.
+	EvCrash = "crash"
+	// EvRestart reboots a crashed shard with a fresh engine, warm-started
+	// with the device characterizations (as a disk warm start would) but
+	// without any handoff freight.
+	EvRestart = "restart"
+	// EvPartition cuts the directed link From -> To.
+	EvPartition = "partition"
+	// EvHeal clears every partition and every link fault.
+	EvHeal = "heal"
+	// EvLink installs a probabilistic fault profile on the directed link
+	// From -> To: request drops, response losses (one-way link),
+	// duplicates, added virtual latency.
+	EvLink = "link"
+	// EvDrain sets a shard draining (503 + Retry-After on /v1 traffic);
+	// EvUndrain clears it.
+	EvDrain   = "drain"
+	EvUndrain = "undrain"
+	// EvHandoff warm-pulls the entries a shard owns from its peers — the
+	// operation the no-acked-entry-lost invariant audits.
+	EvHandoff = "handoff"
+	// EvFault activates a seeded internal/faults plan erroring the
+	// advisord.fleet.export point (handoff streams fail server-side);
+	// EvFaultHeal deactivates it.
+	EvFault     = "fault"
+	EvFaultHeal = "fault-heal"
+)
+
+// Event is one scheduled failure. Step indexes the workload step before
+// which the event applies.
+type Event struct {
+	Step int    `json:"step"`
+	Kind string `json:"kind"`
+	// Shard is the target shard index for crash/restart/drain/undrain/
+	// handoff events.
+	Shard int `json:"shard,omitempty"`
+	// From and To name link endpoints for partition/link events: "client"
+	// or a shard host.
+	From string `json:"from,omitempty"`
+	To   string `json:"to,omitempty"`
+	// Link fault knobs (EvLink).
+	Drop     float64       `json:"drop,omitempty"`
+	RespLoss float64       `json:"resp_loss,omitempty"`
+	Dup      float64       `json:"dup,omitempty"`
+	Delay    time.Duration `json:"delay,omitempty"`
+}
+
+// String renders the event for trace logs.
+func (e Event) String() string {
+	switch e.Kind {
+	case EvPartition, EvLink:
+		return fmt.Sprintf("step %d: %s %s->%s drop=%.2f loss=%.2f dup=%.2f delay=%s",
+			e.Step, e.Kind, e.From, e.To, e.Drop, e.RespLoss, e.Dup, e.Delay)
+	default:
+		return fmt.Sprintf("step %d: %s shard=%d", e.Step, e.Kind, e.Shard)
+	}
+}
+
+// Schedule is a seeded failure schedule: the full input of one DST run
+// (alongside the runner options), and the unit shrinking minimizes.
+type Schedule struct {
+	Seed   int64   `json:"seed"`
+	Shards int     `json:"shards"`
+	Steps  int     `json:"steps"`
+	Events []Event `json:"events"`
+}
+
+// Generate derives the failure schedule for a seed: a handful of events at
+// random steps, kinds weighted so churn (links, handoffs, crashes) is
+// common and permanent outages are possible but rare. Pure function of its
+// arguments.
+func Generate(seed int64, shards, steps int) Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	sched := Schedule{Seed: seed, Shards: shards, Steps: steps}
+	n := 2 + rng.Intn(5)
+	endpoint := func() string {
+		if rng.Intn(3) == 0 {
+			return "client"
+		}
+		return hostOf(rng.Intn(shards))
+	}
+	for i := 0; i < n; i++ {
+		ev := Event{Step: rng.Intn(steps), Shard: rng.Intn(shards)}
+		switch w := rng.Intn(100); {
+		case w < 25:
+			ev.Kind = EvLink
+			ev.From, ev.To = endpoint(), endpoint()
+			// One knob per fault keeps shrunk schedules readable.
+			switch rng.Intn(4) {
+			case 0:
+				ev.Drop = 0.3 + 0.6*rng.Float64()
+			case 1:
+				ev.RespLoss = 0.3 + 0.6*rng.Float64()
+			case 2:
+				ev.Dup = 0.5 + 0.5*rng.Float64()
+			case 3:
+				ev.Delay = time.Duration(1+rng.Intn(200)) * time.Millisecond
+			}
+		case w < 37:
+			ev.Kind = EvPartition
+			ev.From, ev.To = endpoint(), endpoint()
+		case w < 47:
+			ev.Kind = EvHeal
+		case w < 57:
+			ev.Kind = EvCrash
+		case w < 67:
+			ev.Kind = EvRestart
+		case w < 74:
+			ev.Kind = EvDrain
+		case w < 80:
+			ev.Kind = EvUndrain
+		case w < 93:
+			ev.Kind = EvHandoff
+		case w < 97:
+			ev.Kind = EvFault
+		default:
+			ev.Kind = EvFaultHeal
+		}
+		sched.Events = append(sched.Events, ev)
+	}
+	sortEvents(sched.Events)
+	return sched
+}
+
+// sortEvents orders events by step, stably, so application order is the
+// generation order within a step.
+func sortEvents(evs []Event) {
+	for i := 1; i < len(evs); i++ {
+		for j := i; j > 0 && evs[j].Step < evs[j-1].Step; j-- {
+			evs[j], evs[j-1] = evs[j-1], evs[j]
+		}
+	}
+}
+
+// hostOf is shard i's simnet host name.
+func hostOf(i int) string { return fmt.Sprintf("shard-%d.sim", i) }
+
+// idOf is shard i's fleet ID.
+func idOf(i int) string { return fmt.Sprintf("shard-%d", i) }

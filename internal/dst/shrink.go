@@ -1,0 +1,116 @@
+package dst
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Automatic schedule shrinking: a failing seed usually fails because of one
+// or two of its events, and a two-event repro reads in seconds where a
+// seven-event one reads in minutes. The shrinker is greedy delta-debugging
+// over the event list — drop one event at a time, keep the drop when the
+// run still violates an invariant, repeat to fixpoint — followed by a
+// delay-halving pass so latency faults end up at the smallest magnitude
+// that still reproduces. Every candidate is a full deterministic run, so
+// the shrunk schedule is guaranteed failing, not heuristically likely.
+
+// shrinkBudget bounds total candidate runs during a shrink; each run is
+// milliseconds of wall clock, so 200 keeps a worst-case shrink well under a
+// second without ever abandoning a realistic schedule mid-pass.
+const shrinkBudget = 200
+
+// Shrink minimizes a failing run's schedule. opt must be the exact options
+// of the failing run (the shrinker overrides only Schedule). It returns the
+// minimized schedule and the report of its final failing run.
+func Shrink(opt Options, failing *Report) (Schedule, *Report, error) {
+	opt.applyDefaults()
+	opt.Trace = nil
+	best := failing.Schedule
+	bestRep := failing
+	runs := 0
+
+	tryWith := func(cand Schedule) (*Report, bool) {
+		if runs >= shrinkBudget {
+			return nil, false
+		}
+		runs++
+		o := opt
+		o.Schedule = &cand
+		rep, err := Run(o)
+		if err != nil || !rep.Failed() {
+			return nil, false
+		}
+		return rep, true
+	}
+
+	// Pass 1 to fixpoint: drop single events.
+	for changed := true; changed && runs < shrinkBudget; {
+		changed = false
+		for i := 0; i < len(best.Events); i++ {
+			cand := best
+			cand.Events = append(append([]Event{}, best.Events[:i]...), best.Events[i+1:]...)
+			if rep, ok := tryWith(cand); ok {
+				best, bestRep = cand, rep
+				changed = true
+				i-- // the slot now holds the next event; retry it
+			}
+		}
+	}
+
+	// Pass 2: halve link delays while the failure survives — a 3ms delay
+	// repro is a better bug report than a 190ms one.
+	for i := range best.Events {
+		for pass := 0; pass < 4 && best.Events[i].Delay > time.Millisecond; pass++ {
+			cand := best
+			cand.Events = append([]Event{}, best.Events...)
+			cand.Events[i].Delay /= 2
+			rep, ok := tryWith(cand)
+			if !ok {
+				break
+			}
+			best, bestRep = cand, rep
+		}
+	}
+	return best, bestRep, nil
+}
+
+// Artifact is the minimized repro document a failing DST run emits: enough
+// to refile the bug and to replay it — the schedule is the full input, the
+// replay command reruns it from the seed alone.
+type Artifact struct {
+	Seed       int64       `json:"seed"`
+	Bug        string      `json:"bug,omitempty"`
+	Schedule   Schedule    `json:"schedule"`
+	Violations []Violation `json:"violations"`
+	// Replay is the exact command that reproduces this failure.
+	Replay string `json:"replay"`
+}
+
+// ReplayCommand is the go test invocation that replays one seed.
+func ReplayCommand(seed int64) string {
+	return fmt.Sprintf("go test ./internal/dst -run TestDSTSeedSweep -dst.seed=%d", seed)
+}
+
+// NewArtifact assembles the repro artifact for a (possibly shrunk) failing
+// report.
+func NewArtifact(opt Options, rep *Report) Artifact {
+	return Artifact{
+		Seed:       opt.Seed,
+		Bug:        opt.Bug,
+		Schedule:   rep.Schedule,
+		Violations: rep.Violations,
+		Replay:     ReplayCommand(opt.Seed),
+	}
+}
+
+// WriteArtifact writes the artifact as indented JSON to path, creating or
+// truncating it.
+func WriteArtifact(path string, a Artifact) error {
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -27,6 +27,7 @@ import (
 	"igpucomm/internal/faults"
 	"igpucomm/internal/framework"
 	"igpucomm/internal/microbench"
+	"igpucomm/internal/simnet"
 	"igpucomm/internal/soc"
 	"igpucomm/internal/telemetry"
 )
@@ -58,8 +59,9 @@ type Options struct {
 	// params), so the TTL exists for operational hygiene — bounding how
 	// long a service trusts any one simulation — not for correctness.
 	TTL time.Duration
-	// Clock overrides time.Now for TTL bookkeeping (tests).
-	Clock func() time.Time
+	// Clock is the time source for TTL bookkeeping (nil: simnet.Real()).
+	// The DST harness injects a virtual clock here.
+	Clock simnet.Clock
 	// KeyRole classifies a characterization cache key for per-role
 	// accounting (nil: no role tracking). Fleet deployments install the
 	// shard's fleet.State.KeyRole here so /statusz reports cache entries
@@ -87,7 +89,10 @@ func New(o Options) *Engine {
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
-	chars := newMemo[framework.Characterization](o.CacheEntries, o.TTL, o.Clock)
+	if o.Clock == nil {
+		o.Clock = simnet.Real()
+	}
+	chars := newMemo[framework.Characterization](o.CacheEntries, o.TTL, o.Clock.Now)
 	// Only the characterization cache is sharded across a fleet; MB1
 	// memoization stays process-local.
 	chars.role = o.KeyRole
@@ -96,7 +101,7 @@ func New(o Options) *Engine {
 		sem:     make(sem, o.Workers),
 		pool:    newSocPool(o.Workers),
 		chars:   chars,
-		mb1s:    newMemo[microbench.MB1Result](o.CacheEntries, o.TTL, o.Clock),
+		mb1s:    newMemo[microbench.MB1Result](o.CacheEntries, o.TTL, o.Clock.Now),
 	}
 }
 

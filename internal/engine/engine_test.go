@@ -64,7 +64,7 @@ func TestCacheKeyStability(t *testing.T) {
 }
 
 func TestMemoHitMissCounters(t *testing.T) {
-	m := newMemo[int](4, 0, nil)
+	m := newMemo[int](4, 0, time.Now)
 	var calls atomic.Int32
 	get := func(key string, v int) (int, error) {
 		return m.do(context.Background(), key, func() (int, error) {
@@ -89,7 +89,7 @@ func TestMemoHitMissCounters(t *testing.T) {
 }
 
 func TestMemoErrorsAreNotCached(t *testing.T) {
-	m := newMemo[int](4, 0, nil)
+	m := newMemo[int](4, 0, time.Now)
 	boom := errors.New("boom")
 	fail := true
 	get := func() (int, error) {
@@ -113,7 +113,7 @@ func TestMemoErrorsAreNotCached(t *testing.T) {
 }
 
 func TestMemoLRUEviction(t *testing.T) {
-	m := newMemo[int](2, 0, nil)
+	m := newMemo[int](2, 0, time.Now)
 	m.put("a", 1)
 	m.put("b", 2)
 	// Touch a so b is the least recently used.

@@ -85,12 +85,11 @@ type memo[V any] struct {
 	roleMisses map[string]uint64
 }
 
+// newMemo builds a cache; now must be non-nil (the engine passes its
+// Clock's Now, defaulting to the wall clock).
 func newMemo[V any](capacity int, ttl time.Duration, now func() time.Time) *memo[V] {
 	if capacity <= 0 {
 		capacity = 64
-	}
-	if now == nil {
-		now = time.Now
 	}
 	m := &memo[V]{
 		capacity:   capacity,

@@ -68,15 +68,18 @@ func WriteExport(w io.Writer, entries map[string]framework.Characterization, inc
 	return n, bw.Flush()
 }
 
-// ReadExport decodes an export stream, calling fn for every entry. Each
-// entry's payload is validated through framework.LoadCharacterization — a
-// corrupt or version-mismatched line aborts the read with its error, so a
-// puller never installs an entry the loader would reject. It returns the
-// number of entries delivered.
-func ReadExport(r io.Reader, fn func(key string, char framework.Characterization) error) (int, error) {
+// ReadExport decodes an export stream, calling fn for every valid entry.
+// Each entry's payload is validated through framework.LoadCharacterization;
+// a line that fails to decode or validate — malformed JSON, an empty key, a
+// corrupt or version-mismatched characterization — is quarantined: skipped
+// and counted, never delivered to fn. One bad line must not discard the
+// good entries around it (a partial pull beats a cold cache), and a
+// malicious or buggy peer must never panic its puller. Only transport-level
+// failures (the reader erroring mid-stream) and fn's own errors abort the
+// read. It returns the entries delivered and the lines quarantined.
+func ReadExport(r io.Reader, fn func(key string, char framework.Characterization) error) (n, quarantined int, err error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	n := 0
 	for sc.Scan() {
 		raw := bytes.TrimSpace(sc.Bytes())
 		if len(raw) == 0 {
@@ -84,30 +87,35 @@ func ReadExport(r io.Reader, fn func(key string, char framework.Characterization
 		}
 		var line ExportLine
 		if err := json.Unmarshal(raw, &line); err != nil {
-			return n, fmt.Errorf("fleet: import: decode line: %w", err)
+			quarantined++
+			continue
 		}
 		if line.Key == "" {
-			return n, fmt.Errorf("fleet: import: line with empty key")
+			quarantined++
+			continue
 		}
 		char, err := framework.LoadCharacterization(bytes.NewReader(line.Entry))
 		if err != nil {
-			return n, fmt.Errorf("fleet: import %s: %w", line.Key, err)
+			quarantined++
+			continue
 		}
 		if err := fn(line.Key, char); err != nil {
-			return n, err
+			return n, quarantined, err
 		}
 		n++
 	}
 	if err := sc.Err(); err != nil {
-		return n, fmt.Errorf("fleet: import: %w", err)
+		return n, quarantined, fmt.Errorf("fleet: import: %w", err)
 	}
-	return n, nil
+	return n, quarantined, nil
 }
 
 // PullReport summarizes one warm-handoff pull.
 type PullReport struct {
 	// Pulled is the number of entries installed.
 	Pulled int `json:"pulled"`
+	// Quarantined is the number of corrupt export lines skipped.
+	Quarantined int `json:"quarantined,omitempty"`
 	// Peers is the number of peers contacted.
 	Peers int `json:"peers"`
 	// PeerErrors lists peers that could not be pulled from, with their
@@ -130,8 +138,9 @@ func Pull(ctx context.Context, st *State, hc *http.Client, put func(key string, 
 	var rep PullReport
 	for _, peer := range st.Peers() {
 		rep.Peers++
-		n, err := pullPeer(ctx, st, hc, peer, put)
+		n, quarantined, err := pullPeer(ctx, st, hc, peer, put)
 		rep.Pulled += n
+		rep.Quarantined += quarantined
 		if err != nil {
 			rep.PeerErrors = append(rep.PeerErrors, fmt.Sprintf("%s: %v", peer.ID, err))
 		}
@@ -141,19 +150,19 @@ func Pull(ctx context.Context, st *State, hc *http.Client, put func(key string, 
 }
 
 // pullPeer streams one peer's export of the keys this replica owns.
-func pullPeer(ctx context.Context, st *State, hc *http.Client, peer Shard, put func(string, framework.Characterization)) (int, error) {
+func pullPeer(ctx context.Context, st *State, hc *http.Client, peer Shard, put func(string, framework.Characterization)) (int, int, error) {
 	u := peer.URL + "/v1/cache/export?owner=" + url.QueryEscape(st.Self())
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	resp, err := hc.Do(req)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return 0, fmt.Errorf("export returned %d", resp.StatusCode)
+		return 0, 0, fmt.Errorf("export returned %d", resp.StatusCode)
 	}
 	return ReadExport(resp.Body, func(key string, char framework.Characterization) error {
 		put(key, char)

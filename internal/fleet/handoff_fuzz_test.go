@@ -1,0 +1,67 @@
+package fleet
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"igpucomm/internal/framework"
+)
+
+// FuzzReadExport feeds arbitrary byte streams — and mutations of valid
+// export streams — to the NDJSON handoff parser. The contract under fuzz:
+// never panic, never deliver an entry the persist-format loader would
+// reject, quarantine (count, skip) everything else. A handoff peer is a
+// network peer; its stream is attacker-shaped input.
+func FuzzReadExport(f *testing.F) {
+	var valid bytes.Buffer
+	entries := map[string]framework.Characterization{
+		testKey(1): handoffChar("board-1"),
+		testKey(2): handoffChar("board-2"),
+	}
+	if _, err := WriteExport(&valid, entries, nil); err != nil {
+		f.Fatal(err)
+	}
+	validStream := valid.String()
+	lines := strings.SplitAfter(validStream, "\n")
+
+	f.Add(validStream)                                                      // well-formed stream
+	f.Add("")                                                               // empty
+	f.Add("\n\n\n")                                                         // blank lines only
+	f.Add("{nope\n")                                                        // malformed JSON
+	f.Add(`{"key":"","entry":{}}` + "\n")                                   // empty key
+	f.Add(`{"key":"k","entry":{"format_version":999}}` + "\n")              // version mismatch
+	f.Add(`{"key":"k","entry":null}` + "\n")                                // null payload
+	f.Add(validStream[:len(validStream)/2])                                 // truncated mid-line
+	f.Add(lines[0] + lines[0])                                              // duplicate keys
+	f.Add(`{"key":"` + strings.Repeat("x", 1<<16) + `","entry":{}}` + "\n") // huge key
+	f.Add(strings.Repeat(lines[0], 50))                                     // long stream
+
+	f.Fuzz(func(t *testing.T, stream string) {
+		delivered := 0
+		n, quarantined, err := ReadExport(strings.NewReader(stream), func(key string, char framework.Characterization) error {
+			if key == "" {
+				t.Fatal("delivered an entry with an empty key")
+			}
+			// Anything delivered must round-trip through the persist
+			// format — ReadExport promises loader-validated entries.
+			var buf bytes.Buffer
+			if err := framework.SaveCharacterization(&buf, char); err != nil {
+				t.Fatalf("delivered entry does not re-save: %v", err)
+			}
+			delivered++
+			return nil
+		})
+		if err != nil {
+			// Only transport errors are fatal, and a strings.Reader has
+			// none — every malformed line must quarantine instead.
+			t.Fatalf("in-memory stream returned fatal error: %v", err)
+		}
+		if n != delivered {
+			t.Fatalf("reported %d delivered, callback saw %d", n, delivered)
+		}
+		if quarantined < 0 {
+			t.Fatalf("negative quarantine count %d", quarantined)
+		}
+	})
+}

@@ -44,15 +44,15 @@ func TestExportImportRoundTrip(t *testing.T) {
 	}
 
 	got := map[string]framework.Characterization{}
-	in, err := ReadExport(&buf, func(key string, char framework.Characterization) error {
+	in, quarantined, err := ReadExport(&buf, func(key string, char framework.Characterization) error {
 		got[key] = char
 		return nil
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if in != 3 || len(got) != 3 {
-		t.Fatalf("imported %d entries (%d distinct), want 3", in, len(got))
+	if in != 3 || len(got) != 3 || quarantined != 0 {
+		t.Fatalf("imported %d entries (%d distinct, %d quarantined), want 3", in, len(got), quarantined)
 	}
 	for key, want := range entries {
 		if got[key].Platform != want.Platform {
@@ -82,15 +82,38 @@ func TestWriteExportFilter(t *testing.T) {
 	}
 }
 
-func TestReadExportRejectsCorruptLines(t *testing.T) {
+// A corrupt line is quarantined — skipped and counted — never delivered,
+// and never fatal to the good entries around it.
+func TestReadExportQuarantinesCorruptLines(t *testing.T) {
+	good := map[string]framework.Characterization{testKey(1): handoffChar("b")}
+	var buf bytes.Buffer
+	if _, err := WriteExport(&buf, good, nil); err != nil {
+		t.Fatal(err)
+	}
+	goodLine := buf.String()
+
 	cases := map[string]string{
 		"not json":    "{nope\n",
 		"empty key":   `{"key":"","entry":{}}` + "\n",
 		"bad payload": `{"key":"abc","entry":{"format_version":999}}` + "\n",
 	}
-	for name, input := range cases {
-		if _, err := ReadExport(strings.NewReader(input), func(string, framework.Characterization) error { return nil }); err == nil {
-			t.Fatalf("%s: corrupt stream imported without error", name)
+	for name, corrupt := range cases {
+		// Corrupt line sandwiched between good ones: both good entries must
+		// survive, the bad one must be quarantined.
+		stream := goodLine + corrupt + goodLine
+		delivered := 0
+		n, quarantined, err := ReadExport(strings.NewReader(stream), func(key string, _ framework.Characterization) error {
+			if key != testKey(1) {
+				t.Fatalf("%s: delivered corrupt key %q", name, key)
+			}
+			delivered++
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%s: quarantine turned fatal: %v", name, err)
+		}
+		if n != 2 || delivered != 2 || quarantined != 1 {
+			t.Fatalf("%s: n=%d delivered=%d quarantined=%d, want 2, 2, 1", name, n, delivered, quarantined)
 		}
 	}
 }
@@ -102,9 +125,9 @@ func TestReadExportSkipsBlankLines(t *testing.T) {
 		t.Fatal(err)
 	}
 	padded := "\n" + buf.String() + "\n\n"
-	n, err := ReadExport(strings.NewReader(padded), func(string, framework.Characterization) error { return nil })
-	if err != nil || n != 1 {
-		t.Fatalf("padded stream: n=%d err=%v, want 1, nil", n, err)
+	n, quarantined, err := ReadExport(strings.NewReader(padded), func(string, framework.Characterization) error { return nil })
+	if err != nil || n != 1 || quarantined != 0 {
+		t.Fatalf("padded stream: n=%d quarantined=%d err=%v, want 1, 0, nil", n, quarantined, err)
 	}
 }
 

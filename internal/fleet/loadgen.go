@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"igpucomm/internal/simnet"
 )
 
 // LoadOptions configures a closed-loop load run.
@@ -22,6 +24,11 @@ type LoadOptions struct {
 	Do func(ctx context.Context) (ops int, err error)
 	// OnError receives each call error (nil: errors are only counted).
 	OnError func(error)
+	// Clock is the time source for the run's duration, deadline and
+	// latency measurement (nil: simnet.Real()). Under a virtual clock the
+	// run ends when virtual time covers Duration — workers must then drive
+	// the clock (their Do sleeping or a test advancing it).
+	Clock simnet.Clock
 }
 
 // LoadSummary is the result of one load run — the latency artifact `make
@@ -60,7 +67,10 @@ func RunLoad(ctx context.Context, opt LoadOptions) (LoadSummary, error) {
 	if opt.Duration <= 0 {
 		opt.Duration = 2 * time.Second
 	}
-	runCtx, cancel := context.WithTimeout(ctx, opt.Duration)
+	if opt.Clock == nil {
+		opt.Clock = simnet.Real()
+	}
+	runCtx, cancel := opt.Clock.WithTimeout(ctx, opt.Duration)
 	defer cancel()
 
 	type shard struct {
@@ -70,15 +80,15 @@ func RunLoad(ctx context.Context, opt LoadOptions) (LoadSummary, error) {
 	}
 	perWorker := make([]shard, opt.Workers)
 	var wg sync.WaitGroup
-	start := time.Now()
+	start := opt.Clock.Now()
 	for w := 0; w < opt.Workers; w++ {
 		wg.Add(1)
 		go func(sh *shard) {
 			defer wg.Done()
 			for runCtx.Err() == nil {
-				callStart := time.Now()
+				callStart := opt.Clock.Now()
 				ops, err := opt.Do(runCtx)
-				elapsed := time.Since(callStart)
+				elapsed := opt.Clock.Since(callStart)
 				if runCtx.Err() != nil && err != nil {
 					// The deadline cut this call short; neither its latency
 					// nor its error says anything about the fleet.
@@ -98,7 +108,7 @@ func RunLoad(ctx context.Context, opt LoadOptions) (LoadSummary, error) {
 		}(&perWorker[w])
 	}
 	wg.Wait()
-	wall := time.Since(start)
+	wall := opt.Clock.Since(start)
 
 	var all []time.Duration
 	sum := LoadSummary{Workers: opt.Workers, DurationSeconds: wall.Seconds()}

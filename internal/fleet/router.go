@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"igpucomm/internal/simnet"
 )
 
 // RouterOptions configures a Router. Zero values mean defaults.
@@ -20,8 +22,9 @@ type RouterOptions struct {
 	// Cooldown is how long an unhealthy shard stays out of preference
 	// order before it is probed again (0: 2s).
 	Cooldown time.Duration
-	// Clock overrides time.Now for health timing (tests).
-	Clock func() time.Time
+	// Clock is the time source for health timing (nil: simnet.Real()).
+	// The DST harness injects a virtual clock here.
+	Clock simnet.Clock
 }
 
 // replicaHealth tracks one shard's consecutive failures and the instant it
@@ -64,12 +67,12 @@ func NewRouter(opt RouterOptions) (*Router, error) {
 		opt.Cooldown = 2 * time.Second
 	}
 	if opt.Clock == nil {
-		opt.Clock = time.Now
+		opt.Clock = simnet.Real()
 	}
 	rt := &Router{
 		threshold: opt.FailureThreshold,
 		cooldown:  opt.Cooldown,
-		now:       opt.Clock,
+		now:       opt.Clock.Now,
 		health:    make(map[string]*replicaHealth),
 	}
 	if err := rt.install(Topology{Version: 1, VNodes: opt.VNodes, Shards: opt.Shards}); err != nil {

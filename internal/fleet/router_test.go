@@ -3,6 +3,8 @@ package fleet
 import (
 	"testing"
 	"time"
+
+	"igpucomm/internal/simnet"
 )
 
 func testShards(ids ...string) []Shard {
@@ -14,12 +16,12 @@ func testShards(ids ...string) []Shard {
 }
 
 func TestRouterRouteOwnerFirstAndHealthDemotion(t *testing.T) {
-	now := time.Unix(1000, 0)
+	clock := simnet.NewSimAt(time.Unix(1000, 0))
 	rt, err := NewRouter(RouterOptions{
 		Shards:           testShards("a", "b", "c"),
 		FailureThreshold: 2,
 		Cooldown:         5 * time.Second,
-		Clock:            func() time.Time { return now },
+		Clock:            clock,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -46,7 +48,7 @@ func TestRouterRouteOwnerFirstAndHealthDemotion(t *testing.T) {
 	}
 
 	// After the cooldown the owner is probed again (half-open) and leads.
-	now = now.Add(6 * time.Second)
+	clock.Advance(6 * time.Second)
 	if got := rt.Route(key); got[0].ID != owner {
 		t.Fatalf("half-open owner %s not restored to route head: %v", owner, got)
 	}
@@ -56,7 +58,7 @@ func TestRouterRouteOwnerFirstAndHealthDemotion(t *testing.T) {
 		t.Fatal("owner led the route right after failing its half-open probe")
 	}
 	// A success clears everything.
-	now = now.Add(6 * time.Second)
+	clock.Advance(6 * time.Second)
 	rt.ReportSuccess(owner)
 	if got := rt.Route(key); got[0].ID != owner {
 		t.Fatalf("owner %s not restored after success: %v", owner, got)
@@ -66,12 +68,12 @@ func TestRouterRouteOwnerFirstAndHealthDemotion(t *testing.T) {
 // All-shards-unhealthy (satellite edge case): the route must still return
 // every shard — the any-replica fallback — and count the fallback.
 func TestRouterAllUnhealthyFallsBackToAnyReplica(t *testing.T) {
-	now := time.Unix(1000, 0)
+	clock := simnet.NewSimAt(time.Unix(1000, 0))
 	rt, err := NewRouter(RouterOptions{
 		Shards:           testShards("a", "b", "c"),
 		FailureThreshold: 1,
 		Cooldown:         time.Hour,
-		Clock:            func() time.Time { return now },
+		Clock:            clock,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -138,12 +140,12 @@ func TestRouterUpdateVersionGate(t *testing.T) {
 }
 
 func TestRouterUpdateKeepsSurvivorHealth(t *testing.T) {
-	now := time.Unix(1000, 0)
+	clock := simnet.NewSimAt(time.Unix(1000, 0))
 	rt, err := NewRouter(RouterOptions{
 		Shards:           testShards("a", "b"),
 		FailureThreshold: 1,
 		Cooldown:         time.Hour,
-		Clock:            func() time.Time { return now },
+		Clock:            clock,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -45,6 +45,19 @@ func stormTargetRPS() float64 {
 	return 1000
 }
 
+// stormDuration returns the storm's load window. Correctness under
+// topology churn now lives in the deterministic simulation suite
+// (internal/dst), which sweeps hundreds of seeded schedules in virtual
+// time; the real-time storm remains as a smoke check of the live-socket
+// stack, so it defaults to a short profile. FLEET_STORM=full restores the
+// original window for soak runs on a quiet machine.
+func stormDuration() time.Duration {
+	if os.Getenv("FLEET_STORM") == "full" {
+		return 3 * time.Second
+	}
+	return 1 * time.Second
+}
+
 // stormShard is one live shard: its fleet state, engine and data listener.
 type stormShard struct {
 	id  string
@@ -313,7 +326,7 @@ func TestFleetStormJoinAndDeath(t *testing.T) {
 		t.Fatalf("baseline p99 = %d", baseline.P99Micros)
 	}
 
-	const storm = 3 * time.Second
+	storm := stormDuration()
 	var joinPulled atomic.Int64
 	join := time.AfterFunc(storm/3, func() {
 		// The join protocol: membership push to every replica first, then
@@ -448,7 +461,7 @@ func TestFleetStormUnderChaosSchedule(t *testing.T) {
 	var violations atomic.Int64
 	sum, err := fleet.RunLoad(context.Background(), fleet.LoadOptions{
 		Workers:  4,
-		Duration: 1500 * time.Millisecond,
+		Duration: stormDuration() / 2,
 		Do:       stormDo(cl, reqs, &violations),
 	})
 	if err != nil {

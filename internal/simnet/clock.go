@@ -1,0 +1,93 @@
+// Package simnet is the deterministic-simulation substrate under the DST
+// harness (internal/dst): a Clock interface threaded through every
+// time-dependent path in the engine, advisord, the client and the fleet
+// router, with a wall-clock implementation for production and a virtual
+// implementation (Sim) whose timers fire in deterministic heap order; plus
+// an in-memory HTTP transport (Network) that routes requests between
+// in-process advisord shards under a seeded schedule of link faults.
+//
+// The design rule that makes simulation sound: production code never calls
+// the time package directly in the simulated packages (the igpulint
+// timesource analyzer enforces this) — it asks the injected Clock. Under
+// Real() the program behaves exactly as before; under a Sim the same program
+// runs in virtual time, so a three-second retry storm replays in
+// microseconds and every failure is a seed away from being reproduced.
+package simnet
+
+import (
+	"context"
+	"time"
+)
+
+// Clock is an injectable time source. Production code in the simulated
+// packages must route every wait and every timestamp through it.
+type Clock interface {
+	// Now returns the current instant of this clock.
+	Now() time.Time
+	// Since returns the clock time elapsed since t.
+	Since(t time.Time) time.Duration
+	// Sleep blocks for d of this clock's time, returning early with
+	// ctx.Err() when the context ends mid-sleep. d <= 0 returns
+	// immediately (after a context check).
+	Sleep(ctx context.Context, d time.Duration) error
+	// After returns a channel that delivers the clock's time once d has
+	// elapsed.
+	After(d time.Duration) <-chan time.Time
+	// NewTimer returns a timer that delivers on C() once d has elapsed.
+	NewTimer(d time.Duration) Timer
+	// AfterFunc runs fn once d has elapsed. Under a Sim, fn runs on the
+	// goroutine advancing the clock.
+	AfterFunc(d time.Duration, fn func()) Timer
+	// WithTimeout derives a context that expires with
+	// context.DeadlineExceeded after d of this clock's time.
+	WithTimeout(parent context.Context, d time.Duration) (context.Context, context.CancelFunc)
+}
+
+// Timer is the subset of *time.Timer the simulated paths need.
+type Timer interface {
+	// C delivers the clock's time when the timer fires.
+	C() <-chan time.Time
+	// Stop cancels the timer, reporting whether it was still pending.
+	Stop() bool
+}
+
+// Real returns the wall-clock Clock production code runs under.
+func Real() Clock { return realClock{} }
+
+type realClock struct{}
+
+func (realClock) Now() time.Time                         { return time.Now() }
+func (realClock) Since(t time.Time) time.Duration        { return time.Since(t) }
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+func (realClock) Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (realClock) NewTimer(d time.Duration) Timer { return realTimer{time.NewTimer(d)} }
+
+func (realClock) AfterFunc(d time.Duration, fn func()) Timer {
+	return realTimer{time.AfterFunc(d, fn)}
+}
+
+func (realClock) WithTimeout(parent context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(parent, d)
+}
+
+type realTimer struct{ t *time.Timer }
+
+func (r realTimer) C() <-chan time.Time { return r.t.C }
+func (r realTimer) Stop() bool          { return r.t.Stop() }

@@ -1,0 +1,302 @@
+package simnet
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// Epoch is the instant a fresh Sim starts at. A fixed epoch (rather than
+// wall time at construction) keeps every timestamp a simulation produces a
+// pure function of the schedule, so two runs of the same seed agree on
+// every time value, not just every ordering.
+var Epoch = time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// Sim is a virtual clock: Now advances only when timers fire, and timers
+// fire in deterministic order — earliest deadline first, creation order
+// breaking ties. Safe for concurrent use.
+//
+// Two modes drive the clock forward:
+//
+//   - Manual: a test calls Advance(d); every timer whose deadline falls in
+//     the window fires, in order, on the advancing goroutine.
+//   - Auto-advance (AutoAdvance(true)): a goroutine blocked in Sleep drives
+//     the clock itself, firing successive earliest-deadline timers until
+//     its own deadline arrives. This is what the DST runner uses: the
+//     scenario is strictly sequential, so at most one sleeper exists at a
+//     time and the firing order is fully determined.
+type Sim struct {
+	mu   sync.Mutex
+	now  time.Time
+	seq  uint64
+	pq   timerHeap
+	auto bool
+}
+
+// NewSim builds a virtual clock at Epoch, in manual mode.
+func NewSim() *Sim { return NewSimAt(Epoch) }
+
+// NewSimAt builds a virtual clock at start, in manual mode.
+func NewSimAt(start time.Time) *Sim { return &Sim{now: start} }
+
+// AutoAdvance toggles auto-advance mode (see the type comment) and returns
+// the Sim for chaining.
+func (s *Sim) AutoAdvance(on bool) *Sim {
+	s.mu.Lock()
+	s.auto = on
+	s.mu.Unlock()
+	return s
+}
+
+// Now returns the current virtual instant.
+func (s *Sim) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Since returns the virtual time elapsed since t.
+func (s *Sim) Since(t time.Time) time.Duration { return s.Now().Sub(t) }
+
+// Pending returns the number of timers waiting to fire (tests).
+func (s *Sim) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pq.Len()
+}
+
+// newTimer registers a timer d from now. Exactly one of ch-delivery
+// (fn == nil) or fn-invocation happens when it fires.
+func (s *Sim) newTimer(d time.Duration, fn func()) *simTimer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := &simTimer{
+		s:        s,
+		deadline: s.now.Add(d),
+		seq:      s.seq,
+		fn:       fn,
+		idx:      -1,
+	}
+	s.seq++
+	if fn == nil {
+		t.ch = make(chan time.Time, 1)
+	}
+	if d <= 0 {
+		// Already due: deliver immediately instead of waiting for a drive.
+		t.deliver(s.now)
+		return t
+	}
+	heap.Push(&s.pq, t)
+	return t
+}
+
+// NewTimer returns a timer firing d of virtual time from now.
+func (s *Sim) NewTimer(d time.Duration) Timer { return s.newTimer(d, nil) }
+
+// After returns a channel delivering the virtual time once d has elapsed.
+func (s *Sim) After(d time.Duration) <-chan time.Time { return s.newTimer(d, nil).ch }
+
+// AfterFunc runs fn once d of virtual time has elapsed, on the goroutine
+// advancing the clock.
+func (s *Sim) AfterFunc(d time.Duration, fn func()) Timer { return s.newTimer(d, fn) }
+
+// fireEarliest pops and fires the earliest pending timer, advancing Now to
+// its deadline. It reports false when no timer is pending.
+func (s *Sim) fireEarliest() bool {
+	s.mu.Lock()
+	if s.pq.Len() == 0 {
+		s.mu.Unlock()
+		return false
+	}
+	t := heap.Pop(&s.pq).(*simTimer)
+	t.idx = -1
+	if t.deadline.After(s.now) {
+		s.now = t.deadline
+	}
+	now := s.now
+	s.mu.Unlock()
+	// Fire outside the lock: an AfterFunc callback may re-enter the clock
+	// (cancel a context, start another timer).
+	t.fire(now)
+	return true
+}
+
+// Advance moves the clock forward by d, firing every timer whose deadline
+// falls inside the window, in deterministic order, on the calling
+// goroutine.
+func (s *Sim) Advance(d time.Duration) {
+	s.mu.Lock()
+	target := s.now.Add(d)
+	for s.pq.Len() > 0 && !s.pq[0].deadline.After(target) {
+		t := heap.Pop(&s.pq).(*simTimer)
+		t.idx = -1
+		if t.deadline.After(s.now) {
+			s.now = t.deadline
+		}
+		now := s.now
+		s.mu.Unlock()
+		t.fire(now)
+		s.mu.Lock()
+	}
+	if target.After(s.now) {
+		s.now = target
+	}
+	s.mu.Unlock()
+}
+
+// Sleep blocks for d of virtual time. In auto-advance mode the sleeping
+// goroutine drives the clock itself; in manual mode it blocks until an
+// Advance covers its deadline. Returns early with ctx.Err() when the
+// context ends first (including a virtual deadline firing mid-drive).
+func (s *Sim) Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d <= 0 {
+		return nil
+	}
+	t := s.newTimer(d, nil)
+	defer t.Stop()
+	s.mu.Lock()
+	auto := s.auto
+	s.mu.Unlock()
+	if auto {
+		for {
+			select {
+			case <-t.ch:
+				return nil
+			default:
+			}
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if !s.fireEarliest() {
+				// Nothing pending yet our own timer has not delivered:
+				// another driver raced us past it; fall through and wait.
+				break
+			}
+		}
+	}
+	select {
+	case <-t.ch:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// WithTimeout derives a context that expires with context.DeadlineExceeded
+// after d of virtual time. The expiry rides an AfterFunc timer, so it takes
+// effect when the clock is driven past the deadline; CancelFunc releases
+// the timer without waiting for it.
+func (s *Sim) WithTimeout(parent context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	base, cancel := context.WithCancelCause(parent)
+	ctx := &simDeadlineCtx{Context: base, deadline: s.Now().Add(d)}
+	t := s.AfterFunc(d, func() { cancel(context.DeadlineExceeded) })
+	return ctx, func() {
+		t.Stop()
+		cancel(context.Canceled)
+	}
+}
+
+// simDeadlineCtx gives a cancel-cause context the standard deadline
+// surface: Deadline() reports the virtual deadline and Err() maps a
+// DeadlineExceeded cause back to the sentinel, so callers'
+// errors.Is(err, context.DeadlineExceeded) checks behave exactly as they
+// do under context.WithTimeout.
+type simDeadlineCtx struct {
+	context.Context
+	deadline time.Time
+}
+
+func (c *simDeadlineCtx) Deadline() (time.Time, bool) { return c.deadline, true }
+
+func (c *simDeadlineCtx) Err() error {
+	err := c.Context.Err()
+	if err == nil {
+		return nil
+	}
+	if errors.Is(context.Cause(c.Context), context.DeadlineExceeded) {
+		return context.DeadlineExceeded
+	}
+	return err
+}
+
+// simTimer is one pending (or fired) virtual timer.
+type simTimer struct {
+	s        *Sim
+	deadline time.Time
+	seq      uint64
+	idx      int // heap index; -1 when not pending
+	ch       chan time.Time
+	fn       func()
+}
+
+func (t *simTimer) C() <-chan time.Time { return t.ch }
+
+// Stop cancels the timer, reporting whether it was still pending.
+func (t *simTimer) Stop() bool {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	if t.idx < 0 {
+		return false
+	}
+	heap.Remove(&t.s.pq, t.idx)
+	t.idx = -1
+	return true
+}
+
+// fire delivers the timer outside the clock lock.
+func (t *simTimer) fire(now time.Time) {
+	if t.fn != nil {
+		t.fn()
+		return
+	}
+	t.deliver(now)
+}
+
+// deliver sends on the (buffered) channel without blocking.
+func (t *simTimer) deliver(now time.Time) {
+	select {
+	case t.ch <- now:
+	default:
+	}
+}
+
+// timerHeap orders timers by (deadline, seq): earliest first, creation
+// order breaking ties — the deterministic firing order the DST harness
+// depends on.
+type timerHeap []*simTimer
+
+func (h timerHeap) Len() int { return len(h) }
+
+func (h timerHeap) Less(i, j int) bool {
+	if !h[i].deadline.Equal(h[j].deadline) {
+		return h[i].deadline.Before(h[j].deadline)
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+
+func (h *timerHeap) Push(x interface{}) {
+	t := x.(*simTimer)
+	t.idx = len(*h)
+	*h = append(*h, t)
+}
+
+func (h *timerHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.idx = -1
+	*h = old[:n-1]
+	return t
+}

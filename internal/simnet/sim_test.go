@@ -1,0 +1,245 @@
+package simnet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestSimAdvanceFiresInDeadlineThenCreationOrder(t *testing.T) {
+	s := NewSim()
+	var got []string
+	// Same deadline: creation order must break the tie. Earlier deadline
+	// fires first regardless of creation order.
+	s.AfterFunc(20*time.Millisecond, func() { got = append(got, "b1") })
+	s.AfterFunc(20*time.Millisecond, func() { got = append(got, "b2") })
+	s.AfterFunc(10*time.Millisecond, func() { got = append(got, "a") })
+	s.Advance(50 * time.Millisecond)
+	want := []string{"a", "b1", "b2"}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+	if elapsed := s.Since(Epoch); elapsed != 50*time.Millisecond {
+		t.Fatalf("elapsed %v, want 50ms", elapsed)
+	}
+}
+
+func TestSimTimerStop(t *testing.T) {
+	s := NewSim()
+	fired := false
+	tm := s.AfterFunc(time.Second, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop on pending timer returned false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	s.Advance(2 * time.Second)
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestSimAutoAdvanceSleepDrivesOtherTimers(t *testing.T) {
+	s := NewSim().AutoAdvance(true)
+	var fired []time.Duration
+	s.AfterFunc(10*time.Millisecond, func() { fired = append(fired, s.Since(Epoch)) })
+	s.AfterFunc(30*time.Millisecond, func() { fired = append(fired, s.Since(Epoch)) })
+	if err := s.Sleep(context.Background(), 20*time.Millisecond); err != nil {
+		t.Fatalf("Sleep: %v", err)
+	}
+	// The 10ms timer fired on the way; the 30ms one is still pending and
+	// virtual time stopped exactly at our deadline.
+	if len(fired) != 1 || fired[0] != 10*time.Millisecond {
+		t.Fatalf("fired %v, want [10ms]", fired)
+	}
+	if elapsed := s.Since(Epoch); elapsed != 20*time.Millisecond {
+		t.Fatalf("elapsed %v, want 20ms", elapsed)
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending %d, want 1", s.Pending())
+	}
+}
+
+func TestSimWithTimeoutExpiresAsDeadlineExceeded(t *testing.T) {
+	s := NewSim().AutoAdvance(true)
+	ctx, cancel := s.WithTimeout(context.Background(), 15*time.Millisecond)
+	defer cancel()
+	if dl, ok := ctx.Deadline(); !ok || !dl.Equal(Epoch.Add(15*time.Millisecond)) {
+		t.Fatalf("deadline %v ok=%v", dl, ok)
+	}
+	// Sleeping past the deadline must interrupt the sleep with the
+	// standard sentinel, exactly as context.WithTimeout would.
+	err := s.Sleep(ctx, time.Second)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Sleep returned %v, want DeadlineExceeded", err)
+	}
+	if !errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		t.Fatalf("ctx.Err() = %v, want DeadlineExceeded", ctx.Err())
+	}
+	if elapsed := s.Since(Epoch); elapsed != 15*time.Millisecond {
+		t.Fatalf("elapsed %v, want 15ms", elapsed)
+	}
+}
+
+func TestSimWithTimeoutCancelReleasesTimer(t *testing.T) {
+	s := NewSim()
+	ctx, cancel := s.WithTimeout(context.Background(), time.Second)
+	cancel()
+	if !errors.Is(ctx.Err(), context.Canceled) {
+		t.Fatalf("ctx.Err() = %v, want Canceled", ctx.Err())
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("pending %d after cancel, want 0", s.Pending())
+	}
+}
+
+func TestRealClockSleepHonorsContext(t *testing.T) {
+	c := Real()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := c.Sleep(ctx, time.Hour); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sleep = %v, want Canceled", err)
+	}
+}
+
+// echoHandler answers with the body it received plus a counter, so tests
+// can observe duplicate deliveries and response losses server-side.
+type echoHandler struct{ calls int }
+
+func (h *echoHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.calls++
+	body, _ := io.ReadAll(r.Body)
+	fmt.Fprintf(w, "%s#%d", body, h.calls)
+}
+
+func postBody(t *testing.T, hc *http.Client, url, body string) (string, error) {
+	t.Helper()
+	resp, err := hc.Post(url, "text/plain", bytes.NewReader([]byte(body)))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	return string(data), err
+}
+
+func TestNetworkRoutesAndCounts(t *testing.T) {
+	s := NewSim().AutoAdvance(true)
+	nw := NewNetwork(s, 1)
+	h := &echoHandler{}
+	nw.Register("shard-a.sim", h)
+	hc := nw.Client("client")
+
+	out, err := postBody(t, hc, "http://shard-a.sim/x", "hello")
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	if out != "hello#1" {
+		t.Fatalf("got %q", out)
+	}
+
+	// Unregistered host refuses.
+	if _, err := postBody(t, hc, "http://nowhere.sim/x", "y"); err == nil {
+		t.Fatal("post to unregistered host succeeded")
+	}
+
+	// Crash, then restart.
+	nw.SetDown("shard-a.sim", true)
+	if _, err := postBody(t, hc, "http://shard-a.sim/x", "y"); err == nil {
+		t.Fatal("post to crashed host succeeded")
+	}
+	nw.SetDown("shard-a.sim", false)
+	if _, err := postBody(t, hc, "http://shard-a.sim/x", "y"); err != nil {
+		t.Fatalf("post after restart: %v", err)
+	}
+
+	// One-way partition: client->shard cut, shard->client fine.
+	nw.SetCut("client", "shard-a.sim", true)
+	if _, err := postBody(t, hc, "http://shard-a.sim/x", "y"); err == nil {
+		t.Fatal("post across partition succeeded")
+	}
+	if _, err := postBody(t, nw.Client("shard-b"), "http://shard-a.sim/x", "y"); err != nil {
+		t.Fatalf("reverse direction blocked: %v", err)
+	}
+	nw.SetCut("client", "shard-a.sim", false)
+
+	delivered, dropped, _, _ := nw.Stats()
+	if delivered != 3 || dropped != 3 {
+		t.Fatalf("delivered=%d dropped=%d, want 3/3", delivered, dropped)
+	}
+}
+
+func TestNetworkResponseLossRunsHandler(t *testing.T) {
+	s := NewSim().AutoAdvance(true)
+	nw := NewNetwork(s, 7)
+	h := &echoHandler{}
+	nw.Register("shard-a.sim", h)
+	nw.SetLinkFault("client", "shard-a.sim", LinkFault{RespLossProb: 1})
+	if _, err := postBody(t, nw.Client("client"), "http://shard-a.sim/x", "y"); err == nil {
+		t.Fatal("response loss did not surface as an error")
+	}
+	if h.calls != 1 {
+		t.Fatalf("handler calls = %d, want 1 (one-way link: request arrives)", h.calls)
+	}
+}
+
+func TestNetworkDuplicateDelivery(t *testing.T) {
+	s := NewSim().AutoAdvance(true)
+	nw := NewNetwork(s, 7)
+	h := &echoHandler{}
+	nw.Register("shard-a.sim", h)
+	nw.SetLinkFault("client", "shard-a.sim", LinkFault{DupProb: 1})
+	out, err := postBody(t, nw.Client("client"), "http://shard-a.sim/x", "y")
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	if h.calls != 2 || out != "y#2" {
+		t.Fatalf("calls=%d out=%q, want 2 calls and the second response", h.calls, out)
+	}
+}
+
+func TestNetworkDelayAdvancesVirtualTime(t *testing.T) {
+	s := NewSim().AutoAdvance(true)
+	nw := NewNetwork(s, 7)
+	nw.Register("shard-a.sim", &echoHandler{})
+	nw.SetLinkFault("*", "*", LinkFault{Delay: 40 * time.Millisecond})
+	if _, err := postBody(t, nw.Client("client"), "http://shard-a.sim/x", "y"); err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	if elapsed := s.Since(Epoch); elapsed != 40*time.Millisecond {
+		t.Fatalf("elapsed %v, want 40ms", elapsed)
+	}
+}
+
+func TestNetworkDeterministicForSeed(t *testing.T) {
+	run := func() []bool {
+		s := NewSim().AutoAdvance(true)
+		nw := NewNetwork(s, 42)
+		nw.Register("a.sim", &echoHandler{})
+		nw.SetLinkFault("c", "a.sim", LinkFault{DropProb: 0.5})
+		hc := nw.Client("c")
+		var outcomes []bool
+		for i := 0; i < 20; i++ {
+			_, err := postBody(t, hc, "http://a.sim/x", "y")
+			outcomes = append(outcomes, err == nil)
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("outcome %d diverged between identical seeds", i)
+		}
+	}
+}

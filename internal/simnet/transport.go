@@ -1,0 +1,245 @@
+package simnet
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+)
+
+// Network routes HTTP requests between in-process servers by host name,
+// entirely in memory: a handler runs inline on the calling goroutine (via
+// httptest.NewRecorder), so no listener, no real sockets and — crucially
+// for determinism — no scheduler-dependent interleaving. Link behavior is
+// programmable per directed (source, host) pair: probabilistic request
+// drops, response losses (the handler runs but the caller sees a network
+// error — a one-way link), duplicate deliveries, added virtual latency,
+// directional partitions and host crashes.
+//
+// All probabilistic decisions draw from one seeded stream in call order, so
+// a sequential workload replays identically for a given seed. Safe for
+// concurrent use, but determinism is only guaranteed for sequential
+// callers.
+type Network struct {
+	clock Clock
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	hosts  map[string]http.Handler
+	down   map[string]bool
+	cut    map[link]bool
+	faults map[link]LinkFault
+
+	delivered int
+	dropped   int
+	respLost  int
+	dupes     int
+}
+
+// link is a directed (source, destination-host) pair; "*" matches any.
+type link struct{ from, to string }
+
+// LinkFault is the programmable fault profile of one directed link.
+type LinkFault struct {
+	// DropProb is the probability the request is lost before reaching the
+	// handler.
+	DropProb float64
+	// RespLossProb is the probability the handler runs but its response is
+	// lost — the one-way-link case: server-side effects (cache installs,
+	// admission counters) happen, the caller sees a network error and
+	// retries.
+	RespLossProb float64
+	// DupProb is the probability the request is delivered twice (the
+	// caller sees the second response).
+	DupProb float64
+	// Delay is virtual latency added before delivery.
+	Delay time.Duration
+}
+
+// NewNetwork builds a network on the given clock with a seeded fault
+// stream.
+func NewNetwork(clock Clock, seed int64) *Network {
+	return &Network{
+		clock:  clock,
+		rng:    rand.New(rand.NewSource(seed)),
+		hosts:  make(map[string]http.Handler),
+		down:   make(map[string]bool),
+		cut:    make(map[link]bool),
+		faults: make(map[link]LinkFault),
+	}
+}
+
+// Register installs (or replaces — a restart) the handler serving host.
+func (n *Network) Register(host string, h http.Handler) {
+	n.mu.Lock()
+	n.hosts[host] = h
+	n.mu.Unlock()
+}
+
+// SetDown marks a host crashed (every delivery fails with a connection
+// error) or back up.
+func (n *Network) SetDown(host string, down bool) {
+	n.mu.Lock()
+	n.down[host] = down
+	n.mu.Unlock()
+}
+
+// SetCut opens (or heals) a directional partition from source to host.
+// Either side may be "*".
+func (n *Network) SetCut(from, to string, cut bool) {
+	n.mu.Lock()
+	if cut {
+		n.cut[link{from, to}] = true
+	} else {
+		delete(n.cut, link{from, to})
+	}
+	n.mu.Unlock()
+}
+
+// SetLinkFault installs a fault profile on a directed link; a zero
+// LinkFault clears it. Either side may be "*"; the most specific match
+// wins: (from,to), (from,*), (*,to), (*,*).
+func (n *Network) SetLinkFault(from, to string, f LinkFault) {
+	n.mu.Lock()
+	if f == (LinkFault{}) {
+		delete(n.faults, link{from, to})
+	} else {
+		n.faults[link{from, to}] = f
+	}
+	n.mu.Unlock()
+}
+
+// Stats returns delivery counters: delivered, dropped (request lost or
+// host down/partitioned), response-lost, duplicated.
+func (n *Network) Stats() (delivered, dropped, respLost, dupes int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.delivered, n.dropped, n.respLost, n.dupes
+}
+
+// Client returns an http.Client whose requests originate from source —
+// the name directional partitions and link faults key on.
+func (n *Network) Client(source string) *http.Client {
+	return &http.Client{Transport: &transport{n: n, source: source}}
+}
+
+// plan is the fate one delivery draws from the seeded stream.
+type plan struct {
+	refuse   bool // host down or unregistered
+	cutOff   bool // directional partition on the request path
+	respCut  bool // directional partition on the response path
+	drop     bool
+	respLoss bool
+	dup      bool
+	delay    time.Duration
+}
+
+// decide draws one delivery's fate. Randomness is consumed in a fixed
+// order regardless of which fault (if any) applies, so toggling one
+// probability does not shift the stream the others see.
+func (n *Network) decide(from, to string) (http.Handler, plan) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var p plan
+	h := n.hosts[to]
+	if h == nil || n.down[to] {
+		p.refuse = true
+	}
+	if n.cut[link{from, to}] || n.cut[link{from, "*"}] || n.cut[link{"*", to}] || n.cut[link{"*", "*"}] {
+		p.cutOff = true
+	}
+	// A partition in the reverse direction lets the request through but
+	// eats the response — the handler runs, the caller times out. This is
+	// what makes directional partitions meaningfully different from drops.
+	if n.cut[link{to, from}] || n.cut[link{to, "*"}] || n.cut[link{"*", from}] {
+		p.respCut = true
+	}
+	f, ok := n.faults[link{from, to}]
+	if !ok {
+		if f, ok = n.faults[link{from, "*"}]; !ok {
+			if f, ok = n.faults[link{"*", to}]; !ok {
+				f = n.faults[link{"*", "*"}]
+			}
+		}
+	}
+	if f != (LinkFault{}) {
+		p.drop = f.DropProb > 0 && n.rng.Float64() < f.DropProb
+		p.respLoss = f.RespLossProb > 0 && n.rng.Float64() < f.RespLossProb
+		p.dup = f.DupProb > 0 && n.rng.Float64() < f.DupProb
+		p.delay = f.Delay
+	}
+	return h, p
+}
+
+// transport is the per-source http.RoundTripper.
+type transport struct {
+	n      *Network
+	source string
+}
+
+// RoundTrip delivers one request under the link's fault profile. Handler
+// execution is inline on the calling goroutine.
+func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	n := t.n
+	host := req.URL.Host
+	var body []byte
+	if req.Body != nil {
+		var err error
+		body, err = io.ReadAll(req.Body)
+		req.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("simnet: read request body: %w", err)
+		}
+	}
+	h, p := n.decide(t.source, host)
+	if p.delay > 0 {
+		if err := n.clock.Sleep(req.Context(), p.delay); err != nil {
+			return nil, fmt.Errorf("simnet: %s -> %s: %w", t.source, host, err)
+		}
+	}
+	count := func(c *int) {
+		n.mu.Lock()
+		*c++
+		n.mu.Unlock()
+	}
+	switch {
+	case p.refuse:
+		count(&n.dropped)
+		return nil, fmt.Errorf("simnet: connect %s -> %s: connection refused", t.source, host)
+	case p.cutOff:
+		count(&n.dropped)
+		return nil, fmt.Errorf("simnet: %s -> %s: network partitioned", t.source, host)
+	case p.drop:
+		count(&n.dropped)
+		return nil, fmt.Errorf("simnet: %s -> %s: request lost", t.source, host)
+	}
+	serve := func() *httptest.ResponseRecorder {
+		r2 := req.Clone(req.Context())
+		r2.Body = io.NopCloser(bytes.NewReader(body))
+		r2.RequestURI = ""
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, r2)
+		return rec
+	}
+	rec := serve()
+	if p.dup {
+		count(&n.dupes)
+		rec = serve()
+	}
+	if p.respCut {
+		count(&n.respLost)
+		return nil, fmt.Errorf("simnet: %s -> %s: response partitioned", host, t.source)
+	}
+	if p.respLoss {
+		count(&n.respLost)
+		return nil, fmt.Errorf("simnet: %s -> %s: response lost", t.source, host)
+	}
+	count(&n.delivered)
+	resp := rec.Result()
+	resp.Request = req
+	return resp, nil
+}
